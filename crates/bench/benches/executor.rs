@@ -1,0 +1,79 @@
+//! End-to-end executor throughput: records/second through a flat
+//! configuration vs a phantom configuration — the system-level effect
+//! the paper's cost model predicts.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use msa_gigascope::{CostParams, Executor, PhysicalPlan, PlanNode};
+use msa_stream::{AttrSet, UniformStreamBuilder};
+use std::hint::black_box;
+
+fn s(x: &str) -> AttrSet {
+    AttrSet::parse(x).unwrap()
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let stream = UniformStreamBuilder::new(4, 2837)
+        .records(100_000)
+        .seed(9)
+        .build();
+
+    let flat = PhysicalPlan::flat(&[
+        (s("AB"), 2000),
+        (s("BC"), 2000),
+        (s("BD"), 2000),
+        (s("CD"), 2000),
+    ])
+    .unwrap();
+
+    let phantom = PhysicalPlan::new(vec![
+        PlanNode {
+            attrs: s("ABCD"),
+            parent: None,
+            buckets: 6000,
+            is_query: false,
+        },
+        PlanNode {
+            attrs: s("AB"),
+            parent: Some(0),
+            buckets: 500,
+            is_query: true,
+        },
+        PlanNode {
+            attrs: s("BC"),
+            parent: Some(0),
+            buckets: 500,
+            is_query: true,
+        },
+        PlanNode {
+            attrs: s("BD"),
+            parent: Some(0),
+            buckets: 500,
+            is_query: true,
+        },
+        PlanNode {
+            attrs: s("CD"),
+            parent: Some(0),
+            buckets: 500,
+            is_query: true,
+        },
+    ])
+    .unwrap();
+
+    let mut group = c.benchmark_group("executor");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(20);
+    for (label, plan) in [("flat_4_queries", flat), ("phantom_abcd", phantom)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut ex = Executor::new(plan.clone(), CostParams::paper(), u64::MAX, 3)
+                    .discard_results();
+                ex.run(black_box(&stream.records));
+                black_box(ex.report().per_record_cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

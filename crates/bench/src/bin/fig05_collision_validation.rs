@@ -1,0 +1,98 @@
+//! Figure 5 — collision rates of real data vs the rough and precise
+//! models.
+//!
+//! The paper de-clusters the tcpdump trace (all packets of a flow
+//! collapse into one record), extracts datasets with 1–4 attributes
+//! (552 / 1,846 / 2,117 / 2,837 groups), and measures hash-table
+//! collision rates for `g/b` between 0 and 10, comparing against the
+//! rough model (Eq. 10) and the precise model (Eq. 13). The precise
+//! model tracks the measurements; the rough model only converges for
+//! large `g/b`.
+
+use msa_bench::{paper_trace_declustered, print_table, f4};
+use msa_collision::models;
+use msa_gigascope::table::measure_collision_rate;
+use msa_stream::{AttrSet, DatasetStats};
+
+fn main() {
+    let stream = paper_trace_declustered();
+    let prefixes = ["A", "AB", "ABC", "ABCD"];
+    let sets: Vec<AttrSet> = prefixes
+        .iter()
+        .map(|p| AttrSet::parse(p).expect("valid"))
+        .collect();
+    let stats = DatasetStats::compute_for(&stream.records, &sets);
+
+    println!("Figure 5: collision rates of (synthesized) real data");
+    println!(
+        "de-clustered records: {}; dataset groups: {:?}",
+        stream.len(),
+        sets.iter().map(|&s| stats.groups(s)).collect::<Vec<_>>()
+    );
+
+    let ratios = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+    let mut rows = Vec::new();
+    for &r in &ratios {
+        let mut row = vec![f4(r), f4(models::rough(r, 1.0)), f4(models::asymptotic(r))];
+        for &set in &sets {
+            let g = stats.groups(set);
+            let b = ((g as f64 / r).round() as usize).max(1);
+            let measured = measure_collision_rate(
+                stream.records.iter().map(|rec| rec.project(set)),
+                set,
+                b,
+                0xF165 ^ set.bits() as u64,
+            );
+            row.push(f4(measured));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "collision rate vs g/b",
+        &[
+            "g/b",
+            "rough model",
+            "precise model",
+            "1 attribute",
+            "2 attributes",
+            "3 attributes",
+            "4 attributes",
+        ],
+        &rows,
+    );
+
+    // The paper's headline: >95 % of measurements within 5 % of the
+    // precise model. Our synthesized trace has more visit-count skew in
+    // the low-arity projections than the authors' tcpdump (see
+    // EXPERIMENTS.md), so we report the 5 % and 10 % thresholds.
+    let mut within5 = 0usize;
+    let mut within10 = 0usize;
+    let mut total = 0usize;
+    for &r in &ratios {
+        for &set in &sets {
+            let g = stats.groups(set);
+            let b = ((g as f64 / r).round() as usize).max(1);
+            let measured = measure_collision_rate(
+                stream.records.iter().map(|rec| rec.project(set)),
+                set,
+                b,
+                0xF165 ^ set.bits() as u64,
+            );
+            let model = models::precise(g as u64, b as u64);
+            if model > 0.0 {
+                let err = ((measured - model) / model).abs();
+                if err < 0.05 {
+                    within5 += 1;
+                }
+                if err < 0.10 {
+                    within10 += 1;
+                }
+            }
+            total += 1;
+        }
+    }
+    println!(
+        "\nmeasurements within 5% of the precise model: {within5}/{total} \
+         (paper: more than 95%); within 10%: {within10}/{total}"
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 7 — the collision-rate curve as a function of `g/b`, and its
+//! piecewise regression.
+//!
+//! The paper divides the curve over `(0, 50]` into 6 intervals and fits
+//! a two-dimensional regression per interval with ≤ 5 % maximum
+//! relative error (average below 1 %).
+
+use msa_bench::{f4, print_table};
+use msa_collision::curve::PiecewiseCurve;
+use msa_collision::models;
+
+fn main() {
+    println!("Figure 7: collision rate vs g/b over (0, 50]");
+
+    let curve = PiecewiseCurve::fit_default();
+    let mut rows = Vec::new();
+    for i in 0..=25 {
+        let r = i as f64 * 2.0;
+        rows.push(vec![
+            format!("{r}"),
+            f4(models::asymptotic(r)),
+            f4(curve.eval(r)),
+        ]);
+    }
+    print_table(
+        "curve and regression",
+        &["g/b", "precise", "regression"],
+        &rows,
+    );
+
+    println!("\nregression segments:");
+    for seg in curve.segments() {
+        println!(
+            "  [{:>5.2}, {:>5.2}): x = {:+.5} {:+.5}r {:+.6}r^2",
+            seg.lo, seg.hi, seg.coef[0], seg.coef[1], seg.coef[2]
+        );
+    }
+    println!(
+        "\nmax relative error over [0.05, 50]: {:.2}% (paper target: 5%)",
+        curve.max_relative_error(0.05, 50.0) * 100.0
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 9 — space-allocation heuristics vs exhaustive search,
+//! configurations `(ABC(AC(A C) B))` and `AB(A B) CD(C D)`.
+//!
+//! For M from 20,000 to 100,000 words, each heuristic's cost is compared
+//! with the exhaustive-search optimum; the paper reports SL as the best
+//! heuristic (errors of a few percent) with PL/PR reaching up to 35 %.
+
+use msa_bench::{alloc_error_row, m_sweep, paper_trace, parse_config_leaves, pct, print_table, stats_abcd};
+use msa_collision::LinearModel;
+use msa_optimizer::cost::CostContext;
+
+fn main() {
+    let trace = paper_trace();
+    let stats = stats_abcd(&trace.records);
+    let model = LinearModel::paper_no_intercept();
+    let ctx = CostContext::new(&stats, &model);
+
+    for (label, notation) in [
+        ("Figure 9(a): (ABC(AC(A C) B))", "ABC(AC(A C) B)"),
+        ("Figure 9(b): AB(A B) CD(C D)", "AB(A B) CD(C D)"),
+    ] {
+        let cfg = parse_config_leaves(notation);
+        let rows: Vec<Vec<String>> = m_sweep()
+            .into_iter()
+            .map(|m| {
+                let errs = alloc_error_row(&cfg, m, &ctx);
+                let mut row = vec![format!("{:.0}", m / 1000.0)];
+                row.extend(errs.into_iter().map(pct));
+                row
+            })
+            .collect();
+        print_table(
+            label,
+            &["M (thousand)", "SL (%)", "SR (%)", "PL (%)", "PR (%)"],
+            &rows,
+        );
+    }
+    println!("\npaper: SL is best (≤ ~8%); PL/PR errors reach 35% in 9(a).");
+}

@@ -1,0 +1,42 @@
+//! Figure 10 — space-allocation heuristics vs exhaustive search on the
+//! deeper configurations `(ABCD(ABC(A BC(B C)) D))` and
+//! `(ABCD(AB BCD(BC BD CD)))`.
+
+use msa_bench::{alloc_error_row, m_sweep, paper_trace, parse_config_leaves, pct, print_table, stats_abcd};
+use msa_collision::LinearModel;
+use msa_optimizer::cost::CostContext;
+
+fn main() {
+    let trace = paper_trace();
+    let stats = stats_abcd(&trace.records);
+    let model = LinearModel::paper_no_intercept();
+    let ctx = CostContext::new(&stats, &model);
+
+    for (label, notation) in [
+        (
+            "Figure 10(a): (ABCD(ABC(A BC(B C)) D))",
+            "ABCD(ABC(A BC(B C)) D)",
+        ),
+        (
+            "Figure 10(b): (ABCD(AB BCD(BC BD CD)))",
+            "ABCD(AB BCD(BC BD CD))",
+        ),
+    ] {
+        let cfg = parse_config_leaves(notation);
+        let rows: Vec<Vec<String>> = m_sweep()
+            .into_iter()
+            .map(|m| {
+                let errs = alloc_error_row(&cfg, m, &ctx);
+                let mut row = vec![format!("{:.0}", m / 1000.0)];
+                row.extend(errs.into_iter().map(pct));
+                row
+            })
+            .collect();
+        print_table(
+            label,
+            &["M (thousand)", "SL (%)", "SR (%)", "PL (%)", "PR (%)"],
+            &rows,
+        );
+    }
+    println!("\npaper: SL best except one point in 10(a) at M = 20,000.");
+}

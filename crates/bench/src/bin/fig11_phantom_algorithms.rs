@@ -1,0 +1,59 @@
+//! Figure 11 — GS vs GCSL vs GCPL as a function of GS's space parameter
+//! `φ`, on the 4-dimensional uniform dataset with queries {A, B, C, D}
+//! and M = 40,000.
+//!
+//! Costs are model costs normalized by the EPES (optimal) cost. The
+//! paper observes: GS has a knee (small φ ⇒ high collision rates; large
+//! φ ⇒ no room for phantoms), GCSL is below GS for every φ, and GCPL
+//! lower-bounds GS.
+
+use msa_bench::{print_table, paper_uniform, scale, stats_abcd};
+use msa_collision::LinearModel;
+use msa_optimizer::cost::{CostContext, ClusterHandling};
+use msa_optimizer::{epes, greedy_collision, greedy_space, AllocStrategy, FeedingGraph};
+use msa_stream::AttrSet;
+
+fn main() {
+    let stream = paper_uniform(4);
+    let stats = stats_abcd(&stream.records);
+    let model = LinearModel::paper_no_intercept();
+    let mut ctx = CostContext::new(&stats, &model);
+    ctx.clustering = ClusterHandling::None; // synthetic data is unclustered
+    let queries: Vec<AttrSet> = ["A", "B", "C", "D"]
+        .iter()
+        .map(|q| AttrSet::parse(q).expect("valid"))
+        .collect();
+    let graph = FeedingGraph::new(&queries);
+    let m = 40_000.0 * scale();
+
+    println!(
+        "Figure 11: phantom-choice algorithms, uniform data, M = {m:.0} words, \
+         {} records, {} groups",
+        stream.len(),
+        stats.groups(AttrSet::parse("ABCD").expect("valid"))
+    );
+
+    let optimal = epes(&graph, m, &ctx);
+    let gcsl = greedy_collision(&graph, m, &ctx, AllocStrategy::SupernodeLinear);
+    let gcpl = greedy_collision(&graph, m, &ctx, AllocStrategy::ProportionalLinear);
+
+    let mut rows = Vec::new();
+    for phi10 in 6..=13 {
+        let phi = phi10 as f64 / 10.0;
+        let gs = greedy_space(&graph, m, phi, &ctx);
+        rows.push(vec![
+            format!("{phi:.1}"),
+            format!("{:.3}", gcsl.final_step().cost / optimal.cost),
+            format!("{:.3}", gcpl.final_step().cost / optimal.cost),
+            format!("{:.3}", gs.final_step().cost / optimal.cost),
+        ]);
+    }
+    print_table(
+        "relative cost (normalized by EPES)",
+        &["phi", "GCSL", "GCPL", "GS"],
+        &rows,
+    );
+    println!("\nEPES configuration: {}", optimal.configuration);
+    println!("GCSL configuration: {}", gcsl.final_step().configuration);
+    println!("paper: GS knee around phi ≈ 1; GCSL below GS everywhere.");
+}

@@ -1,0 +1,93 @@
+//! Figure 12 — cost after each phantom is chosen (the greedy process),
+//! uniform 4-d data, queries {A, B, C, D}, M = 40,000.
+//!
+//! The paper observes: the first phantom gives the largest cost drop;
+//! benefits shrink as phantoms accumulate; GS at φ = 0.6 overshoots
+//! (cost goes back up on its third phantom); at φ = 1.2–1.3 GS cannot
+//! afford more than one phantom.
+
+use msa_bench::{paper_uniform, print_table, scale, stats_abcd};
+use msa_collision::LinearModel;
+use msa_optimizer::cost::{ClusterHandling, CostContext};
+use msa_optimizer::greedy::GreedyTrace;
+use msa_optimizer::{epes, greedy_collision, greedy_space, AllocStrategy, FeedingGraph};
+use msa_stream::AttrSet;
+
+fn series(trace: &GreedyTrace, norm: f64, len: usize) -> Vec<String> {
+    (0..len)
+        .map(|i| match trace.steps.get(i) {
+            Some(s) => format!("{:.3}", s.cost / norm),
+            None => "-".to_string(),
+        })
+        .collect()
+}
+
+fn main() {
+    let stream = paper_uniform(4);
+    let stats = stats_abcd(&stream.records);
+    let model = LinearModel::paper_no_intercept();
+    let mut ctx = CostContext::new(&stats, &model);
+    ctx.clustering = ClusterHandling::None;
+    let queries: Vec<AttrSet> = ["A", "B", "C", "D"]
+        .iter()
+        .map(|q| AttrSet::parse(q).expect("valid"))
+        .collect();
+    let graph = FeedingGraph::new(&queries);
+    let m = 40_000.0 * scale();
+
+    println!("Figure 12: the phantom choosing process (M = {m:.0})");
+
+    let optimal = epes(&graph, m, &ctx);
+    let norm = optimal.cost;
+
+    let gcsl = greedy_collision(&graph, m, &ctx, AllocStrategy::SupernodeLinear);
+    let gcpl = greedy_collision(&graph, m, &ctx, AllocStrategy::ProportionalLinear);
+    let gs: Vec<(String, GreedyTrace)> = [0.6, 0.8, 1.0, 1.1, 1.2, 1.3]
+        .iter()
+        .map(|&phi| {
+            (
+                format!("GS phi={phi}"),
+                greedy_space(&graph, m, phi, &ctx),
+            )
+        })
+        .collect();
+
+    let depth = 1 + gcsl
+        .steps
+        .len()
+        .max(gcpl.steps.len())
+        .max(gs.iter().map(|(_, t)| t.steps.len()).max().unwrap_or(0));
+
+    let mut rows = Vec::new();
+    {
+        let mut row = vec!["GCSL".to_string()];
+        row.extend(series(&gcsl, norm, depth));
+        rows.push(row);
+        let mut row = vec!["GCPL".to_string()];
+        row.extend(series(&gcpl, norm, depth));
+        rows.push(row);
+        for (name, t) in &gs {
+            let mut row = vec![name.clone()];
+            row.extend(series(t, norm, depth));
+            rows.push(row);
+        }
+    }
+    let header: Vec<String> = std::iter::once("algorithm".to_string())
+        .chain((0..depth).map(|i| format!("{i} phantoms")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table("relative cost after each phantom", &header_refs, &rows);
+
+    println!("\nphantoms chosen: GCSL {:?}", choices(&gcsl));
+    for (name, t) in &gs {
+        println!("phantoms chosen: {name} {:?}", choices(t));
+    }
+    println!("paper: first phantom largest drop; GS phi=1.2/1.3 stop at one phantom.");
+}
+
+fn choices(t: &GreedyTrace) -> Vec<String> {
+    t.steps
+        .iter()
+        .filter_map(|s| s.added.map(|a| a.to_string()))
+        .collect()
+}

@@ -1,0 +1,368 @@
+//! The precomputed collision-rate curve and its regressions (§4.4).
+//!
+//! The paper observes the precise rate depends (almost) only on
+//! `r = g/b`, precomputes the curve, splits it into 6 intervals with a
+//! two-dimensional (quadratic) regression per interval at ≤ 5 % max
+//! relative error (Fig. 7), and fits the low-rate region `x < 0.4` with a
+//! straight line `x = 0.0267 + 0.354·r` (Fig. 8, Eq. 16).
+
+use crate::models::asymptotic;
+
+/// Least-squares straight-line fit `x = alpha + mu·r`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Intercept.
+    pub alpha: f64,
+    /// Slope.
+    pub mu: f64,
+}
+
+impl LinearFit {
+    /// Fits `x = α + µ·r` to `(r, x)` points by ordinary least squares.
+    ///
+    /// # Panics
+    /// Panics on fewer than two points or zero variance in `r`.
+    pub fn fit(points: &[(f64, f64)]) -> LinearFit {
+        assert!(points.len() >= 2, "need at least two points");
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        assert!(denom.abs() > 1e-12, "degenerate r values");
+        let mu = (n * sxy - sx * sy) / denom;
+        let alpha = (sy - mu * sx) / n;
+        LinearFit { alpha, mu }
+    }
+
+    /// Reproduces the paper's Eq. 16 fit: sample the asymptotic curve on
+    /// the region where `x ≤ x_max` (the paper uses 0.4) and fit a line.
+    pub fn fit_low_region(x_max: f64) -> LinearFit {
+        // Invert x(r) ≤ x_max by scanning; the curve is monotone.
+        let mut r_max = 0.0;
+        let mut r = 0.005;
+        while asymptotic(r) <= x_max && r < 100.0 {
+            r_max = r;
+            r += 0.005;
+        }
+        let points: Vec<(f64, f64)> = (1..=200)
+            .map(|i| {
+                let r = r_max * i as f64 / 200.0;
+                (r, asymptotic(r))
+            })
+            .collect();
+        LinearFit::fit(&points)
+    }
+
+    /// Evaluates the fit.
+    #[inline]
+    pub fn eval(&self, r: f64) -> f64 {
+        (self.alpha + self.mu * r).clamp(0.0, 1.0)
+    }
+
+    /// Average relative error against the asymptotic curve over `(0, r_max]`,
+    /// restricted to points where the true rate exceeds `x_floor`.
+    ///
+    /// The floor mirrors how the paper reads Fig. 8: relative error near
+    /// `r = 0` is dominated by the fixed intercept `α` while the true
+    /// rate vanishes, which is irrelevant for the optimizer (tables with
+    /// near-zero collision rates contribute almost nothing to cost).
+    pub fn avg_relative_error(&self, r_max: f64, x_floor: f64) -> f64 {
+        let n = 200;
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for i in 1..=n {
+            let r = r_max * i as f64 / n as f64;
+            let truth = asymptotic(r);
+            if truth > x_floor {
+                total += (self.eval(r) - truth).abs() / truth;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+/// One interval of the piecewise regression: quadratic
+/// `x = c0 + c1·r + c2·r²` valid on `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct CurveSegment {
+    /// Inclusive lower bound of the interval.
+    pub lo: f64,
+    /// Exclusive upper bound of the interval.
+    pub hi: f64,
+    /// Polynomial coefficients `[c0, c1, c2]`.
+    pub coef: [f64; 3],
+}
+
+impl CurveSegment {
+    #[inline]
+    fn eval(&self, r: f64) -> f64 {
+        self.coef[0] + self.coef[1] * r + self.coef[2] * r * r
+    }
+}
+
+/// The paper's precomputed curve: 6 quadratic segments over `(0, 50]`
+/// with ≤ 5 % maximum relative error per segment (Fig. 7).
+///
+/// Above the last interval the curve saturates towards 1 using the
+/// asymptotic form (which costs one `exp`, still far cheaper than the
+/// Eq. 13 sum the regression was designed to avoid).
+#[derive(Clone, Debug)]
+pub struct PiecewiseCurve {
+    segments: Vec<CurveSegment>,
+}
+
+impl PiecewiseCurve {
+    /// Builds the curve with the paper's 6 intervals over `(0, 50]`.
+    pub fn fit_default() -> PiecewiseCurve {
+        // Interval boundaries chosen denser where curvature is high.
+        PiecewiseCurve::fit(&[0.0, 0.6, 1.5, 3.0, 6.0, 15.0, 50.0])
+    }
+
+    /// Fits quadratic segments between consecutive `boundaries`.
+    ///
+    /// # Panics
+    /// Panics on fewer than two boundaries or non-increasing boundaries.
+    pub fn fit(boundaries: &[f64]) -> PiecewiseCurve {
+        assert!(boundaries.len() >= 2);
+        assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+        let segments = boundaries
+            .windows(2)
+            .map(|w| {
+                let (lo, hi) = (w[0], w[1]);
+                let pts: Vec<(f64, f64)> = (0..=64)
+                    .map(|i| {
+                        let r = lo + (hi - lo) * i as f64 / 64.0;
+                        (r, asymptotic(r))
+                    })
+                    .collect();
+                CurveSegment {
+                    lo,
+                    hi,
+                    coef: fit_quadratic(&pts),
+                }
+            })
+            .collect();
+        PiecewiseCurve { segments }
+    }
+
+    /// Evaluates the regression at `r = g/b`.
+    pub fn eval(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        for seg in &self.segments {
+            if r < seg.hi {
+                return seg.eval(r).clamp(0.0, 1.0);
+            }
+        }
+        asymptotic(r)
+    }
+
+    /// Maximum relative error against the asymptotic curve on `[lo, hi]`
+    /// (ignoring points where the curve is below `1e-6`).
+    pub fn max_relative_error(&self, lo: f64, hi: f64) -> f64 {
+        let n = 2000;
+        let mut worst = 0.0f64;
+        for i in 0..=n {
+            let r = lo + (hi - lo) * i as f64 / n as f64;
+            let truth = asymptotic(r);
+            if truth > 1e-6 {
+                worst = worst.max((self.eval(r) - truth).abs() / truth);
+            }
+        }
+        worst
+    }
+
+    /// The fitted segments.
+    pub fn segments(&self) -> &[CurveSegment] {
+        &self.segments
+    }
+}
+
+impl crate::CollisionModel for PiecewiseCurve {
+    fn rate(&self, g: f64, b: f64) -> f64 {
+        if g <= 0.0 {
+            return 0.0;
+        }
+        self.eval(g / b.max(1.0))
+    }
+}
+
+/// Least-squares quadratic fit returning `[c0, c1, c2]`.
+fn fit_quadratic(points: &[(f64, f64)]) -> [f64; 3] {
+    // Normal equations for the 3x3 system Σ (c0 + c1 r + c2 r² − x)² min.
+    let mut s = [0.0f64; 5]; // Σ r^0..r^4
+    let mut t = [0.0f64; 3]; // Σ x·r^0..r^2
+    for &(r, x) in points {
+        let mut rp = 1.0;
+        for sk in s.iter_mut().take(3) {
+            *sk += rp;
+            rp *= r;
+        }
+        // continue powers 3, 4
+        s[3] += r * r * r;
+        s[4] += r * r * r * r;
+        let mut rp = 1.0;
+        for tk in t.iter_mut() {
+            *tk += x * rp;
+            rp *= r;
+        }
+    }
+    let a = [
+        [s[0], s[1], s[2]],
+        [s[1], s[2], s[3]],
+        [s[2], s[3], s[4]],
+    ];
+    solve3(a, t)
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
+    for col in 0..3 {
+        // Pivot.
+        let piv = (col..3)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        assert!(d.abs() > 1e-12, "singular system");
+        for row in (col + 1)..3 {
+            let f = a[row][col] / d;
+            let pivot_row = a[col];
+            for (cell, pk) in a[row].iter_mut().zip(pivot_row).skip(col) {
+                *cell -= f * pk;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for (ak, xk) in a[row].iter().zip(&x).skip(row + 1) {
+            acc -= ak * xk;
+        }
+        x[row] = acc / a[row][row];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PAPER_ALPHA, PAPER_MU};
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let f = LinearFit::fit(&pts);
+        assert!((f.alpha - 3.0).abs() < 1e-9);
+        assert!((f.mu - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_region_fit_matches_paper_constants() {
+        // Eq. 16: x = 0.0267 + 0.354·(g/b) for the x ≤ 0.4 region.
+        let f = LinearFit::fit_low_region(0.4);
+        assert!(
+            (f.alpha - PAPER_ALPHA).abs() < 0.012,
+            "alpha {} vs paper {PAPER_ALPHA}",
+            f.alpha
+        );
+        assert!(
+            (f.mu - PAPER_MU).abs() < 0.03,
+            "mu {} vs paper {PAPER_MU}",
+            f.mu
+        );
+    }
+
+    #[test]
+    fn low_region_fit_error_within_paper_bound() {
+        // Fig. 8: "the linear regression achieves an average error of 5%".
+        let f = LinearFit::fit_low_region(0.4);
+        let err = f.avg_relative_error(1.05, 0.05);
+        assert!(err < 0.06, "avg rel error {err}");
+    }
+
+    #[test]
+    fn piecewise_curve_meets_five_percent_bound() {
+        // Fig. 7: max relative error ≤ 5 % per interval.
+        let c = PiecewiseCurve::fit_default();
+        assert_eq!(c.segments().len(), 6);
+        let err = c.max_relative_error(0.05, 50.0);
+        assert!(err < 0.05, "max rel error {err}");
+    }
+
+    #[test]
+    fn piecewise_average_error_below_one_percent() {
+        // Paper: "The average relative error is actually much lower,
+        // which is less than 1%."
+        let c = PiecewiseCurve::fit_default();
+        let n = 2000;
+        let mut total = 0.0;
+        let mut count = 0;
+        for i in 1..=n {
+            let r = 50.0 * i as f64 / n as f64;
+            let truth = asymptotic(r);
+            if truth > 1e-6 {
+                total += (c.eval(r) - truth).abs() / truth;
+                count += 1;
+            }
+        }
+        let avg = total / count as f64;
+        assert!(avg < 0.01, "avg rel error {avg}");
+    }
+
+    #[test]
+    fn curve_saturates_beyond_last_interval() {
+        let c = PiecewiseCurve::fit_default();
+        assert!(c.eval(200.0) > 0.99);
+        assert_eq!(c.eval(0.0), 0.0);
+        assert_eq!(c.eval(-1.0), 0.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = PiecewiseCurve::fit_default();
+        let mut prev = 0.0;
+        for i in 1..500 {
+            let r = i as f64 * 0.1;
+            let x = c.eval(r);
+            assert!(
+                x >= prev - 5e-3,
+                "non-monotone at r={r}: {x} after {prev}"
+            );
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn quadratic_fit_recovers_polynomial() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let r = i as f64 * 0.3;
+                (r, 1.0 - 0.5 * r + 0.25 * r * r)
+            })
+            .collect();
+        let c = fit_quadratic(&pts);
+        assert!((c[0] - 1.0).abs() < 1e-8);
+        assert!((c[1] + 0.5).abs() < 1e-8);
+        assert!((c[2] - 0.25).abs() < 1e-8);
+    }
+
+    #[test]
+    fn collision_model_impl_uses_ratio() {
+        use crate::CollisionModel;
+        let c = PiecewiseCurve::fit_default();
+        let direct = c.eval(2.0);
+        assert!((c.rate(2000.0, 1000.0) - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Collision-rate models for single-slot hash tables (paper Section 4).
+//!
+//! The LFTA hash table keeps **one** `{group, count}` pair per bucket; a
+//! probe by a record of a different group than the bucket's occupant is a
+//! *collision* and triggers an eviction. The per-table collision rate is
+//! the central quantity of the paper's cost model.
+//!
+//! This crate provides:
+//!
+//! * [`models`] — the rough model (Eq. 10), the precise binomial-occupancy
+//!   model (Eq. 13, both as the literal sum, the Gaussian-truncated sum of
+//!   §4.4, and an exact closed form), the clustered-data extension
+//!   (Eq. 15), and the `g/b`-only asymptotic curve;
+//! * [`curve`] — the precomputed collision-rate curve as a function of
+//!   `g/b` with the paper's piecewise regression and the linear low-rate
+//!   fit `x = 0.0267 + 0.354·(g/b)` (Eq. 16);
+//! * [`occupancy`] — expected bucket-occupancy counts `B_k` (Eq. 12) and
+//!   empirical occupancy measurement used to validate the random-hash
+//!   assumption;
+//! * [`CollisionModel`] — the trait through which the optimizer consumes
+//!   a rate model.
+
+pub mod curve;
+pub mod models;
+pub mod occupancy;
+
+/// Intercept of the paper's linear low-rate fit (Eq. 16).
+pub const PAPER_ALPHA: f64 = 0.0267;
+/// Slope of the paper's linear low-rate fit (Eq. 16).
+pub const PAPER_MU: f64 = 0.354;
+
+/// A collision-rate model: maps `(groups, buckets)` to a rate in `[0, 1]`.
+///
+/// Clustering is handled by the caller (divide by the average flow
+/// length, Eq. 15) because flow lengths are a property of the data stream
+/// rather than of the table.
+pub trait CollisionModel {
+    /// Collision rate of a table with `b` buckets holding `g` groups.
+    fn rate(&self, g: f64, b: f64) -> f64;
+
+    /// Convenience: clustered rate with average flow length `l ≥ 1`
+    /// (Eq. 15: the random-data rate divided by `l`).
+    fn clustered_rate(&self, g: f64, b: f64, l: f64) -> f64 {
+        self.rate(g, b) / l.max(1.0)
+    }
+}
+
+/// The paper's working model: `x = α + µ·(g/b)`, clamped to `[0, 1]`
+/// (Eq. 16; §5.1 sets `α = 0` for the space-allocation analysis).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearModel {
+    /// Intercept `α`.
+    pub alpha: f64,
+    /// Slope `µ`.
+    pub mu: f64,
+}
+
+impl LinearModel {
+    /// The paper's fitted constants `x = 0.0267 + 0.354·(g/b)`.
+    pub fn paper() -> LinearModel {
+        LinearModel {
+            alpha: PAPER_ALPHA,
+            mu: PAPER_MU,
+        }
+    }
+
+    /// The §5.1 approximation `x = µ·(g/b)` with the paper's slope.
+    pub fn paper_no_intercept() -> LinearModel {
+        LinearModel {
+            alpha: 0.0,
+            mu: PAPER_MU,
+        }
+    }
+}
+
+impl CollisionModel for LinearModel {
+    #[inline]
+    fn rate(&self, g: f64, b: f64) -> f64 {
+        if g <= 0.0 {
+            return 0.0;
+        }
+        let b = b.max(1.0);
+        (self.alpha + self.mu * g / b).clamp(0.0, 1.0)
+    }
+}
+
+/// The `g/b`-only asymptotic form of the precise model:
+/// `x(r) = 1 − (1 − e^(−r))/r` — the limit of Eq. 13 as `b → ∞` with
+/// `r = g/b` fixed (§4.4 shows the rate depends essentially only on
+/// `g/b`; Table 1 bounds the residual dependence below 1.5 %).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AsymptoticModel;
+
+impl CollisionModel for AsymptoticModel {
+    #[inline]
+    fn rate(&self, g: f64, b: f64) -> f64 {
+        if g <= 0.0 {
+            return 0.0;
+        }
+        models::asymptotic(g / b.max(1.0))
+    }
+}
+
+/// The exact finite-size precise model (closed form of Eq. 13).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PreciseModel;
+
+impl CollisionModel for PreciseModel {
+    #[inline]
+    fn rate(&self, g: f64, b: f64) -> f64 {
+        models::precise_f(g, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_model_clamps() {
+        let m = LinearModel::paper();
+        assert_eq!(m.rate(0.0, 100.0), 0.0);
+        assert_eq!(m.rate(1e9, 1.0), 1.0);
+        let mid = m.rate(100.0, 100.0);
+        assert!((mid - (PAPER_ALPHA + PAPER_MU)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustered_rate_divides_by_flow_length() {
+        let m = LinearModel::paper();
+        let x = m.rate(500.0, 1000.0);
+        assert!((m.clustered_rate(500.0, 1000.0, 5.0) - x / 5.0).abs() < 1e-12);
+        // l < 1 treated as 1.
+        assert_eq!(m.clustered_rate(500.0, 1000.0, 0.5), x);
+    }
+
+    #[test]
+    fn models_agree_in_moderate_regime() {
+        // At g = 3000, b = 1000 (the paper's Fig. 6 setting) all precise
+        // variants should agree closely.
+        let a = AsymptoticModel.rate(3000.0, 1000.0);
+        let p = PreciseModel.rate(3000.0, 1000.0);
+        assert!((a - p).abs() < 5e-3, "asymptotic {a} vs precise {p}");
+    }
+}

@@ -1,0 +1,266 @@
+//! The collision-rate formulas of Section 4.
+//!
+//! Setting: `g` groups hash uniformly into `b` single-slot buckets; the
+//! stream visits groups uniformly (random data) or in flows of average
+//! length `l` (clustered data). The per-bucket group count `K` is
+//! `Binomial(g, 1/b)`.
+//!
+//! The paper's precise rate (Eq. 13) is
+//!
+//! ```text
+//! x = (b/g) · Σ_{k=2}^{g} C(g,k) (1/b)^k (1−1/b)^{g−k} (k−1)
+//! ```
+//!
+//! Because `Σ_k P(K=k)(k−1) = E[K] − 1 + P(K=0)` and `E[K] = g/b`, the
+//! sum collapses to the **closed form**
+//!
+//! ```text
+//! x = 1 − (b/g) · (1 − (1−1/b)^g)
+//! ```
+//!
+//! We implement the closed form ([`precise`]), the literal sum
+//! ([`precise_sum`], used to cross-validate and to expose the per-`k`
+//! terms of Fig. 6), and the §4.4 Gaussian-truncated sum
+//! ([`precise_truncated`]) that stops at `µ + nσ`.
+
+/// The rough model (Eq. 10): `x = 1 − b/g`, clamped at 0.
+///
+/// Derived from the expected-occupancy approximation `B_k = b` at
+/// `k = g/b`; accurate only for large `g/b`.
+#[inline]
+pub fn rough(g: f64, b: f64) -> f64 {
+    if g <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - b / g).max(0.0)
+}
+
+/// Exact precise model (closed form of Eq. 13) for integral sizes.
+pub fn precise(g: u64, b: u64) -> f64 {
+    precise_f(g as f64, b as f64)
+}
+
+/// Exact precise model for real-valued `g`, `b` (the optimizer treats
+/// table sizes continuously).
+pub fn precise_f(g: f64, b: f64) -> f64 {
+    if g <= 0.0 {
+        return 0.0;
+    }
+    let b = b.max(1.0);
+    if b <= 1.0 {
+        // One bucket: all groups share it; rate = 1 - 1/g for g ≥ 1.
+        return (1.0 - 1.0 / g).max(0.0);
+    }
+    // P(K = 0) = (1 - 1/b)^g, computed in log space for stability.
+    let p0 = (g * (1.0 - 1.0 / b).ln()).exp();
+    let x = 1.0 - (b / g) * (1.0 - p0);
+    x.clamp(0.0, 1.0)
+}
+
+/// The asymptotic `g/b`-only curve: `x(r) = 1 − (1 − e^{−r})/r`.
+///
+/// This is the `b → ∞` limit of the precise model at fixed `r = g/b` and
+/// the function the paper tabulates/regresses in §4.4 (Figs. 7–8).
+#[inline]
+pub fn asymptotic(r: f64) -> f64 {
+    if r <= 0.0 {
+        return 0.0;
+    }
+    if r < 1e-6 {
+        // Series expansion avoids catastrophic cancellation: x ≈ r/2 − r²/6.
+        return r / 2.0 - r * r / 6.0;
+    }
+    (1.0 - (1.0 - (-r).exp()) / r).clamp(0.0, 1.0)
+}
+
+/// Literal term-wise evaluation of Eq. 13, summing `k = 2..=g`.
+///
+/// Terms are generated with the stable binomial recurrence
+/// `t_k = t_{k−1} · (g−k+1)/k · 1/(b−1)` starting from
+/// `t_0 = (1−1/b)^g`. Exposed mainly to validate [`precise`] and to power
+/// Fig. 6; `O(g)` time.
+pub fn precise_sum(g: u64, b: u64) -> f64 {
+    collision_terms(g, b, g)
+        .into_iter()
+        .map(|(_, t)| t)
+        .sum::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+/// Gaussian-truncated sum (§4.4): stop at `k = ⌈µ + nσ⌉` where
+/// `µ = g/b` and `σ² = g(1 − 1/b)/b`.
+///
+/// The paper argues `n = 5` suffices because the per-`k` collision terms
+/// follow a Gaussian-with-amplitude shape (Fig. 6).
+pub fn precise_truncated(g: u64, b: u64, n_sigma: f64) -> f64 {
+    if g == 0 || b == 0 {
+        return 0.0;
+    }
+    let gf = g as f64;
+    let bf = b as f64;
+    let mu = gf / bf;
+    let sigma = (gf * (1.0 - 1.0 / bf) / bf).sqrt();
+    let kmax = ((mu + n_sigma * sigma).ceil() as u64).clamp(2, g);
+    collision_terms(g, b, kmax)
+        .into_iter()
+        .map(|(_, t)| t)
+        .sum::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+/// Per-`k` contributions to the collision rate (the series of Fig. 6):
+/// `term_k = (b/g) · C(g,k) (1/b)^k (1−1/b)^{g−k} · (k−1)` for
+/// `k = 2..=k_max`.
+pub fn collision_terms(g: u64, b: u64, k_max: u64) -> Vec<(u64, f64)> {
+    if g == 0 || b <= 1 {
+        return Vec::new();
+    }
+    let gf = g as f64;
+    let bf = b as f64;
+    let k_max = k_max.min(g);
+    // t_k = C(g,k) p^k q^(g-k); recurrence in the ratio p/q = 1/(b-1).
+    let ratio = 1.0 / (bf - 1.0);
+    let mut t = (gf * (1.0 - 1.0 / bf).ln()).exp(); // t_0 = q^g
+    let mut out = Vec::with_capacity(k_max.saturating_sub(1) as usize);
+    for k in 1..=k_max {
+        t *= (gf - k as f64 + 1.0) / k as f64 * ratio;
+        if k >= 2 {
+            out.push((k, (bf / gf) * t * (k as f64 - 1.0)));
+        }
+        if t < 1e-308 {
+            break; // underflow: all further terms are zero
+        }
+    }
+    out
+}
+
+/// Clustered-data collision rate (Eq. 15): the random-data rate divided
+/// by the average flow length `l ≥ 1`.
+pub fn clustered(g: u64, b: u64, l: f64) -> f64 {
+    precise(g, b) / l.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_literal_sum() {
+        for &(g, b) in &[
+            (10u64, 7u64),
+            (100, 100),
+            (552, 1000),
+            (3000, 1000),
+            (2837, 300),
+            (50, 1000),
+        ] {
+            let cf = precise(g, b);
+            let sum = precise_sum(g, b);
+            assert!(
+                (cf - sum).abs() < 1e-9,
+                "g={g} b={b}: closed {cf} vs sum {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_sum_converges_at_five_sigma() {
+        // §4.4's claim: summing to µ + 5σ loses essentially nothing.
+        for &(g, b) in &[(3000u64, 1000u64), (10_000, 500), (800, 800)] {
+            let full = precise_sum(g, b);
+            let trunc = precise_truncated(g, b, 5.0);
+            assert!(
+                (full - trunc).abs() / full.max(1e-12) < 5e-3,
+                "g={g} b={b}: {full} vs {trunc}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_terms_bell_shape() {
+        // Paper Fig. 6: g = 3000, b = 1000. Terms peak at k = 4 and are
+        // near zero beyond k ≈ 12.
+        let terms = collision_terms(3000, 1000, 3000);
+        let (peak_k, peak_v) = terms
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(peak_k, 4, "peak at k={peak_k}, value {peak_v}");
+        let tail: f64 = terms.iter().filter(|(k, _)| *k > 12).map(|(_, t)| t).sum();
+        assert!(tail < 1e-3, "tail mass {tail}");
+        // The paper reads the k = 8 component as ≈ 0.02.
+        let k8 = terms.iter().find(|(k, _)| *k == 8).unwrap().1;
+        assert!((k8 - 0.02).abs() < 0.01, "k=8 term {k8}");
+    }
+
+    #[test]
+    fn rough_vs_precise_behaviour() {
+        // Rough model is 0 below g/b = 1 (wrong) and approaches the
+        // precise model for large g/b (paper Fig. 5 narrative).
+        assert_eq!(rough(500.0, 1000.0), 0.0);
+        assert!(precise(500, 1000) > 0.05);
+        let r = rough(50_000.0, 1000.0);
+        let p = precise(50_000, 1000);
+        assert!((r - p).abs() < 0.01, "rough {r} precise {p}");
+    }
+
+    #[test]
+    fn asymptotic_limits() {
+        assert_eq!(asymptotic(0.0), 0.0);
+        assert!((asymptotic(1e-9) - 0.5e-9).abs() < 1e-12);
+        assert!(asymptotic(1000.0) > 0.99);
+        // At r = 1: 1 - (1 - 1/e) = 1/e ≈ 0.3679.
+        assert!((asymptotic(1.0) - (1.0f64).exp().recip()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymptotic_is_large_b_limit_of_precise() {
+        let r = 2.0;
+        for &b in &[100u64, 1000, 10_000] {
+            let g = (r * b as f64) as u64;
+            let diff = (precise(g, b) - asymptotic(r)).abs();
+            assert!(diff < 5.0 / b as f64, "b={b} diff={diff}");
+        }
+    }
+
+    #[test]
+    fn precise_is_monotone_in_g_and_antitone_in_b() {
+        let base = precise(1000, 500);
+        assert!(precise(2000, 500) > base);
+        assert!(precise(1000, 1000) < base);
+    }
+
+    #[test]
+    fn clustered_divides_by_flow_length() {
+        let x = precise(1000, 500);
+        assert!((clustered(1000, 500, 4.0) - x / 4.0).abs() < 1e-12);
+        assert_eq!(clustered(1000, 500, 0.0), x);
+    }
+
+    #[test]
+    fn single_bucket_edge_case() {
+        // g groups into one bucket: every group change collides.
+        assert!((precise_f(4.0, 1.0) - 0.75).abs() < 1e-12);
+        assert_eq!(precise_f(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_and_tiny_inputs() {
+        assert_eq!(precise(0, 100), 0.0);
+        assert_eq!(rough(0.0, 100.0), 0.0);
+        assert_eq!(precise(1, 100), 0.0); // one group never collides
+        assert!(collision_terms(0, 10, 5).is_empty());
+        assert!(collision_terms(10, 1, 5).is_empty());
+    }
+
+    #[test]
+    fn feller_seven_balls_seven_buckets() {
+        // §4.1 cites Feller's g = b = 7 example to argue the expected-case
+        // estimate is unrealistic. Sanity: precise rate at g = b = 7 is
+        // far from the rough model's 0.
+        let x = precise(7, 7);
+        assert!(x > 0.2 && x < 0.5, "x = {x}");
+        assert_eq!(rough(7.0, 7.0), 0.0);
+    }
+}

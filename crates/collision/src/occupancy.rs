@@ -1,0 +1,151 @@
+//! Bucket-occupancy statistics (`B_k`, Eq. 11–12) and empirical
+//! validation of the random-hash assumption.
+//!
+//! `B_k` is the number of buckets holding exactly `k` groups. The paper
+//! derives `B_k = b·C(g,k)(1/b)^k(1−1/b)^{g−k}` (Eq. 12) by treating
+//! buckets as independent, and validates it empirically (§4.2: "the
+//! actual distribution of B_k matches Equation 13 well"). This module
+//! provides both the analytic expectation and the measured distribution
+//! under the workspace hash function.
+
+use msa_stream::GroupKey;
+
+/// Expected number of buckets holding exactly `k` of the `g` groups in a
+/// `b`-bucket table (Eq. 12).
+pub fn expected_buckets_with_k(g: u64, b: u64, k: u64) -> f64 {
+    if b == 0 || k > g {
+        return 0.0;
+    }
+    if b == 1 {
+        return if k == g { 1.0 } else { 0.0 };
+    }
+    // b · C(g,k) p^k q^(g−k) with p = 1/b, in log space.
+    let (gf, bf, kf) = (g as f64, b as f64, k as f64);
+    let log_binom = ln_factorial(g) - ln_factorial(k) - ln_factorial(g - k);
+    let logp = log_binom - kf * bf.ln() + (gf - kf) * (1.0 - 1.0 / bf).ln();
+    bf * logp.exp()
+}
+
+/// Natural log of `n!` (exact accumulation below 256, Stirling above).
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 256 {
+        (2..=n).map(|i| (i as f64).ln()).sum()
+    } else {
+        let nf = n as f64;
+        // Stirling with 1/(12n) correction: error < 1e-8 for n ≥ 256.
+        nf * nf.ln() - nf + 0.5 * (2.0 * std::f64::consts::PI * nf).ln() + 1.0 / (12.0 * nf)
+    }
+}
+
+/// The measured occupancy histogram: `histogram[k]` = number of buckets
+/// to which exactly `k` of the given distinct groups hash.
+pub fn measured_occupancy(groups: &[GroupKey], buckets: usize, seed: u64) -> Vec<u64> {
+    let mut per_bucket = vec![0u64; buckets];
+    for gk in groups {
+        let h = gk.hash_with_seed(seed);
+        per_bucket[(h % buckets as u64) as usize] += 1;
+    }
+    let max_k = per_bucket.iter().copied().max().unwrap_or(0) as usize;
+    let mut hist = vec![0u64; max_k + 1];
+    for &k in &per_bucket {
+        hist[k as usize] += 1;
+    }
+    hist
+}
+
+/// Total-variation distance between the measured occupancy histogram and
+/// the analytic expectation, normalised by the bucket count. Values near
+/// zero confirm the hash behaves like the random-hash model.
+pub fn occupancy_model_distance(groups: &[GroupKey], buckets: usize, seed: u64) -> f64 {
+    let hist = measured_occupancy(groups, buckets, seed);
+    let g = groups.len() as u64;
+    let b = buckets as u64;
+    let mut dist = 0.0;
+    let k_hi = hist.len().max(32) as u64;
+    for k in 0..=k_hi {
+        let measured = hist.get(k as usize).copied().unwrap_or(0) as f64;
+        let expected = expected_buckets_with_k(g, b, k);
+        dist += (measured - expected).abs();
+    }
+    dist / (2.0 * buckets as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msa_stream::GroupKey;
+
+    #[test]
+    fn expected_counts_sum_to_buckets() {
+        let (g, b) = (200u64, 50u64);
+        let total: f64 = (0..=g).map(|k| expected_buckets_with_k(g, b, k)).sum();
+        assert!((total - b as f64).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn expected_groups_are_conserved() {
+        // Σ k·B_k = g.
+        let (g, b) = (300u64, 120u64);
+        let total: f64 = (0..=g)
+            .map(|k| k as f64 * expected_buckets_with_k(g, b, k))
+            .sum();
+        assert!((total - g as f64).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn feller_example_probability() {
+        // Feller's g = b = 7: P(a given bucket has exactly 1 group) =
+        // C(7,1)(1/7)(6/7)^6 ≈ 0.3966; all 7 buckets singly occupied has
+        // probability 7!/7^7 ≈ 0.00612 (the paper quotes 0.006120).
+        let p1 = expected_buckets_with_k(7, 7, 1) / 7.0;
+        assert!((p1 - 0.3966).abs() < 1e-3, "p1 = {p1}");
+        let all_single = (ln_factorial(7) - 7.0 * (7f64).ln()).exp();
+        assert!((all_single - 0.006120).abs() < 1e-5, "{all_single}");
+    }
+
+    #[test]
+    fn ln_factorial_stirling_agrees_with_exact() {
+        // Cross the exact/Stirling boundary.
+        let exact: f64 = (2..=300u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(300) - exact).abs() < 1e-6);
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+    }
+
+    #[test]
+    fn measured_occupancy_matches_model() {
+        // 3000 random groups into 1000 buckets (Fig. 6 setting): the
+        // measured histogram should be close to the analytic B_k.
+        let groups: Vec<GroupKey> = (0..3000u32)
+            .map(|i| GroupKey::from_values(&[i, i.wrapping_mul(2654435761)]))
+            .collect();
+        let d = occupancy_model_distance(&groups, 1000, 99);
+        assert!(d < 0.05, "model distance {d}");
+    }
+
+    #[test]
+    fn measured_histogram_accounts_all_buckets() {
+        let groups: Vec<GroupKey> = (0..500u32)
+            .map(|i| GroupKey::from_values(&[i]))
+            .collect();
+        let hist = measured_occupancy(&groups, 128, 1);
+        assert_eq!(hist.iter().sum::<u64>(), 128);
+        let total_groups: u64 = hist
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as u64 * c)
+            .sum();
+        assert_eq!(total_groups, 500);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(expected_buckets_with_k(5, 0, 1), 0.0);
+        assert_eq!(expected_buckets_with_k(5, 10, 6), 0.0);
+        assert_eq!(expected_buckets_with_k(5, 1, 5), 1.0);
+        assert_eq!(expected_buckets_with_k(5, 1, 3), 0.0);
+    }
+}

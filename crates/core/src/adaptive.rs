@@ -1,0 +1,219 @@
+//! Adaptive replanning (the paper's §8 future-work direction).
+//!
+//! §1 argues that because choosing a configuration takes only
+//! milliseconds, it "permits adaptive modification of the configuration
+//! to changes in the data stream distributions". This module implements
+//! that loop: at an epoch boundary, compare each table's *observed*
+//! collision rate with the rate the model predicted; if they diverge
+//! beyond a threshold, refresh the statistics and replan.
+//!
+//! Statistics are refreshed by inverting the linear collision model on
+//! the observed rates: `x = µ·g/(b·l)` gives `g ≈ x·b·l/µ` for every
+//! instantiated table (flow lengths come from the tables' measured run
+//! lengths). Relations that are not instantiated have no observation, so
+//! their group counts are scaled by the median correction factor of the
+//! instantiated ones — a coarse but serviceable extrapolation that keeps
+//! the feeding graph's relative cardinalities plausible.
+
+use msa_collision::PAPER_MU;
+use msa_gigascope::table::TableStats;
+use msa_optimizer::{Allocation, Configuration};
+use msa_stream::{AttrSet, DatasetStats};
+use std::collections::BTreeMap;
+
+/// When and how aggressively to replan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Check for drift every `check_every_epochs` epoch closes.
+    pub check_every_epochs: u64,
+    /// Replan when some table's observed collision rate deviates from
+    /// the predicted rate by more than this relative amount.
+    pub drift_threshold: f64,
+    /// Ignore tables with fewer probes than this (noise floor).
+    pub min_probes: u64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> AdaptivePolicy {
+        AdaptivePolicy {
+            check_every_epochs: 1,
+            drift_threshold: 0.5,
+            min_probes: 1000,
+        }
+    }
+}
+
+/// Largest relative deviation between observed and predicted collision
+/// rates across instantiated tables (0 when nothing qualifies).
+pub fn drift(
+    predicted: &BTreeMap<AttrSet, f64>,
+    observed: &[(AttrSet, TableStats)],
+    policy: &AdaptivePolicy,
+) -> f64 {
+    let mut worst = 0.0f64;
+    for (attrs, stats) in observed {
+        if stats.probes < policy.min_probes {
+            continue;
+        }
+        let Some(&pred) = predicted.get(attrs) else {
+            continue;
+        };
+        let obs = stats.collision_rate();
+        let denom = pred.max(1e-3);
+        worst = worst.max((obs - denom).abs() / denom);
+    }
+    worst
+}
+
+/// Refreshes `stats` from the observed table behaviour (see module docs).
+pub fn refine_stats(
+    stats: &DatasetStats,
+    cfg: &Configuration,
+    alloc: &Allocation,
+    observed: &[(AttrSet, TableStats)],
+    policy: &AdaptivePolicy,
+) -> DatasetStats {
+    let mut new_groups: BTreeMap<AttrSet, usize> = BTreeMap::new();
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut new_flows: BTreeMap<AttrSet, f64> = BTreeMap::new();
+
+    for (attrs, t) in observed {
+        if t.probes < policy.min_probes || !cfg.contains(*attrs) {
+            continue;
+        }
+        let raw = cfg.parent(*attrs).is_none();
+        let l = if raw { t.avg_run_length().max(1.0) } else { 1.0 };
+        let b = alloc.buckets(*attrs).max(1.0);
+        let g_est = (t.collision_rate() * b * l / PAPER_MU).max(1.0);
+        new_groups.insert(*attrs, g_est.round() as usize);
+        if raw {
+            new_flows.insert(*attrs, l);
+        }
+        if let Some(old) = stats.groups_opt(*attrs) {
+            if old > 0 {
+                ratios.push(g_est / old as f64);
+            }
+        }
+    }
+
+    // Median correction factor for unobserved relations.
+    let correction = if ratios.is_empty() {
+        1.0
+    } else {
+        ratios.sort_by(f64::total_cmp);
+        ratios[ratios.len() / 2]
+    };
+
+    let mut out = DatasetStats::from_group_counts(
+        stats.known_sets().map(|r| {
+            let g = match new_groups.get(&r) {
+                Some(&g) => g,
+                None => ((stats.groups(r) as f64 * correction).round() as usize).max(1),
+            };
+            (r, g)
+        }),
+        stats.records(),
+    );
+    for r in stats.known_sets() {
+        let l = new_flows
+            .get(&r)
+            .copied()
+            .unwrap_or_else(|| stats.flow_length(r));
+        out.set_flow_length(r, l.max(1.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    fn table(probes: u64, collisions: u64, absorbed: u64) -> TableStats {
+        TableStats {
+            probes,
+            collisions,
+            absorbed_before_eviction: absorbed,
+        }
+    }
+
+    #[test]
+    fn drift_zero_when_rates_match() {
+        let predicted: BTreeMap<AttrSet, f64> = [(s("A"), 0.1)].into_iter().collect();
+        let observed = vec![(s("A"), table(10_000, 1_000, 1_000))];
+        let d = drift(&predicted, &observed, &AdaptivePolicy::default());
+        assert!(d < 1e-9, "drift {d}");
+    }
+
+    #[test]
+    fn drift_detects_rate_blowup() {
+        let predicted: BTreeMap<AttrSet, f64> = [(s("A"), 0.1)].into_iter().collect();
+        let observed = vec![(s("A"), table(10_000, 5_000, 5_000))];
+        let d = drift(&predicted, &observed, &AdaptivePolicy::default());
+        assert!((d - 4.0).abs() < 1e-9, "drift {d}");
+    }
+
+    #[test]
+    fn drift_ignores_low_traffic_tables() {
+        let predicted: BTreeMap<AttrSet, f64> = [(s("A"), 0.1)].into_iter().collect();
+        let observed = vec![(s("A"), table(10, 9, 9))];
+        let d = drift(&predicted, &observed, &AdaptivePolicy::default());
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn refine_inverts_linear_model() {
+        let stats = DatasetStats::from_group_counts([(s("A"), 100), (s("B"), 100)], 10_000);
+        let cfg = Configuration::from_queries(&[s("A"), s("B")]);
+        let mut alloc = Allocation::default();
+        alloc.set(s("A"), 1000.0);
+        alloc.set(s("B"), 1000.0);
+        // Observed rate 0.354 → g = x·b/µ = 1000 (run length 1).
+        let observed = vec![
+            (s("A"), table(10_000, 3_540, 3_540)),
+            (s("B"), table(10_000, 3_540, 3_540)),
+        ];
+        let refined = refine_stats(&stats, &cfg, &alloc, &observed, &AdaptivePolicy::default());
+        assert_eq!(refined.groups(s("A")), 1000);
+        assert_eq!(refined.groups(s("B")), 1000);
+    }
+
+    #[test]
+    fn refine_scales_unobserved_relations_by_median() {
+        let stats = DatasetStats::from_group_counts(
+            [(s("A"), 100), (s("B"), 100), (s("AB"), 500)],
+            10_000,
+        );
+        let cfg = Configuration::from_queries(&[s("A"), s("B")]);
+        let mut alloc = Allocation::default();
+        alloc.set(s("A"), 1000.0);
+        alloc.set(s("B"), 1000.0);
+        // Both observed at 2× their old group count.
+        let x = PAPER_MU * 200.0 / 1000.0;
+        let collisions = (10_000.0 * x) as u64;
+        let observed = vec![
+            (s("A"), table(10_000, collisions, collisions)),
+            (s("B"), table(10_000, collisions, collisions)),
+        ];
+        let refined = refine_stats(&stats, &cfg, &alloc, &observed, &AdaptivePolicy::default());
+        // AB was not instantiated → scaled by the median ratio (≈ 2).
+        let ab = refined.groups(s("AB"));
+        assert!((ab as f64 - 1000.0).abs() < 20.0, "AB = {ab}");
+    }
+
+    #[test]
+    fn refine_keeps_flow_lengths_for_raw_tables() {
+        let mut stats = DatasetStats::from_group_counts([(s("A"), 100)], 10_000);
+        stats.set_flow_length(s("A"), 4.0);
+        let cfg = Configuration::from_queries(&[s("A")]);
+        let mut alloc = Allocation::default();
+        alloc.set(s("A"), 1000.0);
+        // avg run length = absorbed/collisions = 8.
+        let observed = vec![(s("A"), table(10_000, 1_000, 8_000))];
+        let refined = refine_stats(&stats, &cfg, &alloc, &observed, &AdaptivePolicy::default());
+        assert!((refined.flow_length(s("A")) - 8.0).abs() < 1e-9);
+    }
+}

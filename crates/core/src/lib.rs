@@ -1,0 +1,51 @@
+//! High-level API for multiple aggregations over data streams.
+//!
+//! This crate is the entry point a downstream user adopts. It wires the
+//! substrates together:
+//!
+//! 1. declare the aggregation queries (grouping-attribute subsets) and
+//!    the LFTA memory budget;
+//! 2. the engine bootstraps dataset statistics from a stream prefix (or
+//!    accepts precomputed statistics);
+//! 3. the optimizer picks a configuration of phantoms and a space
+//!    allocation (GCSL by default — the paper's recommendation);
+//! 4. the two-level executor streams records, producing exact per-epoch
+//!    aggregates and cost accounting;
+//! 5. optionally, at epoch boundaries the engine compares observed and
+//!    predicted collision rates and **replans** when the stream has
+//!    drifted (the adaptivity the paper's §8 sketches).
+//!
+//! ```
+//! use msa_core::{MultiAggregator, EngineOptions};
+//! use msa_stream::{AttrSet, UniformStreamBuilder};
+//!
+//! let stream = UniformStreamBuilder::new(4, 500).records(20_000).build();
+//! let queries = vec![
+//!     AttrSet::parse("AB").unwrap(),
+//!     AttrSet::parse("BC").unwrap(),
+//! ];
+//! let mut engine = MultiAggregator::new(queries, EngineOptions::new(20_000.0));
+//! for r in &stream.records {
+//!     engine.push(*r);
+//! }
+//! let output = engine.finish();
+//! assert_eq!(output.report.records as usize, 20_000);
+//! ```
+
+pub mod adaptive;
+pub mod engine;
+pub mod sql;
+
+pub use adaptive::AdaptivePolicy;
+pub use engine::{AggregationOutput, EngineOptions, ModelKind, MultiAggregator};
+pub use sql::{parse_query, ParsedQuery, QuerySet, SqlError};
+
+// Re-export the vocabulary types so most users need only this crate.
+pub use msa_collision::{AsymptoticModel, CollisionModel, LinearModel, PreciseModel};
+pub use msa_gigascope::executor::ValueSource;
+pub use msa_gigascope::table::AggState;
+pub use msa_gigascope::{CostParams, Executor, Hfta, PhysicalPlan, RunReport};
+pub use msa_optimizer::{
+    Algorithm, AllocStrategy, ClusterHandling, Configuration, Plan, Planner, PlannerOptions,
+};
+pub use msa_stream::{AttrSet, CmpOp, DatasetStats, Filter, GroupKey, Record, Schema};

@@ -1,0 +1,808 @@
+//! A SQL front end for the paper's query dialect.
+//!
+//! Every query in the paper is written in a small SQL subset (Q0–Q3,
+//! §2.2/§2.4):
+//!
+//! ```sql
+//! select A, tb, count(*) as cnt
+//! from R
+//! group by A, time/60 as tb
+//! ```
+//!
+//! This module parses that dialect — `SELECT` with `count(*)` /
+//! `sum|avg|min|max(col)` aggregates, `FROM`, a conjunctive `WHERE`,
+//! `GROUP BY` with an optional `time/N` epoch term, and a
+//! `HAVING count(*) > N` clause — against a [`Schema`], and compiles a
+//! *set* of such queries into the engine configuration they share: the
+//! grouping attribute sets, the common filter, the epoch length, the
+//! metric attribute and the per-query HAVING thresholds.
+//!
+//! Keywords and identifiers are case-insensitive; identifiers resolve
+//! against the schema's attribute names or the positional letters
+//! `A, B, C, ...`.
+
+use crate::engine::{EngineOptions, ValueSource};
+use msa_stream::{AttrSet, CmpOp, Filter, Schema};
+use std::fmt;
+
+/// An aggregate function in the select list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFn {
+    /// `count(*)`
+    Count,
+    /// `sum(col)`
+    Sum(u8),
+    /// `avg(col)`
+    Avg(u8),
+    /// `min(col)`
+    Min(u8),
+    /// `max(col)`
+    Max(u8),
+}
+
+impl AggFn {
+    /// The metric attribute this aggregate reads, if any.
+    pub fn metric_attr(&self) -> Option<u8> {
+        match *self {
+            AggFn::Count => None,
+            AggFn::Sum(a) | AggFn::Avg(a) | AggFn::Min(a) | AggFn::Max(a) => Some(a),
+        }
+    }
+}
+
+/// One parsed aggregation query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedQuery {
+    /// Grouping attributes (excluding the `time/N` epoch term).
+    pub group_by: AttrSet,
+    /// Aggregates in the select list.
+    pub aggregates: Vec<AggFn>,
+    /// Conjunctive `WHERE` filter.
+    pub filter: Filter,
+    /// Epoch length in seconds from `group by ..., time/N` (None = no
+    /// epoch term).
+    pub epoch_secs: Option<u64>,
+    /// `HAVING count(*) > N` threshold.
+    pub having_count_over: Option<u64>,
+    /// The stream relation named in `FROM`.
+    pub relation: String,
+}
+
+/// Parse errors with byte offsets into the SQL text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical or grammatical problem.
+    Syntax {
+        /// Byte offset.
+        at: usize,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// An identifier that is neither a schema column nor `A..H`.
+    UnknownColumn(String),
+    /// A selected (non-aggregate) column missing from `GROUP BY`.
+    NotGrouped(String),
+    /// Several queries disagree on something they must share.
+    Incompatible(&'static str),
+    /// Aggregates reference more than one metric attribute (the LFTA
+    /// entry carries a single metric).
+    MultipleMetrics,
+    /// A metric attribute also appears in `GROUP BY` (it would be
+    /// constant within each group).
+    MetricGrouped(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Syntax { at, expected } => {
+                write!(f, "syntax error at byte {at}: expected {expected}")
+            }
+            SqlError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            SqlError::NotGrouped(c) => {
+                write!(f, "selected column `{c}` does not appear in GROUP BY")
+            }
+            SqlError::Incompatible(what) => {
+                write!(f, "queries must agree on {what} to share one LFTA")
+            }
+            SqlError::MultipleMetrics => {
+                write!(f, "aggregates reference more than one metric attribute")
+            }
+            SqlError::MetricGrouped(c) => {
+                write!(f, "metric column `{c}` also appears in GROUP BY")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(u64),
+    Star,
+    Comma,
+    LParen,
+    RParen,
+    Slash,
+    Op(CmpOp),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    /// Tokenizes the whole input, recording each token's start offset.
+    fn tokenize(mut self) -> Result<Vec<(usize, Token)>, SqlError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.src.len() {
+                return Ok(out);
+            }
+            let at = self.pos;
+            let b = self.src[self.pos];
+            let token = match b {
+                b'*' => {
+                    self.pos += 1;
+                    Token::Star
+                }
+                b',' => {
+                    self.pos += 1;
+                    Token::Comma
+                }
+                b'(' => {
+                    self.pos += 1;
+                    Token::LParen
+                }
+                b')' => {
+                    self.pos += 1;
+                    Token::RParen
+                }
+                b'/' => {
+                    self.pos += 1;
+                    Token::Slash
+                }
+                b'=' => {
+                    self.pos += 1;
+                    Token::Op(CmpOp::Eq)
+                }
+                b'!' if self.src.get(self.pos + 1) == Some(&b'=') => {
+                    self.pos += 2;
+                    Token::Op(CmpOp::Ne)
+                }
+                b'<' => {
+                    if self.src.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Token::Op(CmpOp::Le)
+                    } else if self.src.get(self.pos + 1) == Some(&b'>') {
+                        self.pos += 2;
+                        Token::Op(CmpOp::Ne)
+                    } else {
+                        self.pos += 1;
+                        Token::Op(CmpOp::Lt)
+                    }
+                }
+                b'>' => {
+                    if self.src.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        Token::Op(CmpOp::Ge)
+                    } else {
+                        self.pos += 1;
+                        Token::Op(CmpOp::Gt)
+                    }
+                }
+                b'0'..=b'9' => {
+                    let start = self.pos;
+                    while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+                    Token::Number(text.parse().map_err(|_| SqlError::Syntax {
+                        at,
+                        expected: "number",
+                    })?)
+                }
+                b if b.is_ascii_alphabetic() || b == b'_' => {
+                    let start = self.pos;
+                    while self.pos < self.src.len()
+                        && (self.src[self.pos].is_ascii_alphanumeric()
+                            || self.src[self.pos] == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                    Token::Ident(text.to_ascii_lowercase())
+                }
+                _ => {
+                    return Err(SqlError::Syntax {
+                        at,
+                        expected: "token",
+                    })
+                }
+            };
+            out.push((at, token));
+        }
+    }
+}
+
+struct Parser<'a> {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    schema: &'a Schema,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(a, _)| *a)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Token::Ident(w)) if w == kw => Ok(()),
+            _ => Err(SqlError::Syntax {
+                at: self.at(),
+                expected: kw,
+            }),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(w)) if w == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, t: Token, expected: &'static str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            _ => Err(SqlError::Syntax {
+                at: self.at(),
+                expected,
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self, expected: &'static str) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(w)) => Ok(w),
+            _ => Err(SqlError::Syntax {
+                at: self.at(),
+                expected,
+            }),
+        }
+    }
+
+    fn expect_number(&mut self, expected: &'static str) -> Result<u64, SqlError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            _ => Err(SqlError::Syntax {
+                at: self.at(),
+                expected,
+            }),
+        }
+    }
+
+    /// Resolves a column name against the schema (or `a..h` letters).
+    fn resolve(&self, name: &str) -> Result<u8, SqlError> {
+        for i in 0..self.schema.arity() {
+            if let Some(n) = self.schema.name(i as u8) {
+                if n.eq_ignore_ascii_case(name) {
+                    return Ok(i as u8);
+                }
+            }
+        }
+        // Positional letters a..h.
+        if name.len() == 1 {
+            let c = name.as_bytes()[0];
+            if c.is_ascii_lowercase() && (c - b'a') < msa_stream::MAX_ATTRS as u8 {
+                return Ok(c - b'a');
+            }
+        }
+        Err(SqlError::UnknownColumn(name.to_string()))
+    }
+
+    /// `[ 'as' ident ]`
+    fn skip_alias(&mut self) -> Result<(), SqlError> {
+        if self.try_keyword("as") {
+            self.expect_ident("alias")?;
+        }
+        Ok(())
+    }
+
+    /// One select item: a column, `count(*)` or `fn(col)`.
+    fn parse_select_item(
+        &mut self,
+        plain_cols: &mut Vec<String>,
+        aggs: &mut Vec<AggFn>,
+    ) -> Result<(), SqlError> {
+        let name = self.expect_ident("column or aggregate")?;
+        let is_agg_fn = matches!(name.as_str(), "count" | "sum" | "avg" | "min" | "max");
+        if is_agg_fn && self.peek() == Some(&Token::LParen) {
+            self.pos += 1; // consume '('
+            let agg = if name == "count" {
+                self.expect_token(Token::Star, "*")?;
+                AggFn::Count
+            } else {
+                let col = self.expect_ident("metric column")?;
+                let attr = self.resolve(&col)?;
+                match name.as_str() {
+                    "sum" => AggFn::Sum(attr),
+                    "avg" => AggFn::Avg(attr),
+                    "min" => AggFn::Min(attr),
+                    "max" => AggFn::Max(attr),
+                    _ => unreachable!("matched above"),
+                }
+            };
+            self.expect_token(Token::RParen, ")")?;
+            self.skip_alias()?;
+            aggs.push(agg);
+        } else {
+            self.skip_alias()?;
+            plain_cols.push(name);
+        }
+        Ok(())
+    }
+
+    fn parse_query(&mut self, relation_hint: Option<&str>) -> Result<ParsedQuery, SqlError> {
+        self.expect_keyword("select")?;
+        let mut plain_cols = Vec::new();
+        let mut aggregates = Vec::new();
+        loop {
+            self.parse_select_item(&mut plain_cols, &mut aggregates)?;
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect_keyword("from")?;
+        let relation = self.expect_ident("relation name")?;
+        if let Some(hint) = relation_hint {
+            if relation != hint {
+                return Err(SqlError::Incompatible("the FROM relation"));
+            }
+        }
+
+        // WHERE: conjunction of `col op number`.
+        let mut filter = Filter::all();
+        if self.try_keyword("where") {
+            loop {
+                let col = self.expect_ident("filter column")?;
+                let attr = self.resolve(&col)?;
+                let op = match self.next() {
+                    Some(Token::Op(op)) => op,
+                    _ => {
+                        return Err(SqlError::Syntax {
+                            at: self.at(),
+                            expected: "comparison operator",
+                        })
+                    }
+                };
+                let value = self.expect_number("filter constant")?;
+                filter = filter.and(attr, op, value as u32);
+                if !self.try_keyword("and") {
+                    break;
+                }
+            }
+        }
+
+        // GROUP BY: columns and at most one `time/N [as alias]`.
+        self.expect_keyword("group")?;
+        self.expect_keyword("by")?;
+        let mut group_by = AttrSet::EMPTY;
+        let mut grouped_names = Vec::new();
+        let mut epoch_secs = None;
+        let mut time_alias: Option<String> = None;
+        loop {
+            let name = self.expect_ident("grouping column")?;
+            if name == "time" {
+                self.expect_token(Token::Slash, "/ after time")?;
+                let n = self.expect_number("epoch length")?;
+                if n == 0 {
+                    return Err(SqlError::Syntax {
+                        at: self.at(),
+                        expected: "non-zero epoch length",
+                    });
+                }
+                epoch_secs = Some(n);
+                if self.try_keyword("as") {
+                    time_alias = Some(self.expect_ident("epoch alias")?);
+                }
+            } else {
+                let attr = self.resolve(&name)?;
+                group_by = group_by.union(AttrSet::single(attr));
+                grouped_names.push(name);
+            }
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+
+        // HAVING count(*) > N.
+        let mut having_count_over = None;
+        if self.try_keyword("having") {
+            self.expect_keyword("count")?;
+            self.expect_token(Token::LParen, "(")?;
+            self.expect_token(Token::Star, "*")?;
+            self.expect_token(Token::RParen, ")")?;
+            match self.next() {
+                Some(Token::Op(CmpOp::Gt)) => {}
+                _ => {
+                    return Err(SqlError::Syntax {
+                        at: self.at(),
+                        expected: "> in HAVING count(*) > N",
+                    })
+                }
+            }
+            having_count_over = Some(self.expect_number("HAVING threshold")?);
+        }
+
+        if self.pos != self.tokens.len() {
+            return Err(SqlError::Syntax {
+                at: self.at(),
+                expected: "end of query",
+            });
+        }
+
+        // Semantic checks: selected plain columns must be grouped; the
+        // aggregates' metric must be a single non-grouped attribute.
+        for col in &plain_cols {
+            // The epoch term's alias (e.g. `tb` in Q0) may be selected.
+            if time_alias.as_deref() == Some(col.as_str()) {
+                continue;
+            }
+            let attr = self.resolve(col)?;
+            if !group_by.contains(attr) {
+                return Err(SqlError::NotGrouped(col.clone()));
+            }
+        }
+        let mut metric: Option<u8> = None;
+        for agg in &aggregates {
+            if let Some(a) = agg.metric_attr() {
+                match metric {
+                    None => metric = Some(a),
+                    Some(m) if m == a => {}
+                    Some(_) => return Err(SqlError::MultipleMetrics),
+                }
+                if group_by.contains(a) {
+                    let name = self
+                        .schema
+                        .name(a)
+                        .map(str::to_string)
+                        .unwrap_or_else(|| ((b'A' + a) as char).to_string());
+                    return Err(SqlError::MetricGrouped(name));
+                }
+            }
+        }
+        if group_by.is_empty() {
+            return Err(SqlError::Syntax {
+                at: usize::MAX,
+                expected: "at least one grouping column",
+            });
+        }
+
+        Ok(ParsedQuery {
+            group_by,
+            aggregates,
+            filter,
+            epoch_secs,
+            having_count_over,
+            relation,
+        })
+    }
+}
+
+/// Parses one query against `schema`.
+pub fn parse_query(sql: &str, schema: &Schema) -> Result<ParsedQuery, SqlError> {
+    let tokens = Lexer::new(sql).tokenize()?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        schema,
+    };
+    p.parse_query(None)
+}
+
+/// A set of parsed queries compiled to engine settings.
+#[derive(Clone, Debug)]
+pub struct QuerySet {
+    /// The parsed queries, in input order.
+    pub queries: Vec<ParsedQuery>,
+    /// The grouping attribute sets, deduplicated, in input order.
+    pub group_bys: Vec<AttrSet>,
+    /// The shared filter.
+    pub filter: Filter,
+    /// The shared epoch length in seconds (None = single epoch).
+    pub epoch_secs: Option<u64>,
+    /// The shared metric attribute, if any aggregate needs one.
+    pub metric: Option<u8>,
+}
+
+impl QuerySet {
+    /// Parses several queries and checks they can share one LFTA: same
+    /// `FROM` relation, same `WHERE`, same epoch, one metric attribute.
+    pub fn parse(sqls: &[&str], schema: &Schema) -> Result<QuerySet, SqlError> {
+        assert!(!sqls.is_empty(), "need at least one query");
+        let mut queries = Vec::with_capacity(sqls.len());
+        for sql in sqls {
+            queries.push(parse_query(sql, schema)?);
+        }
+        let first = &queries[0];
+        let mut metric: Option<u8> = None;
+        for q in &queries {
+            if q.relation != first.relation {
+                return Err(SqlError::Incompatible("the FROM relation"));
+            }
+            if q.filter != first.filter {
+                return Err(SqlError::Incompatible("the WHERE clause"));
+            }
+            if q.epoch_secs != first.epoch_secs {
+                return Err(SqlError::Incompatible("the epoch length"));
+            }
+            for agg in &q.aggregates {
+                if let Some(a) = agg.metric_attr() {
+                    match metric {
+                        None => metric = Some(a),
+                        Some(m) if m == a => {}
+                        Some(_) => return Err(SqlError::MultipleMetrics),
+                    }
+                }
+            }
+        }
+        let mut group_bys = Vec::new();
+        for q in &queries {
+            if !group_bys.contains(&q.group_by) {
+                group_bys.push(q.group_by);
+            }
+        }
+        Ok(QuerySet {
+            group_bys,
+            filter: first.filter.clone(),
+            epoch_secs: first.epoch_secs,
+            metric,
+            queries,
+        })
+    }
+
+    /// Applies the shared settings to engine options (filter, epoch,
+    /// metric source).
+    pub fn configure(&self, mut opts: EngineOptions) -> EngineOptions {
+        opts.filter = self.filter.clone();
+        if let Some(secs) = self.epoch_secs {
+            opts.epoch_micros = secs.saturating_mul(1_000_000).max(1);
+        }
+        opts.value_source = match self.metric {
+            Some(a) => ValueSource::Attr(a),
+            None => ValueSource::None,
+        };
+        opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::packet_headers() // srcIP, srcPort, dstIP, dstPort
+    }
+
+    #[test]
+    fn parses_paper_q0() {
+        let q = parse_query(
+            "select srcIP, tb, count(*) as cnt from R group by srcIP, time/60 as tb",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.group_by, AttrSet::parse("A").unwrap());
+        assert_eq!(q.aggregates, vec![AggFn::Count]);
+        assert_eq!(q.epoch_secs, Some(60));
+        assert!(q.filter.is_pass_all());
+        assert_eq!(q.relation, "r");
+    }
+
+    #[test]
+    fn parses_paper_q1_q2_q3() {
+        for (sql, want) in [
+            ("select srcIP, count(*) from R group by srcIP", "A"),
+            ("select srcPort, count(*) from R group by srcPort", "B"),
+            ("select dstIP, count(*) from R group by dstIP", "C"),
+        ] {
+            let q = parse_query(sql, &schema()).unwrap();
+            assert_eq!(q.group_by, AttrSet::parse(want).unwrap(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn parses_intro_avg_packet_length() {
+        // "for every destination IP, destination port and 5 minute
+        // interval, report the average packet length" — pktLen in slot E.
+        let schema = Schema::new(["srcIP", "srcPort", "dstIP", "dstPort", "pktLen"]);
+        let q = parse_query(
+            "select dstIP, dstPort, avg(pktLen) from packets \
+             group by dstIP, dstPort, time/300",
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(q.group_by, AttrSet::parse("CD").unwrap());
+        assert_eq!(q.aggregates, vec![AggFn::Avg(4)]);
+        assert_eq!(q.epoch_secs, Some(300));
+    }
+
+    #[test]
+    fn parses_where_and_having() {
+        let q = parse_query(
+            "select srcIP, count(*) from R \
+             where dstPort = 80 and srcPort >= 1024 \
+             group by srcIP having count(*) > 100",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.filter.conjuncts().len(), 2);
+        assert_eq!(q.having_count_over, Some(100));
+        assert_eq!(q.filter.to_string(), "D = 80 AND B >= 1024");
+    }
+
+    #[test]
+    fn positional_letters_resolve() {
+        let q = parse_query("select a, b, count(*) from R group by a, b", &schema()).unwrap();
+        assert_eq!(q.group_by, AttrSet::parse("AB").unwrap());
+    }
+
+    #[test]
+    fn rejects_unknown_column() {
+        assert!(matches!(
+            parse_query("select bogus, count(*) from R group by bogus", &schema()),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_ungrouped_select_column() {
+        assert!(matches!(
+            parse_query("select srcIP, dstIP, count(*) from R group by srcIP", &schema()),
+            Err(SqlError::NotGrouped(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_grouped_metric() {
+        let schema = Schema::new(["srcIP", "len"]);
+        assert!(matches!(
+            parse_query("select srcIP, len, sum(len) from R group by srcIP, len", &schema),
+            Err(SqlError::MetricGrouped(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_two_metrics() {
+        let schema = Schema::new(["srcIP", "len", "ttl"]);
+        assert!(matches!(
+            parse_query(
+                "select srcIP, sum(len), avg(ttl) from R group by srcIP",
+                &schema
+            ),
+            Err(SqlError::MultipleMetrics)
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(parse_query("select srcIP count(*) from R group by srcIP", &schema()).is_err());
+        assert!(parse_query("select srcIP, count(*) from R group by srcIP extra", &schema())
+            .is_err());
+        assert!(parse_query("select count(*) from R group by time/0", &schema()).is_err());
+        assert!(parse_query("", &schema()).is_err());
+    }
+
+    #[test]
+    fn query_set_shares_settings() {
+        let qs = QuerySet::parse(
+            &[
+                "select srcIP, srcPort, count(*) from R where dstPort < 1024 \
+                 group by srcIP, srcPort, time/60",
+                "select dstIP, dstPort, count(*) from R where dstPort < 1024 \
+                 group by dstIP, dstPort, time/60",
+            ],
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(qs.group_bys.len(), 2);
+        assert_eq!(qs.epoch_secs, Some(60));
+        let opts = qs.configure(EngineOptions::new(10_000.0));
+        assert_eq!(opts.epoch_micros, 60_000_000);
+        assert_eq!(opts.filter.conjuncts().len(), 1);
+        assert_eq!(opts.value_source, ValueSource::None);
+    }
+
+    #[test]
+    fn query_set_rejects_mismatched_where() {
+        let err = QuerySet::parse(
+            &[
+                "select srcIP, count(*) from R where dstPort = 80 group by srcIP",
+                "select dstIP, count(*) from R group by dstIP",
+            ],
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Incompatible("the WHERE clause")));
+    }
+
+    #[test]
+    fn query_set_rejects_mismatched_epochs() {
+        let err = QuerySet::parse(
+            &[
+                "select srcIP, count(*) from R group by srcIP, time/60",
+                "select dstIP, count(*) from R group by dstIP, time/300",
+            ],
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Incompatible("the epoch length")));
+    }
+
+    #[test]
+    fn query_set_picks_up_metric() {
+        let schema = Schema::new(["srcIP", "srcPort", "dstIP", "dstPort", "pktLen"]);
+        let qs = QuerySet::parse(
+            &[
+                "select dstIP, avg(pktLen) from R group by dstIP",
+                "select srcIP, count(*) from R group by srcIP",
+            ],
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(qs.metric, Some(4));
+        let opts = qs.configure(EngineOptions::new(5_000.0));
+        assert_eq!(opts.value_source, ValueSource::Attr(4));
+    }
+
+    #[test]
+    fn duplicate_group_bys_dedupe() {
+        let qs = QuerySet::parse(
+            &[
+                "select srcIP, count(*) from R group by srcIP",
+                "select srcIP, max(dstPort) from R group by srcIP",
+            ],
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(qs.group_bys.len(), 1);
+        assert_eq!(qs.queries.len(), 2);
+    }
+}

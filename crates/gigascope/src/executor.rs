@@ -1,0 +1,648 @@
+//! The two-level executor: streams records through a configuration.
+//!
+//! Semantics follow the paper exactly:
+//!
+//! * every arriving record probes the table of **each raw relation**
+//!   (cost `c1` per probe);
+//! * a collision in a phantom table evicts the occupant, which is pushed
+//!   into each of the phantom's children (one `c1` probe per child),
+//!   recursively;
+//! * a collision in a *query* table evicts the occupant to the HFTA
+//!   (cost `c2`); if the query also feeds children, the occupant feeds
+//!   them too;
+//! * at each epoch boundary, tables are scanned top-down: every entry is
+//!   propagated to the children (collisions cascade as usual) and query
+//!   tables finally evict everything to the HFTA (§3.2.2).
+//!
+//! The executor meters intra-epoch and end-of-epoch costs separately, so
+//! experiments can compare measured values against Eq. 7 and Eq. 8.
+
+use crate::hfta::Hfta;
+use crate::plan::PhysicalPlan;
+use crate::table::{AggState, LftaTable, Probe, TableStats};
+use crate::CostParams;
+use msa_stream::hash::mix64;
+use msa_stream::{AttrSet, Filter, GroupKey, Record};
+
+/// Where a record's metric value (e.g. packet length) comes from.
+///
+/// Aggregates beyond `count(*)` — the paper's "average packet length"
+/// queries — need a per-record metric. The metric is one of the
+/// record's attribute slots, typically one that no query groups by.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ValueSource {
+    /// No metric: entries carry counts only.
+    #[default]
+    None,
+    /// Read the metric from attribute slot `0..MAX_ATTRS`.
+    Attr(u8),
+}
+
+impl ValueSource {
+    #[inline]
+    fn extract(&self, record: &Record) -> AggState {
+        match *self {
+            ValueSource::None => AggState::unit(),
+            ValueSource::Attr(i) => AggState::from_value(record.attrs[i as usize]),
+        }
+    }
+}
+
+/// Cost and throughput report of a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Records processed.
+    pub records: u64,
+    /// Intra-epoch LFTA probes (raw-record probes plus cascade feeds).
+    pub intra_probes: u64,
+    /// Intra-epoch evictions to the HFTA.
+    pub intra_evictions: u64,
+    /// End-of-epoch probes (flush propagation).
+    pub flush_probes: u64,
+    /// End-of-epoch evictions to the HFTA.
+    pub flush_evictions: u64,
+    /// Number of epochs closed.
+    pub epochs: u64,
+    /// Records rejected by the selection filter (they are included in
+    /// `records` but cost nothing downstream).
+    pub filtered_out: u64,
+    /// Cost parameters used.
+    pub costs: CostParams,
+}
+
+impl RunReport {
+    /// Intra-epoch (maintenance) cost `E_m`.
+    pub fn intra_cost(&self) -> f64 {
+        self.costs.c1 * self.intra_probes as f64 + self.costs.c2 * self.intra_evictions as f64
+    }
+
+    /// End-of-epoch (update) cost `E_u`, summed over all epochs.
+    pub fn flush_cost(&self) -> f64 {
+        self.costs.c1 * self.flush_probes as f64 + self.costs.c2 * self.flush_evictions as f64
+    }
+
+    /// Total cost.
+    pub fn total_cost(&self) -> f64 {
+        self.intra_cost() + self.flush_cost()
+    }
+
+    /// Per-record intra-epoch cost `e_m` (Eq. 7's measured counterpart).
+    pub fn per_record_cost(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.intra_cost() / self.records as f64
+        }
+    }
+}
+
+/// Streams records through a [`PhysicalPlan`], maintaining the LFTA
+/// tables and the HFTA combiner, and accounting every cost.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    plan: PhysicalPlan,
+    tables: Vec<LftaTable>,
+    children: Vec<Vec<usize>>,
+    raw: Vec<usize>,
+    /// HFTA query slot per node (`None` for phantoms).
+    query_slot: Vec<Option<usize>>,
+    hfta: Hfta,
+    epoch_micros: u64,
+    current_epoch: u64,
+    in_flush: bool,
+    value_source: ValueSource,
+    filter: Filter,
+    report: RunReport,
+}
+
+impl Executor {
+    /// Creates an executor over `plan` with epoch length `epoch_micros`
+    /// (use `u64::MAX` for a single open-ended epoch) and hash seed
+    /// `seed`.
+    pub fn new(plan: PhysicalPlan, costs: CostParams, epoch_micros: u64, seed: u64) -> Executor {
+        let n = plan.nodes().len();
+        let mut children = vec![Vec::new(); n];
+        for (i, node) in plan.nodes().iter().enumerate() {
+            if let Some(p) = node.parent {
+                children[p].push(i);
+            }
+        }
+        let raw: Vec<usize> = plan.raw_nodes().collect();
+        let tables: Vec<LftaTable> = plan
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, node)| LftaTable::new(node.attrs, node.buckets, mix64(seed ^ i as u64)))
+            .collect();
+        let mut query_slot = vec![None; n];
+        let mut queries = Vec::new();
+        for (i, node) in plan.nodes().iter().enumerate() {
+            if node.is_query {
+                query_slot[i] = Some(queries.len());
+                queries.push(node.attrs);
+            }
+        }
+        Executor {
+            plan,
+            tables,
+            children,
+            raw,
+            query_slot,
+            hfta: Hfta::new(queries),
+            epoch_micros: epoch_micros.max(1),
+            current_epoch: 0,
+            in_flush: false,
+            value_source: ValueSource::None,
+            filter: Filter::all(),
+            report: RunReport {
+                costs,
+                ..RunReport::default()
+            },
+        }
+    }
+
+    /// Disables HFTA result retention (pure cost-measurement runs).
+    pub fn discard_results(mut self) -> Executor {
+        self.hfta = std::mem::take(&mut self.hfta).discard_results();
+        self
+    }
+
+    /// Sets the metric-value source for SUM/MIN/MAX/AVG aggregates.
+    pub fn with_value_source(mut self, source: ValueSource) -> Executor {
+        self.value_source = source;
+        self
+    }
+
+    /// Installs a selection filter, evaluated per record ahead of all
+    /// hash-table probes (the "F" of LFTA).
+    pub fn with_filter(mut self, filter: Filter) -> Executor {
+        self.filter = filter;
+        self
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &PhysicalPlan {
+        &self.plan
+    }
+
+    /// Per-table statistics `(relation, stats)` in plan order.
+    pub fn table_stats(&self) -> Vec<(AttrSet, TableStats)> {
+        self.tables.iter().map(|t| (t.attrs(), t.stats())).collect()
+    }
+
+    /// Pushes `(key, count)` into node `i`'s table and cascades any
+    /// eviction.
+    fn push(&mut self, i: usize, key: GroupKey, agg: AggState) {
+        if self.in_flush {
+            self.report.flush_probes += 1;
+        } else {
+            self.report.intra_probes += 1;
+        }
+        if let Probe::Evicted(old) = self.tables[i].probe(key, agg) {
+            self.emit(i, old.key, old.agg);
+        }
+    }
+
+    /// Routes an entry leaving node `i` (eviction or flush scan) to the
+    /// HFTA and/or the node's children.
+    fn emit(&mut self, i: usize, key: GroupKey, agg: AggState) {
+        if self.query_slot[i].is_some() {
+            let slot = self.query_slot[i].expect("checked");
+            self.hfta.receive(slot, key, agg);
+            if self.in_flush {
+                self.report.flush_evictions += 1;
+            } else {
+                self.report.intra_evictions += 1;
+            }
+        }
+        let own = self.plan.nodes()[i].attrs;
+        // Children are few; clone the index list to appease the borrow
+        // checker without restructuring the hot path.
+        let kids = self.children[i].clone();
+        for c in kids {
+            let child_attrs = self.plan.nodes()[c].attrs;
+            let child_key = key.reproject(own, child_attrs);
+            self.push(c, child_key, agg);
+        }
+    }
+
+    /// Processes one record, closing epochs as its timestamp dictates.
+    #[inline]
+    pub fn process(&mut self, record: &Record) {
+        while record.ts_micros >= (self.current_epoch + 1).saturating_mul(self.epoch_micros) {
+            self.flush_epoch();
+        }
+        self.report.records += 1;
+        if !self.filter.matches(record) {
+            self.report.filtered_out += 1;
+            return;
+        }
+        let agg = self.value_source.extract(record);
+        for idx in 0..self.raw.len() {
+            let node = self.raw[idx];
+            let key = record.project(self.plan.nodes()[node].attrs);
+            self.push(node, key, agg);
+        }
+    }
+
+    /// Processes a batch of records.
+    pub fn run(&mut self, records: &[Record]) {
+        for r in records {
+            self.process(r);
+        }
+    }
+
+    /// Closes the current epoch: scans tables top-down, propagating every
+    /// entry to the children and finally evicting query contents to the
+    /// HFTA (§3.2.2).
+    pub fn flush_epoch(&mut self) {
+        self.in_flush = true;
+        for i in 0..self.tables.len() {
+            let entries = self.tables[i].drain();
+            for e in entries {
+                self.emit(i, e.key, e.agg);
+            }
+        }
+        self.in_flush = false;
+        self.hfta.close_epoch();
+        self.current_epoch += 1;
+        self.report.epochs += 1;
+    }
+
+    /// Flushes the final epoch and returns the report.
+    pub fn finish(mut self) -> (RunReport, Hfta) {
+        self.flush_epoch();
+        (self.report.clone(), self.hfta)
+    }
+
+    /// The report so far (without flushing).
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Resets per-table statistics (drift detection works on windows;
+    /// table contents and cost counters are unaffected).
+    pub fn reset_table_stats(&mut self) {
+        for t in &mut self.tables {
+            t.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PhysicalPlan, PlanNode};
+    use msa_stream::hash::FastMap;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    /// Exact per-group counts computed naively.
+    fn exact_counts(records: &[Record], q: AttrSet) -> FastMap<GroupKey, u64> {
+        let mut m = FastMap::default();
+        for r in records {
+            *m.entry(r.project(q)).or_insert(0) += 1;
+        }
+        m
+    }
+
+    fn records(tuples: &[[u32; 4]]) -> Vec<Record> {
+        tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Record::new(t, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn flat_plan_produces_exact_results() {
+        let recs = records(&[
+            [1, 10, 100, 0],
+            [1, 11, 100, 0],
+            [2, 10, 101, 0],
+            [1, 10, 100, 0],
+        ]);
+        let plan = PhysicalPlan::flat(&[(s("A"), 4), (s("B"), 4)]).unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 1);
+        ex.run(&recs);
+        let (report, hfta) = ex.finish();
+        assert_eq!(report.records, 4);
+        assert_eq!(hfta.totals(s("A")), exact_counts(&recs, s("A")));
+        assert_eq!(hfta.totals(s("B")), exact_counts(&recs, s("B")));
+    }
+
+    #[test]
+    fn phantom_plan_produces_exact_results() {
+        // ABC feeds A, B, C; tiny tables force heavy cascading.
+        let recs: Vec<Record> = (0..500u32)
+            .map(|i| Record::new(&[i % 7, i % 5, i % 3, 0], i as u64))
+            .collect();
+        let plan = PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("ABC"),
+                parent: None,
+                buckets: 4,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("A"),
+                parent: Some(0),
+                buckets: 2,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("B"),
+                parent: Some(0),
+                buckets: 2,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("C"),
+                parent: Some(0),
+                buckets: 2,
+                is_query: true,
+            },
+        ])
+        .unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 3);
+        ex.run(&recs);
+        let (_, hfta) = ex.finish();
+        for q in ["A", "B", "C"] {
+            assert_eq!(
+                hfta.totals(s(q)),
+                exact_counts(&recs, s(q)),
+                "query {q} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_level_phantoms_remain_exact() {
+        // (ABCD(AB BCD(BC BD CD))) — paper Fig. 3(c).
+        let recs: Vec<Record> = (0..2000u32)
+            .map(|i| Record::new(&[i % 11, i % 6, i % 4, i % 3], i as u64))
+            .collect();
+        let plan = PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("ABCD"),
+                parent: None,
+                buckets: 16,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("AB"),
+                parent: Some(0),
+                buckets: 8,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("BCD"),
+                parent: Some(0),
+                buckets: 8,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("BC"),
+                parent: Some(2),
+                buckets: 4,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("BD"),
+                parent: Some(2),
+                buckets: 4,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("CD"),
+                parent: Some(2),
+                buckets: 4,
+                is_query: true,
+            },
+        ])
+        .unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 5);
+        ex.run(&recs);
+        let (_, hfta) = ex.finish();
+        for q in ["AB", "BC", "BD", "CD"] {
+            assert_eq!(
+                hfta.totals(s(q)),
+                exact_counts(&recs, s(q)),
+                "query {q} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn epochs_split_results_and_counts_flush_cost() {
+        let recs = vec![
+            Record::new(&[1, 0, 0, 0], 0),
+            Record::new(&[1, 0, 0, 0], 500_000),
+            Record::new(&[1, 0, 0, 0], 1_500_000), // second epoch
+        ];
+        let plan = PhysicalPlan::flat(&[(s("A"), 4)]).unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), 1_000_000, 0);
+        ex.run(&recs);
+        let (report, hfta) = ex.finish();
+        assert_eq!(report.epochs, 2);
+        let res = hfta.results();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].total_count(), 2);
+        assert_eq!(res[1].total_count(), 1);
+        // Each epoch flushes one entry from the single query table.
+        assert_eq!(report.flush_evictions, 2);
+    }
+
+    #[test]
+    fn cost_accounting_flat_no_collisions() {
+        // 3 distinct groups into 64 buckets: collisions vanishingly rare.
+        let recs = records(&[[1, 0, 0, 0], [2, 0, 0, 0], [3, 0, 0, 0]]);
+        let plan = PhysicalPlan::flat(&[(s("A"), 64)]).unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 9);
+        ex.run(&recs);
+        let (report, _) = ex.finish();
+        assert_eq!(report.intra_probes, 3);
+        assert_eq!(report.intra_evictions, 0);
+        assert_eq!(report.flush_evictions, 3);
+        assert_eq!(report.intra_cost(), 3.0);
+        assert_eq!(report.flush_cost(), 150.0);
+        assert_eq!(report.per_record_cost(), 1.0);
+    }
+
+    #[test]
+    fn phantom_cascade_costs_match_model_shape() {
+        // One phantom AB feeding A and B: each phantom collision should
+        // add exactly two child probes (E2 structure of §2.5).
+        let recs: Vec<Record> = (0..1000u32)
+            .map(|i| Record::new(&[i % 50, i / 50, 0, 0], i as u64))
+            .collect();
+        let plan = PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("AB"),
+                parent: None,
+                buckets: 8,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("A"),
+                parent: Some(0),
+                buckets: 8,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("B"),
+                parent: Some(0),
+                buckets: 8,
+                is_query: true,
+            },
+        ])
+        .unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 13);
+        ex.run(&recs);
+        let stats = ex.table_stats();
+        let phantom_collisions = stats[0].1.collisions;
+        let child_feeds = stats[1].1.probes + stats[2].1.probes;
+        assert_eq!(child_feeds, 2 * phantom_collisions);
+        let report = ex.report();
+        // Intra probes = n raw probes + child feeds.
+        assert_eq!(report.intra_probes, 1000 + child_feeds);
+    }
+
+    #[test]
+    fn query_feeding_query_reaches_both_hfta_and_child() {
+        // Query AB feeds query A: AB evictions must land in the HFTA and
+        // also feed A's table.
+        let recs: Vec<Record> = (0..200u32)
+            .map(|i| Record::new(&[i % 10, i % 7, 0, 0], i as u64))
+            .collect();
+        let plan = PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("AB"),
+                parent: None,
+                buckets: 4,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("A"),
+                parent: Some(0),
+                buckets: 4,
+                is_query: true,
+            },
+        ])
+        .unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 21);
+        ex.run(&recs);
+        let (_, hfta) = ex.finish();
+        assert_eq!(hfta.totals(s("AB")), exact_counts(&recs, s("AB")));
+        assert_eq!(hfta.totals(s("A")), exact_counts(&recs, s("A")));
+    }
+
+    #[test]
+    fn value_aggregates_survive_the_cascade() {
+        // Metric = attribute D (e.g. packet length); grouping on A via
+        // phantom AB. SUM/MIN/MAX per A-group must match a naive pass,
+        // no matter how entries bounce through the phantom.
+        let recs: Vec<Record> = (0..600u32)
+            .map(|i| Record::new(&[i % 12, i % 7, 0, 100 + (i % 50)], i as u64))
+            .collect();
+        let plan = PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("AB"),
+                parent: None,
+                buckets: 4,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("A"),
+                parent: Some(0),
+                buckets: 4,
+                is_query: true,
+            },
+        ])
+        .unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 8)
+            .with_value_source(ValueSource::Attr(3));
+        ex.run(&recs);
+        let (_, hfta) = ex.finish();
+        let got = hfta.aggregate_totals(s("A"));
+        // Naive ground truth.
+        let mut want: FastMap<GroupKey, (u64, u64, u32, u32)> = FastMap::default();
+        for r in &recs {
+            let k = r.project(s("A"));
+            let v = r.attrs[3];
+            let e = want.entry(k).or_insert((0, 0, u32::MAX, 0));
+            e.0 += 1;
+            e.1 += u64::from(v);
+            e.2 = e.2.min(v);
+            e.3 = e.3.max(v);
+        }
+        assert_eq!(got.len(), want.len());
+        for (k, (count, sum, min, max)) in want {
+            let a = got[&k];
+            assert_eq!((a.count, a.sum, a.min, a.max), (count, sum, min, max), "group {k}");
+        }
+    }
+
+    #[test]
+    fn selection_filter_runs_before_probes() {
+        use msa_stream::{CmpOp, Filter};
+        // Keep only records with B = 0 (e.g. "dstPort = 80").
+        let recs: Vec<Record> = (0..300u32)
+            .map(|i| Record::new(&[i % 10, i % 3, 0, 0], i as u64))
+            .collect();
+        let plan = PhysicalPlan::flat(&[(s("A"), 32)]).unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 6)
+            .with_filter(Filter::all().and(1, CmpOp::Eq, 0));
+        ex.run(&recs);
+        let (report, hfta) = ex.finish();
+        assert_eq!(report.records, 300);
+        assert_eq!(report.filtered_out, 200);
+        // Probes happened only for passing records.
+        assert_eq!(report.intra_probes, 100);
+        // Results equal a naive filtered computation.
+        let filtered: Vec<Record> = recs
+            .iter()
+            .copied()
+            .filter(|r| r.attrs[1] == 0)
+            .collect();
+        assert_eq!(hfta.totals(s("A")), exact_counts(&filtered, s("A")));
+    }
+
+    #[test]
+    fn results_conserve_record_counts() {
+        // Σ counts per query = number of records, whatever the plan.
+        let recs: Vec<Record> = (0..777u32)
+            .map(|i| Record::new(&[i % 13, i % 9, i % 2, 0], i as u64))
+            .collect();
+        let plan = PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("ABC"),
+                parent: None,
+                buckets: 8,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("AB"),
+                parent: Some(0),
+                buckets: 4,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("C"),
+                parent: Some(0),
+                buckets: 2,
+                is_query: true,
+            },
+        ])
+        .unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 2);
+        ex.run(&recs);
+        let (_, hfta) = ex.finish();
+        for q in ["AB", "C"] {
+            let total: u64 = hfta.totals(s(q)).values().sum();
+            assert_eq!(total, 777, "query {q}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The host-side combiner (HFTA).
+//!
+//! The HFTA receives partial `{group, count}` pairs evicted by the LFTA
+//! — multiple partials per group per epoch are possible — and combines
+//! them into exact per-epoch aggregates (paper §2.2: "multiple tuples for
+//! the same group in the same epoch may be seen because of evictions,
+//! and these are combined").
+
+use crate::table::AggState;
+use msa_stream::hash::FastMap;
+use msa_stream::{AttrSet, GroupKey};
+
+/// Exact aggregation results of one query for one epoch.
+#[derive(Clone, Debug)]
+pub struct EpochResult {
+    /// The query's grouping attributes.
+    pub query: AttrSet,
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Combined `group → aggregate` results (count plus, when the plan
+    /// designates a metric attribute, sum/min/max of the metric).
+    pub aggregates: FastMap<GroupKey, AggState>,
+}
+
+impl EpochResult {
+    /// Per-group record counts.
+    pub fn counts(&self) -> FastMap<GroupKey, u64> {
+        self.aggregates.iter().map(|(k, a)| (*k, a.count)).collect()
+    }
+
+    /// Total records combined into this result.
+    pub fn total_count(&self) -> u64 {
+        self.aggregates.values().map(|a| a.count).sum()
+    }
+
+    /// Groups whose count exceeds `threshold` — the paper's example
+    /// "report ... provided this number of packets is more than 100"
+    /// (a HAVING clause evaluated at the HFTA).
+    pub fn having_count_over(
+        &self,
+        threshold: u64,
+    ) -> impl Iterator<Item = (&GroupKey, &AggState)> {
+        self.aggregates.iter().filter(move |(_, a)| a.count > threshold)
+    }
+}
+
+/// The HFTA: one combiner per user query.
+#[derive(Clone, Debug, Default)]
+pub struct Hfta {
+    queries: Vec<AttrSet>,
+    current: Vec<FastMap<GroupKey, AggState>>,
+    /// Total partial tuples received (each costs `c2` at the LFTA).
+    received: u64,
+    finished: Vec<EpochResult>,
+    epoch: u64,
+    retain_results: bool,
+}
+
+impl Hfta {
+    /// Creates an HFTA combining the given queries.
+    pub fn new(queries: Vec<AttrSet>) -> Hfta {
+        let current = queries.iter().map(|_| FastMap::default()).collect();
+        Hfta {
+            queries,
+            current,
+            received: 0,
+            finished: Vec::new(),
+            epoch: 0,
+            retain_results: true,
+        }
+    }
+
+    /// Disables per-epoch result retention (long measurement runs where
+    /// only the cost counters matter). Results are still combined within
+    /// the running epoch and dropped at epoch close.
+    pub fn discard_results(mut self) -> Hfta {
+        self.retain_results = false;
+        self
+    }
+
+    /// Receives one evicted partial for query slot `qi`.
+    #[inline]
+    pub fn receive(&mut self, qi: usize, key: GroupKey, agg: AggState) {
+        self.received += 1;
+        match self.current[qi].entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(&agg),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(agg);
+            }
+        }
+    }
+
+    /// Total partial tuples received across all epochs so far.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Closes the current epoch: moves combined maps to the finished
+    /// list and starts fresh ones.
+    pub fn close_epoch(&mut self) {
+        for (qi, map) in self.current.iter_mut().enumerate() {
+            let aggregates = std::mem::take(map);
+            if self.retain_results && !aggregates.is_empty() {
+                self.finished.push(EpochResult {
+                    query: self.queries[qi],
+                    epoch: self.epoch,
+                    aggregates,
+                });
+            }
+        }
+        self.epoch += 1;
+    }
+
+    /// All finished per-epoch results.
+    pub fn results(&self) -> &[EpochResult] {
+        &self.finished
+    }
+
+    /// Sums a query's counts across all finished epochs — the total
+    /// per-group record counts, used to verify end-to-end correctness.
+    pub fn totals(&self, query: AttrSet) -> FastMap<GroupKey, u64> {
+        self.aggregate_totals(query)
+            .into_iter()
+            .map(|(k, a)| (k, a.count))
+            .collect()
+    }
+
+    /// Combines a query's full aggregate states across all epochs.
+    pub fn aggregate_totals(&self, query: AttrSet) -> FastMap<GroupKey, AggState> {
+        let mut out: FastMap<GroupKey, AggState> = FastMap::default();
+        for r in &self.finished {
+            if r.query == query {
+                for (k, a) in &r.aggregates {
+                    match out.entry(*k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            e.get_mut().merge(a)
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(*a);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vals: &[u32]) -> GroupKey {
+        GroupKey::from_values(vals)
+    }
+
+    /// A partial state of `count` records summing to `sum`.
+    fn counted(count: u64, sum: u64) -> AggState {
+        AggState {
+            count,
+            sum,
+            min: sum.min(u64::from(u32::MAX)) as u32,
+            max: sum.min(u64::from(u32::MAX)) as u32,
+        }
+    }
+
+    #[test]
+    fn having_filter_and_epoch_helpers() {
+        let a = AttrSet::parse("A").unwrap();
+        let mut h = Hfta::new(vec![a]);
+        h.receive(0, key(&[1]), counted(150, 150));
+        h.receive(0, key(&[2]), counted(50, 50));
+        h.close_epoch();
+        let res = &h.results()[0];
+        assert_eq!(res.total_count(), 200);
+        assert_eq!(res.counts()[&key(&[2])], 50);
+        let heavy: Vec<_> = res.having_count_over(100).collect();
+        assert_eq!(heavy.len(), 1);
+        assert_eq!(*heavy[0].0, key(&[1]));
+    }
+
+    #[test]
+    fn combines_partials_within_epoch() {
+        let a = AttrSet::parse("A").unwrap();
+        let mut h = Hfta::new(vec![a]);
+        h.receive(0, key(&[1]), counted(3, 30));
+        h.receive(0, key(&[1]), counted(4, 4));
+        h.receive(0, key(&[2]), counted(1, 9));
+        h.close_epoch();
+        let totals = h.totals(a);
+        assert_eq!(totals[&key(&[1])], 7);
+        assert_eq!(totals[&key(&[2])], 1);
+        assert_eq!(h.received(), 3);
+        // Value aggregates combine too.
+        let aggs = h.aggregate_totals(a);
+        assert_eq!(aggs[&key(&[1])].sum, 34);
+        assert_eq!(aggs[&key(&[1])].min, 4);
+    }
+
+    #[test]
+    fn epochs_are_separated() {
+        let a = AttrSet::parse("A").unwrap();
+        let mut h = Hfta::new(vec![a]);
+        h.receive(0, key(&[1]), counted(1, 1));
+        h.close_epoch();
+        h.receive(0, key(&[1]), counted(2, 2));
+        h.close_epoch();
+        assert_eq!(h.results().len(), 2);
+        assert_eq!(h.results()[0].epoch, 0);
+        assert_eq!(h.results()[1].epoch, 1);
+        assert_eq!(h.totals(a)[&key(&[1])], 3);
+    }
+
+    #[test]
+    fn multiple_queries_are_independent() {
+        let a = AttrSet::parse("A").unwrap();
+        let b = AttrSet::parse("B").unwrap();
+        let mut h = Hfta::new(vec![a, b]);
+        h.receive(0, key(&[1]), counted(5, 5));
+        h.receive(1, key(&[9]), counted(2, 2));
+        h.close_epoch();
+        assert_eq!(h.totals(a).len(), 1);
+        assert_eq!(h.totals(b)[&key(&[9])], 2);
+    }
+
+    #[test]
+    fn discard_results_keeps_counters_only() {
+        let a = AttrSet::parse("A").unwrap();
+        let mut h = Hfta::new(vec![a]).discard_results();
+        h.receive(0, key(&[1]), counted(1, 1));
+        h.close_epoch();
+        assert!(h.results().is_empty());
+        assert_eq!(h.received(), 1);
+    }
+
+    #[test]
+    fn empty_epochs_produce_no_results() {
+        let a = AttrSet::parse("A").unwrap();
+        let mut h = Hfta::new(vec![a]);
+        h.close_epoch();
+        h.close_epoch();
+        assert!(h.results().is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! A Gigascope-style two-level stream-aggregation substrate.
+//!
+//! The paper evaluates its phantom-selection and space-allocation
+//! algorithms on Gigascope's LFTA/HFTA split (§2): the **LFTA** runs on a
+//! NIC with a few MB of memory and maintains one single-slot hash table
+//! per instantiated relation; the **HFTA** runs on the host and combines
+//! the partial aggregates the LFTA evicts. This crate implements that
+//! substrate faithfully enough to *measure* the costs the paper's model
+//! predicts:
+//!
+//! * [`table::LftaTable`] — the single-entry-per-bucket hash table of
+//!   Fig. 1, with probe/evict semantics and per-table statistics;
+//! * [`plan::PhysicalPlan`] — a configuration tree (relations, feeding
+//!   edges, bucket allocation) in executable form;
+//! * [`executor::Executor`] — streams records through the plan,
+//!   cascading evictions phantom → child → HFTA, flushing at epoch
+//!   boundaries, and accounting every probe (`c1`) and HFTA eviction
+//!   (`c2`);
+//! * [`hfta::Hfta`] — the host-side combiner producing exact per-epoch
+//!   aggregation results (used to verify the LFTA path end-to-end).
+
+pub mod executor;
+pub mod hfta;
+pub mod plan;
+pub mod table;
+
+pub use executor::{Executor, RunReport};
+pub use hfta::Hfta;
+pub use plan::{PhysicalPlan, PlanNode};
+pub use table::{LftaTable, Probe};
+
+/// Cost parameters of the two-level architecture.
+///
+/// `c1` is the cost of one hash-table probe/update in the LFTA; `c2` the
+/// cost of transferring one entry to the HFTA. The paper measures
+/// `c2/c1 = 50` in operational systems and uses that ratio throughout
+/// its evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostParams {
+    /// LFTA probe/update cost.
+    pub c1: f64,
+    /// LFTA → HFTA eviction cost.
+    pub c2: f64,
+}
+
+impl CostParams {
+    /// The paper's setting: `c1 = 1`, `c2 = 50`.
+    pub fn paper() -> CostParams {
+        CostParams { c1: 1.0, c2: 50.0 }
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> CostParams {
+        CostParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cost_ratio() {
+        let p = CostParams::paper();
+        assert_eq!(p.c2 / p.c1, 50.0);
+        assert_eq!(CostParams::default(), p);
+    }
+}

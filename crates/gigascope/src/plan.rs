@@ -1,0 +1,280 @@
+//! Physical plans: executable configurations.
+//!
+//! A *configuration* (paper §3.1) is a tree of relations — user queries
+//! plus chosen phantoms — with a bucket allocation. The optimizer crate
+//! reasons about configurations symbolically; this module holds the
+//! minimal physical description the executor needs, so that the
+//! substrate does not depend on the optimizer.
+
+use msa_stream::AttrSet;
+
+/// One relation in a plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanNode {
+    /// The relation's grouping attributes.
+    pub attrs: AttrSet,
+    /// Index of the feeding parent in the plan's node list; `None` for a
+    /// raw relation (fed directly by the stream).
+    pub parent: Option<usize>,
+    /// Hash-table buckets allocated to this relation.
+    pub buckets: usize,
+    /// True if this relation is a user query (its evictions go to the
+    /// HFTA); false for phantoms.
+    pub is_query: bool,
+}
+
+/// An executable configuration: a forest of feeding trees.
+#[derive(Clone, Debug, Default)]
+pub struct PhysicalPlan {
+    nodes: Vec<PlanNode>,
+}
+
+impl PhysicalPlan {
+    /// Builds a plan, validating the tree structure:
+    ///
+    /// * every parent index must precede its child (topological order),
+    /// * a child's attributes must be a proper subset of its parent's,
+    /// * every node needs at least one bucket,
+    /// * phantoms must have at least one child (a phantom feeding
+    ///   nothing is pure overhead — the paper proves it is never
+    ///   beneficial).
+    pub fn new(nodes: Vec<PlanNode>) -> Result<PhysicalPlan, PlanError> {
+        let mut has_child = vec![false; nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            if n.buckets == 0 {
+                return Err(PlanError::ZeroBuckets { node: i });
+            }
+            if let Some(p) = n.parent {
+                if p >= i {
+                    return Err(PlanError::ParentOrder { node: i, parent: p });
+                }
+                if !n.attrs.is_proper_subset_of(nodes[p].attrs) {
+                    return Err(PlanError::NotSubset { node: i, parent: p });
+                }
+                has_child[p] = true;
+            }
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            if !n.is_query && !has_child[i] {
+                return Err(PlanError::ChildlessPhantom { node: i });
+            }
+        }
+        Ok(PhysicalPlan { nodes })
+    }
+
+    /// The nodes in topological (parent-before-child) order.
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// Indices of raw relations (fed directly by the stream).
+    pub fn raw_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent.is_none())
+            .map(|(i, _)| i)
+    }
+
+    /// Child indices of node `i`.
+    pub fn children(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| n.parent == Some(i))
+            .map(|(i, _)| i)
+    }
+
+    /// Indices of query nodes.
+    pub fn query_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_query)
+            .map(|(i, _)| i)
+    }
+
+    /// Total space in 4-byte words (`Σ buckets·(arity+1)`), the quantity
+    /// bounded by the LFTA memory limit `M`.
+    pub fn space_words(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.buckets * n.attrs.entry_words())
+            .sum()
+    }
+
+    /// Convenience: a plan with no phantoms — every query is raw, with
+    /// the given `(attrs, buckets)` list.
+    pub fn flat(queries: &[(AttrSet, usize)]) -> Result<PhysicalPlan, PlanError> {
+        PhysicalPlan::new(
+            queries
+                .iter()
+                .map(|&(attrs, buckets)| PlanNode {
+                    attrs,
+                    parent: None,
+                    buckets,
+                    is_query: true,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Plan validation failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A node has no buckets.
+    ZeroBuckets {
+        /// Offending node index.
+        node: usize,
+    },
+    /// A parent index does not precede its child.
+    ParentOrder {
+        /// Offending node index.
+        node: usize,
+        /// Claimed parent index.
+        parent: usize,
+    },
+    /// A child's attribute set is not a proper subset of its parent's.
+    NotSubset {
+        /// Offending node index.
+        node: usize,
+        /// Parent index.
+        parent: usize,
+    },
+    /// A phantom with no children.
+    ChildlessPhantom {
+        /// Offending node index.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::ZeroBuckets { node } => write!(f, "node {node} has zero buckets"),
+            PlanError::ParentOrder { node, parent } => {
+                write!(f, "node {node} references later parent {parent}")
+            }
+            PlanError::NotSubset { node, parent } => {
+                write!(f, "node {node} is not a proper subset of parent {parent}")
+            }
+            PlanError::ChildlessPhantom { node } => {
+                write!(f, "phantom node {node} feeds no relations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    #[test]
+    fn valid_phantom_tree() {
+        // ABC feeds A, B, C (paper Fig. 2).
+        let plan = PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("ABC"),
+                parent: None,
+                buckets: 100,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("A"),
+                parent: Some(0),
+                buckets: 10,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("B"),
+                parent: Some(0),
+                buckets: 10,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("C"),
+                parent: Some(0),
+                buckets: 10,
+                is_query: true,
+            },
+        ])
+        .unwrap();
+        assert_eq!(plan.raw_nodes().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(plan.children(0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(plan.query_nodes().count(), 3);
+        // Space: 100·4 + 3·10·2 = 460 words.
+        assert_eq!(plan.space_words(), 460);
+    }
+
+    #[test]
+    fn rejects_childless_phantom() {
+        let err = PhysicalPlan::new(vec![PlanNode {
+            attrs: s("AB"),
+            parent: None,
+            buckets: 10,
+            is_query: false,
+        }])
+        .unwrap_err();
+        assert_eq!(err, PlanError::ChildlessPhantom { node: 0 });
+    }
+
+    #[test]
+    fn rejects_non_subset_edge() {
+        let err = PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("AB"),
+                parent: None,
+                buckets: 10,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("CD"),
+                parent: Some(0),
+                buckets: 10,
+                is_query: true,
+            },
+        ])
+        .unwrap_err();
+        assert!(matches!(err, PlanError::NotSubset { .. }));
+    }
+
+    #[test]
+    fn rejects_forward_parent() {
+        let err = PhysicalPlan::new(vec![PlanNode {
+            attrs: s("A"),
+            parent: Some(0),
+            buckets: 10,
+            is_query: true,
+        }])
+        .unwrap_err();
+        assert!(matches!(err, PlanError::ParentOrder { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_buckets() {
+        let err = PhysicalPlan::new(vec![PlanNode {
+            attrs: s("A"),
+            parent: None,
+            buckets: 0,
+            is_query: true,
+        }])
+        .unwrap_err();
+        assert!(matches!(err, PlanError::ZeroBuckets { .. }));
+    }
+
+    #[test]
+    fn flat_plan_is_all_raw_queries() {
+        let plan = PhysicalPlan::flat(&[(s("AB"), 5), (s("CD"), 6)]).unwrap();
+        assert_eq!(plan.raw_nodes().count(), 2);
+        assert_eq!(plan.query_nodes().count(), 2);
+        // 5·3 + 6·3 = 33 words.
+        assert_eq!(plan.space_words(), 33);
+    }
+}

@@ -1,0 +1,622 @@
+//! Space allocation (paper Section 5).
+//!
+//! Given a configuration and the LFTA memory budget `M` (in 4-byte
+//! words), decide each table's size. Collision rates follow the linear
+//! model `x = µ·g̃/s` where `s` is the table's space in words and
+//! `g̃ = g·h/l` its allocation weight (§5.3). The paper derives:
+//!
+//! * **flat (no phantom)** — optimal space is proportional to `√g̃`;
+//! * **one phantom feeding all queries** — the closed-form optimum of
+//!   Eqs. 19–21: children get `s_i = √g̃_i/λ`, the phantom keeps the
+//!   rest (always more than half of `M`);
+//! * **deeper trees** — the optimality equations reach order ≥ 8 and are
+//!   algebraically unsolvable (Abel), hence the heuristics SL, SR, PL,
+//!   PR, benchmarked against exhaustive search.
+//!
+//! Exhaustive search (`ES`) appears in two forms: a literal grid
+//! enumeration ([`allocate_grid`], exponential, small configurations
+//! only) and a numeric optimum ([`allocate_numeric`]) exploiting that the
+//! cost is a posynomial in the table sizes — convex in log-space — so a
+//! softmax-parameterised gradient descent finds the global optimum.
+
+use crate::config::Configuration;
+use crate::cost::{per_record_cost, CostContext};
+use msa_collision::PAPER_MU;
+use msa_stream::AttrSet;
+use std::collections::BTreeMap;
+
+/// A space allocation: hash-table *buckets* per relation (fractional
+/// during optimization; the planner rounds when emitting a physical
+/// plan).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Allocation {
+    buckets: BTreeMap<AttrSet, f64>,
+}
+
+impl Allocation {
+    /// Bucket count of `r` (0 if absent).
+    pub fn buckets(&self, r: AttrSet) -> f64 {
+        self.buckets.get(&r).copied().unwrap_or(0.0)
+    }
+
+    /// Sets the bucket count of `r`.
+    pub fn set(&mut self, r: AttrSet, b: f64) {
+        assert!(b.is_finite() && b >= 0.0, "invalid bucket count {b}");
+        self.buckets.insert(r, b);
+    }
+
+    /// Space of `r`'s table in words (`buckets · (arity + 1)`).
+    pub fn space_words_of(&self, r: AttrSet) -> f64 {
+        self.buckets(r) * r.entry_words() as f64
+    }
+
+    /// Total space in words.
+    pub fn space_words(&self) -> f64 {
+        self.buckets
+            .iter()
+            .map(|(r, b)| b * r.entry_words() as f64)
+            .sum()
+    }
+
+    /// Iterates `(relation, buckets)`.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrSet, f64)> + '_ {
+        self.buckets.iter().map(|(r, b)| (*r, *b))
+    }
+
+    /// Builds an allocation from per-relation *space* (words), converting
+    /// to buckets and flooring at one bucket per table.
+    pub fn from_spaces<I: IntoIterator<Item = (AttrSet, f64)>>(spaces: I) -> Allocation {
+        let mut a = Allocation::default();
+        for (r, s) in spaces {
+            a.set(r, (s / r.entry_words() as f64).max(1.0));
+        }
+        a
+    }
+
+    /// Returns a copy with every table scaled by `t`.
+    pub fn scaled(&self, t: f64) -> Allocation {
+        assert!(t.is_finite() && t > 0.0);
+        let mut out = self.clone();
+        for b in out.buckets.values_mut() {
+            *b = (*b * t).max(1.0);
+        }
+        out
+    }
+}
+
+/// The space-allocation strategies of §5.2 plus the numeric optimum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocStrategy {
+    /// Supernode with linear combination (SL): supernode weight = sum of
+    /// member weights. The paper's best heuristic.
+    SupernodeLinear,
+    /// Supernode with square-root combination (SR): `√w_super = Σ √w_i`.
+    SupernodeSqrt,
+    /// Space proportional to the weight (PL).
+    ProportionalLinear,
+    /// Space proportional to the square root of the weight (PR).
+    ProportionalSqrt,
+    /// Numeric global optimum (stands in for the paper's exhaustive ES).
+    NumericOptimal,
+}
+
+impl AllocStrategy {
+    /// All four §5.2 heuristics, in paper order.
+    pub const HEURISTICS: [AllocStrategy; 4] = [
+        AllocStrategy::SupernodeLinear,
+        AllocStrategy::SupernodeSqrt,
+        AllocStrategy::ProportionalLinear,
+        AllocStrategy::ProportionalSqrt,
+    ];
+
+    /// The paper's abbreviation (SL/SR/PL/PR/ES).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocStrategy::SupernodeLinear => "SL",
+            AllocStrategy::SupernodeSqrt => "SR",
+            AllocStrategy::ProportionalLinear => "PL",
+            AllocStrategy::ProportionalSqrt => "PR",
+            AllocStrategy::NumericOptimal => "ES",
+        }
+    }
+
+    /// Allocates `m_words` of LFTA space across the configuration.
+    pub fn allocate(
+        &self,
+        cfg: &Configuration,
+        m_words: f64,
+        ctx: &CostContext<'_>,
+    ) -> Allocation {
+        match self {
+            AllocStrategy::SupernodeLinear => allocate_supernode(cfg, m_words, ctx, Combine::Linear),
+            AllocStrategy::SupernodeSqrt => allocate_supernode(cfg, m_words, ctx, Combine::Sqrt),
+            AllocStrategy::ProportionalLinear => allocate_proportional(cfg, m_words, ctx, false),
+            AllocStrategy::ProportionalSqrt => allocate_proportional(cfg, m_words, ctx, true),
+            AllocStrategy::NumericOptimal => allocate_numeric(cfg, m_words, ctx, 300),
+        }
+    }
+}
+
+/// Allocation weight of `r` inside `cfg` (`g·h/l`, §5.3).
+fn weight(cfg: &Configuration, r: AttrSet, ctx: &CostContext<'_>) -> f64 {
+    ctx.weight(r, cfg.parent(r).is_none())
+}
+
+/// PL / PR: space proportional to weight (or its square root).
+pub fn allocate_proportional(
+    cfg: &Configuration,
+    m_words: f64,
+    ctx: &CostContext<'_>,
+    sqrt: bool,
+) -> Allocation {
+    let shares: Vec<(AttrSet, f64)> = cfg
+        .relations()
+        .map(|r| {
+            let w = weight(cfg, r, ctx).max(0.0);
+            (r, if sqrt { w.sqrt() } else { w })
+        })
+        .collect();
+    let total: f64 = shares.iter().map(|(_, v)| v).sum();
+    let n = shares.len() as f64;
+    Allocation::from_spaces(shares.into_iter().map(|(r, v)| {
+        let frac = if total > 0.0 { v / total } else { 1.0 / n };
+        (r, m_words * frac)
+    }))
+}
+
+/// How supernode weights combine (SL vs SR).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Combine {
+    /// `w_super = w_own + Σ w_child` (SL).
+    Linear,
+    /// `√w_super = √w_own + Σ √w_child` (SR).
+    Sqrt,
+}
+
+impl Combine {
+    fn fold(&self, own: f64, children: &[f64]) -> f64 {
+        match self {
+            Combine::Linear => own + children.iter().sum::<f64>(),
+            Combine::Sqrt => {
+                let s = own.max(0.0).sqrt()
+                    + children.iter().map(|w| w.max(0.0).sqrt()).sum::<f64>();
+                s * s
+            }
+        }
+    }
+}
+
+/// SL / SR (§5.2, Heuristics 1–2): collapse each phantom with its
+/// subtree into a supernode bottom-up; allocate across the resulting
+/// "all-query" top level optimally (space ∝ `√w`); then decompose each
+/// supernode with the exact two-level split (Eqs. 19–21), recursively.
+pub fn allocate_supernode(
+    cfg: &Configuration,
+    m_words: f64,
+    ctx: &CostContext<'_>,
+    combine: Combine,
+) -> Allocation {
+    // Subtree (supernode) weights, bottom-up.
+    fn subtree_weight(
+        cfg: &Configuration,
+        ctx: &CostContext<'_>,
+        combine: Combine,
+        r: AttrSet,
+        memo: &mut BTreeMap<AttrSet, f64>,
+    ) -> f64 {
+        if let Some(&w) = memo.get(&r) {
+            return w;
+        }
+        let kids: Vec<f64> = cfg
+            .children(r)
+            .map(|c| subtree_weight(cfg, ctx, combine, c, memo))
+            .collect();
+        let w = combine.fold(weight(cfg, r, ctx), &kids);
+        memo.insert(r, w);
+        w
+    }
+
+    let mut memo = BTreeMap::new();
+    let roots: Vec<AttrSet> = cfg.raw_relations().collect();
+    let root_w: Vec<f64> = roots
+        .iter()
+        .map(|&r| subtree_weight(cfg, ctx, combine, r, &mut memo))
+        .collect();
+
+    // Top level: optimal flat allocation, space ∝ √w.
+    let total_sqrt: f64 = root_w.iter().map(|w| w.max(0.0).sqrt()).sum();
+    let mut spaces: BTreeMap<AttrSet, f64> = BTreeMap::new();
+    let mut stack: Vec<(AttrSet, f64)> = roots
+        .iter()
+        .zip(&root_w)
+        .map(|(&r, &w)| {
+            let frac = if total_sqrt > 0.0 {
+                w.max(0.0).sqrt() / total_sqrt
+            } else {
+                1.0 / roots.len() as f64
+            };
+            (r, m_words * frac)
+        })
+        .collect();
+
+    // Decompose supernodes top-down with the exact two-level split.
+    while let Some((r, space)) = stack.pop() {
+        let kids: Vec<AttrSet> = cfg.children(r).collect();
+        if kids.is_empty() {
+            spaces.insert(r, space);
+            continue;
+        }
+        let kid_w: Vec<f64> = kids.iter().map(|&k| memo[&k]).collect();
+        let (own, kid_spaces) =
+            two_level_split(&kid_w, space, ctx.params.c1, ctx.params.c2, PAPER_MU);
+        spaces.insert(r, own);
+        for (k, s) in kids.into_iter().zip(kid_spaces) {
+            stack.push((k, s));
+        }
+    }
+    Allocation::from_spaces(spaces)
+}
+
+/// The exact two-level optimum (Eqs. 19–21) in space units.
+///
+/// Splits `m` words between a feeding table and its `f` children with
+/// weights `child_w`: children get `s_i = √w_i/λ` with `λ` the positive
+/// root of `µc₂mλ² − 2µc₂(Σ√w)λ − f·c₁ = 0`; the feeder keeps the
+/// remainder (provably more than `m/2`). The feeder's own weight cancels
+/// out of the optimality conditions and is not needed.
+pub fn two_level_split(child_w: &[f64], m: f64, c1: f64, c2: f64, mu: f64) -> (f64, Vec<f64>) {
+    assert!(!child_w.is_empty(), "feeder must have children");
+    assert!(m > 0.0 && c1 > 0.0 && c2 > 0.0 && mu > 0.0);
+    let f = child_w.len() as f64;
+    let sum_sqrt: f64 = child_w.iter().map(|w| w.max(0.0).sqrt()).sum();
+    if sum_sqrt <= 0.0 {
+        // Degenerate children: give them a token share each.
+        let share = m * 0.01 / f;
+        return (m - share * f, vec![share; child_w.len()]);
+    }
+    let a = mu * c2;
+    let lambda = (a * sum_sqrt + (a * a * sum_sqrt * sum_sqrt + f * mu * c1 * c2 * m).sqrt())
+        / (a * m);
+    let kid_spaces: Vec<f64> = child_w.iter().map(|w| w.max(0.0).sqrt() / lambda).collect();
+    let used: f64 = kid_spaces.iter().sum();
+    ((m - used).max(0.0), kid_spaces)
+}
+
+/// Numeric global optimum via softmax-parameterised gradient descent in
+/// log-space (the cost is a posynomial, hence convex there). Stands in
+/// for the paper's exhaustive ES; [`allocate_grid`] cross-validates it
+/// on small configurations.
+pub fn allocate_numeric(
+    cfg: &Configuration,
+    m_words: f64,
+    ctx: &CostContext<'_>,
+    iters: usize,
+) -> Allocation {
+    let relations: Vec<AttrSet> = cfg.relations().collect();
+    let n = relations.len();
+    if n == 1 {
+        return Allocation::from_spaces([(relations[0], m_words)]);
+    }
+
+    let eval_spaces = |spaces: &[f64]| -> f64 {
+        let alloc = Allocation::from_spaces(
+            relations.iter().copied().zip(spaces.iter().copied()),
+        );
+        per_record_cost(cfg, &alloc, ctx)
+    };
+    let softmax_spaces = |theta: &[f64]| -> Vec<f64> {
+        let mx = theta.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = theta.iter().map(|t| (t - mx).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        exps.iter().map(|e| m_words * e / z).collect()
+    };
+
+    // Warm starts: SL, falling back to PR when it scores better.
+    let mut best_alloc = AllocStrategy::SupernodeLinear.allocate(cfg, m_words, ctx);
+    let mut best_cost = per_record_cost(cfg, &best_alloc, ctx);
+    {
+        let a = AllocStrategy::ProportionalSqrt.allocate(cfg, m_words, ctx);
+        let c = per_record_cost(cfg, &a, ctx);
+        if c < best_cost {
+            best_cost = c;
+            best_alloc = a;
+        }
+    }
+
+    // θ initialised from the warm start's spaces.
+    let mut theta: Vec<f64> = relations
+        .iter()
+        .map(|&r| best_alloc.space_words_of(r).max(1e-6).ln())
+        .collect();
+    let (mut m1, mut m2) = (vec![0.0; n], vec![0.0; n]);
+    let (beta1, beta2, lr, eps) = (0.9, 0.999, 0.08, 1e-9);
+    let h = 1e-5;
+    for t in 1..=iters {
+        let mut grad = vec![0.0; n];
+        for i in 0..n {
+            let saved = theta[i];
+            theta[i] = saved + h;
+            let up = eval_spaces(&softmax_spaces(&theta));
+            theta[i] = saved - h;
+            let dn = eval_spaces(&softmax_spaces(&theta));
+            theta[i] = saved;
+            grad[i] = (up - dn) / (2.0 * h);
+        }
+        for i in 0..n {
+            m1[i] = beta1 * m1[i] + (1.0 - beta1) * grad[i];
+            m2[i] = beta2 * m2[i] + (1.0 - beta2) * grad[i] * grad[i];
+            let mh = m1[i] / (1.0 - beta1.powi(t as i32));
+            let vh = m2[i] / (1.0 - beta2.powi(t as i32));
+            theta[i] -= lr * mh / (vh.sqrt() + eps);
+        }
+    }
+    let final_spaces = softmax_spaces(&theta);
+    let final_cost = eval_spaces(&final_spaces);
+    if final_cost < best_cost {
+        Allocation::from_spaces(relations.into_iter().zip(final_spaces))
+    } else {
+        best_alloc
+    }
+}
+
+/// Literal exhaustive grid search at `granules` resolution (the paper's
+/// ES procedure, §5.2: granularity 1 % of `M` ⇒ `granules = 100`).
+///
+/// # Panics
+/// Panics on configurations with more than 5 relations — the
+/// enumeration is `C(granules−1, n−1)`; use [`allocate_numeric`] beyond.
+pub fn allocate_grid(
+    cfg: &Configuration,
+    m_words: f64,
+    ctx: &CostContext<'_>,
+    granules: usize,
+) -> Allocation {
+    let relations: Vec<AttrSet> = cfg.relations().collect();
+    let n = relations.len();
+    assert!(n <= 5, "grid ES limited to 5 relations, got {n}");
+    assert!(granules >= n, "need at least one granule per relation");
+    let unit = m_words / granules as f64;
+
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut current = vec![0usize; n];
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        idx: usize,
+        remaining: usize,
+        current: &mut Vec<usize>,
+        best: &mut Option<(f64, Vec<usize>)>,
+        relations: &[AttrSet],
+        unit: f64,
+        cfg: &Configuration,
+        ctx: &CostContext<'_>,
+    ) {
+        let n = relations.len();
+        if idx == n - 1 {
+            current[idx] = remaining;
+            let alloc = Allocation::from_spaces(
+                relations
+                    .iter()
+                    .copied()
+                    .zip(current.iter().map(|&g| g as f64 * unit)),
+            );
+            let cost = per_record_cost(cfg, &alloc, ctx);
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                *best = Some((cost, current.clone()));
+            }
+            return;
+        }
+        // Leave at least one granule per remaining table.
+        for g in 1..=(remaining - (n - idx - 1)) {
+            current[idx] = g;
+            recurse(idx + 1, remaining - g, current, best, relations, unit, cfg, ctx);
+        }
+    }
+    recurse(0, granules, &mut current, &mut best, &relations, unit, cfg, ctx);
+    let (_, grains) = best.expect("at least one allocation");
+    Allocation::from_spaces(
+        relations
+            .into_iter()
+            .zip(grains.into_iter().map(|g| g as f64 * unit)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msa_collision::LinearModel;
+    use msa_stream::DatasetStats;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    fn stats4() -> DatasetStats {
+        DatasetStats::from_group_counts(
+            [
+                (s("A"), 552),
+                (s("B"), 400),
+                (s("C"), 600),
+                (s("D"), 120),
+                (s("AB"), 1846),
+                (s("AC"), 1700),
+                (s("BC"), 1500),
+                (s("BD"), 900),
+                (s("CD"), 800),
+                (s("ABC"), 2117),
+                (s("ABD"), 2000),
+                (s("ACD"), 1900),
+                (s("BCD"), 1800),
+                (s("ABCD"), 2837),
+            ],
+            860_000,
+        )
+    }
+
+    #[test]
+    fn two_level_split_phantom_gets_majority() {
+        let (own, kids) = two_level_split(&[1000.0, 1000.0, 1000.0], 40_000.0, 1.0, 50.0, 0.354);
+        let used: f64 = kids.iter().sum();
+        assert!((own + used - 40_000.0).abs() < 1e-6);
+        assert!(own > 20_000.0, "phantom space {own} should exceed half");
+    }
+
+    #[test]
+    fn two_level_split_children_proportional_to_sqrt() {
+        let (_, kids) = two_level_split(&[100.0, 400.0], 10_000.0, 1.0, 50.0, 0.354);
+        // √400/√100 = 2.
+        assert!((kids[1] / kids[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_level_split_matches_grid_optimum() {
+        // Exact closed form vs exhaustive grid on AB(A B).
+        let stats = stats4();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[s("AB")]);
+        let m = 20_000.0;
+        let sl = allocate_supernode(&cfg, m, &ctx, Combine::Linear);
+        let grid = allocate_grid(&cfg, m, &ctx, 200);
+        let c_sl = per_record_cost(&cfg, &sl, &ctx);
+        let c_grid = per_record_cost(&cfg, &grid, &ctx);
+        assert!(
+            c_sl <= c_grid * 1.01,
+            "closed form {c_sl} vs grid {c_grid}"
+        );
+    }
+
+    #[test]
+    fn proportional_allocations_exhaust_budget() {
+        let stats = stats4();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B"), s("C")], &[s("ABC")]);
+        for sqrt in [false, true] {
+            let alloc = allocate_proportional(&cfg, 40_000.0, &ctx, sqrt);
+            assert!((alloc.space_words() - 40_000.0).abs() / 40_000.0 < 0.01);
+            for (r, b) in alloc.iter() {
+                assert!(b >= 1.0, "{r} has {b} buckets");
+            }
+        }
+    }
+
+    #[test]
+    fn supernode_allocations_exhaust_budget() {
+        let stats = stats4();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let queries = [s("AB"), s("BC"), s("BD"), s("CD")];
+        let cfg = Configuration::with_phantoms(&queries, &[s("ABCD"), s("BCD")]);
+        for combine in [Combine::Linear, Combine::Sqrt] {
+            let alloc = allocate_supernode(&cfg, 60_000.0, &ctx, combine);
+            assert!(
+                (alloc.space_words() - 60_000.0).abs() / 60_000.0 < 0.01,
+                "space {}",
+                alloc.space_words()
+            );
+        }
+    }
+
+    #[test]
+    fn flat_configuration_sl_equals_pr() {
+        // With no phantoms both SL and PR reduce to space ∝ √(g·h).
+        let stats = stats4();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg = Configuration::from_queries(&[s("A"), s("B"), s("C"), s("D")]);
+        let sl = AllocStrategy::SupernodeLinear.allocate(&cfg, 30_000.0, &ctx);
+        let pr = AllocStrategy::ProportionalSqrt.allocate(&cfg, 30_000.0, &ctx);
+        for r in cfg.relations() {
+            assert!(
+                (sl.buckets(r) - pr.buckets(r)).abs() < 1e-6,
+                "{r}: SL {} vs PR {}",
+                sl.buckets(r),
+                pr.buckets(r)
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_beats_or_matches_heuristics() {
+        let stats = stats4();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let queries = [s("AB"), s("BC"), s("BD"), s("CD")];
+        let cfg = Configuration::with_phantoms(&queries, &[s("ABCD"), s("BCD")]);
+        let m = 40_000.0;
+        let numeric = allocate_numeric(&cfg, m, &ctx, 300);
+        let c_numeric = per_record_cost(&cfg, &numeric, &ctx);
+        for strat in AllocStrategy::HEURISTICS {
+            let a = strat.allocate(&cfg, m, &ctx);
+            let c = per_record_cost(&cfg, &a, &ctx);
+            assert!(
+                c_numeric <= c * 1.005,
+                "{}: numeric {c_numeric} vs {c}",
+                strat.name()
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_matches_grid_on_small_config() {
+        let stats = stats4();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("C")], &[s("AC")]);
+        let m = 20_000.0;
+        let numeric = allocate_numeric(&cfg, m, &ctx, 400);
+        let grid = allocate_grid(&cfg, m, &ctx, 100);
+        let cn = per_record_cost(&cfg, &numeric, &ctx);
+        let cg = per_record_cost(&cfg, &grid, &ctx);
+        assert!(cn <= cg * 1.01, "numeric {cn} vs grid {cg}");
+    }
+
+    #[test]
+    fn sl_is_optimal_for_one_phantom_feeding_all() {
+        // §5.2: "both SL and SR give the optimal result for the case of
+        // one phantom feeding all queries."
+        let stats = stats4();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg =
+            Configuration::with_phantoms(&[s("A"), s("B"), s("C"), s("D")], &[s("ABCD")]);
+        let m = 40_000.0;
+        let numeric = allocate_numeric(&cfg, m, &ctx, 500);
+        let cn = per_record_cost(&cfg, &numeric, &ctx);
+        for combine in [Combine::Linear, Combine::Sqrt] {
+            let a = allocate_supernode(&cfg, m, &ctx, combine);
+            let c = per_record_cost(&cfg, &a, &ctx);
+            assert!(
+                (c - cn).abs() / cn < 0.02,
+                "{combine:?}: {c} vs optimal {cn}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_scaling_and_floors() {
+        let mut a = Allocation::default();
+        a.set(s("A"), 10.0);
+        a.set(s("ABCD"), 100.0);
+        let half = a.scaled(0.5);
+        assert_eq!(half.buckets(s("A")), 5.0);
+        // Space: 5·2 + 50·5 = 260.
+        assert!((half.space_words() - 260.0).abs() < 1e-9);
+        let tiny = a.scaled(1e-9);
+        assert!(tiny.buckets(s("A")) >= 1.0, "floor at one bucket");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid ES limited")]
+    fn grid_rejects_large_configs() {
+        let stats = stats4();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg = Configuration::with_phantoms(
+            &[s("AB"), s("BC"), s("BD"), s("CD")],
+            &[s("ABCD"), s("BCD")],
+        );
+        let _ = allocate_grid(&cfg, 10_000.0, &ctx, 50);
+    }
+}

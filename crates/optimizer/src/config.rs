@@ -1,0 +1,534 @@
+//! Configurations: trees of instantiated relations (paper §3.1).
+//!
+//! A configuration is the set of relations instantiated in the LFTA —
+//! all user queries plus any chosen phantoms — organised as a forest:
+//! each relation is fed by its minimal instantiated proper superset, or
+//! by the raw stream if none exists. The paper writes configurations in
+//! a nested notation, e.g. `(ABCD(AB BCD(BC BD CD)))` for Fig. 3(c);
+//! [`Configuration::parse`] and [`Configuration::notation`] round-trip
+//! that syntax.
+
+use msa_stream::AttrSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A configuration: queries + phantoms arranged in feeding trees.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Configuration {
+    queries: BTreeSet<AttrSet>,
+    /// `relation → feeding parent` (None = raw, fed by the stream).
+    parent: BTreeMap<AttrSet, Option<AttrSet>>,
+}
+
+impl Configuration {
+    /// The configuration with no phantoms: every query is raw.
+    pub fn from_queries(queries: &[AttrSet]) -> Configuration {
+        let queries: BTreeSet<AttrSet> = queries.iter().copied().collect();
+        assert!(!queries.is_empty(), "need at least one query");
+        let relations = queries.clone();
+        Configuration {
+            parent: derive_parents(&relations),
+            queries,
+        }
+    }
+
+    /// Builds a configuration from `queries` plus `phantoms`, deriving
+    /// the feeding tree by the minimal-superset rule.
+    pub fn with_phantoms(queries: &[AttrSet], phantoms: &[AttrSet]) -> Configuration {
+        let queries: BTreeSet<AttrSet> = queries.iter().copied().collect();
+        assert!(!queries.is_empty(), "need at least one query");
+        let mut relations = queries.clone();
+        relations.extend(phantoms.iter().copied());
+        Configuration {
+            parent: derive_parents(&relations),
+            queries,
+        }
+    }
+
+    /// Returns a new configuration with `phantom` added (feeding edges
+    /// re-derived, as in the GC greedy step).
+    pub fn add_phantom(&self, phantom: AttrSet) -> Configuration {
+        let mut relations: BTreeSet<AttrSet> = self.parent.keys().copied().collect();
+        relations.insert(phantom);
+        Configuration {
+            parent: derive_parents(&relations),
+            queries: self.queries.clone(),
+        }
+    }
+
+    /// All instantiated relations, sorted.
+    pub fn relations(&self) -> impl Iterator<Item = AttrSet> + '_ {
+        self.parent.keys().copied()
+    }
+
+    /// Number of instantiated relations.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the configuration is empty (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The user queries.
+    pub fn queries(&self) -> impl Iterator<Item = AttrSet> + '_ {
+        self.queries.iter().copied()
+    }
+
+    /// The phantoms (instantiated relations that are not queries).
+    pub fn phantoms(&self) -> impl Iterator<Item = AttrSet> + '_ {
+        self.parent
+            .keys()
+            .copied()
+            .filter(move |r| !self.queries.contains(r))
+    }
+
+    /// True iff `r` is one of the user queries.
+    pub fn is_query(&self, r: AttrSet) -> bool {
+        self.queries.contains(&r)
+    }
+
+    /// True iff `r` is instantiated.
+    pub fn contains(&self, r: AttrSet) -> bool {
+        self.parent.contains_key(&r)
+    }
+
+    /// The feeding parent of `r` (None = raw relation).
+    ///
+    /// # Panics
+    /// Panics if `r` is not instantiated.
+    pub fn parent(&self, r: AttrSet) -> Option<AttrSet> {
+        *self
+            .parent
+            .get(&r)
+            .unwrap_or_else(|| panic!("{r} not in configuration"))
+    }
+
+    /// The relations fed directly by the stream.
+    pub fn raw_relations(&self) -> impl Iterator<Item = AttrSet> + '_ {
+        self.parent
+            .iter()
+            .filter(|(_, p)| p.is_none())
+            .map(|(r, _)| *r)
+    }
+
+    /// Children of `r` in the feeding tree.
+    pub fn children(&self, r: AttrSet) -> impl Iterator<Item = AttrSet> + '_ {
+        self.parent
+            .iter()
+            .filter(move |(_, p)| **p == Some(r))
+            .map(|(c, _)| *c)
+    }
+
+    /// Relations with no children (always queries, per the paper).
+    pub fn leaves(&self) -> impl Iterator<Item = AttrSet> + '_ {
+        let with_children: BTreeSet<AttrSet> =
+            self.parent.values().flatten().copied().collect();
+        self.parent
+            .keys()
+            .copied()
+            .filter(move |r| !with_children.contains(r))
+    }
+
+    /// Ancestors of `r` along the feeding chain, nearest first.
+    pub fn ancestors(&self, r: AttrSet) -> Vec<AttrSet> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(r);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// Parses the paper's nested notation given the query set.
+    ///
+    /// Accepts forms like `"AB(A B) CD(C D)"` and
+    /// `"(ABCD(AB BCD(BC BD CD)))"` (optional outer parentheses). Every
+    /// query must appear; relations not in `queries` become phantoms.
+    pub fn parse(notation: &str, queries: &[AttrSet]) -> Result<Configuration, ParseError> {
+        let mut parser = Parser {
+            input: notation.as_bytes(),
+            pos: 0,
+        };
+        let mut parent: BTreeMap<AttrSet, Option<AttrSet>> = BTreeMap::new();
+        parser.skip_ws();
+        // Optional outer parens wrapping the entire configuration.
+        let trees = if parser.peek() == Some(b'(') && parser.outer_paren_wraps_all() {
+            parser.pos += 1;
+            let trees = parser.parse_forest(&mut parent)?;
+            parser.expect(b')')?;
+            trees
+        } else {
+            parser.parse_forest(&mut parent)?
+        };
+        parser.skip_ws();
+        if parser.pos != parser.input.len() {
+            return Err(ParseError::TrailingInput(parser.pos));
+        }
+        if trees == 0 {
+            return Err(ParseError::Empty);
+        }
+        let qset: BTreeSet<AttrSet> = queries.iter().copied().collect();
+        for q in &qset {
+            if !parent.contains_key(q) {
+                return Err(ParseError::MissingQuery(*q));
+            }
+        }
+        Ok(Configuration {
+            queries: qset,
+            parent,
+        })
+    }
+
+    /// Renders the configuration in the paper's notation (trees sorted,
+    /// children sorted; no outer parentheses).
+    pub fn notation(&self) -> String {
+        let mut out = String::new();
+        for (i, root) in self.raw_relations().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            self.render(root, &mut out);
+        }
+        out
+    }
+
+    fn render(&self, r: AttrSet, out: &mut String) {
+        out.push_str(&r.to_string());
+        let kids: Vec<AttrSet> = self.children(r).collect();
+        if !kids.is_empty() {
+            out.push('(');
+            for (i, k) in kids.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                self.render(*k, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.notation())
+    }
+}
+
+/// Derives the feeding forest over `relations`: each relation's parent
+/// is its minimal instantiated proper superset. When two minimal
+/// supersets are incomparable the one with fewer attributes (then the
+/// smaller bitmask) wins — the paper only states configurations are
+/// trees, so the tie-break is ours (see DESIGN.md §3).
+fn derive_parents(relations: &BTreeSet<AttrSet>) -> BTreeMap<AttrSet, Option<AttrSet>> {
+    let mut out = BTreeMap::new();
+    for &r in relations {
+        let parent = relations
+            .iter()
+            .copied()
+            .filter(|&s| r.is_proper_subset_of(s))
+            // Minimal supersets first: fewest attributes, then bitmask.
+            .min_by_key(|s| (s.len(), s.bits()));
+        out.insert(r, parent);
+    }
+    out
+}
+
+/// Notation parsing failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Unexpected character at byte offset.
+    Unexpected(usize),
+    /// Input ended prematurely.
+    Eof,
+    /// Trailing garbage after a complete configuration.
+    TrailingInput(usize),
+    /// The notation was empty.
+    Empty,
+    /// A relation appeared twice.
+    Duplicate(AttrSet),
+    /// A child is not a proper subset of its parent.
+    NotSubset(AttrSet, AttrSet),
+    /// A declared query is missing from the notation.
+    MissingQuery(AttrSet),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Unexpected(p) => write!(f, "unexpected character at offset {p}"),
+            ParseError::Eof => write!(f, "unexpected end of input"),
+            ParseError::TrailingInput(p) => write!(f, "trailing input at offset {p}"),
+            ParseError::Empty => write!(f, "empty configuration"),
+            ParseError::Duplicate(r) => write!(f, "relation {r} appears twice"),
+            ParseError::NotSubset(c, p) => write!(f, "{c} is not a proper subset of parent {p}"),
+            ParseError::MissingQuery(q) => write!(f, "query {q} missing from configuration"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(ParseError::Unexpected(self.pos)),
+            None => Err(ParseError::Eof),
+        }
+    }
+
+    /// Checks whether the `(` at the current position matches the final
+    /// non-whitespace `)` of the input (i.e. outer parens wrap all).
+    fn outer_paren_wraps_all(&self) -> bool {
+        let mut depth = 0usize;
+        let mut close_at = None;
+        for (i, &b) in self.input.iter().enumerate().skip(self.pos) {
+            match b {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close_at = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        match close_at {
+            Some(i) => self.input[i + 1..].iter().all(|b| b.is_ascii_whitespace()),
+            None => false,
+        }
+    }
+
+    /// Parses one or more trees; returns how many were parsed.
+    fn parse_forest(
+        &mut self,
+        parent: &mut BTreeMap<AttrSet, Option<AttrSet>>,
+    ) -> Result<usize, ParseError> {
+        let mut count = 0;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(c) if c.is_ascii_uppercase() => {
+                    self.parse_tree(None, parent)?;
+                    count += 1;
+                }
+                _ => break,
+            }
+        }
+        Ok(count)
+    }
+
+    fn parse_name(&mut self) -> Result<AttrSet, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_uppercase()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.peek().map_or(ParseError::Eof, |_| {
+                ParseError::Unexpected(self.pos)
+            }));
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+        AttrSet::parse(name).ok_or(ParseError::Unexpected(start))
+    }
+
+    fn parse_tree(
+        &mut self,
+        up: Option<AttrSet>,
+        parent: &mut BTreeMap<AttrSet, Option<AttrSet>>,
+    ) -> Result<(), ParseError> {
+        let name = self.parse_name()?;
+        if let Some(p) = up {
+            if !name.is_proper_subset_of(p) {
+                return Err(ParseError::NotSubset(name, p));
+            }
+        }
+        if parent.insert(name, up).is_some() {
+            return Err(ParseError::Duplicate(name));
+        }
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(c) if c.is_ascii_uppercase() => {
+                        self.parse_tree(Some(name), parent)?;
+                    }
+                    Some(_) => return Err(ParseError::Unexpected(self.pos)),
+                    None => return Err(ParseError::Eof),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    fn qs(names: &[&str]) -> Vec<AttrSet> {
+        names.iter().map(|n| s(n)).collect()
+    }
+
+    #[test]
+    fn flat_configuration() {
+        let cfg = Configuration::from_queries(&qs(&["A", "B", "C"]));
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(cfg.raw_relations().count(), 3);
+        assert_eq!(cfg.leaves().count(), 3);
+        assert_eq!(cfg.phantoms().count(), 0);
+        assert_eq!(cfg.notation(), "A B C");
+    }
+
+    #[test]
+    fn single_phantom_tree() {
+        // Fig. 2: ABC feeds A, B, C.
+        let cfg = Configuration::with_phantoms(&qs(&["A", "B", "C"]), &[s("ABC")]);
+        assert_eq!(cfg.parent(s("A")), Some(s("ABC")));
+        assert_eq!(cfg.parent(s("ABC")), None);
+        assert_eq!(cfg.children(s("ABC")).count(), 3);
+        assert_eq!(cfg.notation(), "ABC(A B C)");
+        assert!(cfg.is_query(s("A")));
+        assert!(!cfg.is_query(s("ABC")));
+    }
+
+    #[test]
+    fn fig3c_multi_level() {
+        // (ABCD(AB BCD(BC BD CD))).
+        let queries = qs(&["AB", "BC", "BD", "CD"]);
+        let cfg = Configuration::with_phantoms(&queries, &[s("ABCD"), s("BCD")]);
+        assert_eq!(cfg.parent(s("AB")), Some(s("ABCD")));
+        assert_eq!(cfg.parent(s("BCD")), Some(s("ABCD")));
+        assert_eq!(cfg.parent(s("BC")), Some(s("BCD")));
+        assert_eq!(cfg.notation(), "ABCD(AB BCD(BC BD CD))");
+        assert_eq!(cfg.ancestors(s("BC")), vec![s("BCD"), s("ABCD")]);
+        // Leaves are exactly the queries here.
+        let leaves: Vec<AttrSet> = cfg.leaves().collect();
+        assert_eq!(leaves, queries);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let queries = qs(&["AB", "BC", "BD", "CD"]);
+        for notation in [
+            "ABCD(AB BCD(BC BD CD))",
+            "ABC(AB BC) BD CD",
+            "AB BC BD CD",
+        ] {
+            let cfg = Configuration::parse(notation, &queries).unwrap();
+            assert_eq!(cfg.notation(), notation, "round trip {notation}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_outer_parens() {
+        let queries = qs(&["AB", "BC", "BD", "CD"]);
+        let cfg = Configuration::parse("(ABCD(AB BCD(BC BD CD)))", &queries).unwrap();
+        assert_eq!(cfg.notation(), "ABCD(AB BCD(BC BD CD))");
+        // Multi-tree with parens only around the first tree must NOT be
+        // treated as outer-wrapped.
+        let queries2 = qs(&["A", "B", "C", "D"]);
+        let cfg2 = Configuration::parse("(AB(A B)) CD(C D)", &queries2);
+        assert!(cfg2.is_err() || cfg2.unwrap().len() == 6);
+    }
+
+    #[test]
+    fn parse_fig9b_two_trees() {
+        let queries = qs(&["A", "B", "C", "D"]);
+        let cfg = Configuration::parse("AB(A B) CD(C D)", &queries).unwrap();
+        assert_eq!(cfg.raw_relations().count(), 2);
+        assert_eq!(cfg.phantoms().count(), 2);
+        assert_eq!(cfg.parent(s("C")), Some(s("CD")));
+    }
+
+    #[test]
+    fn parse_rejects_errors() {
+        let queries = qs(&["A", "B"]);
+        assert!(matches!(
+            Configuration::parse("", &queries),
+            Err(ParseError::Empty)
+        ));
+        assert!(matches!(
+            Configuration::parse("AB(A B) A", &queries),
+            Err(ParseError::Duplicate(_))
+        ));
+        assert!(matches!(
+            Configuration::parse("AB(A CD)", &queries),
+            Err(ParseError::NotSubset(..))
+        ));
+        assert!(matches!(
+            Configuration::parse("A", &queries),
+            Err(ParseError::MissingQuery(_))
+        ));
+        assert!(matches!(
+            Configuration::parse("AB(A B))", &queries),
+            Err(ParseError::TrailingInput(_))
+        ));
+    }
+
+    #[test]
+    fn add_phantom_rederives_edges() {
+        let queries = qs(&["A", "B", "C"]);
+        let cfg = Configuration::from_queries(&queries);
+        let cfg2 = cfg.add_phantom(s("ABC"));
+        assert_eq!(cfg2.parent(s("A")), Some(s("ABC")));
+        // Adding an intermediate phantom re-parents the queries under it.
+        let cfg3 = cfg2.add_phantom(s("AB"));
+        assert_eq!(cfg3.parent(s("A")), Some(s("AB")));
+        assert_eq!(cfg3.parent(s("AB")), Some(s("ABC")));
+        assert_eq!(cfg3.parent(s("C")), Some(s("ABC")));
+        // Original configs are unchanged (persistent semantics).
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(cfg2.len(), 4);
+    }
+
+    #[test]
+    fn minimal_superset_tie_break_is_deterministic() {
+        // AB and BC both minimally cover B; fewer attrs ties, bitmask
+        // decides: AB (bits 0b011) < BC (0b110).
+        let queries = qs(&["B", "AB", "BC"]);
+        let cfg = Configuration::from_queries(&queries);
+        assert_eq!(cfg.parent(s("B")), Some(s("AB")));
+    }
+
+    #[test]
+    fn display_matches_notation() {
+        let cfg = Configuration::with_phantoms(&qs(&["A", "B"]), &[s("AB")]);
+        assert_eq!(format!("{cfg}"), "AB(A B)");
+    }
+}

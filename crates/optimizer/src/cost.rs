@@ -1,0 +1,364 @@
+//! The cost model: Eq. 7 (per-record maintenance) and Eq. 8
+//! (end-of-epoch update).
+//!
+//! Per-record intra-epoch cost of configuration `I` with leaf set `L`:
+//!
+//! ```text
+//! e_m = Σ_{R∈I} (Π_{R'∈A_R} x_{R'})·c1  +  Σ_{R∈L} (Π_{R'∈A_R} x_{R'})·x_R·c2
+//! ```
+//!
+//! where `A_R` are `R`'s ancestors in the configuration tree and `x_R`
+//! its table's collision rate. We charge the `c2` term to every *query*
+//! relation rather than every leaf: for the paper's workloads (query
+//! sets that are antichains) the two coincide, and for nested queries an
+//! internal query's evictions really do cross to the HFTA (see the
+//! executor), so this matches the substrate.
+//!
+//! The end-of-epoch cost follows the flush cascade of §3.2.2: scanning
+//! top-down, relation `R` receives
+//! `inflow(R) = Σ_{R'∈A_R} M_{R'}·Π_{R'' between R' and R} x_{R''}`
+//! feed probes (each `c1`); of these, the colliding fraction `x_R`
+//! evicts, and the final scan evicts the table contents, so a query
+//! sends `M_R + x_R·inflow(R)` entries to the HFTA (each `c2`). Inflow
+//! entries that merge with resident groups do *not* evict — which is why
+//! the paper's *shift* repair (move space from queries to phantoms)
+//! lowers `E_u`: the dominant term is `M_R·c2` on the query tables.
+
+use crate::alloc::Allocation;
+use crate::config::Configuration;
+use msa_collision::CollisionModel;
+use msa_gigascope::CostParams;
+use msa_stream::{AttrSet, DatasetStats};
+use std::collections::BTreeMap;
+
+/// How average flow lengths enter collision rates (Eq. 15).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ClusterHandling {
+    /// Ignore clusteredness (`l = 1` everywhere) — the random-data model.
+    None,
+    /// Divide the collision rate of **raw** relations by their flow
+    /// length. Tables fed by parent evictions see de-clustered input
+    /// (each eviction already aggregates a run), so their `l` is 1.
+    /// This is the default and what the executor measures.
+    #[default]
+    RawOnly,
+    /// Divide every relation's rate by its flow length, as §5.3's space
+    /// allocation rule (`√(g·h/l)`) implicitly does.
+    AllRelations,
+}
+
+/// Everything the cost model needs about the environment.
+pub struct CostContext<'a> {
+    /// Dataset statistics (group counts, flow lengths).
+    pub stats: &'a DatasetStats,
+    /// Collision-rate model.
+    pub model: &'a dyn CollisionModel,
+    /// Probe / eviction costs.
+    pub params: CostParams,
+    /// Flow-length handling.
+    pub clustering: ClusterHandling,
+}
+
+impl<'a> CostContext<'a> {
+    /// A context with the paper's defaults (`c1 = 1`, `c2 = 50`,
+    /// raw-only clustering).
+    pub fn new(stats: &'a DatasetStats, model: &'a dyn CollisionModel) -> CostContext<'a> {
+        CostContext {
+            stats,
+            model,
+            params: CostParams::paper(),
+            clustering: ClusterHandling::default(),
+        }
+    }
+
+    /// Group count of `r` as f64.
+    pub fn groups(&self, r: AttrSet) -> f64 {
+        self.stats.groups(r) as f64
+    }
+
+    /// Effective flow length of `r` given its position (`raw` = fed by
+    /// the stream).
+    pub fn flow_len(&self, r: AttrSet, raw: bool) -> f64 {
+        match self.clustering {
+            ClusterHandling::None => 1.0,
+            ClusterHandling::RawOnly => {
+                if raw {
+                    self.stats.flow_length(r).max(1.0)
+                } else {
+                    1.0
+                }
+            }
+            ClusterHandling::AllRelations => self.stats.flow_length(r).max(1.0),
+        }
+    }
+
+    /// Collision rate of `r`'s table with `buckets` buckets.
+    pub fn rate(&self, r: AttrSet, buckets: f64, raw: bool) -> f64 {
+        let x = self.model.rate(self.groups(r), buckets.max(1.0));
+        (x / self.flow_len(r, raw)).clamp(0.0, 1.0)
+    }
+
+    /// The allocation weight `g̃ = g·h / l` of `r` (§5.3): collision
+    /// rate in *space* units is `µ·g̃/s` where `s` is the table's space
+    /// in words. Allocators size tables by this weight.
+    pub fn weight(&self, r: AttrSet, raw: bool) -> f64 {
+        self.groups(r) * r.entry_words() as f64 / self.flow_len(r, raw)
+    }
+}
+
+/// Collision rates of every relation under `alloc`.
+pub fn rates(
+    cfg: &Configuration,
+    alloc: &Allocation,
+    ctx: &CostContext<'_>,
+) -> BTreeMap<AttrSet, f64> {
+    cfg.relations()
+        .map(|r| {
+            let raw = cfg.parent(r).is_none();
+            (r, ctx.rate(r, alloc.buckets(r), raw))
+        })
+        .collect()
+}
+
+/// Per-record intra-epoch maintenance cost `e_m` (Eq. 7).
+pub fn per_record_cost(cfg: &Configuration, alloc: &Allocation, ctx: &CostContext<'_>) -> f64 {
+    let x = rates(cfg, alloc, ctx);
+    let mut total = 0.0;
+    for r in cfg.relations() {
+        let anc_prod: f64 = cfg.ancestors(r).iter().map(|a| x[a]).product();
+        total += anc_prod * ctx.params.c1;
+        if cfg.is_query(r) {
+            total += anc_prod * x[&r] * ctx.params.c2;
+        }
+    }
+    total
+}
+
+/// Expected number of occupied buckets in a `b`-bucket table holding
+/// `g` groups: `b·(1 − (1 − 1/b)^g)`.
+///
+/// Eq. 8 writes `M_R` for "the size of the hash table of relation `R`",
+/// implicitly assuming full tables; when `b > g` a table can never hold
+/// more than `g` entries, so using the expected occupancy keeps the
+/// end-of-epoch prediction accurate across the whole sizing range (the
+/// executor's measured flush counts confirm this within a few percent).
+pub fn expected_occupied(g: f64, b: f64) -> f64 {
+    if g <= 0.0 || b <= 0.0 {
+        return 0.0;
+    }
+    if b <= 1.0 {
+        return 1.0;
+    }
+    b * (1.0 - (g * (1.0 - 1.0 / b).ln()).exp())
+}
+
+/// End-of-epoch update cost `E_u` (Eq. 8, cascade reconstruction — see
+/// module docs and DESIGN.md §3). Table sizes `M_R` are the expected
+/// occupied bucket counts (see [`expected_occupied`]).
+pub fn end_of_epoch_cost(cfg: &Configuration, alloc: &Allocation, ctx: &CostContext<'_>) -> f64 {
+    let x = rates(cfg, alloc, ctx);
+    let occupied = |r: AttrSet| expected_occupied(ctx.groups(r), alloc.buckets(r));
+    let mut total = 0.0;
+    for r in cfg.relations() {
+        let ancestors = cfg.ancestors(r); // nearest first
+        let mut inflow = 0.0;
+        let mut between = 1.0; // Π x over relations strictly between
+        for a in &ancestors {
+            inflow += occupied(*a) * between;
+            between *= x[a];
+        }
+        if !ancestors.is_empty() {
+            total += inflow * ctx.params.c1;
+        }
+        if cfg.is_query(r) {
+            total += (occupied(r) + x[&r] * inflow) * ctx.params.c2;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msa_collision::LinearModel;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    fn stats_abc() -> DatasetStats {
+        DatasetStats::from_group_counts(
+            [
+                (s("A"), 100),
+                (s("B"), 100),
+                (s("C"), 100),
+                (s("ABC"), 1000),
+            ],
+            100_000,
+        )
+    }
+
+    #[test]
+    fn flat_cost_matches_e1_formula() {
+        // §2.5, Eq. 1: E1/n = 3c1 + 3·x1·c2 with equal tables.
+        let stats = stats_abc();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg = Configuration::from_queries(&[s("A"), s("B"), s("C")]);
+        let mut alloc = Allocation::default();
+        for q in ["A", "B", "C"] {
+            alloc.set(s(q), 500.0);
+        }
+        let x1 = model.rate(100.0, 500.0);
+        let expect = 3.0 * 1.0 + 3.0 * x1 * 50.0;
+        let got = per_record_cost(&cfg, &alloc, &ctx);
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn phantom_cost_matches_e2_formula() {
+        // §2.5, Eq. 2: E2/n = c1 + 3·x2·c1 + 3·x1'·x2·c2.
+        let stats = stats_abc();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B"), s("C")], &[s("ABC")]);
+        let mut alloc = Allocation::default();
+        alloc.set(s("ABC"), 2000.0);
+        for q in ["A", "B", "C"] {
+            alloc.set(s(q), 300.0);
+        }
+        let x2 = model.rate(1000.0, 2000.0);
+        let x1 = model.rate(100.0, 300.0);
+        let expect = 1.0 + 3.0 * x2 * 1.0 + 3.0 * x1 * x2 * 50.0;
+        let got = per_record_cost(&cfg, &alloc, &ctx);
+        assert!((got - expect).abs() < 1e-12, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn beneficial_phantom_reduces_cost() {
+        // With a low phantom collision rate, E2 < E1 (Eq. 3 discussion).
+        let stats = stats_abc();
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let m = 40_000.0; // words — large enough for a low phantom rate
+
+        let flat = Configuration::from_queries(&[s("A"), s("B"), s("C")]);
+        let mut flat_alloc = Allocation::default();
+        for q in ["A", "B", "C"] {
+            // 3 tables, h = 2 words → b = M/(3·2).
+            flat_alloc.set(s(q), m / 6.0);
+        }
+
+        let ph = Configuration::with_phantoms(&[s("A"), s("B"), s("C")], &[s("ABC")]);
+        let mut ph_alloc = Allocation::default();
+        // Give the phantom (h = 4) half the space, queries the rest.
+        ph_alloc.set(s("ABC"), m / 2.0 / 4.0);
+        for q in ["A", "B", "C"] {
+            ph_alloc.set(s(q), m / 2.0 / 3.0 / 2.0);
+        }
+        let e1 = per_record_cost(&flat, &flat_alloc, &ctx);
+        let e2 = per_record_cost(&ph, &ph_alloc, &ctx);
+        assert!(e2 < e1, "e2 = {e2} should beat e1 = {e1}");
+    }
+
+    #[test]
+    fn clustering_reduces_raw_rates_only() {
+        let mut stats = stats_abc();
+        stats.set_flow_length(s("ABC"), 10.0);
+        stats.set_flow_length(s("A"), 20.0);
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B"), s("C")], &[s("ABC")]);
+        // Raw phantom: divided by its flow length.
+        let raw_rate = ctx.rate(s("ABC"), 1000.0, true);
+        assert!((raw_rate - model.rate(1000.0, 1000.0) / 10.0).abs() < 1e-12);
+        // Fed query: l = 1 under RawOnly.
+        let fed_rate = ctx.rate(s("A"), 100.0, false);
+        assert!((fed_rate - model.rate(100.0, 100.0)).abs() < 1e-12);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn end_of_epoch_two_level() {
+        // Phantom AB (b0) feeding A and B (b1, b2):
+        // E_u = [b0 + b0]·c1 (feeds into A and B)
+        //     + [(b1 + x_A·b0) + (b2 + x_B·b0)]·c2.
+        let stats = DatasetStats::from_group_counts(
+            [(s("A"), 50), (s("B"), 50), (s("AB"), 400)],
+            10_000,
+        );
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[s("AB")]);
+        let mut alloc = Allocation::default();
+        alloc.set(s("AB"), 800.0);
+        alloc.set(s("A"), 100.0);
+        alloc.set(s("B"), 100.0);
+        let x_leaf = model.rate(50.0, 100.0);
+        let m_ab = expected_occupied(400.0, 800.0);
+        let m_leaf = expected_occupied(50.0, 100.0);
+        let expect = (m_ab + m_ab) * 1.0 + 2.0 * (m_leaf + x_leaf * m_ab) * 50.0;
+        let got = end_of_epoch_cost(&cfg, &alloc, &ctx);
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn end_of_epoch_three_level_uses_between_products() {
+        // ABC → AB → A: inflow(A) = b_AB + b_ABC·x_AB.
+        let stats = DatasetStats::from_group_counts(
+            [(s("A"), 10), (s("AB"), 100), (s("ABC"), 1000), (s("B"), 10)],
+            10_000,
+        );
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[s("AB"), s("ABC")]);
+        // Tree: ABC(AB(A) B)? B ⊂ AB, so B's parent is AB. Check.
+        assert_eq!(cfg.parent(s("B")), Some(s("AB")));
+        let mut alloc = Allocation::default();
+        alloc.set(s("ABC"), 1000.0);
+        alloc.set(s("AB"), 200.0);
+        alloc.set(s("A"), 50.0);
+        alloc.set(s("B"), 50.0);
+        let x_ab = model.rate(100.0, 200.0);
+        let x_a = model.rate(10.0, 50.0);
+        let x_b = model.rate(10.0, 50.0);
+        let m_abc = expected_occupied(1000.0, 1000.0);
+        let m_ab = expected_occupied(100.0, 200.0);
+        let m_leaf = expected_occupied(10.0, 50.0);
+        let inflow_ab = m_abc;
+        let inflow_leaf = m_ab + m_abc * x_ab;
+        let expect_c1 = inflow_ab + 2.0 * inflow_leaf; // AB, A, B feeds
+        let expect_c2 = (m_leaf + x_a * inflow_leaf) + (m_leaf + x_b * inflow_leaf);
+        let got = end_of_epoch_cost(&cfg, &alloc, &ctx);
+        let expect = expect_c1 * 1.0 + expect_c2 * 50.0;
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn expected_occupied_limits() {
+        // g >> b: table is full.
+        assert!((expected_occupied(1e6, 100.0) - 100.0).abs() < 1e-6);
+        // g << b: roughly g entries.
+        let occ = expected_occupied(10.0, 100_000.0);
+        assert!((occ - 10.0).abs() < 0.01, "occ = {occ}");
+        // Degenerate cases.
+        assert_eq!(expected_occupied(0.0, 100.0), 0.0);
+        assert_eq!(expected_occupied(5.0, 1.0), 1.0);
+        // Matches the measured value from the integration scenario:
+        // 400 groups into 1000 buckets -> ~330 occupied.
+        let occ = expected_occupied(400.0, 1000.0);
+        assert!((occ - 330.0).abs() < 2.0, "occ = {occ}");
+    }
+
+    #[test]
+    fn weight_accounts_entry_size_and_flow() {
+        let mut stats = stats_abc();
+        stats.set_flow_length(s("ABC"), 4.0);
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        // ABC: g = 1000, h = 4, l = 4 (raw) → weight 1000.
+        assert!((ctx.weight(s("ABC"), true) - 1000.0).abs() < 1e-12);
+        // Non-raw: l = 1 → weight 4000.
+        assert!((ctx.weight(s("ABC"), false) - 4000.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+//! The relation feeding graph (paper §2.6, Fig. 4).
+//!
+//! Nodes are the user queries plus every *phantom candidate*: a relation
+//! obtained as the union of two or more queries. (The paper notes a
+//! phantom feeding fewer than two relations is never beneficial, so only
+//! such unions need be considered.) A directed edge `X → Y` exists when
+//! `Y ⊂ X`: a table on `X` can feed a table on `Y` — possibly
+//! "short-circuited" past uninstantiated intermediate nodes.
+
+use msa_stream::AttrSet;
+use std::collections::BTreeSet;
+
+/// The feeding graph of a query set.
+#[derive(Clone, Debug)]
+pub struct FeedingGraph {
+    queries: Vec<AttrSet>,
+    phantoms: Vec<AttrSet>,
+}
+
+impl FeedingGraph {
+    /// Builds the graph for `queries` (duplicates are removed).
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty or contains an empty attribute set.
+    pub fn new(queries: &[AttrSet]) -> FeedingGraph {
+        assert!(!queries.is_empty(), "need at least one query");
+        assert!(
+            queries.iter().all(|q| !q.is_empty()),
+            "queries must have at least one grouping attribute"
+        );
+        let qset: BTreeSet<AttrSet> = queries.iter().copied().collect();
+        // Closure of unions of ≥ 2 queries. Iterating unions of pairs to
+        // a fixed point covers all unions of arbitrary subsets.
+        let mut candidates: BTreeSet<AttrSet> = BTreeSet::new();
+        let mut frontier: Vec<AttrSet> = qset.iter().copied().collect();
+        while let Some(x) = frontier.pop() {
+            for &q in &qset {
+                let u = x.union(q);
+                if u != x && u != q && !qset.contains(&u) && candidates.insert(u) {
+                    frontier.push(u);
+                }
+            }
+        }
+        // A candidate must (potentially) feed at least two relations.
+        let phantoms: Vec<AttrSet> = candidates
+            .into_iter()
+            .filter(|&p| qset.iter().filter(|q| q.is_proper_subset_of(p)).count() >= 2)
+            .collect();
+        FeedingGraph {
+            queries: qset.into_iter().collect(),
+            phantoms,
+        }
+    }
+
+    /// The (deduplicated, sorted) query relations.
+    pub fn queries(&self) -> &[AttrSet] {
+        &self.queries
+    }
+
+    /// The phantom candidates, sorted.
+    pub fn phantom_candidates(&self) -> &[AttrSet] {
+        &self.phantoms
+    }
+
+    /// All nodes: queries and phantom candidates.
+    pub fn nodes(&self) -> impl Iterator<Item = AttrSet> + '_ {
+        self.queries
+            .iter()
+            .copied()
+            .chain(self.phantoms.iter().copied())
+    }
+
+    /// True iff `x` can feed `y` (possibly short-circuited).
+    pub fn can_feed(&self, x: AttrSet, y: AttrSet) -> bool {
+        y.is_proper_subset_of(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    #[test]
+    fn fig4_feeding_graph() {
+        // Queries {AB, BC, BD, CD} → candidates {ABC, ABD, BCD, ABCD}
+        // (paper Fig. 4).
+        let g = FeedingGraph::new(&[s("AB"), s("BC"), s("BD"), s("CD")]);
+        assert_eq!(
+            g.phantom_candidates(),
+            &[s("ABC"), s("ABD"), s("BCD"), s("ABCD")]
+        );
+        assert_eq!(g.queries().len(), 4);
+    }
+
+    #[test]
+    fn single_attribute_queries() {
+        // Queries {A, B, C, D} → all subsets of size ≥ 2: 11 candidates.
+        let g = FeedingGraph::new(&[s("A"), s("B"), s("C"), s("D")]);
+        assert_eq!(g.phantom_candidates().len(), 11);
+        assert!(g.phantom_candidates().contains(&s("ABCD")));
+        assert!(g.phantom_candidates().contains(&s("AC")));
+    }
+
+    #[test]
+    fn candidate_feeding_two_queries_required() {
+        // Queries {AB, CD}: only ABCD covers ≥ 2 queries.
+        let g = FeedingGraph::new(&[s("AB"), s("CD")]);
+        assert_eq!(g.phantom_candidates(), &[s("ABCD")]);
+    }
+
+    #[test]
+    fn nested_queries_yield_no_union_phantoms() {
+        // Queries {A, AB}: union AB is itself a query → no candidates.
+        let g = FeedingGraph::new(&[s("A"), s("AB")]);
+        assert!(g.phantom_candidates().is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let g = FeedingGraph::new(&[s("A"), s("A"), s("B")]);
+        assert_eq!(g.queries(), &[s("A"), s("B")]);
+        assert_eq!(g.phantom_candidates(), &[s("AB")]);
+    }
+
+    #[test]
+    fn can_feed_is_strict_subset() {
+        let g = FeedingGraph::new(&[s("A"), s("B")]);
+        assert!(g.can_feed(s("AB"), s("A")));
+        assert!(!g.can_feed(s("AB"), s("AB")));
+        assert!(!g.can_feed(s("A"), s("AB")));
+        assert!(!g.can_feed(s("AC"), s("B")));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn empty_query_set_rejected() {
+        let _ = FeedingGraph::new(&[]);
+    }
+}

@@ -1,0 +1,409 @@
+//! Phantom-choice algorithms (paper §3.4) and the exhaustive reference.
+//!
+//! * **GS — greedy by increasing space** (§3.4.1): every relation's
+//!   table is sized `φ·g` buckets; phantoms are added in decreasing
+//!   benefit-per-unit-space order while space lasts; leftover space is
+//!   finally distributed proportionally to group counts. Sensitive to
+//!   the choice of `φ` (Fig. 11).
+//! * **GC — greedy by increasing collision rates** (§3.4.2): the whole
+//!   budget is always allocated to the current configuration (via a
+//!   pluggable space-allocation strategy); the phantom with the largest
+//!   cost benefit under full reallocation is added until no phantom
+//!   helps. `GC + SL` is the paper's recommended algorithm (GCSL).
+//! * **EPES** (§6.3): exhaustive enumeration of phantom subsets, each
+//!   with (numerically) exhaustive space allocation — the optimal
+//!   reference, exponential and used only for evaluation.
+
+use crate::alloc::{allocate_numeric, AllocStrategy, Allocation};
+use crate::config::Configuration;
+use crate::cost::{per_record_cost, CostContext};
+use crate::graph::FeedingGraph;
+use msa_stream::AttrSet;
+
+/// One step of a greedy run.
+#[derive(Clone, Debug)]
+pub struct GreedyStep {
+    /// Phantom added at this step (`None` for the initial all-queries
+    /// configuration).
+    pub added: Option<AttrSet>,
+    /// Configuration after the step.
+    pub configuration: Configuration,
+    /// Allocation after the step.
+    pub allocation: Allocation,
+    /// Per-record cost (Eq. 7) after the step.
+    pub cost: f64,
+}
+
+/// A greedy run: the initial state plus one step per adopted phantom.
+#[derive(Clone, Debug)]
+pub struct GreedyTrace {
+    /// Steps, starting with the phantom-free configuration.
+    pub steps: Vec<GreedyStep>,
+}
+
+impl GreedyTrace {
+    /// The final configuration/allocation/cost.
+    pub fn final_step(&self) -> &GreedyStep {
+        self.steps.last().expect("trace never empty")
+    }
+
+    /// Number of phantoms adopted.
+    pub fn phantoms_chosen(&self) -> usize {
+        self.steps.len() - 1
+    }
+}
+
+/// GS: greedy by increasing space with parameter `φ` (buckets per group).
+///
+/// Queries are instantiated at `φ·g` buckets first; candidates are added
+/// by benefit per unit space while they fit; remaining space is finally
+/// distributed proportionally to group counts (top-ups are also applied
+/// to intermediate trace steps so Fig. 12-style plots are comparable).
+pub fn greedy_space(
+    graph: &FeedingGraph,
+    m_words: f64,
+    phi: f64,
+    ctx: &CostContext<'_>,
+) -> GreedyTrace {
+    assert!(phi > 0.0 && phi.is_finite());
+    let phi_buckets = |r: AttrSet| (phi * ctx.groups(r)).max(1.0);
+    let space_of = |r: AttrSet| phi_buckets(r) * r.entry_words() as f64;
+
+    let mut cfg = Configuration::from_queries(graph.queries());
+    let mut alloc = Allocation::default();
+    let mut used = 0.0;
+    for q in graph.queries() {
+        alloc.set(*q, phi_buckets(*q));
+        used += space_of(*q);
+    }
+    // If φ is so large the queries alone overflow M, shrink them to fit
+    // (the paper implicitly assumes queries fit).
+    if used > m_words {
+        let t = m_words / used;
+        alloc = alloc.scaled(t);
+        used = m_words;
+    }
+
+    let topped_cost = |cfg: &Configuration, alloc: &Allocation, used: f64| -> f64 {
+        per_record_cost(cfg, &top_up(cfg, alloc, m_words - used, ctx), ctx)
+    };
+
+    let mut steps = vec![GreedyStep {
+        added: None,
+        configuration: cfg.clone(),
+        allocation: top_up(&cfg, &alloc, m_words - used, ctx),
+        cost: topped_cost(&cfg, &alloc, used),
+    }];
+
+    loop {
+        let current_cost = per_record_cost(&cfg, &alloc, ctx);
+        let mut best: Option<(AttrSet, f64, f64)> = None; // (phantom, score, benefit)
+        for &p in graph.phantom_candidates() {
+            if cfg.contains(p) {
+                continue;
+            }
+            let space_p = space_of(p);
+            if used + space_p > m_words {
+                continue;
+            }
+            let cfg_p = cfg.add_phantom(p);
+            let mut alloc_p = alloc.clone();
+            alloc_p.set(p, phi_buckets(p));
+            let benefit = current_cost - per_record_cost(&cfg_p, &alloc_p, ctx);
+            if benefit <= 0.0 {
+                continue;
+            }
+            let score = benefit / space_p;
+            if best.as_ref().is_none_or(|(_, s, _)| score > *s) {
+                best = Some((p, score, benefit));
+            }
+        }
+        match best {
+            Some((p, _, _)) => {
+                cfg = cfg.add_phantom(p);
+                alloc.set(p, phi_buckets(p));
+                used += space_of(p);
+                steps.push(GreedyStep {
+                    added: Some(p),
+                    configuration: cfg.clone(),
+                    allocation: top_up(&cfg, &alloc, m_words - used, ctx),
+                    cost: topped_cost(&cfg, &alloc, used),
+                });
+            }
+            None => break,
+        }
+    }
+    GreedyTrace { steps }
+}
+
+/// Distributes `leftover` words across the configuration proportionally
+/// to group counts (the GS end-of-run top-up).
+fn top_up(
+    cfg: &Configuration,
+    alloc: &Allocation,
+    leftover: f64,
+    ctx: &CostContext<'_>,
+) -> Allocation {
+    if leftover <= 0.0 {
+        return alloc.clone();
+    }
+    let total_g: f64 = cfg.relations().map(|r| ctx.groups(r)).sum();
+    let mut out = alloc.clone();
+    if total_g <= 0.0 {
+        return out;
+    }
+    for r in cfg.relations() {
+        let extra_space = leftover * ctx.groups(r) / total_g;
+        out.set(r, alloc.buckets(r) + extra_space / r.entry_words() as f64);
+    }
+    out
+}
+
+/// GC: greedy by increasing collision rates, reallocating the full
+/// budget with `strategy` at every step. `strategy =`
+/// [`AllocStrategy::SupernodeLinear`] gives the paper's GCSL.
+pub fn greedy_collision(
+    graph: &FeedingGraph,
+    m_words: f64,
+    ctx: &CostContext<'_>,
+    strategy: AllocStrategy,
+) -> GreedyTrace {
+    let mut cfg = Configuration::from_queries(graph.queries());
+    let mut alloc = strategy.allocate(&cfg, m_words, ctx);
+    let mut cost = per_record_cost(&cfg, &alloc, ctx);
+    let mut steps = vec![GreedyStep {
+        added: None,
+        configuration: cfg.clone(),
+        allocation: alloc.clone(),
+        cost,
+    }];
+    loop {
+        let mut best: Option<(AttrSet, Configuration, Allocation, f64)> = None;
+        for &p in graph.phantom_candidates() {
+            if cfg.contains(p) {
+                continue;
+            }
+            let cfg_p = cfg.add_phantom(p);
+            let alloc_p = strategy.allocate(&cfg_p, m_words, ctx);
+            let cost_p = per_record_cost(&cfg_p, &alloc_p, ctx);
+            if best.as_ref().is_none_or(|(_, _, _, c)| cost_p < *c) {
+                best = Some((p, cfg_p, alloc_p, cost_p));
+            }
+        }
+        match best {
+            Some((p, cfg_p, alloc_p, cost_p)) if cost_p < cost => {
+                cfg = cfg_p;
+                alloc = alloc_p;
+                cost = cost_p;
+                steps.push(GreedyStep {
+                    added: Some(p),
+                    configuration: cfg.clone(),
+                    allocation: alloc.clone(),
+                    cost,
+                });
+            }
+            _ => break,
+        }
+    }
+    GreedyTrace { steps }
+}
+
+/// EPES: exhaustive phantoms × (numerically) exhaustive space — the
+/// optimal configuration under the cost model (§6.3). Exponential in
+/// the number of phantom candidates.
+///
+/// Configurations containing a phantom that feeds fewer than two
+/// relations are skipped: dropping such a phantom never increases cost
+/// (the paper proves it is never beneficial), and the reduced
+/// configuration is enumerated anyway.
+///
+/// # Panics
+/// Panics if the graph has more than 20 phantom candidates.
+pub fn epes(graph: &FeedingGraph, m_words: f64, ctx: &CostContext<'_>) -> GreedyStep {
+    let candidates = graph.phantom_candidates();
+    assert!(
+        candidates.len() <= 20,
+        "EPES is exponential; {} candidates is too many",
+        candidates.len()
+    );
+    let mut best: Option<GreedyStep> = None;
+    for mask in 0u64..(1 << candidates.len()) {
+        let phantoms: Vec<AttrSet> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &p)| p)
+            .collect();
+        let cfg = Configuration::with_phantoms(graph.queries(), &phantoms);
+        if phantoms.iter().any(|&p| cfg.children(p).count() < 2) {
+            continue;
+        }
+        let alloc = allocate_numeric(&cfg, m_words, ctx, 200);
+        let cost = per_record_cost(&cfg, &alloc, ctx);
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(GreedyStep {
+                added: None,
+                configuration: cfg,
+                allocation: alloc,
+                cost,
+            });
+        }
+    }
+    best.expect("at least the all-queries configuration")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::ClusterHandling;
+    use msa_collision::LinearModel;
+    use msa_stream::DatasetStats;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    /// Statistics shaped like the paper's single-attribute experiment:
+    /// fine relations have many more groups than coarse ones, so
+    /// phantoms pay off.
+    fn stats_abcd() -> DatasetStats {
+        DatasetStats::from_group_counts(
+            [
+                (s("A"), 500),
+                (s("B"), 450),
+                (s("C"), 550),
+                (s("D"), 480),
+                (s("AB"), 2000),
+                (s("AC"), 2200),
+                (s("AD"), 2100),
+                (s("BC"), 1900),
+                (s("BD"), 2050),
+                (s("CD"), 2150),
+                (s("ABC"), 2700),
+                (s("ABD"), 2650),
+                (s("ACD"), 2750),
+                (s("BCD"), 2600),
+                (s("ABCD"), 2837),
+            ],
+            1_000_000,
+        )
+    }
+
+    fn queries1() -> Vec<AttrSet> {
+        vec![s("A"), s("B"), s("C"), s("D")]
+    }
+
+    #[test]
+    fn gc_adopts_beneficial_phantoms() {
+        let stats = stats_abcd();
+        let model = LinearModel::paper_no_intercept();
+        let mut ctx = CostContext::new(&stats, &model);
+        ctx.clustering = ClusterHandling::None;
+        let graph = FeedingGraph::new(&queries1());
+        let trace = greedy_collision(&graph, 40_000.0, &ctx, AllocStrategy::SupernodeLinear);
+        assert!(
+            trace.phantoms_chosen() >= 1,
+            "expected at least one phantom, config {}",
+            trace.final_step().configuration
+        );
+        // Costs decrease monotonically along the trace.
+        for w in trace.steps.windows(2) {
+            assert!(w[1].cost < w[0].cost);
+        }
+    }
+
+    #[test]
+    fn gc_stops_when_space_is_scarce() {
+        // With a tiny budget every phantom raises collision rates enough
+        // to hurt: GC must keep the flat configuration.
+        let stats = stats_abcd();
+        let model = LinearModel::paper_no_intercept();
+        let mut ctx = CostContext::new(&stats, &model);
+        ctx.clustering = ClusterHandling::None;
+        let graph = FeedingGraph::new(&queries1());
+        let trace = greedy_collision(&graph, 900.0, &ctx, AllocStrategy::SupernodeLinear);
+        assert_eq!(trace.phantoms_chosen(), 0);
+    }
+
+    #[test]
+    fn gs_respects_budget_and_tops_up() {
+        let stats = stats_abcd();
+        let model = LinearModel::paper_no_intercept();
+        let mut ctx = CostContext::new(&stats, &model);
+        ctx.clustering = ClusterHandling::None;
+        let graph = FeedingGraph::new(&queries1());
+        let trace = greedy_space(&graph, 40_000.0, 1.0, &ctx);
+        let final_alloc = &trace.final_step().allocation;
+        let space = final_alloc.space_words();
+        assert!(
+            (space - 40_000.0).abs() / 40_000.0 < 0.02,
+            "space {space} should exhaust the budget after top-up"
+        );
+    }
+
+    #[test]
+    fn gs_with_huge_phi_cannot_add_phantoms() {
+        let stats = stats_abcd();
+        let model = LinearModel::paper_no_intercept();
+        let mut ctx = CostContext::new(&stats, &model);
+        ctx.clustering = ClusterHandling::None;
+        let graph = FeedingGraph::new(&queries1());
+        // φ so large that no candidate fits next to the queries.
+        let trace = greedy_space(&graph, 20_000.0, 3.0, &ctx);
+        assert_eq!(trace.phantoms_chosen(), 0);
+    }
+
+    #[test]
+    fn gcsl_at_least_as_good_as_gs(){
+        // Fig. 11's qualitative claim: GCSL beats GS for any φ.
+        let stats = stats_abcd();
+        let model = LinearModel::paper_no_intercept();
+        let mut ctx = CostContext::new(&stats, &model);
+        ctx.clustering = ClusterHandling::None;
+        let graph = FeedingGraph::new(&queries1());
+        let m = 40_000.0;
+        let gcsl = greedy_collision(&graph, m, &ctx, AllocStrategy::SupernodeLinear);
+        for phi in [0.6, 0.8, 1.0, 1.2] {
+            let gs = greedy_space(&graph, m, phi, &ctx);
+            assert!(
+                gcsl.final_step().cost <= gs.final_step().cost * 1.02,
+                "phi={phi}: GCSL {} vs GS {}",
+                gcsl.final_step().cost,
+                gs.final_step().cost
+            );
+        }
+    }
+
+    #[test]
+    fn epes_is_lower_bound() {
+        // EPES must be at least as good as both greedy algorithms.
+        let stats = stats_abcd();
+        let model = LinearModel::paper_no_intercept();
+        let mut ctx = CostContext::new(&stats, &model);
+        ctx.clustering = ClusterHandling::None;
+        // Two-query graph keeps the candidate set tiny for speed.
+        let graph = FeedingGraph::new(&[s("AB"), s("BC")]);
+        let m = 20_000.0;
+        let best = epes(&graph, m, &ctx);
+        let gc = greedy_collision(&graph, m, &ctx, AllocStrategy::SupernodeLinear);
+        assert!(best.cost <= gc.final_step().cost * 1.005);
+        let gs = greedy_space(&graph, m, 1.0, &ctx);
+        assert!(best.cost <= gs.final_step().cost * 1.005);
+    }
+
+    #[test]
+    fn trace_bookkeeping() {
+        let stats = stats_abcd();
+        let model = LinearModel::paper_no_intercept();
+        let mut ctx = CostContext::new(&stats, &model);
+        ctx.clustering = ClusterHandling::None;
+        let graph = FeedingGraph::new(&queries1());
+        let trace = greedy_collision(&graph, 60_000.0, &ctx, AllocStrategy::SupernodeLinear);
+        assert_eq!(trace.steps[0].added, None);
+        assert_eq!(trace.steps[0].configuration.phantoms().count(), 0);
+        for (i, step) in trace.steps.iter().enumerate().skip(1) {
+            assert!(step.added.is_some());
+            assert_eq!(step.configuration.phantoms().count(), i);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Phantom choice and space allocation for multiple aggregations.
+//!
+//! This crate implements the paper's contribution: given a set of
+//! aggregation queries differing only in their grouping attributes, a
+//! memory budget `M` at the LFTA, and dataset statistics, find a
+//! *configuration* — user queries plus beneficial *phantoms* — and a
+//! space allocation minimising the per-record maintenance cost (Eq. 7),
+//! optionally subject to the end-of-epoch peak-load constraint (Eq. 8).
+//!
+//! * [`graph`] — the relation feeding graph and phantom candidates
+//!   (Fig. 4);
+//! * [`config`] — configurations as feeding trees, with the paper's
+//!   `(ABCD(AB BCD(BC BD CD)))` notation;
+//! * [`cost`] — the cost model: Eq. 7 (intra-epoch) and Eq. 8
+//!   (end-of-epoch);
+//! * [`alloc`] — space allocation: the exact two-level solution
+//!   (Eqs. 19–21), the SL/SR/PL/PR heuristics, exhaustive grid search
+//!   and the numeric (convex) optimum standing in for ES;
+//! * [`greedy`] — phantom-choice algorithms GS (greedy by increasing
+//!   space) and GC (greedy by increasing collision rates), plus the
+//!   exhaustive EPES reference;
+//! * [`peakload`] — the shrink/shift repairs for the peak-load
+//!   constraint (§6.3.4);
+//! * [`planner`] — a one-call facade producing an executable
+//!   [`msa_gigascope::PhysicalPlan`].
+
+pub mod alloc;
+pub mod config;
+pub mod cost;
+pub mod graph;
+pub mod greedy;
+pub mod peakload;
+pub mod planner;
+
+pub use alloc::{AllocStrategy, Allocation};
+pub use config::Configuration;
+pub use cost::{ClusterHandling, CostContext};
+pub use graph::FeedingGraph;
+pub use greedy::{epes, greedy_collision, greedy_space};
+pub use planner::{Algorithm, Plan, Planner, PlannerOptions};

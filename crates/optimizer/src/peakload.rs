@@ -1,0 +1,246 @@
+//! The peak-load constraint (paper §3.3 and §6.3.4, Fig. 15).
+//!
+//! The end-of-epoch update cost `E_u` (Eq. 8) must stay below a peak
+//! budget `E_p` — the LFTA must be able to drain its tables between
+//! epochs without dropping packets. When a cost-optimal allocation
+//! violates the constraint the paper repairs it with one of:
+//!
+//! * **shrink** — scale *all* tables down proportionally (leaves space
+//!   unused but keeps the allocation shape);
+//! * **shift** — move space from query tables to phantom tables: `c2`
+//!   dominates `E_u` and queries are the relations paying `c2`, so
+//!   shrinking the query tables attacks the constraint directly while
+//!   the reclaimed space keeps phantoms effective.
+//!
+//! Fig. 15: shift wins when `E_p` is close to `E_u`; shrink wins when
+//! the gap is large.
+
+use crate::alloc::Allocation;
+use crate::config::Configuration;
+use crate::cost::{end_of_epoch_cost, CostContext};
+use msa_stream::AttrSet;
+
+/// Repair method for a violated peak-load constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeakLoadMethod {
+    /// Scale all tables down proportionally.
+    Shrink,
+    /// Move space from query tables to phantom tables.
+    Shift,
+}
+
+/// Result of a peak-load repair.
+#[derive(Clone, Debug)]
+pub struct PeakLoadOutcome {
+    /// The repaired allocation.
+    pub allocation: Allocation,
+    /// `E_u` of the repaired allocation.
+    pub update_cost: f64,
+    /// True if the constraint could be met.
+    pub feasible: bool,
+}
+
+/// Repairs `alloc` so that `E_u ≤ e_p`, using `method`.
+///
+/// Both repairs are parameterised by a scale factor `t ∈ (0, 1]` and
+/// found by scanning `t` downward at 1 % granularity (matching the ES
+/// granularity of the paper) — `E_u(t)` is monotone in the practical
+/// range but not provably so, hence the scan rather than bisection.
+pub fn enforce_peak_load(
+    cfg: &Configuration,
+    alloc: &Allocation,
+    ctx: &CostContext<'_>,
+    e_p: f64,
+    method: PeakLoadMethod,
+) -> PeakLoadOutcome {
+    let current = end_of_epoch_cost(cfg, alloc, ctx);
+    if current <= e_p {
+        return PeakLoadOutcome {
+            allocation: alloc.clone(),
+            update_cost: current,
+            feasible: true,
+        };
+    }
+    // Seed with the unrepaired allocation: if every repair step makes
+    // E_u worse (possible for shift when query tables are occupancy-
+    // saturated), the honest answer is "infeasible, keep the original".
+    let mut lowest: Option<(f64, Allocation)> = Some((current, alloc.clone()));
+    for step in 1..100 {
+        let t = 1.0 - step as f64 / 100.0;
+        let candidate = match method {
+            PeakLoadMethod::Shrink => alloc.scaled(t),
+            PeakLoadMethod::Shift => shift(cfg, alloc, t),
+        };
+        let eu = end_of_epoch_cost(cfg, &candidate, ctx);
+        if eu <= e_p {
+            return PeakLoadOutcome {
+                allocation: candidate,
+                update_cost: eu,
+                feasible: true,
+            };
+        }
+        if lowest.as_ref().is_none_or(|(c, _)| eu < *c) {
+            lowest = Some((eu, candidate));
+        }
+    }
+    // Constraint unreachable with this method: return the repair that got
+    // closest (the caller can fall back to the other method).
+    let (update_cost, allocation) =
+        lowest.unwrap_or_else(|| (current, alloc.clone()));
+    PeakLoadOutcome {
+        allocation,
+        update_cost,
+        feasible: false,
+    }
+}
+
+/// Scales query tables by `t` and redistributes the reclaimed space to
+/// phantoms proportionally to their current space. With no phantoms the
+/// reclaimed space is simply dropped (degenerates to a query-side
+/// shrink).
+fn shift(cfg: &Configuration, alloc: &Allocation, t: f64) -> Allocation {
+    let queries: Vec<AttrSet> = cfg.queries().collect();
+    let phantoms: Vec<AttrSet> = cfg.phantoms().collect();
+    let mut out = alloc.clone();
+    let mut reclaimed = 0.0;
+    for &q in &queries {
+        let b = alloc.buckets(q);
+        let shrunk = (b * t).max(1.0);
+        reclaimed += (b - shrunk) * q.entry_words() as f64;
+        out.set(q, shrunk);
+    }
+    if phantoms.is_empty() || reclaimed <= 0.0 {
+        return out;
+    }
+    let phantom_space: f64 = phantoms
+        .iter()
+        .map(|&p| alloc.space_words_of(p))
+        .sum();
+    for &p in &phantoms {
+        let share = if phantom_space > 0.0 {
+            alloc.space_words_of(p) / phantom_space
+        } else {
+            1.0 / phantoms.len() as f64
+        };
+        let extra_buckets = reclaimed * share / p.entry_words() as f64;
+        out.set(p, alloc.buckets(p) + extra_buckets);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocStrategy;
+    use crate::cost::ClusterHandling;
+    use msa_collision::LinearModel;
+    use msa_stream::DatasetStats;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    fn setup() -> (DatasetStats, LinearModel) {
+        (
+            DatasetStats::from_group_counts(
+                [
+                    (s("A"), 500),
+                    (s("B"), 450),
+                    (s("AB"), 2000),
+                ],
+                1_000_000,
+            ),
+            LinearModel::paper_no_intercept(),
+        )
+    }
+
+    fn ctx<'a>(stats: &'a DatasetStats, model: &'a LinearModel) -> CostContext<'a> {
+        let mut c = CostContext::new(stats, model);
+        c.clustering = ClusterHandling::None;
+        c
+    }
+
+    #[test]
+    fn no_repair_when_constraint_holds() {
+        let (stats, model) = setup();
+        let ctx = ctx(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[s("AB")]);
+        let alloc = AllocStrategy::SupernodeLinear.allocate(&cfg, 20_000.0, &ctx);
+        let eu = end_of_epoch_cost(&cfg, &alloc, &ctx);
+        let out = enforce_peak_load(&cfg, &alloc, &ctx, eu * 1.1, PeakLoadMethod::Shrink);
+        assert!(out.feasible);
+        assert_eq!(out.allocation, alloc);
+    }
+
+    #[test]
+    fn shrink_meets_constraint() {
+        let (stats, model) = setup();
+        let ctx = ctx(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[s("AB")]);
+        let alloc = AllocStrategy::SupernodeLinear.allocate(&cfg, 20_000.0, &ctx);
+        let eu = end_of_epoch_cost(&cfg, &alloc, &ctx);
+        let out = enforce_peak_load(&cfg, &alloc, &ctx, eu * 0.9, PeakLoadMethod::Shrink);
+        assert!(out.feasible);
+        assert!(out.update_cost <= eu * 0.9);
+        // Total space strictly decreased.
+        assert!(out.allocation.space_words() < alloc.space_words());
+    }
+
+    #[test]
+    fn shift_meets_constraint_and_grows_phantom() {
+        // Budget chosen so tables are smaller than their group counts
+        // (b < g): that is the regime where query occupancy tracks table
+        // size and shifting space to the phantom pays (the paper's
+        // operating point; see Fig. 15).
+        let (stats, model) = setup();
+        let ctx = ctx(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[s("AB")]);
+        let alloc = AllocStrategy::SupernodeLinear.allocate(&cfg, 2_000.0, &ctx);
+        let eu = end_of_epoch_cost(&cfg, &alloc, &ctx);
+        let out = enforce_peak_load(&cfg, &alloc, &ctx, eu * 0.95, PeakLoadMethod::Shift);
+        // The outcome is reported honestly: either the target was met by
+        // an actual repair, or the best candidate (possibly the original
+        // allocation, when every shift makes E_u worse) is returned with
+        // feasible = false.
+        assert!(out.update_cost <= eu);
+        if out.feasible {
+            assert!(out.update_cost <= eu * 0.95);
+            // A real shift happened: space moved from queries to the
+            // phantom, conserving the total (within bucket-floor
+            // rounding).
+            assert!(out.allocation.buckets(s("AB")) > alloc.buckets(s("AB")));
+            assert!(out.allocation.buckets(s("A")) < alloc.buckets(s("A")));
+        } else {
+            assert_eq!(out.allocation, alloc);
+        }
+        assert!(
+            (out.allocation.space_words() - alloc.space_words()).abs()
+                / alloc.space_words()
+                < 0.01
+        );
+    }
+
+    #[test]
+    fn infeasible_constraint_reported() {
+        let (stats, model) = setup();
+        let ctx = ctx(&stats, &model);
+        let cfg = Configuration::from_queries(&[s("A"), s("B")]);
+        let alloc = AllocStrategy::ProportionalSqrt.allocate(&cfg, 20_000.0, &ctx);
+        // E_u can never reach ~0 (flush always evicts at least the
+        // occupied buckets).
+        let out = enforce_peak_load(&cfg, &alloc, &ctx, 1e-3, PeakLoadMethod::Shrink);
+        assert!(!out.feasible);
+    }
+
+    #[test]
+    fn shift_without_phantoms_degenerates_to_query_shrink() {
+        let (stats, model) = setup();
+        let ctx = ctx(&stats, &model);
+        let cfg = Configuration::from_queries(&[s("A"), s("B")]);
+        let alloc = AllocStrategy::ProportionalSqrt.allocate(&cfg, 20_000.0, &ctx);
+        let eu = end_of_epoch_cost(&cfg, &alloc, &ctx);
+        let out = enforce_peak_load(&cfg, &alloc, &ctx, eu * 0.5, PeakLoadMethod::Shift);
+        assert!(out.feasible);
+        assert!(out.allocation.space_words() < alloc.space_words());
+    }
+}

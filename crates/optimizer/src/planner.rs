@@ -1,0 +1,293 @@
+//! The planner facade: one call from query set to executable plan.
+//!
+//! Wires together the feeding graph, phantom choice, space allocation
+//! and the peak-load constraint, and lowers the result to an executable
+//! [`msa_gigascope::PhysicalPlan`].
+
+use crate::alloc::{AllocStrategy, Allocation};
+use crate::config::Configuration;
+use crate::cost::{end_of_epoch_cost, per_record_cost, ClusterHandling, CostContext};
+use crate::graph::FeedingGraph;
+use crate::greedy::{epes, greedy_collision, greedy_space};
+use crate::peakload::{enforce_peak_load, PeakLoadMethod};
+use msa_collision::{CollisionModel, LinearModel};
+use msa_gigascope::{CostParams, PhysicalPlan, PlanNode};
+use msa_stream::{AttrSet, DatasetStats};
+
+/// Phantom-choice algorithm selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// GC with a pluggable allocation strategy. `GreedyCollision
+    /// (SupernodeLinear)` is the paper's GCSL and the default.
+    GreedyCollision(AllocStrategy),
+    /// GS with parameter φ (buckets per group).
+    GreedySpace {
+        /// Buckets per group for every instantiated table.
+        phi: f64,
+    },
+    /// Exhaustive optimal (exponential; small query sets only).
+    Exhaustive,
+    /// No phantoms: queries only, allocated with the given strategy.
+    NoPhantoms(AllocStrategy),
+}
+
+impl Default for Algorithm {
+    fn default() -> Algorithm {
+        Algorithm::GreedyCollision(AllocStrategy::SupernodeLinear)
+    }
+}
+
+/// Planner options.
+#[derive(Clone, Debug)]
+pub struct PlannerOptions {
+    /// LFTA memory budget in 4-byte words (paper: 20,000–100,000).
+    pub m_words: f64,
+    /// Phantom-choice algorithm.
+    pub algorithm: Algorithm,
+    /// Probe/eviction costs.
+    pub params: CostParams,
+    /// Flow-length handling.
+    pub clustering: ClusterHandling,
+    /// Peak-load constraint: `(E_p, repair method)`.
+    pub peak_load: Option<(f64, PeakLoadMethod)>,
+}
+
+impl PlannerOptions {
+    /// Defaults: GCSL, paper costs, raw-only clustering, no peak-load
+    /// constraint.
+    pub fn new(m_words: f64) -> PlannerOptions {
+        PlannerOptions {
+            m_words,
+            algorithm: Algorithm::default(),
+            params: CostParams::paper(),
+            clustering: ClusterHandling::default(),
+            peak_load: None,
+        }
+    }
+}
+
+/// A chosen configuration with its allocation and predicted costs.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The chosen configuration.
+    pub configuration: Configuration,
+    /// Fractional bucket allocation.
+    pub allocation: Allocation,
+    /// Predicted per-record maintenance cost (Eq. 7).
+    pub predicted_cost: f64,
+    /// Predicted end-of-epoch cost (Eq. 8).
+    pub predicted_update_cost: f64,
+}
+
+impl Plan {
+    /// Lowers the plan to an executable [`PhysicalPlan`], rounding
+    /// bucket counts (minimum one bucket per table).
+    pub fn to_physical(&self) -> PhysicalPlan {
+        // Topological order: parents have strictly more attributes than
+        // children, so sorting by descending arity (then bitmask for
+        // determinism) places parents first.
+        let mut relations: Vec<AttrSet> = self.configuration.relations().collect();
+        relations.sort_by_key(|r| (std::cmp::Reverse(r.len()), r.bits()));
+        let index_of = |r: AttrSet| relations.iter().position(|&x| x == r).expect("present");
+        let nodes: Vec<PlanNode> = relations
+            .iter()
+            .map(|&r| PlanNode {
+                attrs: r,
+                parent: self.configuration.parent(r).map(index_of),
+                buckets: (self.allocation.buckets(r).round() as usize).max(1),
+                is_query: self.configuration.is_query(r),
+            })
+            .collect();
+        PhysicalPlan::new(nodes).expect("configuration invariants guarantee a valid plan")
+    }
+}
+
+/// The planner: owns the statistics and model references.
+pub struct Planner<'a> {
+    graph: FeedingGraph,
+    ctx: CostContext<'a>,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner for `queries` against `stats`, using `model`
+    /// for collision rates.
+    pub fn new(
+        queries: &[AttrSet],
+        stats: &'a DatasetStats,
+        model: &'a dyn CollisionModel,
+        options: &PlannerOptions,
+    ) -> Planner<'a> {
+        let ctx = CostContext {
+            stats,
+            model,
+            params: options.params,
+            clustering: options.clustering,
+        };
+        Planner {
+            graph: FeedingGraph::new(queries),
+            ctx,
+        }
+    }
+
+    /// The feeding graph in use.
+    pub fn graph(&self) -> &FeedingGraph {
+        &self.graph
+    }
+
+    /// Chooses a configuration and allocation per `options`.
+    pub fn plan(&self, options: &PlannerOptions) -> Plan {
+        let m = options.m_words;
+        let (configuration, allocation) = match options.algorithm {
+            Algorithm::GreedyCollision(strategy) => {
+                let t = greedy_collision(&self.graph, m, &self.ctx, strategy);
+                let f = t.final_step();
+                (f.configuration.clone(), f.allocation.clone())
+            }
+            Algorithm::GreedySpace { phi } => {
+                let t = greedy_space(&self.graph, m, phi, &self.ctx);
+                let f = t.final_step();
+                (f.configuration.clone(), f.allocation.clone())
+            }
+            Algorithm::Exhaustive => {
+                let best = epes(&self.graph, m, &self.ctx);
+                (best.configuration, best.allocation)
+            }
+            Algorithm::NoPhantoms(strategy) => {
+                let cfg = Configuration::from_queries(self.graph.queries());
+                let alloc = strategy.allocate(&cfg, m, &self.ctx);
+                (cfg, alloc)
+            }
+        };
+        let allocation = match options.peak_load {
+            Some((e_p, method)) => {
+                enforce_peak_load(&configuration, &allocation, &self.ctx, e_p, method).allocation
+            }
+            None => allocation,
+        };
+        Plan {
+            predicted_cost: per_record_cost(&configuration, &allocation, &self.ctx),
+            predicted_update_cost: end_of_epoch_cost(&configuration, &allocation, &self.ctx),
+            configuration,
+            allocation,
+        }
+    }
+}
+
+/// Convenience entry point: plan with the paper's defaults (GCSL, linear
+/// collision model without intercept).
+pub fn plan_gcsl(queries: &[AttrSet], stats: &DatasetStats, m_words: f64) -> Plan {
+    let model = LinearModel::paper_no_intercept();
+    let options = PlannerOptions::new(m_words);
+    Planner::new(queries, stats, &model, &options).plan(&options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    fn stats() -> DatasetStats {
+        DatasetStats::from_group_counts(
+            [
+                (s("A"), 500),
+                (s("B"), 450),
+                (s("C"), 550),
+                (s("D"), 480),
+                (s("AB"), 2000),
+                (s("AC"), 2200),
+                (s("AD"), 2100),
+                (s("BC"), 1900),
+                (s("BD"), 2050),
+                (s("CD"), 2150),
+                (s("ABC"), 2700),
+                (s("ABD"), 2650),
+                (s("ACD"), 2750),
+                (s("BCD"), 2600),
+                (s("ABCD"), 2837),
+            ],
+            1_000_000,
+        )
+    }
+
+    #[test]
+    fn gcsl_plan_beats_no_phantoms() {
+        let stats = stats();
+        let queries = [s("A"), s("B"), s("C"), s("D")];
+        let plan = plan_gcsl(&queries, &stats, 40_000.0);
+
+        let model = LinearModel::paper_no_intercept();
+        let mut opts = PlannerOptions::new(40_000.0);
+        opts.algorithm = Algorithm::NoPhantoms(AllocStrategy::SupernodeLinear);
+        let flat = Planner::new(&queries, &stats, &model, &opts).plan(&opts);
+        assert!(
+            plan.predicted_cost < flat.predicted_cost,
+            "gcsl {} vs flat {}",
+            plan.predicted_cost,
+            flat.predicted_cost
+        );
+    }
+
+    #[test]
+    fn physical_plan_roundtrip() {
+        let stats = stats();
+        let queries = [s("AB"), s("BC"), s("BD"), s("CD")];
+        let plan = plan_gcsl(&queries, &stats, 40_000.0);
+        let phys = plan.to_physical();
+        assert_eq!(phys.query_nodes().count(), 4);
+        // Physical space within rounding of the budget.
+        let words = phys.space_words() as f64;
+        assert!(
+            (words - 40_000.0).abs() / 40_000.0 < 0.05,
+            "physical space {words}"
+        );
+        // Parents precede children and are supersets (validated by
+        // PhysicalPlan::new, which would have errored otherwise).
+        assert!(phys.nodes().len() >= 4);
+    }
+
+    #[test]
+    fn peak_load_option_reduces_update_cost() {
+        let stats = stats();
+        let queries = [s("A"), s("B"), s("C"), s("D")];
+        let model = LinearModel::paper_no_intercept();
+        let base_opts = PlannerOptions::new(40_000.0);
+        let base = Planner::new(&queries, &stats, &model, &base_opts).plan(&base_opts);
+
+        let mut capped = PlannerOptions::new(40_000.0);
+        capped.peak_load = Some((
+            base.predicted_update_cost * 0.9,
+            PeakLoadMethod::Shrink,
+        ));
+        let plan = Planner::new(&queries, &stats, &model, &capped).plan(&capped);
+        assert!(plan.predicted_update_cost <= base.predicted_update_cost * 0.9 * 1.001);
+    }
+
+    #[test]
+    fn exhaustive_at_least_matches_gcsl() {
+        let stats = stats();
+        // Small query set so EPES stays fast.
+        let queries = [s("AB"), s("BC")];
+        let model = LinearModel::paper_no_intercept();
+        let mut opts = PlannerOptions::new(20_000.0);
+        opts.algorithm = Algorithm::Exhaustive;
+        let best = Planner::new(&queries, &stats, &model, &opts).plan(&opts);
+        let gcsl = plan_gcsl(&queries, &stats, 20_000.0);
+        assert!(best.predicted_cost <= gcsl.predicted_cost * 1.005);
+    }
+
+    #[test]
+    fn gs_algorithm_runs() {
+        let stats = stats();
+        let queries = [s("A"), s("B"), s("C"), s("D")];
+        let model = LinearModel::paper_no_intercept();
+        let mut opts = PlannerOptions::new(40_000.0);
+        opts.algorithm = Algorithm::GreedySpace { phi: 1.0 };
+        let plan = Planner::new(&queries, &stats, &model, &opts).plan(&opts);
+        assert!(plan.predicted_cost.is_finite());
+        let phys = plan.to_physical();
+        assert_eq!(phys.query_nodes().count(), 4);
+    }
+}

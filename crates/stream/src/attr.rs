@@ -1,0 +1,333 @@
+//! Attribute identifiers and attribute-set bitmasks.
+//!
+//! The paper works with a stream relation `R(A, B, C, D, ...)` and names
+//! every grouping-attribute subset by juxtaposition (`AB`, `BCD`, ...).
+//! [`AttrSet`] encodes such a subset as a bitmask over at most
+//! [`MAX_ATTRS`] attributes, which keeps subset/superset tests, unions and
+//! iteration branch-free on the hot path.
+
+use std::fmt;
+
+/// Maximum number of grouping attributes supported by the workspace.
+///
+/// Eight is comfortably above the four attributes (source/destination
+/// IP/port) used throughout the paper while keeping [`crate::GroupKey`]s
+/// inside a single cache line.
+pub const MAX_ATTRS: usize = 8;
+
+/// Index of a single grouping attribute (0 = `A`, 1 = `B`, ...).
+pub type AttrId = u8;
+
+/// A set of grouping attributes — the paper's notion of a *relation*.
+///
+/// The bitmask representation makes the feeding-graph operations cheap:
+/// `X` can feed `Y` iff `Y.is_subset_of(X)`.
+///
+/// ```
+/// use msa_stream::AttrSet;
+/// let ab = AttrSet::parse("AB").unwrap();
+/// let abc = AttrSet::parse("ABC").unwrap();
+/// assert!(ab.is_subset_of(abc));
+/// assert_eq!(ab.union(AttrSet::parse("C").unwrap()), abc);
+/// assert_eq!(abc.to_string(), "ABC");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct AttrSet(u16);
+
+impl AttrSet {
+    /// The empty attribute set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Creates a set from a raw bitmask.
+    ///
+    /// Bits above [`MAX_ATTRS`] are rejected.
+    pub fn from_bits(bits: u16) -> Option<AttrSet> {
+        if bits < (1 << MAX_ATTRS) {
+            Some(AttrSet(bits))
+        } else {
+            None
+        }
+    }
+
+    /// Returns the raw bitmask.
+    #[inline]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Creates a singleton set containing only `attr`.
+    #[inline]
+    pub fn single(attr: AttrId) -> AttrSet {
+        assert!(
+            (attr as usize) < MAX_ATTRS,
+            "attribute id {attr} out of range"
+        );
+        AttrSet(1 << attr)
+    }
+
+    /// Creates a set from an iterator of attribute ids.
+    pub fn from_attrs<I: IntoIterator<Item = AttrId>>(attrs: I) -> AttrSet {
+        attrs
+            .into_iter()
+            .fold(AttrSet::EMPTY, |s, a| s.union(AttrSet::single(a)))
+    }
+
+    /// Parses the paper's juxtaposition notation: `"ABD"` → `{A, B, D}`.
+    ///
+    /// Accepts upper-case letters `A..=H`; returns `None` on anything else
+    /// or on an empty string.
+    pub fn parse(s: &str) -> Option<AttrSet> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut set = AttrSet::EMPTY;
+        for ch in s.chars() {
+            let idx = (ch as u32).checked_sub('A' as u32)?;
+            if idx as usize >= MAX_ATTRS {
+                return None;
+            }
+            set = set.union(AttrSet::single(idx as AttrId));
+        }
+        Some(set)
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True iff the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True iff `attr` is a member.
+    #[inline]
+    pub fn contains(self, attr: AttrId) -> bool {
+        (attr as usize) < MAX_ATTRS && self.0 & (1 << attr) != 0
+    }
+
+    /// Set union (the paper combines queries into phantom candidates by
+    /// union).
+    #[inline]
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// True iff `self ⊆ other`, i.e. a table on `other` can feed a table
+    /// on `self`.
+    #[inline]
+    pub fn is_subset_of(self, other: AttrSet) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// True iff `self ⊂ other` strictly.
+    #[inline]
+    pub fn is_proper_subset_of(self, other: AttrSet) -> bool {
+        self.is_subset_of(other) && self != other
+    }
+
+    /// Iterates member attribute ids in ascending order.
+    #[inline]
+    pub fn iter(self) -> AttrIter {
+        AttrIter(self.0)
+    }
+
+    /// The size of one hash-table bucket entry for this relation, in
+    /// 4-byte space units: one word per attribute plus one counter word
+    /// (paper §5.3: "a bucket for relation A takes 8 bytes and a bucket
+    /// for ABCD takes 20 bytes").
+    #[inline]
+    pub fn entry_words(self) -> usize {
+        self.len() + 1
+    }
+}
+
+/// Iterator over the attribute ids of an [`AttrSet`].
+#[derive(Clone, Debug)]
+pub struct AttrIter(u16);
+
+impl Iterator for AttrIter {
+    type Item = AttrId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let id = self.0.trailing_zeros() as AttrId;
+            self.0 &= self.0 - 1;
+            Some(id)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrIter {}
+
+impl IntoIterator for AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrIter;
+
+    fn into_iter(self) -> AttrIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        for a in self.iter() {
+            write!(f, "{}", (b'A' + a) as char)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AttrSet({self})")
+    }
+}
+
+/// Enumerates all non-empty subsets of `universe` (used when enumerating
+/// feeding-graph nodes).
+pub fn subsets_of(universe: AttrSet) -> impl Iterator<Item = AttrSet> {
+    let full = universe.bits();
+    // Standard sub-mask enumeration: walk `sub = (sub - 1) & full`.
+    let mut sub = full;
+    let mut done = false;
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        let cur = sub;
+        if sub == 0 {
+            done = true;
+        } else {
+            sub = (sub - 1) & full;
+        }
+        if cur == 0 {
+            None
+        } else {
+            Some(AttrSet(cur))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["A", "AB", "ABCD", "BD", "ACDH"] {
+            let set = AttrSet::parse(s).unwrap();
+            assert_eq!(set.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_invalid() {
+        assert!(AttrSet::parse("").is_none());
+        assert!(AttrSet::parse("AZ").is_none());
+        assert!(AttrSet::parse("ab").is_none());
+        assert!(AttrSet::parse("A B").is_none());
+    }
+
+    #[test]
+    fn parse_is_order_insensitive() {
+        assert_eq!(AttrSet::parse("DBA"), AttrSet::parse("ABD"));
+    }
+
+    #[test]
+    fn subset_relationships() {
+        let ab = AttrSet::parse("AB").unwrap();
+        let abc = AttrSet::parse("ABC").unwrap();
+        let cd = AttrSet::parse("CD").unwrap();
+        assert!(ab.is_subset_of(abc));
+        assert!(ab.is_proper_subset_of(abc));
+        assert!(!abc.is_subset_of(ab));
+        assert!(abc.is_subset_of(abc));
+        assert!(!abc.is_proper_subset_of(abc));
+        assert!(!cd.is_subset_of(abc));
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let ab = AttrSet::parse("AB").unwrap();
+        let bc = AttrSet::parse("BC").unwrap();
+        assert_eq!(ab.union(bc), AttrSet::parse("ABC").unwrap());
+        assert_eq!(ab.intersect(bc), AttrSet::parse("B").unwrap());
+        assert_eq!(ab.difference(bc), AttrSet::parse("A").unwrap());
+    }
+
+    #[test]
+    fn iteration_ascending() {
+        let set = AttrSet::parse("ACD").unwrap();
+        let ids: Vec<AttrId> = set.iter().collect();
+        assert_eq!(ids, vec![0, 2, 3]);
+        assert_eq!(set.iter().len(), 3);
+    }
+
+    #[test]
+    fn entry_words_match_paper() {
+        // Paper §5.3: A → 8 bytes (2 words), ABCD → 20 bytes (5 words).
+        assert_eq!(AttrSet::parse("A").unwrap().entry_words(), 2);
+        assert_eq!(AttrSet::parse("ABCD").unwrap().entry_words(), 5);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let abc = AttrSet::parse("ABC").unwrap();
+        let subs: Vec<AttrSet> = subsets_of(abc).collect();
+        assert_eq!(subs.len(), 7); // 2^3 - 1 non-empty subsets
+        assert!(subs.contains(&AttrSet::parse("AC").unwrap()));
+        assert!(subs.iter().all(|s| s.is_subset_of(abc)));
+    }
+
+    #[test]
+    fn from_attrs_builds_set() {
+        let set = AttrSet::from_attrs([0u8, 3u8]);
+        assert_eq!(set, AttrSet::parse("AD").unwrap());
+    }
+
+    #[test]
+    fn serde_transparent_roundtrip() {
+        use serde::de::value::{Error as ValueError, U16Deserializer};
+        use serde::de::IntoDeserializer;
+        use serde::Deserialize;
+        let set = AttrSet::parse("ABD").unwrap();
+        // Transparent representation: (de)serializes as the raw bitmask.
+        let de: U16Deserializer<ValueError> = set.bits().into_deserializer();
+        let back = AttrSet::deserialize(de).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn from_bits_bounds() {
+        assert!(AttrSet::from_bits(0b1111).is_some());
+        assert!(AttrSet::from_bits(1 << MAX_ATTRS).is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! Record selection — the "Filter" in LFTA ("Filter, Transform,
+//! Aggregate").
+//!
+//! Gigascope's low-level nodes "perform simple operations such as
+//! selection, projection and aggregation" (§1). The aggregation and
+//! projection parts live in the executor; this module supplies the
+//! selection: conjunctions of attribute comparisons evaluated per
+//! record before any hash-table probe, so filtered-out records cost
+//! nothing downstream.
+
+use crate::attr::{AttrId, MAX_ATTRS};
+use crate::record::Record;
+use std::fmt;
+
+/// A comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `attr == value`
+    Eq,
+    /// `attr != value`
+    Ne,
+    /// `attr < value`
+    Lt,
+    /// `attr <= value`
+    Le,
+    /// `attr > value`
+    Gt,
+    /// `attr >= value`
+    Ge,
+}
+
+impl CmpOp {
+    #[inline]
+    fn eval(self, lhs: u32, rhs: u32) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// One conjunct: `attr op value`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttrPredicate {
+    /// Attribute slot to test.
+    pub attr: AttrId,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant to compare against.
+    pub value: u32,
+}
+
+impl AttrPredicate {
+    /// Evaluates the predicate.
+    #[inline]
+    pub fn matches(&self, record: &Record) -> bool {
+        self.op.eval(record.attrs[self.attr as usize], self.value)
+    }
+}
+
+/// A conjunction of attribute predicates (empty = pass everything).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Filter {
+    conjuncts: Vec<AttrPredicate>,
+}
+
+impl Filter {
+    /// The pass-all filter.
+    pub fn all() -> Filter {
+        Filter::default()
+    }
+
+    /// Adds a conjunct (builder style).
+    ///
+    /// # Panics
+    /// Panics if `attr` is out of range.
+    pub fn and(mut self, attr: AttrId, op: CmpOp, value: u32) -> Filter {
+        assert!((attr as usize) < MAX_ATTRS, "attribute {attr} out of range");
+        self.conjuncts.push(AttrPredicate { attr, op, value });
+        self
+    }
+
+    /// True iff every conjunct holds.
+    #[inline]
+    pub fn matches(&self, record: &Record) -> bool {
+        self.conjuncts.iter().all(|p| p.matches(record))
+    }
+
+    /// True iff the filter passes everything.
+    pub fn is_pass_all(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// The conjuncts.
+    pub fn conjuncts(&self) -> &[AttrPredicate] {
+        &self.conjuncts
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, p) in self.conjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(
+                f,
+                "{} {} {}",
+                (b'A' + p.attr) as char,
+                p.op.symbol(),
+                p.value
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vals: &[u32]) -> Record {
+        Record::new(vals, 0)
+    }
+
+    #[test]
+    fn pass_all_matches_everything() {
+        assert!(Filter::all().matches(&rec(&[1, 2, 3])));
+        assert!(Filter::all().is_pass_all());
+    }
+
+    #[test]
+    fn single_conjunct_semantics() {
+        let r = rec(&[10, 20]);
+        assert!(Filter::all().and(0, CmpOp::Eq, 10).matches(&r));
+        assert!(!Filter::all().and(0, CmpOp::Ne, 10).matches(&r));
+        assert!(Filter::all().and(1, CmpOp::Gt, 19).matches(&r));
+        assert!(!Filter::all().and(1, CmpOp::Gt, 20).matches(&r));
+        assert!(Filter::all().and(1, CmpOp::Ge, 20).matches(&r));
+        assert!(Filter::all().and(0, CmpOp::Lt, 11).matches(&r));
+        assert!(Filter::all().and(0, CmpOp::Le, 10).matches(&r));
+    }
+
+    #[test]
+    fn conjunction_is_and() {
+        let f = Filter::all()
+            .and(0, CmpOp::Eq, 10)
+            .and(1, CmpOp::Lt, 100);
+        assert!(f.matches(&rec(&[10, 50])));
+        assert!(!f.matches(&rec(&[10, 100])));
+        assert!(!f.matches(&rec(&[11, 50])));
+        assert_eq!(f.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Filter::all()
+            .and(3, CmpOp::Eq, 80)
+            .and(0, CmpOp::Ge, 5);
+        assert_eq!(f.to_string(), "D = 80 AND A >= 5");
+        assert_eq!(Filter::all().to_string(), "true");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_attribute() {
+        let _ = Filter::all().and(99, CmpOp::Eq, 1);
+    }
+}

@@ -1,0 +1,359 @@
+//! Clustered (flow-structured) streams.
+//!
+//! §4.3: network packet data is *clustered* — all packets of a flow share
+//! the same attribute values, and "although packets from different flows
+//! are interleaved with each other in the stream, the likelihood of these
+//! interleaved flows hashing to the same bucket is very small". This
+//! module generates such streams: a universe of groups, each group
+//! carrying one or more flows, flow lengths drawn from a configurable
+//! distribution, and a bounded number of concurrently active flows whose
+//! packets interleave.
+
+use super::{spread_timestamps, GeneratedStream};
+use crate::record::Record;
+use crate::MAX_ATTRS;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+
+/// Distribution of flow lengths (packets per flow).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FlowLengthDistribution {
+    /// Every flow has exactly `len` packets.
+    Constant {
+        /// Packets per flow.
+        len: usize,
+    },
+    /// Discretised Pareto: `len = ceil(min / U^(1/alpha))`, the classic
+    /// heavy-tailed model for IP flow sizes.
+    Pareto {
+        /// Shape parameter (1.1–2.0 realistic; smaller = heavier tail).
+        alpha: f64,
+        /// Minimum flow length.
+        min: usize,
+    },
+    /// Geometric with success probability `p`: mean `1/p`.
+    Geometric {
+        /// Per-packet termination probability.
+        p: f64,
+    },
+}
+
+impl FlowLengthDistribution {
+    /// Samples one flow length (≥ 1).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        match *self {
+            FlowLengthDistribution::Constant { len } => len.max(1),
+            FlowLengthDistribution::Pareto { alpha, min } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let x = min.max(1) as f64 / u.powf(1.0 / alpha);
+                // Cap to keep a single flow from swallowing the stream.
+                (x.ceil() as usize).min(1 << 20)
+            }
+            FlowLengthDistribution::Geometric { p } => {
+                let p = p.clamp(1e-9, 1.0);
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                ((u.ln() / (1.0 - p).max(1e-12).ln()).floor() as usize) + 1
+            }
+        }
+    }
+
+    /// Expected flow length (used to size flow populations).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            FlowLengthDistribution::Constant { len } => len.max(1) as f64,
+            FlowLengthDistribution::Pareto { alpha, min } => {
+                if alpha > 1.0 {
+                    alpha * min.max(1) as f64 / (alpha - 1.0)
+                } else {
+                    // Infinite-mean regime; report the capped empirical scale.
+                    min.max(1) as f64 * 20.0
+                }
+            }
+            FlowLengthDistribution::Geometric { p } => 1.0 / p.clamp(1e-9, 1.0),
+        }
+    }
+}
+
+/// One pending flow: a group tuple plus a packet budget.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Flow {
+    attrs: [u32; MAX_ATTRS],
+    remaining: usize,
+}
+
+impl Flow {
+    /// Creates a flow of `len` (≥ 1) packets on group `attrs`.
+    pub(crate) fn new(attrs: [u32; MAX_ATTRS], len: usize) -> Flow {
+        Flow {
+            attrs,
+            remaining: len.max(1),
+        }
+    }
+}
+
+/// Builder for clustered streams.
+///
+/// ```
+/// use msa_stream::{ClusteredStreamBuilder, FlowLengthDistribution};
+/// let s = ClusteredStreamBuilder::new(4, 200)
+///     .records(20_000)
+///     .flow_lengths(FlowLengthDistribution::Pareto { alpha: 1.5, min: 4 })
+///     .build();
+/// assert_eq!(s.len(), 20_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClusteredStreamBuilder {
+    arity: usize,
+    groups: usize,
+    records: usize,
+    duration_secs: f64,
+    flow_lengths: FlowLengthDistribution,
+    flows_per_group: usize,
+    active_flows: usize,
+    seed: u64,
+}
+
+impl ClusteredStreamBuilder {
+    /// Creates a builder for an `arity`-attribute stream over `groups`
+    /// distinct groups.
+    pub fn new(arity: usize, groups: usize) -> ClusteredStreamBuilder {
+        assert!((1..=MAX_ATTRS).contains(&arity));
+        assert!(groups >= 1);
+        ClusteredStreamBuilder {
+            arity,
+            groups,
+            records: 1_000_000,
+            duration_secs: 62.0,
+            flow_lengths: FlowLengthDistribution::Pareto { alpha: 1.5, min: 4 },
+            flows_per_group: 4,
+            active_flows: 32,
+            seed: 0,
+        }
+    }
+
+    /// Number of records (default 1,000,000).
+    pub fn records(mut self, n: usize) -> Self {
+        self.records = n;
+        self
+    }
+
+    /// Timestamp span (default 62 s).
+    pub fn duration_secs(mut self, d: f64) -> Self {
+        self.duration_secs = d;
+        self
+    }
+
+    /// Flow-length distribution.
+    pub fn flow_lengths(mut self, d: FlowLengthDistribution) -> Self {
+        self.flow_lengths = d;
+        self
+    }
+
+    /// Average number of flows per group (default 4).
+    pub fn flows_per_group(mut self, n: usize) -> Self {
+        self.flows_per_group = n.max(1);
+        self
+    }
+
+    /// Number of concurrently active (interleaving) flows (default 32).
+    /// 1 means perfectly contiguous flows.
+    pub fn active_flows(mut self, n: usize) -> Self {
+        self.active_flows = n.max(1);
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the stream.
+    pub fn build(&self) -> GeneratedStream {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Universe of distinct group tuples.
+        let mut seen: HashSet<[u32; MAX_ATTRS]> = HashSet::with_capacity(self.groups * 2);
+        let mut universe = Vec::with_capacity(self.groups);
+        while universe.len() < self.groups {
+            let mut tuple = [0u32; MAX_ATTRS];
+            for slot in tuple.iter_mut().take(self.arity) {
+                *slot = rng.gen();
+            }
+            if seen.insert(tuple) {
+                universe.push(tuple);
+            }
+        }
+
+        // Flow population: every group gets at least one flow so the
+        // whole universe is reachable, then extra flows at random.
+        let mut flows: Vec<Flow> = Vec::new();
+        for &attrs in &universe {
+            flows.push(Flow {
+                attrs,
+                remaining: self.flow_lengths.sample(&mut rng),
+            });
+        }
+        let extra = self.groups * (self.flows_per_group.saturating_sub(1));
+        for _ in 0..extra {
+            let attrs = universe[rng.gen_range(0..universe.len())];
+            flows.push(Flow {
+                attrs,
+                remaining: self.flow_lengths.sample(&mut rng),
+            });
+        }
+        flows.shuffle(&mut rng);
+
+        let records = interleave_flows(
+            flows,
+            self.records,
+            self.active_flows,
+            &self.flow_lengths,
+            &universe,
+            &mut rng,
+        );
+        let mut records = records;
+        spread_timestamps(&mut records, self.duration_secs);
+        GeneratedStream {
+            records,
+            universe_groups: self.groups,
+            arity: self.arity,
+        }
+    }
+}
+
+/// Emits exactly `target` packets by interleaving flows through a bounded
+/// active window. If the flow population runs dry, fresh flows are drawn
+/// from `universe`.
+pub(crate) fn interleave_flows(
+    mut pending: Vec<Flow>,
+    target: usize,
+    window: usize,
+    dist: &FlowLengthDistribution,
+    universe: &[[u32; MAX_ATTRS]],
+    rng: &mut StdRng,
+) -> Vec<Record> {
+    pending.reverse(); // pop() now yields flows in shuffled order
+    let mut active: Vec<Flow> = Vec::with_capacity(window);
+    let mut out = Vec::with_capacity(target);
+    while out.len() < target {
+        while active.len() < window {
+            match pending.pop() {
+                Some(f) => active.push(f),
+                None => {
+                    if active.is_empty() {
+                        // Replenish: new flow on a random existing group.
+                        let attrs = universe[rng.gen_range(0..universe.len())];
+                        active.push(Flow {
+                            attrs,
+                            remaining: dist.sample(rng),
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+        let idx = rng.gen_range(0..active.len());
+        let flow = &mut active[idx];
+        out.push(Record {
+            attrs: flow.attrs,
+            ts_micros: 0,
+        });
+        flow.remaining -= 1;
+        if flow.remaining == 0 {
+            active.swap_remove(idx);
+            if active.is_empty() && pending.is_empty() {
+                let attrs = universe[rng.gen_range(0..universe.len())];
+                active.push(Flow {
+                    attrs,
+                    remaining: dist.sample(rng),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrSet;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn emits_exact_record_count() {
+        let s = ClusteredStreamBuilder::new(3, 50).records(7000).build();
+        assert_eq!(s.len(), 7000);
+    }
+
+    #[test]
+    fn contiguous_flows_when_window_is_one() {
+        let s = ClusteredStreamBuilder::new(2, 30)
+            .records(5000)
+            .active_flows(1)
+            .flow_lengths(FlowLengthDistribution::Constant { len: 10 })
+            .seed(2)
+            .build();
+        // With window 1 and constant length 10, runs of equal tuples are
+        // multiples of 10 except where consecutive flows share a group.
+        let ab = AttrSet::parse("AB").unwrap();
+        let stats = DatasetStats::compute(&s.records, ab);
+        let fl = stats.flow_length(ab);
+        assert!(fl >= 10.0, "avg run length {fl} < 10");
+    }
+
+    #[test]
+    fn interleaving_shortens_observed_runs() {
+        let contiguous = ClusteredStreamBuilder::new(2, 30)
+            .records(5000)
+            .active_flows(1)
+            .flow_lengths(FlowLengthDistribution::Constant { len: 50 })
+            .seed(3)
+            .build();
+        let interleaved = ClusteredStreamBuilder::new(2, 30)
+            .records(5000)
+            .active_flows(16)
+            .flow_lengths(FlowLengthDistribution::Constant { len: 50 })
+            .seed(3)
+            .build();
+        let ab = AttrSet::parse("AB").unwrap();
+        let run_c = DatasetStats::compute(&contiguous.records, ab).flow_length(ab);
+        let run_i = DatasetStats::compute(&interleaved.records, ab).flow_length(ab);
+        assert!(
+            run_i < run_c,
+            "interleaved runs ({run_i}) not shorter than contiguous ({run_c})"
+        );
+    }
+
+    #[test]
+    fn covers_entire_universe_with_enough_records() {
+        let s = ClusteredStreamBuilder::new(4, 40)
+            .records(20_000)
+            .flow_lengths(FlowLengthDistribution::Constant { len: 5 })
+            .seed(4)
+            .build();
+        let abcd = AttrSet::parse("ABCD").unwrap();
+        let stats = DatasetStats::compute(&s.records, abcd);
+        assert_eq!(stats.groups(abcd), 40);
+    }
+
+    #[test]
+    fn pareto_sampler_respects_min_and_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = FlowLengthDistribution::Pareto { alpha: 2.0, min: 5 };
+        let samples: Vec<usize> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&l| l >= 5));
+        let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        // Analytic mean = alpha*min/(alpha-1) = 10; ceil() biases up ~0.5.
+        assert!((mean - d.mean()).abs() < 1.5, "mean {mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn geometric_sampler_mean() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = FlowLengthDistribution::Geometric { p: 0.2 };
+        let samples: Vec<usize> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.3, "mean {mean}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Workload generators.
+//!
+//! The paper evaluates on two kinds of data:
+//!
+//! * synthetic tuples "generated uniformly at random with the same number
+//!   of groups as those encountered in real data" ([`uniform`], plus a
+//!   Zipf-skewed variant in [`zipf`] used for ablations);
+//! * a real tcpdump packet trace with strong *flow clusteredness*. The
+//!   trace itself is proprietary, so [`trace`] synthesises a stream that
+//!   matches every statistic the paper reports about it, on top of the
+//!   generic clustered-stream machinery in [`clustered`].
+
+pub mod clustered;
+pub mod trace;
+pub mod uniform;
+pub mod zipf;
+
+use crate::record::Record;
+
+/// A finite generated stream together with the universe of distinct
+/// groups it was drawn from.
+#[derive(Clone, Debug)]
+pub struct GeneratedStream {
+    /// The records in arrival order.
+    pub records: Vec<Record>,
+    /// Number of distinct full-arity groups in the universe the stream
+    /// was drawn from (every universe group is guaranteed to appear at
+    /// least zero times; use [`crate::stats::DatasetStats`] for observed
+    /// counts).
+    pub universe_groups: usize,
+    /// Stream arity (number of live attributes per record).
+    pub arity: usize,
+}
+
+impl GeneratedStream {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Assigns evenly spaced timestamps across `duration_secs` to `records`.
+pub(crate) fn spread_timestamps(records: &mut [Record], duration_secs: f64) {
+    let n = records.len();
+    if n == 0 {
+        return;
+    }
+    let step = duration_secs * 1e6 / n as f64;
+    for (i, r) in records.iter_mut().enumerate() {
+        r.ts_micros = (i as f64 * step) as u64;
+    }
+}

@@ -1,0 +1,193 @@
+//! Uniform random tuple streams (the paper's synthetic datasets).
+//!
+//! §6.1: "we generated 1,000,000 3 and 4 dimensional tuples uniformly at
+//! random with the same number of groups as those encountered in real
+//! data". We first materialise a universe of `groups` distinct tuples and
+//! then draw records uniformly from it, which controls the full-arity
+//! group count exactly.
+
+use super::{spread_timestamps, GeneratedStream};
+use crate::record::Record;
+use crate::MAX_ATTRS;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+
+/// Builder for uniform random streams.
+///
+/// ```
+/// use msa_stream::UniformStreamBuilder;
+/// let stream = UniformStreamBuilder::new(4, 2837)
+///     .records(10_000)
+///     .seed(42)
+///     .build();
+/// assert_eq!(stream.len(), 10_000);
+/// assert_eq!(stream.arity, 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UniformStreamBuilder {
+    arity: usize,
+    groups: usize,
+    records: usize,
+    duration_secs: f64,
+    seed: u64,
+    attr_domains: Option<Vec<u32>>,
+}
+
+impl UniformStreamBuilder {
+    /// Creates a builder for an `arity`-attribute stream drawn from a
+    /// universe of `groups` distinct tuples.
+    ///
+    /// # Panics
+    /// Panics if `arity` is 0 or exceeds [`MAX_ATTRS`], or `groups` is 0.
+    pub fn new(arity: usize, groups: usize) -> UniformStreamBuilder {
+        assert!((1..=MAX_ATTRS).contains(&arity), "arity out of range");
+        assert!(groups >= 1, "need at least one group");
+        UniformStreamBuilder {
+            arity,
+            groups,
+            records: 1_000_000,
+            duration_secs: 62.0,
+            seed: 0,
+            attr_domains: None,
+        }
+    }
+
+    /// Number of records to generate (default 1,000,000, as in the paper).
+    pub fn records(mut self, n: usize) -> Self {
+        self.records = n;
+        self
+    }
+
+    /// Stream duration used for timestamp assignment (default 62 s).
+    pub fn duration_secs(mut self, d: f64) -> Self {
+        self.duration_secs = d;
+        self
+    }
+
+    /// RNG seed (streams are fully deterministic given the seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Restricts each attribute `i` to values in `[0, domains[i])`.
+    ///
+    /// This indirectly controls the group counts of *projections*: with a
+    /// small domain on `B`, relation `B` has few groups even when the
+    /// full-arity universe is large.
+    ///
+    /// # Panics
+    /// Panics if `domains.len()` differs from the arity or the universe
+    /// cannot fit (`groups > Π domains[i]`).
+    pub fn attr_domains(mut self, domains: Vec<u32>) -> Self {
+        assert_eq!(domains.len(), self.arity);
+        let capacity: u128 = domains.iter().map(|&d| d as u128).product();
+        assert!(
+            (self.groups as u128) <= capacity,
+            "universe of {} groups cannot fit in domain capacity {capacity}",
+            self.groups
+        );
+        self.attr_domains = Some(domains);
+        self
+    }
+
+    /// Generates the universe of distinct tuples.
+    fn universe(&self, rng: &mut StdRng) -> Vec<[u32; MAX_ATTRS]> {
+        let mut seen: HashSet<[u32; MAX_ATTRS]> = HashSet::with_capacity(self.groups * 2);
+        let mut universe = Vec::with_capacity(self.groups);
+        while universe.len() < self.groups {
+            let mut tuple = [0u32; MAX_ATTRS];
+            for (i, slot) in tuple.iter_mut().take(self.arity).enumerate() {
+                *slot = match &self.attr_domains {
+                    Some(domains) => rng.gen_range(0..domains[i]),
+                    None => rng.gen(),
+                };
+            }
+            if seen.insert(tuple) {
+                universe.push(tuple);
+            }
+        }
+        universe
+    }
+
+    /// Generates the stream.
+    pub fn build(&self) -> GeneratedStream {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let universe = self.universe(&mut rng);
+        let mut records = Vec::with_capacity(self.records);
+        for _ in 0..self.records {
+            let attrs = universe[rng.gen_range(0..universe.len())];
+            records.push(Record {
+                attrs,
+                ts_micros: 0,
+            });
+        }
+        spread_timestamps(&mut records, self.duration_secs);
+        GeneratedStream {
+            records,
+            universe_groups: self.groups,
+            arity: self.arity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrSet;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn produces_requested_record_count() {
+        let s = UniformStreamBuilder::new(3, 100).records(5000).build();
+        assert_eq!(s.len(), 5000);
+    }
+
+    #[test]
+    fn observed_group_count_converges_to_universe() {
+        // With 50 groups and 50_000 uniform draws, all groups appear
+        // with probability ~1.
+        let s = UniformStreamBuilder::new(4, 50).records(50_000).seed(1).build();
+        let stats = DatasetStats::compute(&s.records, AttrSet::parse("ABCD").unwrap());
+        assert_eq!(stats.groups(AttrSet::parse("ABCD").unwrap()), 50);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = UniformStreamBuilder::new(2, 10).records(100).seed(9).build();
+        let b = UniformStreamBuilder::new(2, 10).records(100).seed(9).build();
+        assert_eq!(a.records, b.records);
+        let c = UniformStreamBuilder::new(2, 10).records(100).seed(10).build();
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn domains_bound_projection_cardinality() {
+        let s = UniformStreamBuilder::new(3, 200)
+            .records(20_000)
+            .attr_domains(vec![10, 50, 1000])
+            .seed(3)
+            .build();
+        let stats = DatasetStats::compute(&s.records, AttrSet::parse("ABC").unwrap());
+        assert!(stats.groups(AttrSet::parse("A").unwrap()) <= 10);
+        assert!(stats.groups(AttrSet::parse("B").unwrap()) <= 50);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_span_duration() {
+        let s = UniformStreamBuilder::new(2, 5)
+            .records(1000)
+            .duration_secs(10.0)
+            .build();
+        assert!(s.records.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+        assert!(s.records.last().unwrap().ts_micros < 10_000_000);
+        assert!(s.records.last().unwrap().ts_micros > 9_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn rejects_impossible_universe() {
+        let _ = UniformStreamBuilder::new(2, 100).attr_domains(vec![5, 5]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Zipf-skewed tuple streams.
+//!
+//! The paper evaluates on uniform and clustered data only; skew is a
+//! natural ablation (real traffic is heavy-tailed per group even after
+//! de-clustering), so this generator draws records from the same
+//! materialised universe as [`super::uniform`] but with Zipf(s) rank
+//! frequencies.
+
+use super::{spread_timestamps, GeneratedStream};
+use crate::record::Record;
+use crate::MAX_ATTRS;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+
+/// Builder for Zipf-distributed streams over a fixed group universe.
+///
+/// ```
+/// use msa_stream::ZipfStreamBuilder;
+/// let s = ZipfStreamBuilder::new(4, 500, 1.1).records(10_000).build();
+/// assert_eq!(s.len(), 10_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfStreamBuilder {
+    arity: usize,
+    groups: usize,
+    exponent: f64,
+    records: usize,
+    duration_secs: f64,
+    seed: u64,
+}
+
+impl ZipfStreamBuilder {
+    /// Creates a builder: `arity` attributes, `groups` distinct tuples,
+    /// Zipf `exponent` (0 = uniform; 1–2 = realistic skew).
+    ///
+    /// # Panics
+    /// Panics on zero/excess arity, zero groups or negative exponent.
+    pub fn new(arity: usize, groups: usize, exponent: f64) -> ZipfStreamBuilder {
+        assert!((1..=MAX_ATTRS).contains(&arity));
+        assert!(groups >= 1);
+        assert!(exponent >= 0.0 && exponent.is_finite());
+        ZipfStreamBuilder {
+            arity,
+            groups,
+            exponent,
+            records: 1_000_000,
+            duration_secs: 62.0,
+            seed: 0,
+        }
+    }
+
+    /// Number of records (default 1,000,000).
+    pub fn records(mut self, n: usize) -> Self {
+        self.records = n;
+        self
+    }
+
+    /// Timestamp span (default 62 s).
+    pub fn duration_secs(mut self, d: f64) -> Self {
+        self.duration_secs = d;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the stream.
+    pub fn build(&self) -> GeneratedStream {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Materialise the universe (random-valued distinct tuples).
+        let mut seen: HashSet<[u32; MAX_ATTRS]> = HashSet::with_capacity(self.groups * 2);
+        let mut universe = Vec::with_capacity(self.groups);
+        while universe.len() < self.groups {
+            let mut tuple = [0u32; MAX_ATTRS];
+            for slot in tuple.iter_mut().take(self.arity) {
+                *slot = rng.gen();
+            }
+            if seen.insert(tuple) {
+                universe.push(tuple);
+            }
+        }
+        // Shuffle so that rank order is independent of generation order.
+        universe.shuffle(&mut rng);
+
+        // Cumulative Zipf weights + binary-search sampling.
+        let mut cum = Vec::with_capacity(self.groups);
+        let mut total = 0.0f64;
+        for rank in 1..=self.groups {
+            total += 1.0 / (rank as f64).powf(self.exponent);
+            cum.push(total);
+        }
+        let mut records = Vec::with_capacity(self.records);
+        for _ in 0..self.records {
+            let u: f64 = rng.gen_range(0.0..total);
+            let idx = cum.partition_point(|&c| c <= u);
+            records.push(Record {
+                attrs: universe[idx.min(self.groups - 1)],
+                ts_micros: 0,
+            });
+        }
+        spread_timestamps(&mut records, self.duration_secs);
+        GeneratedStream {
+            records,
+            universe_groups: self.groups,
+            arity: self.arity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttrSet;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn zero_exponent_is_uniform_like() {
+        let s = ZipfStreamBuilder::new(2, 20, 0.0).records(40_000).seed(4).build();
+        let stats = DatasetStats::compute(&s.records, AttrSet::parse("AB").unwrap());
+        assert_eq!(stats.groups(AttrSet::parse("AB").unwrap()), 20);
+    }
+
+    #[test]
+    fn high_skew_concentrates_mass() {
+        let s = ZipfStreamBuilder::new(2, 1000, 2.0).records(50_000).seed(7).build();
+        // Count the most frequent full group.
+        let mut counts = std::collections::HashMap::new();
+        let ab = AttrSet::parse("AB").unwrap();
+        for r in &s.records {
+            *counts.entry(r.project(ab)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        // Under Zipf(2) the top group holds ~ 1/zeta(2) ≈ 61% of mass.
+        assert!(max > s.len() / 2, "top group only {max} of {}", s.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ZipfStreamBuilder::new(3, 50, 1.0).records(500).seed(1).build();
+        let b = ZipfStreamBuilder::new(3, 50, 1.0).records(500).seed(1).build();
+        assert_eq!(a.records, b.records);
+    }
+}

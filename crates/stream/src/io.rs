@@ -1,0 +1,228 @@
+//! Binary trace persistence.
+//!
+//! Captured or synthesized packet traces are expensive to regenerate;
+//! this module stores them in a compact length-prefixed binary format
+//! (magic + version + arity + record count, then per record a `u64`
+//! timestamp and `arity` `u32` attribute values, all little-endian).
+//! Encoding goes through [`bytes::BufMut`] so the same routines work
+//! against files, network buffers or in-memory tests.
+
+use crate::attr::MAX_ATTRS;
+use crate::gen::GeneratedStream;
+use crate::record::Record;
+use bytes::{Buf, BufMut};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Format magic: `MAG1` (Multiple AGgregations, version tag separate).
+const MAGIC: [u8; 4] = *b"MAG1";
+/// Current format version.
+const VERSION: u16 = 1;
+
+/// Encoding/decoding failures.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Bad magic bytes — not a trace file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Arity outside `1..=MAX_ATTRS`.
+    BadArity(u8),
+    /// Fewer bytes than the header promised.
+    Truncated,
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::BadArity(a) => write!(f, "invalid arity {a}"),
+            TraceIoError::Truncated => write!(f, "trace file truncated"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> TraceIoError {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Encodes records into any [`BufMut`].
+///
+/// # Panics
+/// Panics if `arity` is outside `1..=MAX_ATTRS`.
+pub fn encode_records<B: BufMut>(records: &[Record], arity: usize, buf: &mut B) {
+    assert!((1..=MAX_ATTRS).contains(&arity), "arity out of range");
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(arity as u8);
+    buf.put_u64_le(records.len() as u64);
+    for r in records {
+        buf.put_u64_le(r.ts_micros);
+        for i in 0..arity {
+            buf.put_u32_le(r.attrs[i]);
+        }
+    }
+}
+
+/// Decodes records from any [`Buf`]; the inverse of [`encode_records`].
+pub fn decode_records<B: Buf>(buf: &mut B) -> Result<(Vec<Record>, usize), TraceIoError> {
+    if buf.remaining() < 4 + 2 + 1 + 8 {
+        return Err(TraceIoError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(TraceIoError::BadVersion(version));
+    }
+    let arity = buf.get_u8();
+    if arity == 0 || arity as usize > MAX_ATTRS {
+        return Err(TraceIoError::BadArity(arity));
+    }
+    let count = buf.get_u64_le() as usize;
+    let record_bytes = 8 + 4 * arity as usize;
+    if buf.remaining() < count.saturating_mul(record_bytes) {
+        return Err(TraceIoError::Truncated);
+    }
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        let ts_micros = buf.get_u64_le();
+        let mut attrs = [0u32; MAX_ATTRS];
+        for slot in attrs.iter_mut().take(arity as usize) {
+            *slot = buf.get_u32_le();
+        }
+        records.push(Record { attrs, ts_micros });
+    }
+    Ok((records, arity as usize))
+}
+
+/// Writes a stream to `path`.
+pub fn write_trace<P: AsRef<Path>>(stream: &GeneratedStream, path: P) -> Result<(), TraceIoError> {
+    let mut bytes = bytes::BytesMut::with_capacity(32 + stream.len() * (8 + 4 * stream.arity));
+    encode_records(&stream.records, stream.arity, &mut bytes);
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(&bytes)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a stream from `path`. The universe size is unknown after a
+/// round trip and reported as the number of *observed* full-arity
+/// groups.
+pub fn read_trace<P: AsRef<Path>>(path: P) -> Result<GeneratedStream, TraceIoError> {
+    let mut data = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut data)?;
+    let mut buf = &data[..];
+    let (records, arity) = decode_records(&mut buf)?;
+    let universe = {
+        let set = crate::attr::AttrSet::from_attrs(0..arity as u8);
+        let mut seen = std::collections::HashSet::with_capacity_and_hasher(
+            1024,
+            crate::hash::FastState::default(),
+        );
+        for r in &records {
+            seen.insert(r.project(set));
+        }
+        seen.len()
+    };
+    Ok(GeneratedStream {
+        records,
+        universe_groups: universe,
+        arity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform::UniformStreamBuilder;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let stream = UniformStreamBuilder::new(4, 50).records(500).seed(1).build();
+        let mut buf = bytes::BytesMut::new();
+        encode_records(&stream.records, 4, &mut buf);
+        let mut cursor = &buf[..];
+        let (records, arity) = decode_records(&mut cursor).unwrap();
+        assert_eq!(arity, 4);
+        assert_eq!(records, stream.records);
+        assert_eq!(cursor.len(), 0, "decoder must consume everything");
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("msa_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.bin");
+        let stream = UniformStreamBuilder::new(3, 20).records(200).seed(2).build();
+        write_trace(&stream, &path).unwrap();
+        let loaded = read_trace(&path).unwrap();
+        assert_eq!(loaded.records, stream.records);
+        assert_eq!(loaded.arity, 3);
+        assert_eq!(loaded.universe_groups, 20);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(matches!(
+            decode_records(&mut &b"XXXX"[..]),
+            Err(TraceIoError::Truncated)
+        ));
+        assert!(matches!(
+            decode_records(&mut &b"XXXXXXXXXXXXXXXXXXXX"[..]),
+            Err(TraceIoError::BadMagic)
+        ));
+        // Valid header, missing body.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"MAG1");
+        buf.put_u16_le(1);
+        buf.put_u8(4);
+        buf.put_u64_le(1000); // promises 1000 records, provides none
+        assert!(matches!(
+            decode_records(&mut &buf[..]),
+            Err(TraceIoError::Truncated)
+        ));
+        // Bad version.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"MAG1");
+        buf.put_u16_le(9);
+        buf.put_u8(4);
+        buf.put_u64_le(0);
+        assert!(matches!(
+            decode_records(&mut &buf[..]),
+            Err(TraceIoError::BadVersion(9))
+        ));
+        // Bad arity.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"MAG1");
+        buf.put_u16_le(1);
+        buf.put_u8(0);
+        buf.put_u64_le(0);
+        assert!(matches!(
+            decode_records(&mut &buf[..]),
+            Err(TraceIoError::BadArity(0))
+        ));
+    }
+
+    #[test]
+    fn empty_stream_roundtrips() {
+        let mut buf = bytes::BytesMut::new();
+        encode_records(&[], 2, &mut buf);
+        let (records, arity) = decode_records(&mut &buf[..]).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(arity, 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Stream substrate for the `multi-agg` workspace.
+//!
+//! This crate provides everything "below" the aggregation machinery of the
+//! SIGMOD 2005 paper *Multiple Aggregations Over Data Streams*:
+//!
+//! * [`Record`]s — fixed-arity tuples of 4-byte attribute values with a
+//!   timestamp, modelling IP packet headers;
+//! * [`AttrSet`] bitmasks naming grouping-attribute subsets (the paper's
+//!   *relations* such as `AB`, `BCD`);
+//! * [`GroupKey`]s — allocation-free projections of a record onto an
+//!   attribute set;
+//! * workload generators ([`gen`]): uniform and Zipf-skewed random tuples,
+//!   clustered flow streams, and a packet-trace synthesizer calibrated to
+//!   the statistics the paper reports for its real tcpdump dataset;
+//! * record selection ([`filter`]) — the "F" of LFTA — and binary trace
+//!   persistence ([`io`]);
+//! * dataset statistics ([`stats`]): group counts and average flow lengths
+//!   per attribute set, the inputs of the paper's cost model.
+
+pub mod attr;
+pub mod filter;
+pub mod gen;
+pub mod hash;
+pub mod io;
+pub mod record;
+pub mod stats;
+
+pub use attr::{AttrId, AttrSet, MAX_ATTRS};
+pub use gen::{
+    clustered::{ClusteredStreamBuilder, FlowLengthDistribution},
+    trace::{PacketTraceBuilder, TraceProfile},
+    uniform::UniformStreamBuilder,
+    zipf::ZipfStreamBuilder,
+};
+pub use filter::{AttrPredicate, CmpOp, Filter};
+pub use hash::{FastHasher, FastState};
+pub use record::{GroupKey, Record, Schema};
+pub use stats::DatasetStats;

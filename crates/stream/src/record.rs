@@ -1,0 +1,286 @@
+//! Records, schemas and group keys.
+//!
+//! A [`Record`] models one IP packet header: up to [`MAX_ATTRS`] 4-byte
+//! attribute values (source IP, source port, ...) plus a timestamp used
+//! for epoch assignment. A [`GroupKey`] is the projection of a record onto
+//! an [`AttrSet`] — the unit stored in LFTA hash-table buckets.
+
+use crate::attr::{AttrSet, MAX_ATTRS};
+use crate::hash::FastHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Stream schema: names the attributes of the stream relation.
+///
+/// Purely descriptive — the execution path works with positional
+/// attribute ids — but examples and reports use it to print meaningful
+/// labels ("srcIP" instead of "A").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    names: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from attribute names, positionally mapped to
+    /// `A, B, C, ...`.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_ATTRS`] names are given.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Schema {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(
+            names.len() <= MAX_ATTRS,
+            "at most {MAX_ATTRS} attributes supported"
+        );
+        Schema { names }
+    }
+
+    /// The canonical four-attribute packet-header schema from the paper.
+    pub fn packet_headers() -> Schema {
+        Schema::new(["srcIP", "srcPort", "dstIP", "dstPort"])
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of attribute `id`, if present.
+    pub fn name(&self, id: u8) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// The full attribute set of this schema.
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::from_attrs(0..self.arity() as u8)
+    }
+
+    /// Renders an attribute set with schema names: `AB` → `srcIP,srcPort`.
+    pub fn describe(&self, set: AttrSet) -> String {
+        let mut out = String::new();
+        for (i, a) in set.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match self.name(a) {
+                Some(n) => out.push_str(n),
+                None => out.push((b'A' + a) as char),
+            }
+        }
+        out
+    }
+}
+
+/// One stream tuple: attribute values plus a timestamp in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Record {
+    /// Attribute values, positionally `A, B, C, ...`. Unused positions
+    /// are zero.
+    pub attrs: [u32; MAX_ATTRS],
+    /// Arrival timestamp in microseconds since stream start.
+    pub ts_micros: u64,
+}
+
+impl Record {
+    /// Creates a record from a value slice (remaining attributes zeroed).
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_ATTRS`] values are given.
+    pub fn new(values: &[u32], ts_micros: u64) -> Record {
+        assert!(values.len() <= MAX_ATTRS);
+        let mut attrs = [0u32; MAX_ATTRS];
+        attrs[..values.len()].copy_from_slice(values);
+        Record { attrs, ts_micros }
+    }
+
+    /// Projects the record onto `set`, yielding the group key.
+    #[inline]
+    pub fn project(&self, set: AttrSet) -> GroupKey {
+        let mut vals = [0u32; MAX_ATTRS];
+        let mut len = 0u8;
+        for a in set.iter() {
+            vals[len as usize] = self.attrs[a as usize];
+            len += 1;
+        }
+        GroupKey { vals, len }
+    }
+}
+
+/// The projection of a record onto an attribute set: the paper's *group*.
+///
+/// Values are stored in ascending attribute-id order, so two records in
+/// the same group always produce identical keys. The type is `Copy` and
+/// allocation-free; equality and hashing consider only the live prefix.
+#[derive(Clone, Copy)]
+pub struct GroupKey {
+    vals: [u32; MAX_ATTRS],
+    len: u8,
+}
+
+impl GroupKey {
+    /// Builds a key directly from values (ascending attribute order).
+    pub fn from_values(values: &[u32]) -> GroupKey {
+        assert!(values.len() <= MAX_ATTRS);
+        let mut vals = [0u32; MAX_ATTRS];
+        vals[..values.len()].copy_from_slice(values);
+        GroupKey {
+            vals,
+            len: values.len() as u8,
+        }
+    }
+
+    /// The live attribute values.
+    #[inline]
+    pub fn values(&self) -> &[u32] {
+        &self.vals[..self.len as usize]
+    }
+
+    /// Number of attributes in the key.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Re-projects this key onto a *subset* of the attributes of the
+    /// relation it was built for.
+    ///
+    /// `own` must be the attribute set this key was projected on and
+    /// `target ⊆ own`; this is the feed path from a phantom table entry to
+    /// a child table.
+    #[inline]
+    pub fn reproject(&self, own: AttrSet, target: AttrSet) -> GroupKey {
+        debug_assert!(target.is_subset_of(own));
+        debug_assert_eq!(own.len(), self.arity());
+        let mut vals = [0u32; MAX_ATTRS];
+        let mut out = 0u8;
+        for (slot, a) in own.iter().enumerate() {
+            if target.contains(a) {
+                vals[out as usize] = self.vals[slot];
+                out += 1;
+            }
+        }
+        GroupKey { vals, len: out }
+    }
+
+    /// Hashes the key with an explicit seed (used by LFTA tables so that
+    /// different tables use independent hash functions).
+    #[inline]
+    pub fn hash_with_seed(&self, seed: u64) -> u64 {
+        FastHasher::hash_words(seed, self.values())
+    }
+}
+
+impl PartialEq for GroupKey {
+    #[inline]
+    fn eq(&self, other: &GroupKey) -> bool {
+        self.values() == other.values()
+    }
+}
+
+impl Eq for GroupKey {}
+
+impl Hash for GroupKey {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u8(self.len);
+        for &v in self.values() {
+            state.write_u32(v);
+        }
+    }
+}
+
+impl fmt::Debug for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GroupKey{:?}", self.values())
+    }
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vals: &[u32]) -> Record {
+        Record::new(vals, 0)
+    }
+
+    #[test]
+    fn projection_orders_by_attr_id() {
+        let r = rec(&[10, 20, 30, 40]);
+        let bd = AttrSet::parse("BD").unwrap();
+        assert_eq!(r.project(bd).values(), &[20, 40]);
+        let da = AttrSet::parse("AD").unwrap();
+        assert_eq!(r.project(da).values(), &[10, 40]);
+    }
+
+    #[test]
+    fn equal_groups_have_equal_keys() {
+        let a = rec(&[1, 2, 3, 4]).project(AttrSet::parse("AC").unwrap());
+        let b = rec(&[1, 9, 3, 7]).project(AttrSet::parse("AC").unwrap());
+        assert_eq!(a, b);
+        assert_eq!(a.hash_with_seed(5), b.hash_with_seed(5));
+    }
+
+    #[test]
+    fn different_groups_differ() {
+        let a = rec(&[1, 2, 3, 4]).project(AttrSet::parse("AB").unwrap());
+        let b = rec(&[1, 3, 3, 4]).project(AttrSet::parse("AB").unwrap());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reproject_matches_direct_projection() {
+        let r = rec(&[11, 22, 33, 44]);
+        let abcd = AttrSet::parse("ABCD").unwrap();
+        let full = r.project(abcd);
+        for target in ["A", "B", "BD", "ACD", "ABCD"] {
+            let t = AttrSet::parse(target).unwrap();
+            assert_eq!(full.reproject(abcd, t), r.project(t), "target {target}");
+        }
+    }
+
+    #[test]
+    fn reproject_from_partial_parent() {
+        let r = rec(&[11, 22, 33, 44]);
+        let bcd = AttrSet::parse("BCD").unwrap();
+        let k = r.project(bcd);
+        let bd = AttrSet::parse("BD").unwrap();
+        assert_eq!(k.reproject(bcd, bd), r.project(bd));
+    }
+
+    #[test]
+    fn arity_zero_key_is_consistent() {
+        let k = GroupKey::from_values(&[]);
+        assert_eq!(k.arity(), 0);
+        assert_eq!(k, GroupKey::from_values(&[]));
+    }
+
+    #[test]
+    fn schema_describe() {
+        let s = Schema::packet_headers();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(
+            s.describe(AttrSet::parse("AC").unwrap()),
+            "srcIP,dstIP".to_string()
+        );
+        assert_eq!(s.all_attrs(), AttrSet::parse("ABCD").unwrap());
+    }
+
+    #[test]
+    fn display_forms() {
+        let k = GroupKey::from_values(&[7, 8]);
+        assert_eq!(k.to_string(), "(7,8)");
+    }
+}

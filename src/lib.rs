@@ -1,0 +1,16 @@
+//! Umbrella crate re-exporting the public API of the `multi-agg` workspace.
+//!
+//! See [`msa_core`] for the high-level entry point and the individual
+//! crates for substrates:
+//!
+//! * [`msa_stream`] — records, attribute sets, workload generators, stats.
+//! * [`msa_collision`] — collision-rate models (Section 4 of the paper).
+//! * [`msa_gigascope`] — two-level LFTA/HFTA execution substrate.
+//! * [`msa_optimizer`] — feeding graph, cost model, space allocation and
+//!   phantom-choice algorithms (Sections 3 & 5).
+
+pub use msa_collision as collision;
+pub use msa_core as core;
+pub use msa_gigascope as gigascope;
+pub use msa_optimizer as optimizer;
+pub use msa_stream as stream;

@@ -1,0 +1,290 @@
+//! Property-based tests over the core data structures and invariants.
+
+use msa_core::{AttrSet, Configuration, CostParams, Executor, LinearModel, Record};
+use msa_gigascope::{PhysicalPlan, PlanNode};
+use msa_optimizer::cost::{per_record_cost, CostContext};
+use msa_optimizer::{AllocStrategy, FeedingGraph};
+use msa_stream::hash::FastMap;
+use msa_stream::{DatasetStats, GroupKey};
+use proptest::prelude::*;
+
+/// Strategy: a non-empty set of distinct non-empty attribute subsets
+/// over 4 attributes.
+fn query_sets() -> impl Strategy<Value = Vec<AttrSet>> {
+    proptest::collection::btree_set(1u16..16, 1..5).prop_map(|bits| {
+        bits.into_iter()
+            .map(|b| AttrSet::from_bits(b).expect("within range"))
+            .collect()
+    })
+}
+
+/// Strategy: a batch of records over small domains (to force collisions).
+fn record_batches() -> impl Strategy<Value = Vec<Record>> {
+    proptest::collection::vec(
+        (0u32..7, 0u32..5, 0u32..4, 0u32..3),
+        1..400,
+    )
+    .prop_map(|tuples| {
+        tuples
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b, c, d))| Record::new(&[a, b, c, d], i as u64))
+            .collect()
+    })
+}
+
+fn exact(records: &[Record], q: AttrSet) -> FastMap<GroupKey, u64> {
+    let mut m = FastMap::default();
+    for r in records {
+        *m.entry(r.project(q)).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    /// The executor produces exact counts for ANY valid plan shape and
+    /// ANY input batch — the fundamental correctness invariant.
+    #[test]
+    fn executor_is_exact_for_any_phantom_tree(records in record_batches(), buckets in 1usize..16) {
+        let s = |x: &str| AttrSet::parse(x).unwrap();
+        let plan = PhysicalPlan::new(vec![
+            PlanNode { attrs: s("ABCD"), parent: None, buckets, is_query: false },
+            PlanNode { attrs: s("ABC"), parent: Some(0), buckets, is_query: false },
+            PlanNode { attrs: s("AB"), parent: Some(1), buckets, is_query: true },
+            PlanNode { attrs: s("C"), parent: Some(1), buckets, is_query: true },
+            PlanNode { attrs: s("D"), parent: Some(0), buckets, is_query: true },
+        ]).unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 11);
+        ex.run(&records);
+        let (_, hfta) = ex.finish();
+        for q in ["AB", "C", "D"] {
+            prop_assert_eq!(hfta.totals(s(q)), exact(&records, s(q)));
+        }
+    }
+
+    /// Feeding-graph candidates are unions of queries, strict supersets
+    /// of at least two queries, and never queries themselves.
+    #[test]
+    fn feeding_graph_candidates_are_sound(queries in query_sets()) {
+        let graph = FeedingGraph::new(&queries);
+        for &p in graph.phantom_candidates() {
+            prop_assert!(!queries.contains(&p));
+            let covered = queries.iter().filter(|q| q.is_proper_subset_of(p)).count();
+            prop_assert!(covered >= 2, "{p} covers {covered} queries");
+            // p must be the union of the queries it covers... or a
+            // union of some query subset: verify p is a union of queries.
+            let union = queries
+                .iter()
+                .filter(|q| q.is_subset_of(p))
+                .fold(AttrSet::EMPTY, |u, &q| u.union(q));
+            prop_assert_eq!(union, p, "candidate {} is not a union of covered queries", p);
+        }
+    }
+
+    /// Configurations derived from any phantom subset are forests:
+    /// every non-raw relation's parent is a strict superset, queries
+    /// are exactly the declared ones, and notation round-trips.
+    #[test]
+    fn configuration_tree_invariants(queries in query_sets(), mask in 0u64..64) {
+        let graph = FeedingGraph::new(&queries);
+        let phantoms: Vec<AttrSet> = graph
+            .phantom_candidates()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &p)| p)
+            .collect();
+        let cfg = Configuration::with_phantoms(&queries, &phantoms);
+        prop_assert_eq!(cfg.len(), queries.len() + phantoms.len());
+        for r in cfg.relations() {
+            if let Some(p) = cfg.parent(r) {
+                prop_assert!(r.is_proper_subset_of(p));
+                // Parent is minimal: no other instantiated relation
+                // strictly between r and p.
+                for other in cfg.relations() {
+                    prop_assert!(
+                        !(r.is_proper_subset_of(other) && other.is_proper_subset_of(p)),
+                        "{} not minimal parent of {}: {} between", p, r, other
+                    );
+                }
+            }
+        }
+        let round = Configuration::parse(&cfg.notation(), &queries).unwrap();
+        prop_assert_eq!(round, cfg);
+    }
+
+    /// Every allocation strategy spends (approximately) the whole
+    /// budget and gives every table at least one bucket.
+    #[test]
+    fn allocations_conserve_budget(
+        queries in query_sets(),
+        mask in 0u64..16,
+        m in 2_000.0f64..50_000.0,
+    ) {
+        let graph = FeedingGraph::new(&queries);
+        let phantoms: Vec<AttrSet> = graph
+            .phantom_candidates()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &p)| p)
+            .collect();
+        let cfg = Configuration::with_phantoms(&queries, &phantoms);
+        // Synthetic statistics: groups grow with arity.
+        let stats = DatasetStats::from_group_counts(
+            cfg.relations().map(|r| (r, 100 * r.len())),
+            100_000,
+        );
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        for strat in AllocStrategy::HEURISTICS {
+            let alloc = strat.allocate(&cfg, m, &ctx);
+            let spent = alloc.space_words();
+            prop_assert!(
+                (spent - m).abs() / m < 0.05,
+                "{}: spent {spent} of {m}", strat.name()
+            );
+            for (r, b) in alloc.iter() {
+                prop_assert!(b >= 1.0, "{}: {r} has {b} buckets", strat.name());
+            }
+        }
+    }
+
+    /// The numeric optimum never loses to any heuristic (convexity of
+    /// the posynomial cost in log-space).
+    #[test]
+    fn numeric_allocation_dominates_heuristics(
+        mask in 0u64..16,
+        m in 4_000.0f64..40_000.0,
+    ) {
+        let s = |x: &str| AttrSet::parse(x).unwrap();
+        let queries = vec![s("AB"), s("BC"), s("BD"), s("CD")];
+        let graph = FeedingGraph::new(&queries);
+        let phantoms: Vec<AttrSet> = graph
+            .phantom_candidates()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &p)| p)
+            .collect();
+        let cfg = Configuration::with_phantoms(&queries, &phantoms);
+        let stats = DatasetStats::from_group_counts(
+            cfg.relations().map(|r| (r, 300 * r.len() * r.len())),
+            100_000,
+        );
+        let model = LinearModel::paper_no_intercept();
+        let ctx = CostContext::new(&stats, &model);
+        let numeric = msa_optimizer::alloc::allocate_numeric(&cfg, m, &ctx, 150);
+        let c_numeric = per_record_cost(&cfg, &numeric, &ctx);
+        for strat in AllocStrategy::HEURISTICS {
+            let a = strat.allocate(&cfg, m, &ctx);
+            let c = per_record_cost(&cfg, &a, &ctx);
+            prop_assert!(
+                c_numeric <= c * 1.02,
+                "{}: numeric {c_numeric} vs heuristic {c}", strat.name()
+            );
+        }
+    }
+
+    /// Collision models stay within [0, 1], increase with g, decrease
+    /// with b, and the closed form equals the literal sum.
+    #[test]
+    fn collision_model_invariants(g in 1u64..5000, b in 1u64..5000) {
+        use msa_collision::models;
+        let x = models::precise(g, b);
+        prop_assert!((0.0..=1.0).contains(&x));
+        prop_assert!(models::precise(g + 100, b) >= x - 1e-12);
+        prop_assert!(models::precise(g, b + 100) <= x + 1e-12);
+        if b >= 2 {
+            let sum = models::precise_sum(g, b);
+            prop_assert!((x - sum).abs() < 1e-8, "g={g} b={b}: {x} vs {sum}");
+        }
+    }
+
+    /// GroupKey projection/reprojection consistency for arbitrary
+    /// records and attribute-set pairs.
+    #[test]
+    fn reprojection_commutes(
+        attrs in proptest::array::uniform8(any::<u32>()),
+        own_bits in 1u16..256,
+        sub_bits in 0u16..256,
+    ) {
+        let own = AttrSet::from_bits(own_bits).unwrap();
+        let target = AttrSet::from_bits(sub_bits & own_bits).unwrap();
+        prop_assume!(!target.is_empty());
+        let r = Record { attrs, ts_micros: 0 };
+        prop_assert_eq!(r.project(own).reproject(own, target), r.project(target));
+    }
+
+    /// AggState merging is associative and commutative — the invariant
+    /// that makes partial aggregates combine correctly no matter how
+    /// evictions interleave along the cascade.
+    #[test]
+    fn agg_state_merge_is_order_insensitive(values in proptest::collection::vec(any::<u32>(), 1..40)) {
+        use msa_gigascope::table::AggState;
+        let fold = |order: &[u32]| {
+            let mut acc = AggState::from_value(order[0]);
+            for &v in &order[1..] {
+                acc.merge(&AggState::from_value(v));
+            }
+            acc
+        };
+        let forward = fold(&values);
+        let mut reversed = values.clone();
+        reversed.reverse();
+        prop_assert_eq!(forward, fold(&reversed));
+        // Tree-shaped combination equals linear combination.
+        if values.len() >= 2 {
+            let mid = values.len() / 2;
+            let mut left = fold(&values[..mid]);
+            let right = fold(&values[mid..]);
+            left.merge(&right);
+            prop_assert_eq!(forward, left);
+        }
+        prop_assert_eq!(forward.count as usize, values.len());
+        prop_assert_eq!(forward.sum, values.iter().map(|&v| u64::from(v)).sum::<u64>());
+        prop_assert_eq!(forward.min, *values.iter().min().unwrap());
+        prop_assert_eq!(forward.max, *values.iter().max().unwrap());
+    }
+
+    /// Filters partition the stream: a filtered run plus the
+    /// complement-filtered run account for every record.
+    #[test]
+    fn filter_partitions_records(records in record_batches(), threshold in 0u32..7) {
+        use msa_core::{CmpOp, Filter};
+        let keep = Filter::all().and(0, CmpOp::Lt, threshold);
+        let drop = Filter::all().and(0, CmpOp::Ge, threshold);
+        let kept = records.iter().filter(|r| keep.matches(r)).count();
+        let dropped = records.iter().filter(|r| drop.matches(r)).count();
+        prop_assert_eq!(kept + dropped, records.len());
+        // And the executor's filter metering agrees.
+        let plan = PhysicalPlan::flat(&[(AttrSet::parse("A").unwrap(), 16)]).unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 5)
+            .with_filter(keep.clone());
+        ex.run(&records);
+        prop_assert_eq!(ex.report().filtered_out as usize, dropped);
+        let _ = kept;
+    }
+
+    /// Trace encoding round-trips arbitrary records bit-exactly.
+    #[test]
+    fn trace_io_roundtrips(records in record_batches(), arity in 1usize..5) {
+        use msa_stream::io::{decode_records, encode_records};
+        // Zero out attributes beyond the declared arity (the format
+        // only stores `arity` values per record).
+        let narrowed: Vec<Record> = records
+            .iter()
+            .map(|r| {
+                let mut attrs = [0u32; 8];
+                attrs[..arity].copy_from_slice(&r.attrs[..arity]);
+                Record { attrs, ts_micros: r.ts_micros }
+            })
+            .collect();
+        let mut buf = bytes::BytesMut::new();
+        encode_records(&narrowed, arity, &mut buf);
+        let (decoded, got_arity) = decode_records(&mut &buf[..]).unwrap();
+        prop_assert_eq!(got_arity, arity);
+        prop_assert_eq!(decoded, narrowed);
+    }
+}
+
