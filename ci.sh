@@ -1,0 +1,20 @@
+#!/bin/sh
+# Offline CI gate: build, test, lint, format — no crate registry access.
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --offline --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test --offline -q"
+cargo test --offline --workspace -q
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI OK"

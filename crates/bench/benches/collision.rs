@@ -2,33 +2,29 @@
 //! truncated sum and the precomputed `g/b` regression: the planner
 //! evaluates the model thousands of times per plan.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use msa_bench::harness::bench;
 use msa_collision::curve::PiecewiseCurve;
 use msa_collision::models;
 use std::hint::black_box;
 
-fn bench_models(c: &mut Criterion) {
+fn main() {
     let (g, b) = (3000u64, 1000u64);
-    let mut group = c.benchmark_group("collision_rate");
+    println!("collision_rate");
 
-    group.bench_function("literal_sum_eq13", |bch| {
-        bch.iter(|| black_box(models::precise_sum(black_box(g), black_box(b))))
+    bench("literal_sum_eq13", || {
+        black_box(models::precise_sum(black_box(g), black_box(b)))
     });
-    group.bench_function("truncated_5sigma", |bch| {
-        bch.iter(|| black_box(models::precise_truncated(black_box(g), black_box(b), 5.0)))
+    bench("truncated_5sigma", || {
+        black_box(models::precise_truncated(black_box(g), black_box(b), 5.0))
     });
-    group.bench_function("closed_form", |bch| {
-        bch.iter(|| black_box(models::precise(black_box(g), black_box(b))))
+    bench("closed_form", || {
+        black_box(models::precise(black_box(g), black_box(b)))
     });
-    group.bench_function("asymptotic_gb_only", |bch| {
-        bch.iter(|| black_box(models::asymptotic(black_box(3.0))))
+    bench("asymptotic_gb_only", || {
+        black_box(models::asymptotic(black_box(3.0)))
     });
     let curve = PiecewiseCurve::fit_default();
-    group.bench_function("piecewise_regression", |bch| {
-        bch.iter(|| black_box(curve.eval(black_box(3.0))))
+    bench("piecewise_regression", || {
+        black_box(curve.eval(black_box(3.0)))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

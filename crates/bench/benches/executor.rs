@@ -2,7 +2,7 @@
 //! configuration vs a phantom configuration — the system-level effect
 //! the paper's cost model predicts.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use msa_bench::harness::bench_throughput;
 use msa_gigascope::{CostParams, Executor, PhysicalPlan, PlanNode};
 use msa_stream::{AttrSet, UniformStreamBuilder};
 use std::hint::black_box;
@@ -11,7 +11,7 @@ fn s(x: &str) -> AttrSet {
     AttrSet::parse(x).unwrap()
 }
 
-fn bench_executor(c: &mut Criterion) {
+fn main() {
     let stream = UniformStreamBuilder::new(4, 2837)
         .records(100_000)
         .seed(9)
@@ -59,21 +59,13 @@ fn bench_executor(c: &mut Criterion) {
     ])
     .unwrap();
 
-    let mut group = c.benchmark_group("executor");
-    group.throughput(Throughput::Elements(stream.len() as u64));
-    group.sample_size(20);
+    println!("executor");
     for (label, plan) in [("flat_4_queries", flat), ("phantom_abcd", phantom)] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let mut ex = Executor::new(plan.clone(), CostParams::paper(), u64::MAX, 3)
-                    .discard_results();
-                ex.run(black_box(&stream.records));
-                black_box(ex.report().per_record_cost())
-            })
+        bench_throughput(label, stream.len() as u64, || {
+            let mut ex =
+                Executor::new(plan.clone(), CostParams::paper(), u64::MAX, 3).discard_results();
+            ex.run(black_box(&stream.records));
+            black_box(ex.report().per_record_cost())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_executor);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! LFTA hash-table probe throughput — the `c1` operation whose cost the
 //! whole paper is built around.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use msa_bench::harness::bench_throughput;
 use msa_gigascope::table::AggState;
 use msa_gigascope::LftaTable;
 use msa_stream::{AttrSet, GroupKey};
@@ -18,10 +18,8 @@ fn keys(n: usize, arity: usize) -> Vec<GroupKey> {
         .collect()
 }
 
-fn bench_probe(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lfta_probe");
-    group.throughput(Throughput::Elements(10_000));
-
+fn main() {
+    println!("lfta_probe");
     for (label, arity, buckets) in [
         ("1attr_low_collision", 1usize, 1 << 15),
         ("4attr_low_collision", 4, 1 << 15),
@@ -29,22 +27,16 @@ fn bench_probe(c: &mut Criterion) {
     ] {
         let attrs = AttrSet::from_attrs(0..arity as u8);
         let keyset = keys(3000, arity);
-        group.bench_function(label, |b| {
-            let mut table = LftaTable::new(attrs, buckets, 7);
-            let mut i = 0usize;
-            b.iter(|| {
-                // Cycle through the key set; 10k probes per iteration
-                // batch keeps the measurement above timer resolution.
-                for _ in 0..10_000 {
-                    let k = keyset[i % keyset.len()];
-                    black_box(table.probe(black_box(k), AggState::unit()));
-                    i = i.wrapping_add(1);
-                }
-            })
+        let mut table = LftaTable::new(attrs, buckets, 7);
+        let mut i = 0usize;
+        bench_throughput(label, 10_000, || {
+            // Cycle through the key set; 10k probes per iteration batch
+            // keeps the measurement above timer resolution.
+            for _ in 0..10_000 {
+                let k = keyset[i % keyset.len()];
+                black_box(table.probe(black_box(k), AggState::unit()));
+                i = i.wrapping_add(1);
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_probe);
-criterion_main!(benches);

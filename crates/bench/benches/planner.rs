@@ -1,12 +1,10 @@
 //! Planning-time benchmarks (§6.3.4: "the running time of GCSL in all
 //! configurations we tried was sub-millisecond").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use msa_bench::harness::bench;
 use msa_collision::LinearModel;
 use msa_optimizer::cost::{ClusterHandling, CostContext};
-use msa_optimizer::{
-    greedy_collision, greedy_space, AllocStrategy, Configuration, FeedingGraph,
-};
+use msa_optimizer::{greedy_collision, greedy_space, AllocStrategy, Configuration, FeedingGraph};
 use msa_stream::{AttrSet, DatasetStats};
 use std::hint::black_box;
 
@@ -37,7 +35,7 @@ fn stats() -> DatasetStats {
     )
 }
 
-fn bench_planning(c: &mut Criterion) {
+fn main() {
     let stats = stats();
     let model = LinearModel::paper_no_intercept();
     let mut ctx = CostContext::new(&stats, &model);
@@ -48,57 +46,41 @@ fn bench_planning(c: &mut Criterion) {
     let g2 = FeedingGraph::new(&q2);
 
     // The paper's headline planning measurement.
-    c.bench_function("gcsl_single_attr_queries_m40k", |b| {
-        b.iter(|| {
-            black_box(greedy_collision(
-                black_box(&g1),
-                40_000.0,
-                &ctx,
-                AllocStrategy::SupernodeLinear,
-            ))
-        })
+    bench("gcsl_single_attr_queries_m40k", || {
+        black_box(greedy_collision(
+            black_box(&g1),
+            40_000.0,
+            &ctx,
+            AllocStrategy::SupernodeLinear,
+        ))
     });
-    c.bench_function("gcsl_pair_queries_m40k", |b| {
-        b.iter(|| {
-            black_box(greedy_collision(
-                black_box(&g2),
-                40_000.0,
-                &ctx,
-                AllocStrategy::SupernodeLinear,
-            ))
-        })
+    bench("gcsl_pair_queries_m40k", || {
+        black_box(greedy_collision(
+            black_box(&g2),
+            40_000.0,
+            &ctx,
+            AllocStrategy::SupernodeLinear,
+        ))
     });
-    c.bench_function("gs_phi1_single_attr_queries_m40k", |b| {
-        b.iter(|| black_box(greedy_space(black_box(&g1), 40_000.0, 1.0, &ctx)))
+    bench("gs_phi1_single_attr_queries_m40k", || {
+        black_box(greedy_space(black_box(&g1), 40_000.0, 1.0, &ctx))
     });
-}
 
-fn bench_allocation(c: &mut Criterion) {
-    let stats = stats();
-    let model = LinearModel::paper_no_intercept();
-    let mut ctx = CostContext::new(&stats, &model);
-    ctx.clustering = ClusterHandling::None;
     let queries: Vec<AttrSet> = ["AB", "BC", "BD", "CD"].iter().map(|q| s(q)).collect();
     let cfg = Configuration::with_phantoms(&queries, &[s("ABCD"), s("BCD")]);
 
-    let mut group = c.benchmark_group("alloc_strategies");
+    println!("alloc_strategies");
     for strat in AllocStrategy::HEURISTICS {
-        group.bench_function(strat.name(), |b| {
-            b.iter(|| black_box(strat.allocate(black_box(&cfg), 40_000.0, &ctx)))
+        bench(strat.name(), || {
+            black_box(strat.allocate(black_box(&cfg), 40_000.0, &ctx))
         });
     }
-    group.bench_function("ES_numeric_100_iters", |b| {
-        b.iter(|| {
-            black_box(msa_optimizer::alloc::allocate_numeric(
-                black_box(&cfg),
-                40_000.0,
-                &ctx,
-                100,
-            ))
-        })
+    bench("ES_numeric_100_iters", || {
+        black_box(msa_optimizer::alloc::allocate_numeric(
+            black_box(&cfg),
+            40_000.0,
+            &ctx,
+            100,
+        ))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_planning, bench_allocation);
-criterion_main!(benches);

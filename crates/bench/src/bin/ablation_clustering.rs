@@ -8,7 +8,7 @@
 //! rule). Each policy plans the trace workload; the executor measures
 //! what the resulting plans actually cost.
 
-use msa_bench::{measured_cost, m_sweep, paper_trace, print_table, stats_abcd_temporal};
+use msa_bench::{m_sweep, measured_cost, paper_trace, print_table, stats_abcd_temporal};
 use msa_collision::LinearModel;
 use msa_optimizer::cost::{ClusterHandling, CostContext};
 use msa_optimizer::planner::Plan;

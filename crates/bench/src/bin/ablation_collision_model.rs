@@ -7,7 +7,7 @@
 //! finite-size precise model, then *measures* each plan's cost in the
 //! executor — quantifying what the cheaper models give up.
 
-use msa_bench::{measured_cost, m_sweep, paper_uniform, print_table, stats_abcd};
+use msa_bench::{m_sweep, measured_cost, paper_uniform, print_table, stats_abcd};
 use msa_collision::{AsymptoticModel, CollisionModel, LinearModel, PreciseModel};
 use msa_optimizer::cost::{ClusterHandling, CostContext};
 use msa_optimizer::planner::Plan;
@@ -31,8 +31,11 @@ fn main() {
     let linear = LinearModel::paper_no_intercept();
     let asym = AsymptoticModel;
     let precise = PreciseModel;
-    let models: [(&str, &dyn CollisionModel); 3] =
-        [("linear", &linear), ("asymptotic", &asym), ("precise", &precise)];
+    let models: [(&str, &dyn CollisionModel); 3] = [
+        ("linear", &linear),
+        ("asymptotic", &asym),
+        ("precise", &precise),
+    ];
 
     let mut rows = Vec::new();
     for m in m_sweep() {

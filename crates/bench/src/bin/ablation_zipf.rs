@@ -25,9 +25,7 @@ fn main() {
     let groups = ((2837.0 * scale()).round() as usize).max(8);
     let records = ((500_000.0 * scale()).round() as usize).max(1000);
 
-    println!(
-        "Ablation: Zipf skew (4-d data, {groups} groups, {records} records, M = {m:.0})"
-    );
+    println!("Ablation: Zipf skew (4-d data, {groups} groups, {records} records, M = {m:.0})");
 
     let mut rows = Vec::new();
     for exponent in [0.0, 0.5, 1.0, 1.5, 2.0] {
@@ -70,7 +68,13 @@ fn main() {
     }
     print_table(
         "measured cost: phantoms vs flat under skew",
-        &["zipf s", "GCSL", "no phantom", "improvement", "configuration"],
+        &[
+            "zipf s",
+            "GCSL",
+            "no phantom",
+            "improvement",
+            "configuration",
+        ],
         &rows,
     );
     println!(

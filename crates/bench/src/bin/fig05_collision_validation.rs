@@ -9,7 +9,7 @@
 //! model tracks the measurements; the rough model only converges for
 //! large `g/b`.
 
-use msa_bench::{paper_trace_declustered, print_table, f4};
+use msa_bench::{f4, paper_trace_declustered, print_table};
 use msa_collision::models;
 use msa_gigascope::table::measure_collision_rate;
 use msa_stream::{AttrSet, DatasetStats};

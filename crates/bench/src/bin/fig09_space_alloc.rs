@@ -5,7 +5,9 @@
 //! with the exhaustive-search optimum; the paper reports SL as the best
 //! heuristic (errors of a few percent) with PL/PR reaching up to 35 %.
 
-use msa_bench::{alloc_error_row, m_sweep, paper_trace, parse_config_leaves, pct, print_table, stats_abcd};
+use msa_bench::{
+    alloc_error_row, m_sweep, paper_trace, parse_config_leaves, pct, print_table, stats_abcd,
+};
 use msa_collision::LinearModel;
 use msa_optimizer::cost::CostContext;
 

@@ -2,7 +2,9 @@
 //! deeper configurations `(ABCD(ABC(A BC(B C)) D))` and
 //! `(ABCD(AB BCD(BC BD CD)))`.
 
-use msa_bench::{alloc_error_row, m_sweep, paper_trace, parse_config_leaves, pct, print_table, stats_abcd};
+use msa_bench::{
+    alloc_error_row, m_sweep, paper_trace, parse_config_leaves, pct, print_table, stats_abcd,
+};
 use msa_collision::LinearModel;
 use msa_optimizer::cost::CostContext;
 

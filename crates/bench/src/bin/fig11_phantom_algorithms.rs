@@ -7,9 +7,9 @@
 //! φ ⇒ no room for phantoms), GCSL is below GS for every φ, and GCPL
 //! lower-bounds GS.
 
-use msa_bench::{print_table, paper_uniform, scale, stats_abcd};
+use msa_bench::{paper_uniform, print_table, scale, stats_abcd};
 use msa_collision::LinearModel;
-use msa_optimizer::cost::{CostContext, ClusterHandling};
+use msa_optimizer::cost::{ClusterHandling, CostContext};
 use msa_optimizer::{epes, greedy_collision, greedy_space, AllocStrategy, FeedingGraph};
 use msa_stream::AttrSet;
 

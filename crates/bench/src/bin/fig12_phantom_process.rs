@@ -44,12 +44,7 @@ fn main() {
     let gcpl = greedy_collision(&graph, m, &ctx, AllocStrategy::ProportionalLinear);
     let gs: Vec<(String, GreedyTrace)> = [0.6, 0.8, 1.0, 1.1, 1.2, 1.3]
         .iter()
-        .map(|&phi| {
-            (
-                format!("GS phi={phi}"),
-                greedy_space(&graph, m, phi, &ctx),
-            )
-        })
+        .map(|&phi| (format!("GS phi={phi}"), greedy_space(&graph, m, phi, &ctx)))
         .collect();
 
     let depth = 1 + gcsl

@@ -7,7 +7,7 @@
 //! streamed through the two-level executor, counting real probes and
 //! evictions.
 
-use msa_bench::{measured_cost, m_sweep, paper_uniform, print_table, stats_abcd};
+use msa_bench::{m_sweep, measured_cost, paper_uniform, print_table, stats_abcd};
 use msa_collision::LinearModel;
 use msa_optimizer::cost::{ClusterHandling, CostContext};
 use msa_optimizer::planner::Plan;

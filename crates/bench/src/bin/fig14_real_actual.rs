@@ -5,7 +5,7 @@
 //! of the packet trace enters the cost model by dividing raw tables'
 //! collision rates by their average run lengths.
 
-use msa_bench::{measured_cost, m_sweep, paper_trace, print_table, stats_abcd_temporal};
+use msa_bench::{m_sweep, measured_cost, paper_trace, print_table, stats_abcd_temporal};
 use msa_collision::LinearModel;
 use msa_optimizer::cost::CostContext;
 use msa_optimizer::planner::Plan;

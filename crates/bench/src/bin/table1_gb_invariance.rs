@@ -25,13 +25,12 @@ fn main() {
             b += 100;
         }
         let variation = if lo > 0.0 { (hi - lo) / lo } else { 0.0 };
-        rows.push(vec![
-            format!("{r}"),
-            format!("{:.3}", variation * 100.0),
-        ]);
+        rows.push(vec![format!("{r}"), format!("{:.3}", variation * 100.0)]);
     }
-    print_table("max relative variation (%)", &["g/b", "variation (%)"], &rows);
-    println!(
-        "\npaper's Table 1: 1.4 / 0.43 / 0.15 / 0.03 / 0.004 / 0 / 0 / 0 (%)"
+    print_table(
+        "max relative variation (%)",
+        &["g/b", "variation (%)"],
+        &rows,
     );
+    println!("\npaper's Table 1: 1.4 / 0.43 / 0.15 / 0.03 / 0.004 / 0 / 0 / 0 (%)");
 }

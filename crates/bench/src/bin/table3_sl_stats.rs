@@ -34,7 +34,11 @@ fn main() {
             }
         }
         let pct_best = 100.0 * sl_best as f64 / errors.len() as f64;
-        let avg_gap = if gap_n == 0 { 0.0 } else { gap_sum / gap_n as f64 };
+        let avg_gap = if gap_n == 0 {
+            0.0
+        } else {
+            gap_sum / gap_n as f64
+        };
         rows.push(vec![
             format!("{:.0}", m / 1000.0),
             format!("{pct_best:.0}"),
@@ -43,11 +47,7 @@ fn main() {
     }
     print_table(
         "SL statistics",
-        &[
-            "M (thousand)",
-            "SL being best (%)",
-            "error from best (%)",
-        ],
+        &["M (thousand)", "SL being best (%)", "error from best (%)"],
         &rows,
     );
     println!("\npaper: SL best 44/89/89/89/100 %; gap ≤ 2.2 %.");

@@ -12,6 +12,8 @@
 //!   streams). Smaller values make every binary proportionally faster.
 //! * `MSA_SEED` — RNG seed (default 42).
 
+#![deny(unsafe_code)]
+
 use msa_optimizer::cost::{per_record_cost, CostContext};
 use msa_optimizer::{Allocation, Configuration};
 use msa_stream::gen::GeneratedStream;
@@ -126,12 +128,14 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
 }
-
 
 /// Parses a configuration notation treating its leaves as the queries
 /// (the experiment configurations of Figs. 9–10 define queries
@@ -145,11 +149,7 @@ pub fn parse_config_leaves(notation: &str) -> Configuration {
 /// One row of a Fig. 9/10-style experiment: for each heuristic, the
 /// relative error (%) of its cost against the (numeric) exhaustive
 /// optimum, for a fixed configuration and budget.
-pub fn alloc_error_row(
-    cfg: &Configuration,
-    m_words: f64,
-    ctx: &CostContext<'_>,
-) -> Vec<f64> {
+pub fn alloc_error_row(cfg: &Configuration, m_words: f64, ctx: &CostContext<'_>) -> Vec<f64> {
     let es = msa_optimizer::alloc::allocate_numeric(cfg, m_words, ctx, 400);
     let c_es = per_record_cost(cfg, &es, ctx);
     msa_optimizer::AllocStrategy::HEURISTICS
@@ -162,15 +162,11 @@ pub fn alloc_error_row(
         .collect()
 }
 
-
 /// Enumerates all valid configurations over `queries` with at most
 /// `max_phantoms` phantoms (a configuration is valid when every phantom
 /// feeds at least two relations — the paper shows childless/one-child
 /// phantoms are never beneficial).
-pub fn enumerate_phantom_configs(
-    queries: &[AttrSet],
-    max_phantoms: usize,
-) -> Vec<Configuration> {
+pub fn enumerate_phantom_configs(queries: &[AttrSet], max_phantoms: usize) -> Vec<Configuration> {
     let graph = msa_optimizer::FeedingGraph::new(queries);
     let candidates = graph.phantom_candidates();
     assert!(candidates.len() <= 20, "too many candidates to enumerate");
@@ -223,6 +219,73 @@ pub fn alloc_error_sweep(stats: &DatasetStats) -> Vec<(f64, Vec<Vec<f64>>)> {
             (m, errors)
         })
         .collect()
+}
+
+/// Minimal wall-clock micro-benchmark harness.
+///
+/// The workspace builds with no external crates, so the `cargo bench`
+/// targets use this instead of a benchmarking framework: calibrate an
+/// iteration count, take five timed batches, report the median.
+pub mod harness {
+    use std::time::{Duration, Instant};
+
+    /// Result of one benchmark: median seconds per iteration.
+    pub struct Measurement {
+        /// Median wall-clock seconds per iteration.
+        pub secs_per_iter: f64,
+    }
+
+    fn run_batch<R>(f: &mut impl FnMut() -> R, iters: u64) -> Duration {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        t.elapsed()
+    }
+
+    /// Times `f` and prints `label: <time>/iter`. Returns the measurement
+    /// so callers can derive throughput.
+    pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) -> Measurement {
+        // Calibrate: grow the batch until it runs at least ~20 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = run_batch(&mut f, iters);
+            if elapsed >= Duration::from_millis(20) || iters >= 1 << 28 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| run_batch(&mut f, iters).as_secs_f64() / iters as f64)
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let secs = samples[2];
+        println!("{label:<40} {}", format_time(secs));
+        Measurement {
+            secs_per_iter: secs,
+        }
+    }
+
+    /// Like [`bench`] but also prints element throughput, for benchmarks
+    /// whose closure processes `elements` items per call.
+    pub fn bench_throughput<R>(label: &str, elements: u64, f: impl FnMut() -> R) -> Measurement {
+        let m = bench(label, f);
+        let rate = elements as f64 / m.secs_per_iter;
+        println!("{:<40} {:.2} Melem/s", "", rate / 1e6);
+        m
+    }
+
+    fn format_time(secs: f64) -> String {
+        if secs < 1e-6 {
+            format!("{:.1} ns/iter", secs * 1e9)
+        } else if secs < 1e-3 {
+            format!("{:.2} µs/iter", secs * 1e6)
+        } else if secs < 1.0 {
+            format!("{:.2} ms/iter", secs * 1e3)
+        } else {
+            format!("{secs:.2} s/iter")
+        }
+    }
 }
 
 /// Formats a float with 4 significant decimals.

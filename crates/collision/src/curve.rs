@@ -215,11 +215,7 @@ fn fit_quadratic(points: &[(f64, f64)]) -> [f64; 3] {
             rp *= r;
         }
     }
-    let a = [
-        [s[0], s[1], s[2]],
-        [s[1], s[2], s[3]],
-        [s[2], s[3], s[4]],
-    ];
+    let a = [[s[0], s[1], s[2]], [s[1], s[2], s[3]], [s[2], s[3], s[4]]];
     solve3(a, t)
 }
 
@@ -336,10 +332,7 @@ mod tests {
         for i in 1..500 {
             let r = i as f64 * 0.1;
             let x = c.eval(r);
-            assert!(
-                x >= prev - 5e-3,
-                "non-monotone at r={r}: {x} after {prev}"
-            );
+            assert!(x >= prev - 5e-3, "non-monotone at r={r}: {x} after {prev}");
             prev = x;
         }
     }

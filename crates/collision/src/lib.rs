@@ -20,6 +20,8 @@
 //! * [`CollisionModel`] — the trait through which the optimizer consumes
 //!   a rate model.
 
+#![deny(unsafe_code)]
+
 pub mod curve;
 pub mod models;
 pub mod occupancy;

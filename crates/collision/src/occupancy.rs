@@ -128,16 +128,10 @@ mod tests {
 
     #[test]
     fn measured_histogram_accounts_all_buckets() {
-        let groups: Vec<GroupKey> = (0..500u32)
-            .map(|i| GroupKey::from_values(&[i]))
-            .collect();
+        let groups: Vec<GroupKey> = (0..500u32).map(|i| GroupKey::from_values(&[i])).collect();
         let hist = measured_occupancy(&groups, 128, 1);
         assert_eq!(hist.iter().sum::<u64>(), 128);
-        let total_groups: u64 = hist
-            .iter()
-            .enumerate()
-            .map(|(k, &c)| k as u64 * c)
-            .sum();
+        let total_groups: u64 = hist.iter().enumerate().map(|(k, &c)| k as u64 * c).sum();
         assert_eq!(total_groups, 500);
     }
 

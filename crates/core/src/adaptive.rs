@@ -82,7 +82,11 @@ pub fn refine_stats(
             continue;
         }
         let raw = cfg.parent(*attrs).is_none();
-        let l = if raw { t.avg_run_length().max(1.0) } else { 1.0 };
+        let l = if raw {
+            t.avg_run_length().max(1.0)
+        } else {
+            1.0
+        };
         let b = alloc.buckets(*attrs).max(1.0);
         let g_est = (t.collision_rate() * b * l / PAPER_MU).max(1.0);
         new_groups.insert(*attrs, g_est.round() as usize);
@@ -183,10 +187,8 @@ mod tests {
 
     #[test]
     fn refine_scales_unobserved_relations_by_median() {
-        let stats = DatasetStats::from_group_counts(
-            [(s("A"), 100), (s("B"), 100), (s("AB"), 500)],
-            10_000,
-        );
+        let stats =
+            DatasetStats::from_group_counts([(s("A"), 100), (s("B"), 100), (s("AB"), 500)], 10_000);
         let cfg = Configuration::from_queries(&[s("A"), s("B")]);
         let mut alloc = Allocation::default();
         alloc.set(s("A"), 1000.0);

@@ -4,9 +4,14 @@ use crate::adaptive::{drift, refine_stats, AdaptivePolicy};
 use msa_collision::{AsymptoticModel, CollisionModel, LinearModel, PreciseModel};
 pub use msa_gigascope::executor::ValueSource;
 use msa_gigascope::hfta::EpochResult;
-use msa_gigascope::{CostParams, Executor, RunReport};
-use msa_optimizer::cost::{rates, CostContext};
-use msa_optimizer::{Algorithm, ClusterHandling, Plan, Planner, PlannerOptions};
+use msa_gigascope::{
+    CostParams, Executor, FaultPlan, GuardLevel, GuardPolicy, OverloadGuard, RunReport,
+};
+use msa_optimizer::cost::{end_of_epoch_cost, rates, CostContext};
+use msa_optimizer::{
+    enforce_peak_load_from, Algorithm, ClusterHandling, PeakLoadMethod, Plan, Planner,
+    PlannerOptions,
+};
 use msa_stream::hash::FastMap;
 use msa_stream::{AttrSet, DatasetStats, Filter, GroupKey, Record};
 
@@ -64,6 +69,16 @@ pub struct EngineOptions {
     pub value_source: ValueSource,
     /// Selection filter applied before aggregation (default: pass all).
     pub filter: Filter,
+    /// Runtime overload guard: when the measured per-epoch flush cost
+    /// breaches the policy's peak budget `E_p`, the executor degrades
+    /// gracefully (shed → phantoms off → allocation repair) and the
+    /// engine applies guard-requested repairs at epoch boundaries
+    /// (default: no guard).
+    pub guard: Option<GuardPolicy>,
+    /// Fault-injection plan for the LFTA → HFTA eviction channel
+    /// (chaos testing; default: none). Stream-level faults — bursts,
+    /// clock skew — must be applied to the records before pushing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl EngineOptions {
@@ -83,6 +98,8 @@ impl EngineOptions {
             retain_results: true,
             value_source: ValueSource::None,
             filter: Filter::all(),
+            guard: None,
+            faults: None,
         }
     }
 }
@@ -96,6 +113,8 @@ pub struct AggregationOutput {
     pub report: RunReport,
     /// Number of adaptive replans performed.
     pub replans: usize,
+    /// Number of guard-requested allocation repairs applied.
+    pub repairs: usize,
     /// The plan in effect at the end of the run (None if the stream
     /// ended during bootstrap with no records at all).
     pub final_plan: Option<Plan>,
@@ -121,9 +140,7 @@ impl AggregationOutput {
             if r.query == query {
                 for (k, a) in &r.aggregates {
                     match out.entry(*k) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            e.get_mut().merge(a)
-                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(a),
                         std::collections::hash_map::Entry::Vacant(v) => {
                             v.insert(*a);
                         }
@@ -153,9 +170,18 @@ pub struct MultiAggregator {
     results: Vec<EpochResult>,
     merged: RunReport,
     replans: usize,
+    repairs: usize,
     current_epoch: u64,
     epochs_since_check: u64,
     executor_generation: u64,
+    /// Guard state carried across executor swaps.
+    guard_state: Option<OverloadGuard>,
+    /// Pre-repair allocation the incremental shrink scan is relative to
+    /// (reset by a full replan).
+    repair_base: Option<msa_optimizer::Allocation>,
+    /// Scale of the last applied repair (1.0 = none); the next repair's
+    /// scan resumes below it.
+    repair_scale: f64,
 }
 
 impl MultiAggregator {
@@ -176,9 +202,13 @@ impl MultiAggregator {
             results: Vec::new(),
             merged,
             replans: 0,
+            repairs: 0,
             current_epoch: 0,
             epochs_since_check: 0,
             executor_generation: 0,
+            guard_state: None,
+            repair_base: None,
+            repair_scale: 1.0,
             queries,
             opts,
         };
@@ -247,10 +277,7 @@ impl MultiAggregator {
     /// replays the buffer through it.
     fn promote(&mut self, buffered: Vec<Record>) {
         if self.stats.is_none() {
-            let universe = self
-                .queries
-                .iter()
-                .fold(AttrSet::EMPTY, |u, q| u.union(*q));
+            let universe = self.queries.iter().fold(AttrSet::EMPTY, |u, q| u.union(*q));
             let mut stats = DatasetStats::compute(&buffered, universe);
             // Flow lengths derived the paper's way (bucket-level run
             // lengths survive flow interleaving; §4.3).
@@ -269,39 +296,61 @@ impl MultiAggregator {
         let options = self.planner_options();
         let model = self.opts.model;
         let plan = Planner::new(&self.queries, stats, &model, &options).plan(&options);
+        self.plan = Some(plan);
+        // A fresh plan invalidates the incremental-repair baseline.
+        self.repair_base = None;
+        self.repair_scale = 1.0;
+        // Replaying a bootstrap buffer must start at the buffer's first
+        // epoch; executor swaps mid-stream resume at the current one.
+        let epoch_micros = self.opts.epoch_micros.max(1);
+        let start_epoch = buffered
+            .first()
+            .map_or(self.current_epoch, |r| r.ts_micros / epoch_micros);
+        let mut executor = self.build_executor(start_epoch);
+        for r in &buffered {
+            executor.process(r);
+        }
+        self.state = State::Running(executor);
+    }
+
+    /// Builds an executor for the current plan, wiring in the options'
+    /// value source, filter, fault plan and overload guard (transplanting
+    /// carried guard state, if any).
+    fn build_executor(&mut self, start_epoch: u64) -> Box<Executor> {
+        let plan = self.plan.as_ref().expect("plan set before building");
         let mut executor = Executor::new(
             plan.to_physical(),
             self.opts.params,
             self.opts.epoch_micros,
             msa_stream::hash::mix64(self.opts.seed ^ self.executor_generation),
-        );
+        )
+        .with_start_epoch(start_epoch)
+        .with_value_source(self.opts.value_source)
+        .with_filter(self.opts.filter.clone());
         self.executor_generation += 1;
-        executor = executor
-            .with_value_source(self.opts.value_source)
-            .with_filter(self.opts.filter.clone());
         if !self.opts.retain_results {
             executor = executor.discard_results();
         }
-        for r in &buffered {
-            executor.process(r);
+        if let Some(fp) = &self.opts.faults {
+            executor = executor.with_faults(fp);
         }
-        self.plan = Some(plan);
-        self.state = State::Running(Box::new(executor));
+        if let Some(g) = self.guard_state.take() {
+            executor = executor.with_guard_state(g);
+        } else if let Some(policy) = self.opts.guard {
+            executor = executor.with_guard(policy);
+        }
+        Box::new(executor)
     }
 
     /// Retires `executor`, folding its results and counters into the
-    /// accumulators.
+    /// accumulators and carrying the guard state to the next executor.
     fn retire(&mut self, executor: Box<Executor>) {
-        let (report, hfta) = executor.finish();
-        self.merged.records += report.records;
-        self.merged.intra_probes += report.intra_probes;
-        self.merged.intra_evictions += report.intra_evictions;
-        self.merged.flush_probes += report.flush_probes;
-        self.merged.flush_evictions += report.flush_evictions;
-        self.merged.filtered_out += report.filtered_out;
+        let (report, hfta, guard) = executor.finish_parts();
+        self.guard_state = guard;
         // Executors share the global epoch numbering (timestamps are
-        // absolute), so the epoch count is a maximum, not a sum.
-        self.merged.epochs = self.merged.epochs.max(report.epochs);
+        // absolute); `merge` takes the epoch count as a maximum, not a
+        // sum, and accumulates everything else.
+        self.merged.merge(&report);
         self.results.extend(hfta.results().iter().cloned());
     }
 
@@ -318,6 +367,17 @@ impl MultiAggregator {
         let State::Running(executor) = &mut self.state else {
             return;
         };
+        // A degraded guard means the observed table statistics are not
+        // the stream's (records shed, phantoms bypassed): a drift verdict
+        // drawn from them would be noise, and overload already has its
+        // own repair path. Defer the check until the guard is calm.
+        if executor
+            .guard()
+            .is_some_and(|g| g.level() != GuardLevel::Normal)
+        {
+            executor.reset_table_stats();
+            return;
+        }
         let observed = executor.table_stats();
         let (plan, stats) = match (&self.plan, &self.stats) {
             (Some(p), Some(s)) => (p, s),
@@ -343,10 +403,9 @@ impl MultiAggregator {
             &observed,
             &policy,
         );
-        let State::Running(executor) = std::mem::replace(
-            &mut self.state,
-            State::Bootstrapping(Vec::new()),
-        ) else {
+        let State::Running(executor) =
+            std::mem::replace(&mut self.state, State::Bootstrapping(Vec::new()))
+        else {
             unreachable!("checked above");
         };
         self.retire(executor);
@@ -355,13 +414,95 @@ impl MultiAggregator {
         self.promote(Vec::new());
     }
 
+    /// Applies a guard-requested allocation repair: shrinks the current
+    /// allocation until the model-space peak-load target holds (an
+    /// incremental scan resuming below the previous repair's scale),
+    /// then rebuilds the executor with the repaired allocation and the
+    /// transplanted guard state.
+    fn maybe_repair(&mut self) {
+        let Some(policy) = self.opts.guard else {
+            return;
+        };
+        let observed = {
+            let State::Running(executor) = &mut self.state else {
+                return;
+            };
+            if !executor.take_repair_request() {
+                return;
+            }
+            executor.guard().map_or(0.0, |g| g.last_observed_cost())
+        };
+        let (Some(plan), Some(stats)) = (&self.plan, &self.stats) else {
+            return;
+        };
+        let base = self
+            .repair_base
+            .clone()
+            .unwrap_or_else(|| plan.allocation.clone());
+        let model = self.opts.model;
+        let ctx = CostContext {
+            stats,
+            model: &model,
+            params: self.opts.params,
+            clustering: self.opts.clustering,
+        };
+        // The model's E_u and the measured flush cost can sit on
+        // different scales (a burst breaches the budget without moving
+        // the model), so aim the shrink at the model-space equivalent of
+        // the observed breach.
+        let predicted = end_of_epoch_cost(&plan.configuration, &base, &ctx);
+        let target = if observed > policy.peak_budget && observed > 0.0 {
+            (predicted * policy.peak_budget / observed).min(policy.peak_budget)
+        } else {
+            policy.peak_budget
+        };
+        let out = enforce_peak_load_from(
+            &plan.configuration,
+            &base,
+            &ctx,
+            target,
+            PeakLoadMethod::Shrink,
+            self.repair_scale,
+        );
+        if out.scale >= self.repair_scale {
+            // No progress possible (already at the smallest useful scale
+            // or the constraint holds in model space as-is): keep the
+            // executor; shedding remains in force until load subsides.
+            return;
+        }
+        let new_plan = Plan {
+            configuration: plan.configuration.clone(),
+            allocation: out.allocation,
+            predicted_cost: plan.predicted_cost,
+            predicted_update_cost: out.update_cost,
+        };
+        let State::Running(executor) =
+            std::mem::replace(&mut self.state, State::Bootstrapping(Vec::new()))
+        else {
+            unreachable!("checked above");
+        };
+        self.retire(executor);
+        self.repair_base = Some(base);
+        self.repair_scale = out.scale;
+        self.plan = Some(new_plan);
+        self.repairs += 1;
+        let executor = self.build_executor(self.current_epoch);
+        self.state = State::Running(executor);
+    }
+
+    /// Number of guard-requested allocation repairs applied so far.
+    pub fn repairs(&self) -> usize {
+        self.repairs
+    }
+
     /// Pushes one record.
     pub fn push(&mut self, record: Record) {
-        // Epoch-boundary hook for adaptivity.
+        // Epoch-boundary hook for adaptivity and overload repair.
         let epoch = record.ts_micros / self.opts.epoch_micros.max(1);
         if epoch > self.current_epoch {
             self.current_epoch = epoch;
             self.maybe_replan();
+            self.maybe_repair();
         }
         match &mut self.state {
             State::Bootstrapping(buffer) => {
@@ -395,6 +536,7 @@ impl MultiAggregator {
             results: std::mem::take(&mut self.results),
             report: self.merged.clone(),
             replans: self.replans,
+            repairs: self.repairs,
             final_plan: self.plan.clone(),
         }
     }
@@ -440,7 +582,10 @@ mod tests {
 
     #[test]
     fn bootstrap_shorter_than_stream_still_counts_everything() {
-        let stream = UniformStreamBuilder::new(3, 50).records(500).seed(2).build();
+        let stream = UniformStreamBuilder::new(3, 50)
+            .records(500)
+            .seed(2)
+            .build();
         let mut opts = EngineOptions::new(5_000.0);
         opts.bootstrap_records = 10_000; // never reached; finish() promotes
         let mut engine = MultiAggregator::new(vec![s("A"), s("B")], opts);
@@ -454,7 +599,10 @@ mod tests {
 
     #[test]
     fn presupplied_stats_skip_bootstrap() {
-        let stream = UniformStreamBuilder::new(2, 20).records(1000).seed(3).build();
+        let stream = UniformStreamBuilder::new(2, 20)
+            .records(1000)
+            .seed(3)
+            .build();
         let stats = DatasetStats::compute(&stream.records, s("AB"));
         let mut opts = EngineOptions::new(4_000.0);
         opts.stats = Some(stats);
@@ -542,8 +690,7 @@ mod tests {
             engine.push(*r);
         }
         let out = engine.finish();
-        let epochs: std::collections::BTreeSet<u64> =
-            out.results.iter().map(|r| r.epoch).collect();
+        let epochs: std::collections::BTreeSet<u64> = out.results.iter().map(|r| r.epoch).collect();
         assert_eq!(epochs.len(), 3, "epochs seen: {epochs:?}");
     }
 }

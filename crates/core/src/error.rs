@@ -1,0 +1,109 @@
+//! The crate-level error type for user-facing fallible paths.
+//!
+//! Library internals keep their narrow error enums ([`SqlError`],
+//! [`PlanError`], [`AttrParseError`], [`TraceIoError`]); this module
+//! folds them into one [`MsaError`] so an application `main` can use
+//! `?` across the whole API surface:
+//!
+//! ```
+//! use msa_core::{MsaError, MultiAggregator, EngineOptions};
+//! use msa_stream::AttrSet;
+//!
+//! fn run() -> Result<(), MsaError> {
+//!     let queries = vec![AttrSet::parse_checked("AB")?, AttrSet::parse_checked("BC")?];
+//!     let _engine = MultiAggregator::new(queries, EngineOptions::new(10_000.0));
+//!     Ok(())
+//! }
+//! run().unwrap();
+//! ```
+
+use msa_gigascope::plan::PlanError;
+use msa_stream::io::TraceIoError;
+use msa_stream::AttrParseError;
+
+use crate::sql::SqlError;
+
+/// Any error a user-facing `msa` entry point can produce.
+#[derive(Debug)]
+pub enum MsaError {
+    /// SQL front-end rejection ([`crate::parse_query`],
+    /// [`crate::MultiAggregator::from_sql`]).
+    Sql(SqlError),
+    /// Invalid physical plan handed to the executor.
+    Plan(PlanError),
+    /// Invalid attribute-set name ([`msa_stream::AttrSet::parse_checked`]).
+    Attr(AttrParseError),
+    /// Trace file read/write failure ([`msa_stream::io`]).
+    TraceIo(TraceIoError),
+}
+
+impl std::fmt::Display for MsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsaError::Sql(e) => write!(f, "sql: {e}"),
+            MsaError::Plan(e) => write!(f, "plan: {e}"),
+            MsaError::Attr(e) => write!(f, "attr: {e}"),
+            MsaError::TraceIo(e) => write!(f, "trace io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MsaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MsaError::Sql(e) => Some(e),
+            MsaError::Plan(e) => Some(e),
+            MsaError::Attr(e) => Some(e),
+            MsaError::TraceIo(e) => Some(e),
+        }
+    }
+}
+
+impl From<SqlError> for MsaError {
+    fn from(e: SqlError) -> MsaError {
+        MsaError::Sql(e)
+    }
+}
+
+impl From<PlanError> for MsaError {
+    fn from(e: PlanError) -> MsaError {
+        MsaError::Plan(e)
+    }
+}
+
+impl From<AttrParseError> for MsaError {
+    fn from(e: AttrParseError) -> MsaError {
+        MsaError::Attr(e)
+    }
+}
+
+impl From<TraceIoError> for MsaError {
+    fn from(e: TraceIoError) -> MsaError {
+        MsaError::TraceIo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msa_stream::AttrSet;
+
+    #[test]
+    fn question_mark_converts_each_source() {
+        fn attr() -> Result<AttrSet, MsaError> {
+            Ok(AttrSet::parse_checked("A Z")?)
+        }
+        let e = attr().unwrap_err();
+        assert!(matches!(e, MsaError::Attr(_)));
+        assert!(e.to_string().starts_with("attr: "), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+
+        fn sql() -> Result<crate::ParsedQuery, MsaError> {
+            Ok(crate::parse_query(
+                "select nonsense",
+                &msa_stream::Schema::packet_headers(),
+            )?)
+        }
+        assert!(matches!(sql().unwrap_err(), MsaError::Sql(_)));
+    }
+}

@@ -32,19 +32,26 @@
 //! assert_eq!(output.report.records as usize, 20_000);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod adaptive;
 pub mod engine;
+pub mod error;
 pub mod sql;
 
 pub use adaptive::AdaptivePolicy;
 pub use engine::{AggregationOutput, EngineOptions, ModelKind, MultiAggregator};
+pub use error::MsaError;
 pub use sql::{parse_query, ParsedQuery, QuerySet, SqlError};
 
 // Re-export the vocabulary types so most users need only this crate.
 pub use msa_collision::{AsymptoticModel, CollisionModel, LinearModel, PreciseModel};
 pub use msa_gigascope::executor::ValueSource;
 pub use msa_gigascope::table::AggState;
-pub use msa_gigascope::{CostParams, Executor, Hfta, PhysicalPlan, RunReport};
+pub use msa_gigascope::{
+    Burst, ChannelFaults, CostParams, EvictionChannel, Executor, FaultPlan, GuardLevel,
+    GuardPolicy, GuardTransition, Hfta, OverloadGuard, PhysicalPlan, RunReport,
+};
 pub use msa_optimizer::{
     Algorithm, AllocStrategy, ClusterHandling, Configuration, Plan, Planner, PlannerOptions,
 };

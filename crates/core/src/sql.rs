@@ -695,7 +695,10 @@ mod tests {
     #[test]
     fn rejects_ungrouped_select_column() {
         assert!(matches!(
-            parse_query("select srcIP, dstIP, count(*) from R group by srcIP", &schema()),
+            parse_query(
+                "select srcIP, dstIP, count(*) from R group by srcIP",
+                &schema()
+            ),
             Err(SqlError::NotGrouped(_))
         ));
     }
@@ -704,7 +707,10 @@ mod tests {
     fn rejects_grouped_metric() {
         let schema = Schema::new(["srcIP", "len"]);
         assert!(matches!(
-            parse_query("select srcIP, len, sum(len) from R group by srcIP, len", &schema),
+            parse_query(
+                "select srcIP, len, sum(len) from R group by srcIP, len",
+                &schema
+            ),
             Err(SqlError::MetricGrouped(_))
         ));
     }
@@ -724,8 +730,11 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage_and_bad_syntax() {
         assert!(parse_query("select srcIP count(*) from R group by srcIP", &schema()).is_err());
-        assert!(parse_query("select srcIP, count(*) from R group by srcIP extra", &schema())
-            .is_err());
+        assert!(parse_query(
+            "select srcIP, count(*) from R group by srcIP extra",
+            &schema()
+        )
+        .is_err());
         assert!(parse_query("select count(*) from R group by time/0", &schema()).is_err());
         assert!(parse_query("", &schema()).is_err());
     }

@@ -1,0 +1,213 @@
+//! The LFTA → HFTA eviction channel.
+//!
+//! In Gigascope the LFTA hands evicted partial aggregates to the HFTA
+//! over a bounded transfer ring; under pressure that hand-off can drop
+//! entries, and retransmission can deliver an entry twice. The executor
+//! used to model the hand-off as an implicit, lossless function call.
+//! [`EvictionChannel`] makes the hop explicit: every eviction is
+//! *offered* to the channel, which decides — deterministically, from a
+//! seeded PRNG — whether it is delivered once, dropped, or duplicated,
+//! and accounts each outcome. A per-epoch capacity bound models the
+//! finite drain budget between epochs; offers beyond it are dropped as
+//! overflow.
+//!
+//! The channel never silently loses information: callers learn each
+//! offer's fate from the returned [`Delivery`], and cumulative
+//! [`ChannelStats`] let a run reconcile exactly how many entries (and,
+//! via the executor's per-query record sums, how many *records*) were
+//! lost or double-counted.
+
+use msa_stream::SplitMix64;
+
+/// Fault rates injected into the channel (both in `[0, 1]`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChannelFaults {
+    /// Probability an offered eviction is dropped.
+    pub loss_rate: f64,
+    /// Probability a delivered eviction is delivered twice.
+    pub duplicate_rate: f64,
+}
+
+impl ChannelFaults {
+    /// No faults.
+    pub fn none() -> ChannelFaults {
+        ChannelFaults::default()
+    }
+
+    /// True if both rates are zero.
+    pub fn is_none(&self) -> bool {
+        self.loss_rate <= 0.0 && self.duplicate_rate <= 0.0
+    }
+}
+
+/// Fate of one offered eviction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// Lost: the HFTA never sees it.
+    Dropped,
+    /// Delivered exactly once.
+    Delivered,
+    /// Delivered twice (retransmission fault).
+    Duplicated,
+}
+
+impl Delivery {
+    /// Number of copies the HFTA receives.
+    pub fn copies(self) -> u32 {
+        match self {
+            Delivery::Dropped => 0,
+            Delivery::Delivered => 1,
+            Delivery::Duplicated => 2,
+        }
+    }
+}
+
+/// Cumulative channel accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChannelStats {
+    /// Copies actually handed to the HFTA (a duplicated offer counts 2).
+    pub delivered: u64,
+    /// Offers dropped (fault losses plus capacity overflow).
+    pub dropped: u64,
+    /// Offers delivered twice.
+    pub duplicated: u64,
+    /// The subset of `dropped` caused by the per-epoch capacity bound.
+    pub overflowed: u64,
+}
+
+/// The bounded, fault-injectable LFTA → HFTA hand-off.
+#[derive(Clone, Debug)]
+pub struct EvictionChannel {
+    faults: ChannelFaults,
+    /// Max offers accepted per epoch (`None` = unbounded).
+    capacity: Option<u64>,
+    epoch_sent: u64,
+    rng: SplitMix64,
+    stats: ChannelStats,
+}
+
+impl EvictionChannel {
+    /// An unbounded, fault-free channel (the classic implicit hand-off).
+    pub fn lossless() -> EvictionChannel {
+        EvictionChannel::new(ChannelFaults::none(), 0)
+    }
+
+    /// A channel injecting `faults`, drawing decisions from a PRNG
+    /// seeded with `seed`.
+    pub fn new(faults: ChannelFaults, seed: u64) -> EvictionChannel {
+        EvictionChannel {
+            faults,
+            capacity: None,
+            epoch_sent: 0,
+            rng: SplitMix64::new(seed),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Bounds the channel to `capacity` accepted offers per epoch;
+    /// offers beyond it are dropped as overflow.
+    pub fn with_capacity(mut self, capacity: u64) -> EvictionChannel {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Offers one eviction; returns its fate.
+    pub fn offer(&mut self) -> Delivery {
+        if let Some(cap) = self.capacity {
+            if self.epoch_sent >= cap {
+                self.stats.dropped += 1;
+                self.stats.overflowed += 1;
+                return Delivery::Dropped;
+            }
+        }
+        if self.faults.loss_rate > 0.0 && self.rng.gen_bool(self.faults.loss_rate) {
+            self.stats.dropped += 1;
+            return Delivery::Dropped;
+        }
+        self.epoch_sent += 1;
+        if self.faults.duplicate_rate > 0.0 && self.rng.gen_bool(self.faults.duplicate_rate) {
+            self.stats.delivered += 2;
+            self.stats.duplicated += 1;
+            return Delivery::Duplicated;
+        }
+        self.stats.delivered += 1;
+        Delivery::Delivered
+    }
+
+    /// Closes the epoch window: resets the per-epoch capacity budget.
+    pub fn end_epoch(&mut self) {
+        self.epoch_sent = 0;
+    }
+
+    /// Cumulative accounting.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// The injected fault rates.
+    pub fn faults(&self) -> ChannelFaults {
+        self.faults
+    }
+}
+
+impl Default for EvictionChannel {
+    fn default() -> EvictionChannel {
+        EvictionChannel::lossless()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_channel_delivers_everything_once() {
+        let mut ch = EvictionChannel::lossless();
+        for _ in 0..1000 {
+            assert_eq!(ch.offer(), Delivery::Delivered);
+        }
+        assert_eq!(ch.stats().delivered, 1000);
+        assert_eq!(ch.stats().dropped, 0);
+        assert_eq!(ch.stats().duplicated, 0);
+    }
+
+    #[test]
+    fn fault_rates_are_respected_and_deterministic() {
+        let faults = ChannelFaults {
+            loss_rate: 0.1,
+            duplicate_rate: 0.05,
+        };
+        let run = |seed| {
+            let mut ch = EvictionChannel::new(faults, seed);
+            let fates: Vec<Delivery> = (0..20_000).map(|_| ch.offer()).collect();
+            (fates, ch.stats().clone())
+        };
+        let (fates_a, stats_a) = run(7);
+        let (fates_b, _) = run(7);
+        assert_eq!(fates_a, fates_b, "same seed, same fates");
+        let dropped = stats_a.dropped as f64 / 20_000.0;
+        assert!((dropped - 0.1).abs() < 0.01, "loss rate {dropped}");
+        // Duplicates happen among non-dropped offers.
+        let dup = stats_a.duplicated as f64 / (20_000.0 - stats_a.dropped as f64);
+        assert!((dup - 0.05).abs() < 0.01, "dup rate {dup}");
+        // Conservation: every offer is dropped or delivered ≥ once.
+        assert_eq!(
+            stats_a.delivered,
+            20_000 - stats_a.dropped + stats_a.duplicated
+        );
+        let (fates_c, _) = run(8);
+        assert_ne!(fates_a, fates_c, "different seed, different fates");
+    }
+
+    #[test]
+    fn capacity_bound_drops_overflow_and_resets_per_epoch() {
+        let mut ch = EvictionChannel::lossless().with_capacity(3);
+        for _ in 0..5 {
+            ch.offer();
+        }
+        assert_eq!(ch.stats().delivered, 3);
+        assert_eq!(ch.stats().overflowed, 2);
+        ch.end_epoch();
+        assert_eq!(ch.offer(), Delivery::Delivered, "budget refilled");
+    }
+}

@@ -17,6 +17,9 @@
 //! The executor meters intra-epoch and end-of-epoch costs separately, so
 //! experiments can compare measured values against Eq. 7 and Eq. 8.
 
+use crate::channel::{ChannelStats, Delivery, EvictionChannel};
+use crate::faults::FaultPlan;
+use crate::guard::{GuardLevel, GuardPolicy, GuardTransition, OverloadGuard};
 use crate::hfta::Hfta;
 use crate::plan::PhysicalPlan;
 use crate::table::{AggState, LftaTable, Probe, TableStats};
@@ -66,6 +69,28 @@ pub struct RunReport {
     /// Records rejected by the selection filter (they are included in
     /// `records` but cost nothing downstream).
     pub filtered_out: u64,
+    /// Records dropped by overload shedding (included in `records`;
+    /// every query undercounts by exactly this many records).
+    pub records_shed: u64,
+    /// Evictions lost on the LFTA → HFTA channel.
+    pub evictions_dropped: u64,
+    /// Evictions delivered twice on the channel.
+    pub evictions_duplicated: u64,
+    /// Per-query record mass lost to dropped evictions: `(query,
+    /// Σ count of dropped partials)`.
+    pub dropped_records: Vec<(AttrSet, u64)>,
+    /// Per-query record mass double-counted by duplicated evictions.
+    pub duplicated_records: Vec<(AttrSet, u64)>,
+    /// Epochs that ran at a degradation level above normal.
+    pub epochs_degraded: u64,
+    /// Every overload-guard state change, in order.
+    pub guard_transitions: Vec<GuardTransition>,
+    /// Per-epoch cost trace: `(epoch, intra_cost, flush_cost)` of each
+    /// closed epoch — what the overload guard judges against `E_p`.
+    pub epoch_costs: Vec<(u64, f64, f64)>,
+    /// Per-epoch channel faults: `(epoch, dropped, duplicated)`,
+    /// recorded only for epochs where at least one fault fired.
+    pub epoch_faults: Vec<(u64, u64, u64)>,
     /// Cost parameters used.
     pub costs: CostParams,
 }
@@ -94,6 +119,70 @@ impl RunReport {
             self.intra_cost() / self.records as f64
         }
     }
+
+    fn bump(keyed: &mut Vec<(AttrSet, u64)>, query: AttrSet, n: u64) {
+        match keyed.iter_mut().find(|(q, _)| *q == query) {
+            Some((_, total)) => *total += n,
+            None => keyed.push((query, n)),
+        }
+    }
+
+    /// Record mass `query` lost to dropped evictions.
+    pub fn dropped_records_for(&self, query: AttrSet) -> u64 {
+        self.dropped_records
+            .iter()
+            .find(|(q, _)| *q == query)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Record mass `query` double-counted via duplicated evictions.
+    pub fn duplicated_records_for(&self, query: AttrSet) -> u64 {
+        self.duplicated_records
+            .iter()
+            .find(|(q, _)| *q == query)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Exact count bias of `query`: `observed_total − true_total`.
+    ///
+    /// Every processed record contributes one count to every query, so
+    /// shedding undercounts each query by `records_shed`; channel drops
+    /// and duplicates shift the count by the dropped/duplicated record
+    /// mass. The identity `observed = true + count_bias(q)` holds
+    /// exactly — the chaos tests assert it per injected event.
+    pub fn count_bias(&self, query: AttrSet) -> i64 {
+        self.duplicated_records_for(query) as i64
+            - self.dropped_records_for(query) as i64
+            - self.records_shed as i64
+    }
+
+    /// Folds `other` into `self` (an engine retiring one executor of a
+    /// multi-executor run). Epoch numbering is absolute, so `epochs`
+    /// takes the maximum; sequential executors cover disjoint epochs, so
+    /// `epochs_degraded` and everything else accumulates.
+    pub fn merge(&mut self, other: &RunReport) {
+        self.records += other.records;
+        self.intra_probes += other.intra_probes;
+        self.intra_evictions += other.intra_evictions;
+        self.flush_probes += other.flush_probes;
+        self.flush_evictions += other.flush_evictions;
+        self.filtered_out += other.filtered_out;
+        self.records_shed += other.records_shed;
+        self.evictions_dropped += other.evictions_dropped;
+        self.evictions_duplicated += other.evictions_duplicated;
+        self.epochs = self.epochs.max(other.epochs);
+        self.epochs_degraded += other.epochs_degraded;
+        for &(q, n) in &other.dropped_records {
+            RunReport::bump(&mut self.dropped_records, q, n);
+        }
+        for &(q, n) in &other.duplicated_records {
+            RunReport::bump(&mut self.duplicated_records, q, n);
+        }
+        self.guard_transitions
+            .extend(other.guard_transitions.iter().copied());
+        self.epoch_costs.extend(other.epoch_costs.iter().copied());
+        self.epoch_faults.extend(other.epoch_faults.iter().copied());
+    }
 }
 
 /// Streams records through a [`PhysicalPlan`], maintaining the LFTA
@@ -104,11 +193,23 @@ pub struct Executor {
     tables: Vec<LftaTable>,
     children: Vec<Vec<usize>>,
     raw: Vec<usize>,
+    /// Indices of query nodes (the phantom-bypass targets).
+    query_nodes: Vec<usize>,
     /// HFTA query slot per node (`None` for phantoms).
     query_slot: Vec<Option<usize>>,
+    /// Query attribute set per HFTA slot.
+    queries: Vec<AttrSet>,
     hfta: Hfta,
+    channel: EvictionChannel,
+    guard: Option<OverloadGuard>,
     epoch_micros: u64,
     current_epoch: u64,
+    /// Cost/fault counters at the previous epoch boundary, for the
+    /// per-epoch deltas the guard and the report's traces consume.
+    intra_cost_mark: f64,
+    flush_cost_mark: f64,
+    dropped_mark: u64,
+    duplicated_mark: u64,
     in_flush: bool,
     value_source: ValueSource,
     filter: Filter,
@@ -135,10 +236,12 @@ impl Executor {
             .map(|(i, node)| LftaTable::new(node.attrs, node.buckets, mix64(seed ^ i as u64)))
             .collect();
         let mut query_slot = vec![None; n];
+        let mut query_nodes = Vec::new();
         let mut queries = Vec::new();
         for (i, node) in plan.nodes().iter().enumerate() {
             if node.is_query {
                 query_slot[i] = Some(queries.len());
+                query_nodes.push(i);
                 queries.push(node.attrs);
             }
         }
@@ -147,10 +250,18 @@ impl Executor {
             tables,
             children,
             raw,
+            query_nodes,
             query_slot,
-            hfta: Hfta::new(queries),
+            hfta: Hfta::new(queries.clone()),
+            queries,
+            channel: EvictionChannel::lossless(),
+            guard: None,
             epoch_micros: epoch_micros.max(1),
             current_epoch: 0,
+            intra_cost_mark: 0.0,
+            flush_cost_mark: 0.0,
+            dropped_mark: 0,
+            duplicated_mark: 0,
             in_flush: false,
             value_source: ValueSource::None,
             filter: Filter::all(),
@@ -180,6 +291,65 @@ impl Executor {
         self
     }
 
+    /// Replaces the LFTA → HFTA hand-off with `channel` (bounded and/or
+    /// fault-injecting).
+    pub fn with_channel(mut self, channel: EvictionChannel) -> Executor {
+        self.channel = channel;
+        self
+    }
+
+    /// Wires the channel-level faults of `plan` into the executor.
+    /// Stream-level faults (bursts, clock skew) must be applied to the
+    /// record stream first via [`FaultPlan::apply_to_stream`].
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Executor {
+        self.channel = EvictionChannel::new(plan.channel_faults(), plan.seed);
+        self
+    }
+
+    /// Enables the overload guard under `policy`.
+    pub fn with_guard(mut self, policy: GuardPolicy) -> Executor {
+        self.guard = Some(OverloadGuard::new(policy));
+        self
+    }
+
+    /// Installs an existing guard (state transplant across executor
+    /// rebuilds — the engine preserves escalation history when it swaps
+    /// allocations).
+    pub fn with_guard_state(mut self, guard: OverloadGuard) -> Executor {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Starts epoch numbering at `epoch` instead of 0 (an engine
+    /// swapping executors mid-stream keeps absolute epoch labels and
+    /// avoids a storm of empty catch-up flushes).
+    pub fn with_start_epoch(mut self, epoch: u64) -> Executor {
+        self.current_epoch = epoch;
+        self.hfta.set_epoch(epoch);
+        self
+    }
+
+    /// The overload guard, if enabled.
+    pub fn guard(&self) -> Option<&OverloadGuard> {
+        self.guard.as_ref()
+    }
+
+    /// Whether the guard has an unconsumed repair request.
+    pub fn repair_pending(&self) -> bool {
+        self.guard.as_ref().is_some_and(|g| g.repair_requested())
+    }
+
+    /// Consumes a pending repair request (see
+    /// [`OverloadGuard::take_repair_request`]).
+    pub fn take_repair_request(&mut self) -> bool {
+        self.guard.as_mut().is_some_and(|g| g.take_repair_request())
+    }
+
+    /// Cumulative eviction-channel accounting.
+    pub fn channel_stats(&self) -> &ChannelStats {
+        self.channel.stats()
+    }
+
     /// The plan being executed.
     pub fn plan(&self) -> &PhysicalPlan {
         &self.plan
@@ -204,16 +374,45 @@ impl Executor {
     }
 
     /// Routes an entry leaving node `i` (eviction or flush scan) to the
-    /// HFTA and/or the node's children.
+    /// HFTA and/or the node's children. The HFTA hop goes through the
+    /// eviction channel, which may drop or duplicate the entry; either
+    /// way the report accounts the exact record mass affected.
     fn emit(&mut self, i: usize, key: GroupKey, agg: AggState) {
-        if self.query_slot[i].is_some() {
-            let slot = self.query_slot[i].expect("checked");
-            self.hfta.receive(slot, key, agg);
+        if let Some(slot) = self.query_slot[i] {
+            // The transfer attempt costs `c2` whatever its fate.
             if self.in_flush {
                 self.report.flush_evictions += 1;
             } else {
                 self.report.intra_evictions += 1;
             }
+            match self.channel.offer() {
+                Delivery::Delivered => self.hfta.receive(slot, key, agg),
+                Delivery::Duplicated => {
+                    self.hfta.receive(slot, key, agg);
+                    self.hfta.receive(slot, key, agg);
+                    self.report.evictions_duplicated += 1;
+                    RunReport::bump(
+                        &mut self.report.duplicated_records,
+                        self.queries[slot],
+                        agg.count,
+                    );
+                }
+                Delivery::Dropped => {
+                    self.report.evictions_dropped += 1;
+                    RunReport::bump(
+                        &mut self.report.dropped_records,
+                        self.queries[slot],
+                        agg.count,
+                    );
+                }
+            }
+        }
+        // At level ≥ 2 raw records probe the query tables directly, so a
+        // query occupant cascading into a child query would be counted
+        // twice; the guard switches levels only at epoch boundaries
+        // (tables empty), so suppressing the cascade keeps counts exact.
+        if self.guard.as_ref().is_some_and(|g| g.phantoms_disabled()) {
+            return;
         }
         let own = self.plan.nodes()[i].attrs;
         // Children are few; clone the index list to appease the borrow
@@ -237,9 +436,29 @@ impl Executor {
             self.report.filtered_out += 1;
             return;
         }
+        let mut phantoms_off = false;
+        if let Some(g) = &mut self.guard {
+            if g.should_shed() {
+                self.report.records_shed += 1;
+                return;
+            }
+            phantoms_off = g.phantoms_disabled();
+        }
         let agg = self.value_source.extract(record);
-        for idx in 0..self.raw.len() {
-            let node = self.raw[idx];
+        // At level ≥ 2 the record probes every query table directly
+        // (phantom maintenance off); otherwise it probes the raw nodes
+        // and evictions cascade as usual.
+        let n = if phantoms_off {
+            self.query_nodes.len()
+        } else {
+            self.raw.len()
+        };
+        for idx in 0..n {
+            let node = if phantoms_off {
+                self.query_nodes[idx]
+            } else {
+                self.raw[idx]
+            };
             let key = record.project(self.plan.nodes()[node].attrs);
             self.push(node, key, agg);
         }
@@ -265,14 +484,51 @@ impl Executor {
         }
         self.in_flush = false;
         self.hfta.close_epoch();
+        self.channel.end_epoch();
+        let closed = self.current_epoch;
         self.current_epoch += 1;
-        self.report.epochs += 1;
+        // Absolute count (equals the increment when starting at epoch 0;
+        // see `with_start_epoch`).
+        self.report.epochs = self.current_epoch;
+        // Per-epoch deltas for the traces and the guard.
+        let epoch_intra = self.report.intra_cost() - self.intra_cost_mark;
+        let epoch_flush = self.report.flush_cost() - self.flush_cost_mark;
+        self.intra_cost_mark = self.report.intra_cost();
+        self.flush_cost_mark = self.report.flush_cost();
+        self.report
+            .epoch_costs
+            .push((closed, epoch_intra, epoch_flush));
+        let dropped = self.report.evictions_dropped - self.dropped_mark;
+        let duplicated = self.report.evictions_duplicated - self.duplicated_mark;
+        self.dropped_mark = self.report.evictions_dropped;
+        self.duplicated_mark = self.report.evictions_duplicated;
+        if dropped > 0 || duplicated > 0 {
+            self.report.epoch_faults.push((closed, dropped, duplicated));
+        }
+        if let Some(g) = &mut self.guard {
+            // The guard judges the epoch's *total* cost — a rate burst
+            // shows up in the intra term, a group explosion in the flush
+            // term; both are work the LFTA must absorb per epoch.
+            if let Some(t) = g.observe_epoch(self.current_epoch, epoch_intra + epoch_flush) {
+                self.report.guard_transitions.push(t);
+            }
+            if g.level() != GuardLevel::Normal {
+                self.report.epochs_degraded += 1;
+            }
+        }
     }
 
     /// Flushes the final epoch and returns the report.
-    pub fn finish(mut self) -> (RunReport, Hfta) {
+    pub fn finish(self) -> (RunReport, Hfta) {
+        let (report, hfta, _) = self.finish_parts();
+        (report, hfta)
+    }
+
+    /// Like [`Executor::finish`], additionally handing back the guard so
+    /// its state can be transplanted into a successor executor.
+    pub fn finish_parts(mut self) -> (RunReport, Hfta, Option<OverloadGuard>) {
         self.flush_epoch();
-        (self.report.clone(), self.hfta)
+        (self.report, self.hfta, self.guard)
     }
 
     /// The report so far (without flushing).
@@ -581,7 +837,11 @@ mod tests {
         assert_eq!(got.len(), want.len());
         for (k, (count, sum, min, max)) in want {
             let a = got[&k];
-            assert_eq!((a.count, a.sum, a.min, a.max), (count, sum, min, max), "group {k}");
+            assert_eq!(
+                (a.count, a.sum, a.min, a.max),
+                (count, sum, min, max),
+                "group {k}"
+            );
         }
     }
 
@@ -602,12 +862,157 @@ mod tests {
         // Probes happened only for passing records.
         assert_eq!(report.intra_probes, 100);
         // Results equal a naive filtered computation.
-        let filtered: Vec<Record> = recs
-            .iter()
-            .copied()
-            .filter(|r| r.attrs[1] == 0)
-            .collect();
+        let filtered: Vec<Record> = recs.iter().copied().filter(|r| r.attrs[1] == 0).collect();
         assert_eq!(hfta.totals(s("A")), exact_counts(&filtered, s("A")));
+    }
+
+    /// The phantom plan `AB → {A, B}` with tiny tables (heavy traffic on
+    /// every path: evictions, cascades, flushes).
+    fn small_phantom_plan() -> PhysicalPlan {
+        PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("AB"),
+                parent: None,
+                buckets: 8,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("A"),
+                parent: Some(0),
+                buckets: 4,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("B"),
+                parent: Some(0),
+                buckets: 4,
+                is_query: true,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn channel_faults_are_accounted_exactly() {
+        use crate::faults::FaultPlan;
+        // 10% loss + 5% duplication; per query the observed total must
+        // equal truth plus the reported bias, record for record.
+        let recs: Vec<Record> = (0..20_000u32)
+            .map(|i| Record::new(&[i % 37, i % 23, 0, 0], u64::from(i) * 200))
+            .collect();
+        let faults = FaultPlan::new(0xFA_17)
+            .with_eviction_loss(0.10)
+            .with_eviction_duplication(0.05);
+        let mut ex = Executor::new(small_phantom_plan(), CostParams::paper(), 1_000_000, 11)
+            .with_faults(&faults);
+        ex.run(&recs);
+        let stats = ex.channel_stats().clone();
+        let (report, hfta) = ex.finish();
+        assert!(report.evictions_dropped > 0, "faults must actually fire");
+        assert!(report.evictions_duplicated > 0);
+        // finish() offers the final flush to the channel too, so compare
+        // against the pre-finish snapshot plus whatever the flush added.
+        assert!(report.evictions_dropped >= stats.dropped);
+        for q in [s("A"), s("B")] {
+            let observed: u64 = hfta.totals(q).values().sum();
+            let expected = recs.len() as i64 + report.count_bias(q);
+            assert_eq!(observed as i64, expected, "query {q}");
+        }
+    }
+
+    #[test]
+    fn guard_sheds_under_breach_and_bias_stays_exact() {
+        use crate::guard::GuardPolicy;
+        // Budget 0 breaches every epoch: the guard walks the full ladder
+        // (shed → phantoms off → repair request) while counts keep
+        // satisfying the bias identity exactly — including the cascade
+        // suppression of the phantom bypass.
+        let recs: Vec<Record> = (0..30_000u32)
+            .map(|i| Record::new(&[i % 41, i % 17, 0, 0], u64::from(i) * 100))
+            .collect();
+        let mut ex = Executor::new(small_phantom_plan(), CostParams::paper(), 500_000, 3)
+            .with_guard(GuardPolicy::new(0.0));
+        ex.run(&recs);
+        assert!(ex.repair_pending(), "ladder must reach the repair level");
+        let (report, hfta) = ex.finish();
+        assert!(report.records_shed > 0, "shedding must engage");
+        assert!(report.epochs_degraded > 0);
+        assert!(report.guard_transitions.len() >= 3, "one step per level");
+        assert_eq!(report.guard_transitions[0].from, GuardLevel::Normal);
+        for q in [s("A"), s("B")] {
+            let observed: u64 = hfta.totals(q).values().sum();
+            assert_eq!(
+                observed as i64,
+                recs.len() as i64 + report.count_bias(q),
+                "query {q}"
+            );
+            // No channel faults: the bias is pure shedding.
+            assert_eq!(report.count_bias(q), -(report.records_shed as i64));
+        }
+    }
+
+    #[test]
+    fn guard_recovers_when_load_subsides() {
+        use crate::guard::GuardPolicy;
+        // Epoch 0 is heavy (500 distinct AB groups through 8 buckets →
+        // expensive flush); later epochs are nearly idle. The guard must
+        // escalate on the breach and walk back to Normal.
+        let mut recs: Vec<Record> = (0..5000u32)
+            .map(|i| Record::new(&[i % 50, i % 10, 0, 0], u64::from(i) * 100))
+            .collect();
+        for e in 1..6u32 {
+            for i in 0..10u32 {
+                recs.push(Record::new(
+                    &[1, 1, 0, 0],
+                    u64::from(e) * 1_000_000 + u64::from(i),
+                ));
+            }
+        }
+        let mut ex = Executor::new(small_phantom_plan(), CostParams::paper(), 1_000_000, 7)
+            .with_guard(GuardPolicy::new(500.0));
+        ex.run(&recs);
+        let (report, _) = ex.finish();
+        let last = report.guard_transitions.last().expect("transitions");
+        assert_eq!(
+            last.to,
+            GuardLevel::Normal,
+            "{:?}",
+            report.guard_transitions
+        );
+        assert!(report.epochs_degraded < report.epochs);
+    }
+
+    #[test]
+    fn start_epoch_keeps_absolute_labels() {
+        let recs = vec![Record::new(&[1, 0, 0, 0], 3_500_000)];
+        let plan = PhysicalPlan::flat(&[(s("A"), 4)]).unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), 1_000_000, 0).with_start_epoch(3);
+        ex.run(&recs);
+        let (report, hfta) = ex.finish();
+        assert_eq!(report.epochs, 4);
+        assert_eq!(hfta.results().len(), 1);
+        assert_eq!(hfta.results()[0].epoch, 3);
+    }
+
+    #[test]
+    fn bounded_channel_drops_overflow_with_exact_accounting() {
+        use crate::channel::EvictionChannel;
+        // Capacity 5 deliveries per epoch; everything beyond is dropped
+        // and the dropped record mass reconciles the observed counts.
+        let recs: Vec<Record> = (0..400u32)
+            .map(|i| Record::new(&[i % 40, 0, 0, 0], u64::from(i) * 1000))
+            .collect();
+        let plan = PhysicalPlan::flat(&[(s("A"), 8)]).unwrap();
+        let mut ex = Executor::new(plan, CostParams::paper(), 100_000, 1)
+            .with_channel(EvictionChannel::lossless().with_capacity(5));
+        ex.run(&recs);
+        let (report, hfta) = ex.finish();
+        assert!(report.evictions_dropped > 0, "capacity bound must bite");
+        let observed: u64 = hfta.totals(s("A")).values().sum();
+        assert_eq!(
+            observed as i64,
+            recs.len() as i64 + report.count_bias(s("A"))
+        );
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Runtime overload controller for the LFTA.
+//!
+//! The paper's peak-load constraint (§3.3) is enforced at *planning*
+//! time: allocations are repaired so the expected end-of-epoch cost
+//! `E_u` stays below a peak budget `E_p`. At runtime the observed load
+//! can still breach the budget — a traffic burst, a group-count
+//! explosion, a mis-estimated model. The [`OverloadGuard`] watches the
+//! measured *total* per-epoch cost (intra-epoch maintenance plus the
+//! end-of-epoch flush: a rate burst shows up in the former, a group
+//! explosion in the latter) and walks a ladder of degradations, most
+//! reversible first:
+//!
+//! 1. **Shedding** — deterministically sample the record stream,
+//!    keeping one in `shed_factor` records (undercounts every query by
+//!    exactly the shed count — the report carries the bound);
+//! 2. **Phantoms off** — route raw records directly to the query
+//!    tables, bypassing phantom maintenance. Counts stay *exact*: every
+//!    record still contributes once to every query, but the flush
+//!    cascade (the phantom contribution to `E_u`) disappears;
+//! 3. **Repair** — request an allocation repair (shrink/shift,
+//!    [`enforce_peak_load`](../../msa_optimizer/peakload/index.html))
+//!    from whoever owns the optimizer; the engine rebuilds the executor
+//!    with the repaired allocation at the next epoch boundary.
+//!
+//! Escalation is one level per breached epoch. De-escalation is
+//! hysteretic: the observed cost must stay below
+//! `recover_ratio · peak_budget` for `recover_epochs` consecutive
+//! epochs before the guard steps one level down; costs inside the
+//! band `(recover_ratio · E_p, E_p]` hold the current level.
+
+/// Degradation level, least to most severe.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GuardLevel {
+    /// No degradation: full fidelity.
+    #[default]
+    Normal,
+    /// Record sampling: keep one in `shed_factor` records.
+    Shedding,
+    /// Phantom maintenance disabled (plus shedding).
+    PhantomsOff,
+    /// Allocation repair requested (plus both milder measures).
+    Repair,
+}
+
+impl GuardLevel {
+    /// Numeric level (0 = [`GuardLevel::Normal`] … 3 = [`GuardLevel::Repair`]).
+    pub fn index(self) -> u8 {
+        match self {
+            GuardLevel::Normal => 0,
+            GuardLevel::Shedding => 1,
+            GuardLevel::PhantomsOff => 2,
+            GuardLevel::Repair => 3,
+        }
+    }
+
+    fn escalated(self) -> GuardLevel {
+        match self {
+            GuardLevel::Normal => GuardLevel::Shedding,
+            GuardLevel::Shedding => GuardLevel::PhantomsOff,
+            GuardLevel::PhantomsOff | GuardLevel::Repair => GuardLevel::Repair,
+        }
+    }
+
+    fn relaxed(self) -> GuardLevel {
+        match self {
+            GuardLevel::Normal | GuardLevel::Shedding => GuardLevel::Normal,
+            GuardLevel::PhantomsOff => GuardLevel::Shedding,
+            GuardLevel::Repair => GuardLevel::PhantomsOff,
+        }
+    }
+}
+
+impl std::fmt::Display for GuardLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            GuardLevel::Normal => "normal",
+            GuardLevel::Shedding => "shedding",
+            GuardLevel::PhantomsOff => "phantoms-off",
+            GuardLevel::Repair => "repair",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Guard configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardPolicy {
+    /// Peak per-epoch total-cost budget `E_p`: intra-epoch maintenance
+    /// plus end-of-epoch flush, in the same `c1`/`c2` units as
+    /// [`RunReport::flush_cost`](crate::RunReport::flush_cost).
+    pub peak_budget: f64,
+    /// De-escalation threshold as a fraction of `peak_budget`; costs in
+    /// `(recover_ratio · E_p, E_p]` hold the current level (hysteresis).
+    pub recover_ratio: f64,
+    /// Consecutive calm epochs required before stepping one level down.
+    pub recover_epochs: u64,
+    /// While shedding, keep one in `shed_factor` records.
+    pub shed_factor: u64,
+}
+
+impl GuardPolicy {
+    /// A policy with budget `peak_budget` and default knobs
+    /// (`recover_ratio = 0.7`, `recover_epochs = 1`, `shed_factor = 4`).
+    pub fn new(peak_budget: f64) -> GuardPolicy {
+        GuardPolicy {
+            peak_budget,
+            recover_ratio: 0.7,
+            recover_epochs: 1,
+            shed_factor: 4,
+        }
+    }
+}
+
+/// One guard state change, recorded for the run report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardTransition {
+    /// Epoch (1-based count of closed epochs) whose flush triggered it.
+    pub epoch: u64,
+    /// Level before.
+    pub from: GuardLevel,
+    /// Level after.
+    pub to: GuardLevel,
+    /// The observed per-epoch total cost that triggered the change.
+    pub observed_cost: f64,
+}
+
+/// The overload controller: observes per-epoch total cost, maintains
+/// the degradation level with hysteresis.
+#[derive(Clone, Debug)]
+pub struct OverloadGuard {
+    policy: GuardPolicy,
+    level: GuardLevel,
+    calm_epochs: u64,
+    shed_counter: u64,
+    last_cost: f64,
+    repair_requested: bool,
+}
+
+impl OverloadGuard {
+    /// A guard at level 0 under `policy`.
+    pub fn new(policy: GuardPolicy) -> OverloadGuard {
+        OverloadGuard {
+            policy,
+            level: GuardLevel::Normal,
+            calm_epochs: 0,
+            shed_counter: 0,
+            last_cost: 0.0,
+            repair_requested: false,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &GuardPolicy {
+        &self.policy
+    }
+
+    /// Current degradation level.
+    pub fn level(&self) -> GuardLevel {
+        self.level
+    }
+
+    /// The total cost observed at the most recent epoch boundary.
+    pub fn last_observed_cost(&self) -> f64 {
+        self.last_cost
+    }
+
+    /// Feeds one closed epoch's total cost; escalates or relaxes the
+    /// level and returns the transition, if any.
+    pub fn observe_epoch(&mut self, epoch: u64, cost: f64) -> Option<GuardTransition> {
+        self.last_cost = cost;
+        let from = self.level;
+        if cost > self.policy.peak_budget {
+            self.calm_epochs = 0;
+            self.level = self.level.escalated();
+            if self.level == GuardLevel::Repair {
+                self.repair_requested = true;
+            }
+        } else if cost <= self.policy.peak_budget * self.policy.recover_ratio {
+            self.calm_epochs += 1;
+            if self.calm_epochs >= self.policy.recover_epochs.max(1) {
+                self.level = self.level.relaxed();
+                self.calm_epochs = 0;
+            }
+        } else {
+            // Inside the hysteresis band: hold the level.
+            self.calm_epochs = 0;
+        }
+        (from != self.level).then_some(GuardTransition {
+            epoch,
+            from,
+            to: self.level,
+            observed_cost: cost,
+        })
+    }
+
+    /// Whether the *next* record should be shed. Deterministic round-
+    /// robin sampling: at level ≥ 1, keeps one in `shed_factor` records.
+    pub fn should_shed(&mut self) -> bool {
+        if self.level < GuardLevel::Shedding {
+            return false;
+        }
+        let keep = self
+            .shed_counter
+            .is_multiple_of(self.policy.shed_factor.max(1));
+        self.shed_counter = self.shed_counter.wrapping_add(1);
+        !keep
+    }
+
+    /// Whether phantom maintenance is currently disabled (level ≥ 2).
+    pub fn phantoms_disabled(&self) -> bool {
+        self.level >= GuardLevel::PhantomsOff
+    }
+
+    /// Whether an allocation repair is pending (level reached 3 and the
+    /// request has not been consumed).
+    pub fn repair_requested(&self) -> bool {
+        self.repair_requested
+    }
+
+    /// Consumes a pending repair request; returns whether one was set.
+    pub fn take_repair_request(&mut self) -> bool {
+        std::mem::take(&mut self.repair_requested)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_one_level_per_breached_epoch() {
+        let mut g = OverloadGuard::new(GuardPolicy::new(100.0));
+        assert_eq!(g.level(), GuardLevel::Normal);
+        let t = g.observe_epoch(1, 150.0).expect("transition");
+        assert_eq!((t.from, t.to), (GuardLevel::Normal, GuardLevel::Shedding));
+        g.observe_epoch(2, 150.0);
+        assert_eq!(g.level(), GuardLevel::PhantomsOff);
+        g.observe_epoch(3, 150.0);
+        assert_eq!(g.level(), GuardLevel::Repair);
+        assert!(g.repair_requested());
+        // Saturates at Repair; no further transition.
+        assert!(g.observe_epoch(4, 150.0).is_none());
+        assert_eq!(g.level(), GuardLevel::Repair);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_level() {
+        let mut p = GuardPolicy::new(100.0);
+        p.recover_ratio = 0.7;
+        let mut g = OverloadGuard::new(p);
+        g.observe_epoch(1, 150.0);
+        assert_eq!(g.level(), GuardLevel::Shedding);
+        // 80 is below budget but above 70: hold.
+        assert!(g.observe_epoch(2, 80.0).is_none());
+        assert_eq!(g.level(), GuardLevel::Shedding);
+        // 60 is calm: step down.
+        let t = g.observe_epoch(3, 60.0).expect("recovers");
+        assert_eq!(t.to, GuardLevel::Normal);
+    }
+
+    #[test]
+    fn recover_epochs_requires_a_calm_streak() {
+        let mut p = GuardPolicy::new(100.0);
+        p.recover_epochs = 2;
+        let mut g = OverloadGuard::new(p);
+        g.observe_epoch(1, 150.0);
+        assert!(
+            g.observe_epoch(2, 10.0).is_none(),
+            "one calm epoch is not enough"
+        );
+        assert!(
+            g.observe_epoch(3, 10.0).is_some(),
+            "two calm epochs de-escalate"
+        );
+        assert_eq!(g.level(), GuardLevel::Normal);
+    }
+
+    #[test]
+    fn shedding_keeps_one_in_shed_factor() {
+        let mut g = OverloadGuard::new(GuardPolicy::new(100.0));
+        // Level 0: nothing shed.
+        assert!(!g.should_shed());
+        g.observe_epoch(1, 200.0);
+        let shed: Vec<bool> = (0..8).map(|_| g.should_shed()).collect();
+        assert_eq!(
+            shed,
+            [false, true, true, true, false, true, true, true],
+            "keeps exactly 1 in 4"
+        );
+    }
+
+    #[test]
+    fn repair_request_is_consumed_once() {
+        let mut g = OverloadGuard::new(GuardPolicy::new(1.0));
+        for e in 1..=3 {
+            g.observe_epoch(e, 10.0);
+        }
+        assert!(g.take_repair_request());
+        assert!(!g.take_repair_request());
+        // Another breached epoch at Repair re-arms the request.
+        g.observe_epoch(4, 10.0);
+        assert!(g.repair_requested());
+    }
+
+    #[test]
+    fn phantoms_disabled_from_level_two() {
+        let mut g = OverloadGuard::new(GuardPolicy::new(100.0));
+        g.observe_epoch(1, 150.0);
+        assert!(!g.phantoms_disabled());
+        g.observe_epoch(2, 150.0);
+        assert!(g.phantoms_disabled());
+    }
+}

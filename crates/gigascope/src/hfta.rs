@@ -40,7 +40,9 @@ impl EpochResult {
         &self,
         threshold: u64,
     ) -> impl Iterator<Item = (&GroupKey, &AggState)> {
-        self.aggregates.iter().filter(move |(_, a)| a.count > threshold)
+        self.aggregates
+            .iter()
+            .filter(move |(_, a)| a.count > threshold)
     }
 }
 
@@ -95,6 +97,12 @@ impl Hfta {
         self.received
     }
 
+    /// Sets the label of the epoch currently accumulating (executor
+    /// swaps mid-stream keep absolute epoch numbering).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Closes the current epoch: moves combined maps to the finished
     /// list and starts fresh ones.
     pub fn close_epoch(&mut self) {
@@ -132,9 +140,7 @@ impl Hfta {
             if r.query == query {
                 for (k, a) in &r.aggregates {
                     match out.entry(*k) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            e.get_mut().merge(a)
-                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(a),
                         std::collections::hash_map::Entry::Vacant(v) => {
                             v.insert(*a);
                         }
@@ -231,6 +237,35 @@ mod tests {
         h.close_epoch();
         assert!(h.results().is_empty());
         assert_eq!(h.received(), 1);
+    }
+
+    /// The documented resilience bounds: a partial delivered twice
+    /// over-counts its group by exactly its record mass, a lost partial
+    /// under-counts by the same, and combining never panics — so for
+    /// any mix, `true − lost ≤ observed ≤ true + duplicated` per group.
+    #[test]
+    fn duplicate_and_lost_partials_combine_to_documented_bounds() {
+        let a = AttrSet::parse("A").unwrap();
+        let mut h = Hfta::new(vec![a]);
+        // True stream for group 1: partials of 10 + 5 + 2 = 17 records.
+        // The 10-partial is duplicated by the channel; the 2-partial is
+        // lost and never arrives.
+        h.receive(0, key(&[1]), counted(10, 10));
+        h.receive(0, key(&[1]), counted(10, 10)); // duplicate
+        h.receive(0, key(&[1]), counted(5, 5));
+        // Group 2 is delivered faithfully.
+        h.receive(0, key(&[2]), counted(4, 4));
+        h.close_epoch();
+
+        let totals = h.totals(a);
+        let (truth, duplicated, lost) = (17i64, 10i64, 2i64);
+        let observed = totals[&key(&[1])] as i64;
+        assert_eq!(observed, truth + duplicated - lost);
+        assert!((truth - lost..=truth + duplicated).contains(&observed));
+        assert_eq!(totals[&key(&[2])], 4, "faithful groups stay exact");
+        // Value aggregates degrade the same way: the duplicated sum is
+        // added once more, never corrupted.
+        assert_eq!(h.aggregate_totals(a)[&key(&[1])].sum, 25);
     }
 
     #[test]

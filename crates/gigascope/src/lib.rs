@@ -18,13 +18,33 @@
 //!   (`c2`);
 //! * [`hfta::Hfta`] — the host-side combiner producing exact per-epoch
 //!   aggregation results (used to verify the LFTA path end-to-end).
+//!
+//! Beyond the paper's substrate, three modules harden the runtime
+//! against overload and transport faults:
+//!
+//! * [`channel::EvictionChannel`] — the LFTA → HFTA hop made explicit:
+//!   bounded, fault-injectable, exactly accounted;
+//! * [`guard::OverloadGuard`] — a degradation ladder (shed → phantoms
+//!   off → allocation repair) driven by the measured per-epoch total
+//!   cost against a peak budget `E_p`, with hysteretic recovery;
+//! * [`faults::FaultPlan`] — seeded, declarative fault injection
+//!   (eviction loss/duplication, record bursts, epoch-clock skew) for
+//!   deterministic chaos tests.
 
+#![deny(unsafe_code)]
+
+pub mod channel;
 pub mod executor;
+pub mod faults;
+pub mod guard;
 pub mod hfta;
 pub mod plan;
 pub mod table;
 
+pub use channel::{ChannelFaults, ChannelStats, Delivery, EvictionChannel};
 pub use executor::{Executor, RunReport};
+pub use faults::{Burst, FaultPlan};
+pub use guard::{GuardLevel, GuardPolicy, GuardTransition, OverloadGuard};
 pub use hfta::Hfta;
 pub use plan::{PhysicalPlan, PlanNode};
 pub use table::{LftaTable, Probe};

@@ -246,7 +246,6 @@ pub fn measure_collision_rate<I: IntoIterator<Item = GroupKey>>(
     table.stats().collision_rate()
 }
 
-
 /// Derives average flow lengths the paper's way (§4.3: "the average flow
 /// length can be computed by maintaining the number of times hash table
 /// bucket entries are updated before being evicted"): stream the records
@@ -392,19 +391,18 @@ mod tests {
         // b = 1000 buckets: the measured rate must sit near the precise
         // model x = 1 − (1 − e^{−3})/3 ≈ 0.6833 at g/b = 3 (see
         // msa-collision). Statistical check with generous tolerance.
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = msa_stream::SplitMix64::new(5);
         let groups: Vec<GroupKey> = (0..3000)
             .map(|_| {
-                let r = Record::new(&[rng.gen(), rng.gen()], 0);
+                let r = Record::new(&[rng.next_u32(), rng.next_u32()], 0);
                 r.project(AttrSet::parse("AB").unwrap())
             })
             .collect();
-        let keys = (0..100_000).map(|_| groups[rng.gen_range(0..groups.len())]);
+        let mut key_rng = rng.clone();
+        let keys = (0..100_000).map(move |_| groups[key_rng.gen_index(groups.len())]);
         let x = measure_collision_rate(keys, AttrSet::parse("AB").unwrap(), 1000, 11);
         assert!((x - 0.6833).abs() < 0.03, "measured {x}");
     }
-
 
     #[test]
     fn temporal_flow_lengths_see_through_interleaving() {
@@ -417,8 +415,7 @@ mod tests {
             .build();
         let ab = AttrSet::parse("AB").unwrap();
         // Record-level runs are short because 16 flows interleave...
-        let run_based =
-            msa_stream::DatasetStats::compute(&stream.records, ab).flow_length(ab);
+        let run_based = msa_stream::DatasetStats::compute(&stream.records, ab).flow_length(ab);
         // ...but bucket-level flow lengths recover (much more of) the
         // true per-flow value of 25.
         let derived = temporal_flow_lengths(&stream.records, &[ab], 1024, 7);
@@ -432,10 +429,9 @@ mod tests {
 
     #[test]
     fn temporal_flow_lengths_near_one_for_random_data() {
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = msa_stream::SplitMix64::new(9);
         let records: Vec<msa_stream::Record> = (0..20_000)
-            .map(|i| msa_stream::Record::new(&[rng.gen_range(0..2000u32)], i))
+            .map(|i| msa_stream::Record::new(&[rng.gen_u32_below(2000)], i))
             .collect();
         let a = AttrSet::parse("A").unwrap();
         let derived = temporal_flow_lengths(&records, &[a], 512, 3);

@@ -121,14 +121,11 @@ impl AllocStrategy {
     }
 
     /// Allocates `m_words` of LFTA space across the configuration.
-    pub fn allocate(
-        &self,
-        cfg: &Configuration,
-        m_words: f64,
-        ctx: &CostContext<'_>,
-    ) -> Allocation {
+    pub fn allocate(&self, cfg: &Configuration, m_words: f64, ctx: &CostContext<'_>) -> Allocation {
         match self {
-            AllocStrategy::SupernodeLinear => allocate_supernode(cfg, m_words, ctx, Combine::Linear),
+            AllocStrategy::SupernodeLinear => {
+                allocate_supernode(cfg, m_words, ctx, Combine::Linear)
+            }
             AllocStrategy::SupernodeSqrt => allocate_supernode(cfg, m_words, ctx, Combine::Sqrt),
             AllocStrategy::ProportionalLinear => allocate_proportional(cfg, m_words, ctx, false),
             AllocStrategy::ProportionalSqrt => allocate_proportional(cfg, m_words, ctx, true),
@@ -178,8 +175,8 @@ impl Combine {
         match self {
             Combine::Linear => own + children.iter().sum::<f64>(),
             Combine::Sqrt => {
-                let s = own.max(0.0).sqrt()
-                    + children.iter().map(|w| w.max(0.0).sqrt()).sum::<f64>();
+                let s =
+                    own.max(0.0).sqrt() + children.iter().map(|w| w.max(0.0).sqrt()).sum::<f64>();
                 s * s
             }
         }
@@ -275,8 +272,8 @@ pub fn two_level_split(child_w: &[f64], m: f64, c1: f64, c2: f64, mu: f64) -> (f
         return (m - share * f, vec![share; child_w.len()]);
     }
     let a = mu * c2;
-    let lambda = (a * sum_sqrt + (a * a * sum_sqrt * sum_sqrt + f * mu * c1 * c2 * m).sqrt())
-        / (a * m);
+    let lambda =
+        (a * sum_sqrt + (a * a * sum_sqrt * sum_sqrt + f * mu * c1 * c2 * m).sqrt()) / (a * m);
     let kid_spaces: Vec<f64> = child_w.iter().map(|w| w.max(0.0).sqrt() / lambda).collect();
     let used: f64 = kid_spaces.iter().sum();
     ((m - used).max(0.0), kid_spaces)
@@ -299,9 +296,7 @@ pub fn allocate_numeric(
     }
 
     let eval_spaces = |spaces: &[f64]| -> f64 {
-        let alloc = Allocation::from_spaces(
-            relations.iter().copied().zip(spaces.iter().copied()),
-        );
+        let alloc = Allocation::from_spaces(relations.iter().copied().zip(spaces.iter().copied()));
         per_record_cost(cfg, &alloc, ctx)
     };
     let softmax_spaces = |theta: &[f64]| -> Vec<f64> {
@@ -409,10 +404,28 @@ pub fn allocate_grid(
         // Leave at least one granule per remaining table.
         for g in 1..=(remaining - (n - idx - 1)) {
             current[idx] = g;
-            recurse(idx + 1, remaining - g, current, best, relations, unit, cfg, ctx);
+            recurse(
+                idx + 1,
+                remaining - g,
+                current,
+                best,
+                relations,
+                unit,
+                cfg,
+                ctx,
+            );
         }
     }
-    recurse(0, granules, &mut current, &mut best, &relations, unit, cfg, ctx);
+    recurse(
+        0,
+        granules,
+        &mut current,
+        &mut best,
+        &relations,
+        unit,
+        cfg,
+        ctx,
+    );
     let (_, grains) = best.expect("at least one allocation");
     Allocation::from_spaces(
         relations
@@ -480,10 +493,7 @@ mod tests {
         let grid = allocate_grid(&cfg, m, &ctx, 200);
         let c_sl = per_record_cost(&cfg, &sl, &ctx);
         let c_grid = per_record_cost(&cfg, &grid, &ctx);
-        assert!(
-            c_sl <= c_grid * 1.01,
-            "closed form {c_sl} vs grid {c_grid}"
-        );
+        assert!(c_sl <= c_grid * 1.01, "closed form {c_sl} vs grid {c_grid}");
     }
 
     #[test]
@@ -579,8 +589,7 @@ mod tests {
         let stats = stats4();
         let model = LinearModel::paper_no_intercept();
         let ctx = CostContext::new(&stats, &model);
-        let cfg =
-            Configuration::with_phantoms(&[s("A"), s("B"), s("C"), s("D")], &[s("ABCD")]);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B"), s("C"), s("D")], &[s("ABCD")]);
         let m = 40_000.0;
         let numeric = allocate_numeric(&cfg, m, &ctx, 500);
         let cn = per_record_cost(&cfg, &numeric, &ctx);

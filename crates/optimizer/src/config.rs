@@ -123,8 +123,7 @@ impl Configuration {
 
     /// Relations with no children (always queries, per the paper).
     pub fn leaves(&self) -> impl Iterator<Item = AttrSet> + '_ {
-        let with_children: BTreeSet<AttrSet> =
-            self.parent.values().flatten().copied().collect();
+        let with_children: BTreeSet<AttrSet> = self.parent.values().flatten().copied().collect();
         self.parent
             .keys()
             .copied()
@@ -349,9 +348,9 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         if start == self.pos {
-            return Err(self.peek().map_or(ParseError::Eof, |_| {
-                ParseError::Unexpected(self.pos)
-            }));
+            return Err(self
+                .peek()
+                .map_or(ParseError::Eof, |_| ParseError::Unexpected(self.pos)));
         }
         let name = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
         AttrSet::parse(name).ok_or(ParseError::Unexpected(start))
@@ -445,11 +444,7 @@ mod tests {
     #[test]
     fn parse_round_trips() {
         let queries = qs(&["AB", "BC", "BD", "CD"]);
-        for notation in [
-            "ABCD(AB BCD(BC BD CD))",
-            "ABC(AB BC) BD CD",
-            "AB BC BD CD",
-        ] {
+        for notation in ["ABCD(AB BCD(BC BD CD))", "ABC(AB BC) BD CD", "AB BC BD CD"] {
             let cfg = Configuration::parse(notation, &queries).unwrap();
             assert_eq!(cfg.notation(), notation, "round trip {notation}");
         }

@@ -283,10 +283,8 @@ mod tests {
         // Phantom AB (b0) feeding A and B (b1, b2):
         // E_u = [b0 + b0]·c1 (feeds into A and B)
         //     + [(b1 + x_A·b0) + (b2 + x_B·b0)]·c2.
-        let stats = DatasetStats::from_group_counts(
-            [(s("A"), 50), (s("B"), 50), (s("AB"), 400)],
-            10_000,
-        );
+        let stats =
+            DatasetStats::from_group_counts([(s("A"), 50), (s("B"), 50), (s("AB"), 400)], 10_000);
         let model = LinearModel::paper_no_intercept();
         let ctx = CostContext::new(&stats, &model);
         let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[s("AB")]);

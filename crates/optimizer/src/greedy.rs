@@ -354,7 +354,7 @@ mod tests {
     }
 
     #[test]
-    fn gcsl_at_least_as_good_as_gs(){
+    fn gcsl_at_least_as_good_as_gs() {
         // Fig. 11's qualitative claim: GCSL beats GS for any φ.
         let stats = stats_abcd();
         let model = LinearModel::paper_no_intercept();

@@ -24,6 +24,8 @@
 //! * [`planner`] — a one-call facade producing an executable
 //!   [`msa_gigascope::PhysicalPlan`].
 
+#![deny(unsafe_code)]
+
 pub mod alloc;
 pub mod config;
 pub mod cost;
@@ -37,4 +39,5 @@ pub use config::Configuration;
 pub use cost::{ClusterHandling, CostContext};
 pub use graph::FeedingGraph;
 pub use greedy::{epes, greedy_collision, greedy_space};
+pub use peakload::{enforce_peak_load, enforce_peak_load_from, PeakLoadMethod, PeakLoadOutcome};
 pub use planner::{Algorithm, Plan, Planner, PlannerOptions};

@@ -38,6 +38,11 @@ pub struct PeakLoadOutcome {
     pub update_cost: f64,
     /// True if the constraint could be met.
     pub feasible: bool,
+    /// The scale factor `t` that produced `allocation` (1.0 when the
+    /// allocation was left untouched). Feed it back as the `start` of
+    /// the next [`enforce_peak_load_from`] call to make successive
+    /// runtime repairs incremental.
+    pub scale: f64,
 }
 
 /// Repairs `alloc` so that `E_u ≤ e_p`, using `method`.
@@ -53,20 +58,44 @@ pub fn enforce_peak_load(
     e_p: f64,
     method: PeakLoadMethod,
 ) -> PeakLoadOutcome {
+    enforce_peak_load_from(cfg, alloc, ctx, e_p, method, 1.0)
+}
+
+/// Like [`enforce_peak_load`], but resumes the downward scan strictly
+/// below `start` instead of at 0.99.
+///
+/// This is the incremental entry point for *runtime* repairs: a guard
+/// that already shrank to `t = 0.8` last epoch and finds the budget
+/// breached again passes `start = 0.8`, skipping the 20 candidate
+/// evaluations it has already rejected. `start = 1.0` degenerates to
+/// the full scan.
+pub fn enforce_peak_load_from(
+    cfg: &Configuration,
+    alloc: &Allocation,
+    ctx: &CostContext<'_>,
+    e_p: f64,
+    method: PeakLoadMethod,
+    start: f64,
+) -> PeakLoadOutcome {
+    let start = start.clamp(0.01, 1.0);
     let current = end_of_epoch_cost(cfg, alloc, ctx);
     if current <= e_p {
         return PeakLoadOutcome {
             allocation: alloc.clone(),
             update_cost: current,
             feasible: true,
+            scale: 1.0,
         };
     }
     // Seed with the unrepaired allocation: if every repair step makes
     // E_u worse (possible for shift when query tables are occupancy-
     // saturated), the honest answer is "infeasible, keep the original".
-    let mut lowest: Option<(f64, Allocation)> = Some((current, alloc.clone()));
+    let mut lowest: Option<(f64, f64, Allocation)> = Some((current, 1.0, alloc.clone()));
     for step in 1..100 {
         let t = 1.0 - step as f64 / 100.0;
+        if t >= start {
+            continue;
+        }
         let candidate = match method {
             PeakLoadMethod::Shrink => alloc.scaled(t),
             PeakLoadMethod::Shift => shift(cfg, alloc, t),
@@ -77,20 +106,21 @@ pub fn enforce_peak_load(
                 allocation: candidate,
                 update_cost: eu,
                 feasible: true,
+                scale: t,
             };
         }
-        if lowest.as_ref().is_none_or(|(c, _)| eu < *c) {
-            lowest = Some((eu, candidate));
+        if lowest.as_ref().is_none_or(|(c, _, _)| eu < *c) {
+            lowest = Some((eu, t, candidate));
         }
     }
     // Constraint unreachable with this method: return the repair that got
     // closest (the caller can fall back to the other method).
-    let (update_cost, allocation) =
-        lowest.unwrap_or_else(|| (current, alloc.clone()));
+    let (update_cost, scale, allocation) = lowest.unwrap_or_else(|| (current, 1.0, alloc.clone()));
     PeakLoadOutcome {
         allocation,
         update_cost,
         feasible: false,
+        scale,
     }
 }
 
@@ -112,10 +142,7 @@ fn shift(cfg: &Configuration, alloc: &Allocation, t: f64) -> Allocation {
     if phantoms.is_empty() || reclaimed <= 0.0 {
         return out;
     }
-    let phantom_space: f64 = phantoms
-        .iter()
-        .map(|&p| alloc.space_words_of(p))
-        .sum();
+    let phantom_space: f64 = phantoms.iter().map(|&p| alloc.space_words_of(p)).sum();
     for &p in &phantoms {
         let share = if phantom_space > 0.0 {
             alloc.space_words_of(p) / phantom_space
@@ -143,11 +170,7 @@ mod tests {
     fn setup() -> (DatasetStats, LinearModel) {
         (
             DatasetStats::from_group_counts(
-                [
-                    (s("A"), 500),
-                    (s("B"), 450),
-                    (s("AB"), 2000),
-                ],
+                [(s("A"), 500), (s("B"), 450), (s("AB"), 2000)],
                 1_000_000,
             ),
             LinearModel::paper_no_intercept(),
@@ -214,10 +237,69 @@ mod tests {
             assert_eq!(out.allocation, alloc);
         }
         assert!(
-            (out.allocation.space_words() - alloc.space_words()).abs()
-                / alloc.space_words()
-                < 0.01
+            (out.allocation.space_words() - alloc.space_words()).abs() / alloc.space_words() < 0.01
         );
+    }
+
+    #[test]
+    fn budget_at_exactly_eu_is_a_noop_with_unit_scale() {
+        let (stats, model) = setup();
+        let ctx = ctx(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[s("AB")]);
+        let alloc = AllocStrategy::SupernodeLinear.allocate(&cfg, 20_000.0, &ctx);
+        let eu = end_of_epoch_cost(&cfg, &alloc, &ctx);
+        let out = enforce_peak_load(&cfg, &alloc, &ctx, eu, PeakLoadMethod::Shrink);
+        assert!(out.feasible);
+        assert_eq!(out.allocation, alloc);
+        assert_eq!(out.scale, 1.0);
+        assert_eq!(out.update_cost, eu);
+    }
+
+    #[test]
+    fn tiny_budget_shrinks_below_one_bucket_without_panic() {
+        // M so small every table is already at (or below) one bucket:
+        // scaled() floors at 1.0, the scan must terminate cleanly for
+        // both methods and report honestly.
+        let (stats, model) = setup();
+        let ctx = ctx(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[s("AB")]);
+        let alloc = AllocStrategy::ProportionalSqrt.allocate(&cfg, 4.0, &ctx);
+        for method in [PeakLoadMethod::Shrink, PeakLoadMethod::Shift] {
+            let out = enforce_peak_load(&cfg, &alloc, &ctx, 1e-6, method);
+            assert!(!out.feasible, "{method:?}: E_u cannot reach ~0");
+            for (r, b) in out.allocation.iter() {
+                assert!(b >= 1.0, "{method:?}: {r} shrunk below one bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_scan_resumes_strictly_below_start() {
+        let (stats, model) = setup();
+        let ctx = ctx(&stats, &model);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[s("AB")]);
+        let alloc = AllocStrategy::SupernodeLinear.allocate(&cfg, 20_000.0, &ctx);
+        let eu = end_of_epoch_cost(&cfg, &alloc, &ctx);
+        let full = enforce_peak_load(&cfg, &alloc, &ctx, eu * 0.9, PeakLoadMethod::Shrink);
+        assert!(full.feasible && full.scale < 1.0);
+        // Resuming from the scale the full scan found must move strictly
+        // lower (every candidate ≥ start is skipped)...
+        let resumed = enforce_peak_load_from(
+            &cfg,
+            &alloc,
+            &ctx,
+            eu * 0.9,
+            PeakLoadMethod::Shrink,
+            full.scale,
+        );
+        assert!(resumed.feasible);
+        assert!(resumed.scale < full.scale);
+        // ...and clamping pathological starts must not panic or loop.
+        for start in [0.0, -3.0, 2.0] {
+            let out =
+                enforce_peak_load_from(&cfg, &alloc, &ctx, eu * 0.9, PeakLoadMethod::Shrink, start);
+            assert!(out.scale <= 1.0);
+        }
     }
 
     #[test]

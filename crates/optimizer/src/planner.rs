@@ -257,10 +257,7 @@ mod tests {
         let base = Planner::new(&queries, &stats, &model, &base_opts).plan(&base_opts);
 
         let mut capped = PlannerOptions::new(40_000.0);
-        capped.peak_load = Some((
-            base.predicted_update_cost * 0.9,
-            PeakLoadMethod::Shrink,
-        ));
+        capped.peak_load = Some((base.predicted_update_cost * 0.9, PeakLoadMethod::Shrink));
         let plan = Planner::new(&queries, &stats, &model, &capped).plan(&capped);
         assert!(plan.predicted_update_cost <= base.predicted_update_cost * 0.9 * 1.001);
     }

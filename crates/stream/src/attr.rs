@@ -31,9 +31,28 @@ pub type AttrId = u8;
 /// assert_eq!(ab.union(AttrSet::parse("C").unwrap()), abc);
 /// assert_eq!(abc.to_string(), "ABC");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct AttrSet(u16);
+
+/// Failure to parse an attribute-set name (see [`AttrSet::parse_checked`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttrParseError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for AttrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid attribute set {:?}: expected one or more letters A..={}",
+            self.input,
+            (b'A' + MAX_ATTRS as u8 - 1) as char
+        )
+    }
+}
+
+impl std::error::Error for AttrParseError {}
 
 impl AttrSet {
     /// The empty attribute set.
@@ -90,6 +109,15 @@ impl AttrSet {
             set = set.union(AttrSet::single(idx as AttrId));
         }
         Some(set)
+    }
+
+    /// Like [`AttrSet::parse`] but returns a typed error naming the
+    /// rejected input — for user-facing paths where `?` should propagate
+    /// a useful message instead of panicking on `None`.
+    pub fn parse_checked(s: &str) -> Result<AttrSet, AttrParseError> {
+        AttrSet::parse(s).ok_or_else(|| AttrParseError {
+            input: s.to_string(),
+        })
     }
 
     /// Number of attributes in the set.
@@ -314,15 +342,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_transparent_roundtrip() {
-        use serde::de::value::{Error as ValueError, U16Deserializer};
-        use serde::de::IntoDeserializer;
-        use serde::Deserialize;
-        let set = AttrSet::parse("ABD").unwrap();
-        // Transparent representation: (de)serializes as the raw bitmask.
-        let de: U16Deserializer<ValueError> = set.bits().into_deserializer();
-        let back = AttrSet::deserialize(de).unwrap();
-        assert_eq!(back, set);
+    fn parse_checked_reports_input() {
+        assert_eq!(
+            AttrSet::parse_checked("AB"),
+            Ok(AttrSet::parse("AB").unwrap())
+        );
+        let err = AttrSet::parse_checked("A Z").unwrap_err();
+        assert!(err.to_string().contains("A Z"), "{err}");
     }
 
     #[test]

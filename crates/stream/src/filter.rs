@@ -161,9 +161,7 @@ mod tests {
 
     #[test]
     fn conjunction_is_and() {
-        let f = Filter::all()
-            .and(0, CmpOp::Eq, 10)
-            .and(1, CmpOp::Lt, 100);
+        let f = Filter::all().and(0, CmpOp::Eq, 10).and(1, CmpOp::Lt, 100);
         assert!(f.matches(&rec(&[10, 50])));
         assert!(!f.matches(&rec(&[10, 100])));
         assert!(!f.matches(&rec(&[11, 50])));
@@ -172,9 +170,7 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let f = Filter::all()
-            .and(3, CmpOp::Eq, 80)
-            .and(0, CmpOp::Ge, 5);
+        let f = Filter::all().and(3, CmpOp::Eq, 80).and(0, CmpOp::Ge, 5);
         assert_eq!(f.to_string(), "D = 80 AND A >= 5");
         assert_eq!(Filter::all().to_string(), "true");
     }

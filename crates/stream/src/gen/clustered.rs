@@ -10,14 +10,13 @@
 //! packets interleave.
 
 use super::{spread_timestamps, GeneratedStream};
+use crate::prng::SplitMix64;
 use crate::record::Record;
 use crate::MAX_ATTRS;
-use rand::prelude::*;
-use rand::rngs::StdRng;
 use std::collections::HashSet;
 
 /// Distribution of flow lengths (packets per flow).
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FlowLengthDistribution {
     /// Every flow has exactly `len` packets.
     Constant {
@@ -41,18 +40,18 @@ pub enum FlowLengthDistribution {
 
 impl FlowLengthDistribution {
     /// Samples one flow length (≥ 1).
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
         match *self {
             FlowLengthDistribution::Constant { len } => len.max(1),
             FlowLengthDistribution::Pareto { alpha, min } => {
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u: f64 = rng.gen_f64_open();
                 let x = min.max(1) as f64 / u.powf(1.0 / alpha);
                 // Cap to keep a single flow from swallowing the stream.
                 (x.ceil() as usize).min(1 << 20)
             }
             FlowLengthDistribution::Geometric { p } => {
                 let p = p.clamp(1e-9, 1.0);
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u: f64 = rng.gen_f64_open();
                 ((u.ln() / (1.0 - p).max(1e-12).ln()).floor() as usize) + 1
             }
         }
@@ -171,14 +170,14 @@ impl ClusteredStreamBuilder {
 
     /// Generates the stream.
     pub fn build(&self) -> GeneratedStream {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         // Universe of distinct group tuples.
         let mut seen: HashSet<[u32; MAX_ATTRS]> = HashSet::with_capacity(self.groups * 2);
         let mut universe = Vec::with_capacity(self.groups);
         while universe.len() < self.groups {
             let mut tuple = [0u32; MAX_ATTRS];
             for slot in tuple.iter_mut().take(self.arity) {
-                *slot = rng.gen();
+                *slot = rng.next_u32();
             }
             if seen.insert(tuple) {
                 universe.push(tuple);
@@ -196,13 +195,13 @@ impl ClusteredStreamBuilder {
         }
         let extra = self.groups * (self.flows_per_group.saturating_sub(1));
         for _ in 0..extra {
-            let attrs = universe[rng.gen_range(0..universe.len())];
+            let attrs = universe[rng.gen_index(universe.len())];
             flows.push(Flow {
                 attrs,
                 remaining: self.flow_lengths.sample(&mut rng),
             });
         }
-        flows.shuffle(&mut rng);
+        rng.shuffle(&mut flows);
 
         let records = interleave_flows(
             flows,
@@ -231,7 +230,7 @@ pub(crate) fn interleave_flows(
     window: usize,
     dist: &FlowLengthDistribution,
     universe: &[[u32; MAX_ATTRS]],
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Vec<Record> {
     pending.reverse(); // pop() now yields flows in shuffled order
     let mut active: Vec<Flow> = Vec::with_capacity(window);
@@ -243,7 +242,7 @@ pub(crate) fn interleave_flows(
                 None => {
                     if active.is_empty() {
                         // Replenish: new flow on a random existing group.
-                        let attrs = universe[rng.gen_range(0..universe.len())];
+                        let attrs = universe[rng.gen_index(universe.len())];
                         active.push(Flow {
                             attrs,
                             remaining: dist.sample(rng),
@@ -253,7 +252,7 @@ pub(crate) fn interleave_flows(
                 }
             }
         }
-        let idx = rng.gen_range(0..active.len());
+        let idx = rng.gen_index(active.len());
         let flow = &mut active[idx];
         out.push(Record {
             attrs: flow.attrs,
@@ -263,7 +262,7 @@ pub(crate) fn interleave_flows(
         if flow.remaining == 0 {
             active.swap_remove(idx);
             if active.is_empty() && pending.is_empty() {
-                let attrs = universe[rng.gen_range(0..universe.len())];
+                let attrs = universe[rng.gen_index(universe.len())];
                 active.push(Flow {
                     attrs,
                     remaining: dist.sample(rng),
@@ -339,7 +338,7 @@ mod tests {
 
     #[test]
     fn pareto_sampler_respects_min_and_mean() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::new(11);
         let d = FlowLengthDistribution::Pareto { alpha: 2.0, min: 5 };
         let samples: Vec<usize> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&l| l >= 5));
@@ -350,7 +349,7 @@ mod tests {
 
     #[test]
     fn geometric_sampler_mean() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = SplitMix64::new(12);
         let d = FlowLengthDistribution::Geometric { p: 0.2 };
         let samples: Vec<usize> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;

@@ -17,14 +17,13 @@
 
 use super::clustered::{interleave_flows, FlowLengthDistribution};
 use super::{spread_timestamps, GeneratedStream};
+use crate::prng::SplitMix64;
 use crate::record::Record;
 use crate::MAX_ATTRS;
-use rand::prelude::*;
-use rand::rngs::StdRng;
 use std::collections::HashSet;
 
 /// Calibration targets for the synthetic trace.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TraceProfile {
     /// Total packet count.
     pub records: usize,
@@ -129,7 +128,7 @@ impl PacketTraceBuilder {
         target: usize,
         pos: usize,
         pool: usize,
-        rng: &mut StdRng,
+        rng: &mut SplitMix64,
     ) -> Vec<[u32; MAX_ATTRS]> {
         assert!(target >= parents.len(), "level target below parent count");
         let mut children: Vec<[u32; MAX_ATTRS]> = Vec::with_capacity(target);
@@ -137,23 +136,23 @@ impl PacketTraceBuilder {
         // One child per parent first, then spread the surplus uniformly.
         let mut counts = vec![1usize; parents.len()];
         for _ in 0..(target - parents.len()) {
-            counts[rng.gen_range(0..parents.len())] += 1;
+            counts[rng.gen_index(parents.len())] += 1;
         }
         for (pi, (&parent, &n)) in parents.iter().zip(&counts).enumerate() {
             for _ in 0..n {
                 // Rejection-sample a pool value unused under this parent;
                 // fall back to a fresh high value if the pool saturates.
-                let mut val = rng.gen_range(0..pool as u32);
+                let mut val = rng.gen_u32_below(pool as u32);
                 let mut tries = 0;
                 while used.contains(&(pi, val)) {
                     tries += 1;
                     if tries > 4 * pool {
-                        val = pool as u32 + rng.gen_range(0..u32::MAX / 2);
+                        val = pool as u32 + rng.gen_u32_below(u32::MAX / 2);
                         if !used.contains(&(pi, val)) {
                             break;
                         }
                     } else {
-                        val = rng.gen_range(0..pool as u32);
+                        val = rng.gen_u32_below(pool as u32);
                     }
                 }
                 used.insert((pi, val));
@@ -167,12 +166,12 @@ impl PacketTraceBuilder {
 
     /// Generates the group hierarchy and the (shuffled) flow population:
     /// one `(group, length)` per flow.
-    fn flow_population(&self, rng: &mut StdRng) -> Vec<([u32; MAX_ATTRS], usize)> {
+    fn flow_population(&self, rng: &mut SplitMix64) -> Vec<([u32; MAX_ATTRS], usize)> {
         let p = &self.profile;
         // Level 1: distinct srcIP values.
         let mut srcs: HashSet<u32> = HashSet::with_capacity(p.prefix_groups[0] * 2);
         while srcs.len() < p.prefix_groups[0] {
-            srcs.insert(rng.gen());
+            srcs.insert(rng.next_u32());
         }
         // Sort for determinism: HashSet iteration order varies per process.
         let mut srcs: Vec<u32> = srcs.into_iter().collect();
@@ -199,17 +198,17 @@ impl PacketTraceBuilder {
         }
         let extra = leaves.len() * p.flows_per_group.saturating_sub(1);
         for _ in 0..extra {
-            let leaf = leaves[rng.gen_range(0..leaves.len())];
+            let leaf = leaves[rng.gen_index(leaves.len())];
             flows.push((leaf.attrs, p.flow_lengths.sample(rng)));
         }
-        flows.shuffle(rng);
+        rng.shuffle(&mut flows);
         flows
     }
 
     /// Generates the trace.
     pub fn build(&self) -> GeneratedStream {
         let p = &self.profile;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let population = self.flow_population(&mut rng);
         let universe: Vec<[u32; MAX_ATTRS]> = {
             let mut seen = HashSet::new();
@@ -245,7 +244,7 @@ impl PacketTraceBuilder {
     /// (shuffled) arrival order, so no temporal locality remains.
     pub fn build_declustered(&self) -> GeneratedStream {
         let p = &self.profile;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let population = self.flow_population(&mut rng);
         let groups = {
             let mut seen = HashSet::new();
@@ -335,7 +334,11 @@ mod tests {
         // Still the whole universe...
         assert_eq!(s.groups(abcd), 260);
         // ...but (nearly) no clusteredness left.
-        assert!(s.flow_length(abcd) < 1.2, "flow length {}", s.flow_length(abcd));
+        assert!(
+            s.flow_length(abcd) < 1.2,
+            "flow length {}",
+            s.flow_length(abcd)
+        );
     }
 
     #[test]

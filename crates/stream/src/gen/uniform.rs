@@ -7,10 +7,9 @@
 //! group count exactly.
 
 use super::{spread_timestamps, GeneratedStream};
+use crate::prng::SplitMix64;
 use crate::record::Record;
 use crate::MAX_ATTRS;
-use rand::prelude::*;
-use rand::rngs::StdRng;
 use std::collections::HashSet;
 
 /// Builder for uniform random streams.
@@ -93,15 +92,15 @@ impl UniformStreamBuilder {
     }
 
     /// Generates the universe of distinct tuples.
-    fn universe(&self, rng: &mut StdRng) -> Vec<[u32; MAX_ATTRS]> {
+    fn universe(&self, rng: &mut SplitMix64) -> Vec<[u32; MAX_ATTRS]> {
         let mut seen: HashSet<[u32; MAX_ATTRS]> = HashSet::with_capacity(self.groups * 2);
         let mut universe = Vec::with_capacity(self.groups);
         while universe.len() < self.groups {
             let mut tuple = [0u32; MAX_ATTRS];
             for (i, slot) in tuple.iter_mut().take(self.arity).enumerate() {
                 *slot = match &self.attr_domains {
-                    Some(domains) => rng.gen_range(0..domains[i]),
-                    None => rng.gen(),
+                    Some(domains) => rng.gen_u32_below(domains[i]),
+                    None => rng.next_u32(),
                 };
             }
             if seen.insert(tuple) {
@@ -113,11 +112,11 @@ impl UniformStreamBuilder {
 
     /// Generates the stream.
     pub fn build(&self) -> GeneratedStream {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let universe = self.universe(&mut rng);
         let mut records = Vec::with_capacity(self.records);
         for _ in 0..self.records {
-            let attrs = universe[rng.gen_range(0..universe.len())];
+            let attrs = universe[rng.gen_index(universe.len())];
             records.push(Record {
                 attrs,
                 ts_micros: 0,
@@ -148,17 +147,29 @@ mod tests {
     fn observed_group_count_converges_to_universe() {
         // With 50 groups and 50_000 uniform draws, all groups appear
         // with probability ~1.
-        let s = UniformStreamBuilder::new(4, 50).records(50_000).seed(1).build();
+        let s = UniformStreamBuilder::new(4, 50)
+            .records(50_000)
+            .seed(1)
+            .build();
         let stats = DatasetStats::compute(&s.records, AttrSet::parse("ABCD").unwrap());
         assert_eq!(stats.groups(AttrSet::parse("ABCD").unwrap()), 50);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = UniformStreamBuilder::new(2, 10).records(100).seed(9).build();
-        let b = UniformStreamBuilder::new(2, 10).records(100).seed(9).build();
+        let a = UniformStreamBuilder::new(2, 10)
+            .records(100)
+            .seed(9)
+            .build();
+        let b = UniformStreamBuilder::new(2, 10)
+            .records(100)
+            .seed(9)
+            .build();
         assert_eq!(a.records, b.records);
-        let c = UniformStreamBuilder::new(2, 10).records(100).seed(10).build();
+        let c = UniformStreamBuilder::new(2, 10)
+            .records(100)
+            .seed(10)
+            .build();
         assert_ne!(a.records, c.records);
     }
 
@@ -180,7 +191,10 @@ mod tests {
             .records(1000)
             .duration_secs(10.0)
             .build();
-        assert!(s.records.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+        assert!(s
+            .records
+            .windows(2)
+            .all(|w| w[0].ts_micros <= w[1].ts_micros));
         assert!(s.records.last().unwrap().ts_micros < 10_000_000);
         assert!(s.records.last().unwrap().ts_micros > 9_000_000);
     }

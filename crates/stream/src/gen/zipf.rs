@@ -7,10 +7,9 @@
 //! frequencies.
 
 use super::{spread_timestamps, GeneratedStream};
+use crate::prng::SplitMix64;
 use crate::record::Record;
 use crate::MAX_ATTRS;
-use rand::prelude::*;
-use rand::rngs::StdRng;
 use std::collections::HashSet;
 
 /// Builder for Zipf-distributed streams over a fixed group universe.
@@ -70,21 +69,21 @@ impl ZipfStreamBuilder {
 
     /// Generates the stream.
     pub fn build(&self) -> GeneratedStream {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         // Materialise the universe (random-valued distinct tuples).
         let mut seen: HashSet<[u32; MAX_ATTRS]> = HashSet::with_capacity(self.groups * 2);
         let mut universe = Vec::with_capacity(self.groups);
         while universe.len() < self.groups {
             let mut tuple = [0u32; MAX_ATTRS];
             for slot in tuple.iter_mut().take(self.arity) {
-                *slot = rng.gen();
+                *slot = rng.next_u32();
             }
             if seen.insert(tuple) {
                 universe.push(tuple);
             }
         }
         // Shuffle so that rank order is independent of generation order.
-        universe.shuffle(&mut rng);
+        rng.shuffle(&mut universe);
 
         // Cumulative Zipf weights + binary-search sampling.
         let mut cum = Vec::with_capacity(self.groups);
@@ -95,7 +94,7 @@ impl ZipfStreamBuilder {
         }
         let mut records = Vec::with_capacity(self.records);
         for _ in 0..self.records {
-            let u: f64 = rng.gen_range(0.0..total);
+            let u: f64 = rng.gen_range_f64(0.0, total);
             let idx = cum.partition_point(|&c| c <= u);
             records.push(Record {
                 attrs: universe[idx.min(self.groups - 1)],
@@ -119,14 +118,20 @@ mod tests {
 
     #[test]
     fn zero_exponent_is_uniform_like() {
-        let s = ZipfStreamBuilder::new(2, 20, 0.0).records(40_000).seed(4).build();
+        let s = ZipfStreamBuilder::new(2, 20, 0.0)
+            .records(40_000)
+            .seed(4)
+            .build();
         let stats = DatasetStats::compute(&s.records, AttrSet::parse("AB").unwrap());
         assert_eq!(stats.groups(AttrSet::parse("AB").unwrap()), 20);
     }
 
     #[test]
     fn high_skew_concentrates_mass() {
-        let s = ZipfStreamBuilder::new(2, 1000, 2.0).records(50_000).seed(7).build();
+        let s = ZipfStreamBuilder::new(2, 1000, 2.0)
+            .records(50_000)
+            .seed(7)
+            .build();
         // Count the most frequent full group.
         let mut counts = std::collections::HashMap::new();
         let ab = AttrSet::parse("AB").unwrap();
@@ -140,8 +145,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = ZipfStreamBuilder::new(3, 50, 1.0).records(500).seed(1).build();
-        let b = ZipfStreamBuilder::new(3, 50, 1.0).records(500).seed(1).build();
+        let a = ZipfStreamBuilder::new(3, 50, 1.0)
+            .records(500)
+            .seed(1)
+            .build();
+        let b = ZipfStreamBuilder::new(3, 50, 1.0)
+            .records(500)
+            .seed(1)
+            .build();
         assert_eq!(a.records, b.records);
     }
 }

@@ -4,13 +4,13 @@
 //! this module stores them in a compact length-prefixed binary format
 //! (magic + version + arity + record count, then per record a `u64`
 //! timestamp and `arity` `u32` attribute values, all little-endian).
-//! Encoding goes through [`bytes::BufMut`] so the same routines work
-//! against files, network buffers or in-memory tests.
+//! Encoding targets a plain `Vec<u8>` and decoding consumes a `&[u8]`
+//! cursor, so the same routines work against files, network buffers or
+//! in-memory tests without any external buffer crate.
 
 use crate::attr::MAX_ATTRS;
 use crate::gen::GeneratedStream;
 use crate::record::Record;
-use bytes::{Buf, BufMut};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -55,53 +55,76 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
-/// Encodes records into any [`BufMut`].
+/// Takes `N` bytes off the front of the cursor, or fails as truncated.
+fn take<'a, const N: usize>(cursor: &mut &'a [u8]) -> Result<&'a [u8; N], TraceIoError> {
+    if cursor.len() < N {
+        return Err(TraceIoError::Truncated);
+    }
+    let (head, rest) = cursor.split_at(N);
+    *cursor = rest;
+    Ok(head.try_into().expect("split_at returned N bytes"))
+}
+
+fn take_u16_le(cursor: &mut &[u8]) -> Result<u16, TraceIoError> {
+    Ok(u16::from_le_bytes(*take::<2>(cursor)?))
+}
+
+fn take_u32_le(cursor: &mut &[u8]) -> Result<u32, TraceIoError> {
+    Ok(u32::from_le_bytes(*take::<4>(cursor)?))
+}
+
+fn take_u64_le(cursor: &mut &[u8]) -> Result<u64, TraceIoError> {
+    Ok(u64::from_le_bytes(*take::<8>(cursor)?))
+}
+
+/// Encodes records into `buf`.
 ///
 /// # Panics
 /// Panics if `arity` is outside `1..=MAX_ATTRS`.
-pub fn encode_records<B: BufMut>(records: &[Record], arity: usize, buf: &mut B) {
+pub fn encode_records(records: &[Record], arity: usize, buf: &mut Vec<u8>) {
     assert!((1..=MAX_ATTRS).contains(&arity), "arity out of range");
-    buf.put_slice(&MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u8(arity as u8);
-    buf.put_u64_le(records.len() as u64);
+    buf.reserve(4 + 2 + 1 + 8 + records.len() * (8 + 4 * arity));
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(arity as u8);
+    buf.extend_from_slice(&(records.len() as u64).to_le_bytes());
     for r in records {
-        buf.put_u64_le(r.ts_micros);
+        buf.extend_from_slice(&r.ts_micros.to_le_bytes());
         for i in 0..arity {
-            buf.put_u32_le(r.attrs[i]);
+            buf.extend_from_slice(&r.attrs[i].to_le_bytes());
         }
     }
 }
 
-/// Decodes records from any [`Buf`]; the inverse of [`encode_records`].
-pub fn decode_records<B: Buf>(buf: &mut B) -> Result<(Vec<Record>, usize), TraceIoError> {
-    if buf.remaining() < 4 + 2 + 1 + 8 {
+/// Decodes records from a byte cursor; the inverse of [`encode_records`].
+/// On success the cursor is advanced past the decoded trace.
+pub fn decode_records(cursor: &mut &[u8]) -> Result<(Vec<Record>, usize), TraceIoError> {
+    if cursor.len() < 4 + 2 + 1 + 8 {
         return Err(TraceIoError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if magic != MAGIC {
+    let magic = take::<4>(cursor)?;
+    if *magic != MAGIC {
         return Err(TraceIoError::BadMagic);
     }
-    let version = buf.get_u16_le();
+    let version = take_u16_le(cursor)?;
     if version != VERSION {
         return Err(TraceIoError::BadVersion(version));
     }
-    let arity = buf.get_u8();
+    let arity = take::<1>(cursor)?[0];
     if arity == 0 || arity as usize > MAX_ATTRS {
         return Err(TraceIoError::BadArity(arity));
     }
-    let count = buf.get_u64_le() as usize;
+    let count = take_u64_le(cursor)? as usize;
     let record_bytes = 8 + 4 * arity as usize;
-    if buf.remaining() < count.saturating_mul(record_bytes) {
+    if cursor.len() < count.saturating_mul(record_bytes) {
         return Err(TraceIoError::Truncated);
     }
     let mut records = Vec::with_capacity(count);
     for _ in 0..count {
-        let ts_micros = buf.get_u64_le();
+        let ts_micros = take_u64_le(cursor)?;
         let mut attrs = [0u32; MAX_ATTRS];
         for slot in attrs.iter_mut().take(arity as usize) {
-            *slot = buf.get_u32_le();
+            *slot = take_u32_le(cursor)?;
         }
         records.push(Record { attrs, ts_micros });
     }
@@ -110,7 +133,7 @@ pub fn decode_records<B: Buf>(buf: &mut B) -> Result<(Vec<Record>, usize), Trace
 
 /// Writes a stream to `path`.
 pub fn write_trace<P: AsRef<Path>>(stream: &GeneratedStream, path: P) -> Result<(), TraceIoError> {
-    let mut bytes = bytes::BytesMut::with_capacity(32 + stream.len() * (8 + 4 * stream.arity));
+    let mut bytes = Vec::with_capacity(32 + stream.len() * (8 + 4 * stream.arity));
     encode_records(&stream.records, stream.arity, &mut bytes);
     let mut out = BufWriter::new(File::create(path)?);
     out.write_all(&bytes)?;
@@ -151,8 +174,11 @@ mod tests {
 
     #[test]
     fn roundtrip_in_memory() {
-        let stream = UniformStreamBuilder::new(4, 50).records(500).seed(1).build();
-        let mut buf = bytes::BytesMut::new();
+        let stream = UniformStreamBuilder::new(4, 50)
+            .records(500)
+            .seed(1)
+            .build();
+        let mut buf = Vec::new();
         encode_records(&stream.records, 4, &mut buf);
         let mut cursor = &buf[..];
         let (records, arity) = decode_records(&mut cursor).unwrap();
@@ -166,7 +192,10 @@ mod tests {
         let dir = std::env::temp_dir().join("msa_trace_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.bin");
-        let stream = UniformStreamBuilder::new(3, 20).records(200).seed(2).build();
+        let stream = UniformStreamBuilder::new(3, 20)
+            .records(200)
+            .seed(2)
+            .build();
         write_trace(&stream, &path).unwrap();
         let loaded = read_trace(&path).unwrap();
         assert_eq!(loaded.records, stream.records);
@@ -186,31 +215,31 @@ mod tests {
             Err(TraceIoError::BadMagic)
         ));
         // Valid header, missing body.
-        let mut buf = bytes::BytesMut::new();
-        buf.put_slice(b"MAG1");
-        buf.put_u16_le(1);
-        buf.put_u8(4);
-        buf.put_u64_le(1000); // promises 1000 records, provides none
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MAG1");
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.push(4);
+        buf.extend_from_slice(&1000u64.to_le_bytes()); // promises 1000 records, provides none
         assert!(matches!(
             decode_records(&mut &buf[..]),
             Err(TraceIoError::Truncated)
         ));
         // Bad version.
-        let mut buf = bytes::BytesMut::new();
-        buf.put_slice(b"MAG1");
-        buf.put_u16_le(9);
-        buf.put_u8(4);
-        buf.put_u64_le(0);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MAG1");
+        buf.extend_from_slice(&9u16.to_le_bytes());
+        buf.push(4);
+        buf.extend_from_slice(&0u64.to_le_bytes());
         assert!(matches!(
             decode_records(&mut &buf[..]),
             Err(TraceIoError::BadVersion(9))
         ));
         // Bad arity.
-        let mut buf = bytes::BytesMut::new();
-        buf.put_slice(b"MAG1");
-        buf.put_u16_le(1);
-        buf.put_u8(0);
-        buf.put_u64_le(0);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MAG1");
+        buf.extend_from_slice(&1u16.to_le_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&0u64.to_le_bytes());
         assert!(matches!(
             decode_records(&mut &buf[..]),
             Err(TraceIoError::BadArity(0))
@@ -219,7 +248,7 @@ mod tests {
 
     #[test]
     fn empty_stream_roundtrips() {
-        let mut buf = bytes::BytesMut::new();
+        let mut buf = Vec::new();
         encode_records(&[], 2, &mut buf);
         let (records, arity) = decode_records(&mut &buf[..]).unwrap();
         assert!(records.is_empty());

@@ -17,22 +17,26 @@
 //! * dataset statistics ([`stats`]): group counts and average flow lengths
 //!   per attribute set, the inputs of the paper's cost model.
 
+#![deny(unsafe_code)]
+
 pub mod attr;
 pub mod filter;
 pub mod gen;
 pub mod hash;
 pub mod io;
+pub mod prng;
 pub mod record;
 pub mod stats;
 
-pub use attr::{AttrId, AttrSet, MAX_ATTRS};
+pub use attr::{AttrId, AttrParseError, AttrSet, MAX_ATTRS};
+pub use filter::{AttrPredicate, CmpOp, Filter};
 pub use gen::{
     clustered::{ClusteredStreamBuilder, FlowLengthDistribution},
     trace::{PacketTraceBuilder, TraceProfile},
     uniform::UniformStreamBuilder,
     zipf::ZipfStreamBuilder,
 };
-pub use filter::{AttrPredicate, CmpOp, Filter};
 pub use hash::{FastHasher, FastState};
+pub use prng::SplitMix64;
 pub use record::{GroupKey, Record, Schema};
 pub use stats::DatasetStats;

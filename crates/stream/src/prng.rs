@@ -1,0 +1,171 @@
+//! A small, seeded, dependency-free PRNG for workload generation.
+//!
+//! The workspace must build and test with **no external crates** (the
+//! LFTA target environments are air-gapped), so instead of `rand` the
+//! generators use this SplitMix64-based generator: 64 bits of state,
+//! full-period, passes the avalanche tests that back [`crate::hash`],
+//! and — critically — **stable across releases**, so every stream a
+//! seed produced yesterday is reproducible byte-for-byte tomorrow.
+//! It is *not* cryptographically secure and must never be used for
+//! anything security-sensitive.
+
+/// Deterministic SplitMix64 generator.
+///
+/// ```
+/// use msa_stream::prng::SplitMix64;
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 uniformly distributed bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_index bound must be positive");
+        // Lemire's multiply-shift rejection-free reduction is biased by
+        // at most 2^-64 per draw for the bounds used here (≪ 2^32),
+        // which is far below experimental noise.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform `u32` in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn gen_u32_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "gen_u32_below bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// Uniform `f64` in `(0, 1]` — safe as a denominator or `ln` input.
+    #[inline]
+    pub fn gen_f64_open(&mut self) -> f64 {
+        1.0 - self.gen_f64()
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(1);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(1);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = SplitMix64::new(2);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn index_and_bound_draws_stay_in_range() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            assert!(r.gen_index(7) < 7);
+            assert!(r.gen_u32_below(100) < 100);
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            let o = r.gen_f64_open();
+            assert!(o > 0.0 && o <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_index_is_roughly_uniform() {
+        let mut r = SplitMix64::new(4);
+        let mut counts = [0usize; 10];
+        const N: usize = 100_000;
+        for _ in 0..N {
+            counts[r.gen_index(10)] += 1;
+        }
+        let expected = N as f64 / 10.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i}: {c} (dev {dev:.3})");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        // And actually permutes with overwhelming probability.
+        assert_ne!(v, sorted);
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut r = SplitMix64::new(6);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.1)).count();
+        assert!((hits as f64 - 10_000.0).abs() < 400.0, "hits {hits}");
+    }
+}

@@ -72,7 +72,7 @@ impl Schema {
 }
 
 /// One stream tuple: attribute values plus a timestamp in microseconds.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Record {
     /// Attribute values, positionally `A, B, C, ...`. Unused positions
     /// are zero.

@@ -133,12 +133,7 @@ mod tests {
 
     #[test]
     fn group_counts_per_projection() {
-        let records = vec![
-            rec(&[1, 10]),
-            rec(&[1, 11]),
-            rec(&[2, 10]),
-            rec(&[2, 10]),
-        ];
+        let records = vec![rec(&[1, 10]), rec(&[1, 11]), rec(&[2, 10]), rec(&[2, 10])];
         let s = DatasetStats::compute(&records, AttrSet::parse("AB").unwrap());
         assert_eq!(s.groups(AttrSet::parse("A").unwrap()), 2);
         assert_eq!(s.groups(AttrSet::parse("B").unwrap()), 2);

@@ -9,10 +9,10 @@
 //!
 //! Run with: `cargo run --release --example adaptive_replan`
 
-use msa_core::{AdaptivePolicy, AttrSet, EngineOptions, MultiAggregator, Record};
+use msa_core::{AdaptivePolicy, AttrSet, EngineOptions, MsaError, MultiAggregator, Record};
 use msa_stream::UniformStreamBuilder;
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     // Phase 1 (0–3 s): 30 groups. Phase 2 (3–9 s): 3000 groups.
     let calm = UniformStreamBuilder::new(4, 30)
         .records(60_000)
@@ -30,10 +30,7 @@ fn main() {
         ts_micros: r.ts_micros + 3_000_000,
     }));
 
-    let queries = vec![
-        AttrSet::parse("AB").expect("valid"),
-        AttrSet::parse("CD").expect("valid"),
-    ];
+    let queries = vec![AttrSet::parse_checked("AB")?, AttrSet::parse_checked("CD")?];
 
     let mut opts = EngineOptions::new(8_000.0);
     opts.epoch_micros = 1_000_000; // 1 s epochs
@@ -72,4 +69,5 @@ fn main() {
         assert_eq!(sum as usize, records.len());
         println!("query {q}: {} records accounted, exact", sum);
     }
+    Ok(())
 }

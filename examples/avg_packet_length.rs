@@ -10,27 +10,26 @@
 //!
 //! Run with: `cargo run --release --example avg_packet_length`
 
-use msa_core::{AttrSet, EngineOptions, MultiAggregator, ValueSource};
-use msa_stream::{PacketTraceBuilder, Record, Schema, TraceProfile};
-use rand::prelude::*;
+use msa_core::{AttrSet, EngineOptions, MsaError, MultiAggregator, ValueSource};
+use msa_stream::{PacketTraceBuilder, Record, Schema, SplitMix64, TraceProfile};
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let schema = Schema::new(["srcIP", "srcPort", "dstIP", "dstPort", "pktLen"]);
     // Synthesize headers, then stamp a plausible packet length into
     // slot E: bimodal (ACKs around 40 bytes, data around 1400).
     let trace = PacketTraceBuilder::new(TraceProfile::paper_scaled(0.05))
         .seed(21)
         .build();
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SplitMix64::new(99);
     let records: Vec<Record> = trace
         .records
         .iter()
         .map(|r| {
             let mut attrs = r.attrs;
             attrs[4] = if rng.gen_bool(0.4) {
-                40 + rng.gen_range(0..20)
+                40 + rng.gen_u32_below(20)
             } else {
-                1200 + rng.gen_range(0..300)
+                1200 + rng.gen_u32_below(300)
             };
             Record {
                 attrs,
@@ -42,10 +41,7 @@ fn main() {
     // Two related AVG queries sharing the LFTA:
     //   group by (dstIP, dstPort)  — per-service packet sizes
     //   group by (srcIP, dstIP)    — per-conversation packet sizes
-    let queries = vec![
-        AttrSet::parse("CD").expect("valid"),
-        AttrSet::parse("AC").expect("valid"),
-    ];
+    let queries = vec![AttrSet::parse_checked("CD")?, AttrSet::parse_checked("AC")?];
     println!("queries:");
     for q in &queries {
         println!("  avg(pktLen) group by {}", schema.describe(*q));
@@ -94,4 +90,5 @@ fn main() {
     println!("\nglobal average packet length: {global_avg:.1} bytes");
     assert!(global_avg > 40.0 && global_avg < 1500.0);
     assert_eq!(total as usize, records.len());
+    Ok(())
 }

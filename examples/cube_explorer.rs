@@ -9,24 +9,23 @@
 //! Run with: `cargo run --release --example cube_explorer`
 
 use msa_collision::LinearModel;
+use msa_core::MsaError;
 use msa_optimizer::cost::{ClusterHandling, CostContext};
-use msa_optimizer::{
-    greedy_collision, AllocStrategy, Configuration, FeedingGraph,
-};
+use msa_optimizer::{greedy_collision, AllocStrategy, Configuration, FeedingGraph};
 use msa_stream::{AttrSet, DatasetStats, UniformStreamBuilder};
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let stream = UniformStreamBuilder::new(4, 2837)
         .records(200_000)
         .seed(3)
         .build();
-    let stats = DatasetStats::compute(&stream.records, AttrSet::parse("ABCD").expect("valid"));
+    let stats = DatasetStats::compute(&stream.records, AttrSet::parse_checked("ABCD")?);
 
     // The cube's 1- and 2-attribute faces.
-    let queries: Vec<AttrSet> = ["A", "B", "C", "D", "AB", "AC", "AD", "BC", "BD", "CD"]
+    let queries = ["A", "B", "C", "D", "AB", "AC", "AD", "BC", "BD", "CD"]
         .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+        .map(|q| AttrSet::parse_checked(q))
+        .collect::<Result<Vec<AttrSet>, _>>()?;
 
     let graph = FeedingGraph::new(&queries);
     println!(
@@ -70,4 +69,5 @@ fn main() {
             println!("    {r:<5} {role:<8} {buckets:>9.0}");
         }
     }
+    Ok(())
 }

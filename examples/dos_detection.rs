@@ -12,11 +12,11 @@
 //! Run with: `cargo run --release --example dos_detection`
 
 use msa_core::{
-    AdaptivePolicy, AttrSet, CmpOp, EngineOptions, Filter, MultiAggregator, Record,
+    AdaptivePolicy, AttrSet, CmpOp, EngineOptions, Filter, MsaError, MultiAggregator, Record,
 };
 use msa_stream::{PacketTraceBuilder, TraceProfile, UniformStreamBuilder};
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     // Normal traffic: the calibrated packet trace, 3 seconds.
     let normal = PacketTraceBuilder::new(TraceProfile::paper_scaled(0.04))
         .seed(31)
@@ -39,7 +39,16 @@ fn main() {
         .seed(32)
         .build();
     records.extend(flood.records.iter().map(|r| Record {
-        attrs: [r.attrs[0], 40_000 + r.attrs[0] % 20_000, 7_777, 80, 0, 0, 0, 0],
+        attrs: [
+            r.attrs[0],
+            40_000 + r.attrs[0] % 20_000,
+            7_777,
+            80,
+            0,
+            0,
+            0,
+            0,
+        ],
         ts_micros: 3_000_000 + r.ts_micros,
     }));
 
@@ -51,8 +60,8 @@ fn main() {
         universe_groups: 0,
         arity: 4,
     };
-    msa_stream::io::write_trace(&stream, &path).expect("write trace");
-    let reloaded = msa_stream::io::read_trace(&path).expect("read trace");
+    msa_stream::io::write_trace(&stream, &path)?;
+    let reloaded = msa_stream::io::read_trace(&path)?;
     assert_eq!(reloaded.records.len(), records.len());
     println!(
         "incident trace: {} packets archived to {} and reloaded",
@@ -63,9 +72,9 @@ fn main() {
     // Monitoring queries over (srcIP, srcPort, dstIP, dstPort):
     //   per-source packet counts, per-victim fan-in, per-pair flows.
     let queries = vec![
-        AttrSet::parse("A").expect("valid"),  // per srcIP
-        AttrSet::parse("C").expect("valid"),  // per dstIP
-        AttrSet::parse("AC").expect("valid"), // per (srcIP, dstIP)
+        AttrSet::parse_checked("A")?,  // per srcIP
+        AttrSet::parse_checked("C")?,  // per dstIP
+        AttrSet::parse_checked("AC")?, // per (srcIP, dstIP)
     ];
 
     let mut opts = EngineOptions::new(10_000.0);
@@ -100,7 +109,11 @@ fn main() {
     for res in out.results.iter().filter(|r| r.query == queries[1]) {
         let heavy: Vec<_> = res.having_count_over(5_000).collect();
         if heavy.is_empty() {
-            println!("  epoch {}: normal ({} packets)", res.epoch, res.total_count());
+            println!(
+                "  epoch {}: normal ({} packets)",
+                res.epoch,
+                res.total_count()
+            );
         } else {
             for (k, agg) in heavy {
                 println!(
@@ -117,4 +130,5 @@ fn main() {
     assert!(out.replans >= 1, "flood must trigger a replan");
     let _ = normal_len;
     std::fs::remove_file(&path).ok();
+    Ok(())
 }

@@ -17,15 +17,15 @@
 //!
 //! Run with: `cargo run --release --example ip_monitoring`
 
+use msa_core::LinearModel;
 use msa_core::{
-    Algorithm, AllocStrategy, AttrSet, CostParams, EngineOptions, Executor, MultiAggregator,
-    Schema,
+    Algorithm, AllocStrategy, AttrSet, CostParams, EngineOptions, Executor, MsaError,
+    MultiAggregator, Schema,
 };
 use msa_optimizer::cost::CostContext;
-use msa_core::LinearModel;
 use msa_stream::{DatasetStats, PacketTraceBuilder, TraceProfile};
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let schema = Schema::packet_headers();
     // 5% of the paper-scale trace keeps the example snappy (~43k packets).
     let trace = PacketTraceBuilder::new(TraceProfile::paper_scaled(0.05))
@@ -34,13 +34,16 @@ fn main() {
     println!(
         "packet trace: {} packets over {:.0} s",
         trace.len(),
-        trace.records.last().map_or(0.0, |r| r.ts_micros as f64 / 1e6)
+        trace
+            .records
+            .last()
+            .map_or(0.0, |r| r.ts_micros as f64 / 1e6)
     );
 
-    let queries: Vec<AttrSet> = ["AB", "BC", "BD", "CD"]
+    let queries = ["AB", "BC", "BD", "CD"]
         .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+        .map(|q| AttrSet::parse_checked(q))
+        .collect::<Result<Vec<AttrSet>, _>>()?;
     for q in &queries {
         println!("  query: group by {}", schema.describe(*q));
     }
@@ -59,7 +62,7 @@ fn main() {
     let with_phantoms = output.report.per_record_cost();
 
     // ... and the naive no-phantom baseline on identical statistics.
-    let stats = DatasetStats::compute(&trace.records, AttrSet::parse("ABCD").expect("valid"));
+    let stats = DatasetStats::compute(&trace.records, AttrSet::parse_checked("ABCD")?);
     let model = LinearModel::paper_no_intercept();
     let ctx = CostContext::new(&stats, &model);
     let flat_cfg = msa_core::Configuration::from_queries(&queries);
@@ -70,8 +73,8 @@ fn main() {
         predicted_cost: 0.0,
         predicted_update_cost: 0.0,
     };
-    let mut flat_ex = Executor::new(flat_plan.to_physical(), CostParams::paper(), u64::MAX, 5)
-        .discard_results();
+    let mut flat_ex =
+        Executor::new(flat_plan.to_physical(), CostParams::paper(), u64::MAX, 5).discard_results();
     flat_ex.run(&trace.records);
     let without_phantoms = flat_ex.report().per_record_cost();
 
@@ -96,4 +99,5 @@ fn main() {
     for (key, count) in heavy.iter().take(5) {
         println!("  {key} -> {count} packets");
     }
+    Ok(())
 }

@@ -3,10 +3,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use msa_core::{AttrSet, EngineOptions, MultiAggregator};
+use msa_core::{AttrSet, EngineOptions, MsaError, MultiAggregator};
 use msa_stream::UniformStreamBuilder;
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     // A synthetic stream: 100k 4-attribute tuples over 1000 groups.
     let stream = UniformStreamBuilder::new(4, 1000)
         .records(100_000)
@@ -16,10 +16,7 @@ fn main() {
     // Two aggregation queries differing only in grouping attributes:
     //   Q1: select A, B, count(*) group by A, B
     //   Q2: select B, C, count(*) group by B, C
-    let queries = vec![
-        AttrSet::parse("AB").expect("valid"),
-        AttrSet::parse("BC").expect("valid"),
-    ];
+    let queries = vec![AttrSet::parse_checked("AB")?, AttrSet::parse_checked("BC")?];
 
     // 20,000 words (80 kB) of LFTA memory; everything else defaulted
     // (GCSL planning, paper cost parameters, 60 s epochs).
@@ -48,6 +45,11 @@ fn main() {
             totals.len(),
             sum
         );
-        assert_eq!(sum as usize, stream.len(), "every record counted exactly once");
+        assert_eq!(
+            sum as usize,
+            stream.len(),
+            "every record counted exactly once"
+        );
     }
+    Ok(())
 }

@@ -7,10 +7,10 @@
 //!
 //! Run with: `cargo run --release --example sql_frontend`
 
-use msa_core::{EngineOptions, MultiAggregator};
+use msa_core::{EngineOptions, MsaError, MultiAggregator};
 use msa_stream::{PacketTraceBuilder, Schema, TraceProfile};
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let schema = Schema::packet_headers(); // srcIP, srcPort, dstIP, dstPort
 
     // The paper's exploratory query set (§1): related aggregations
@@ -42,8 +42,7 @@ fn main() {
 
     let mut opts = EngineOptions::new(5_000.0);
     opts.bootstrap_records = trace.len() / 10;
-    let mut engine =
-        MultiAggregator::from_sql(&sql, &schema, opts).expect("queries parse and agree");
+    let mut engine = MultiAggregator::from_sql(&sql, &schema, opts)?;
     for r in &trace.records {
         engine.push(*r);
     }
@@ -59,8 +58,11 @@ fn main() {
     );
 
     // Apply the fourth query's HAVING clause per epoch.
-    let dst_pairs = msa_stream::AttrSet::parse("CD").expect("valid");
-    println!("\nHAVING count(*) > 100, per epoch, query {}:", sql[3].split("from").next().unwrap_or("Q3").trim());
+    let dst_pairs = msa_stream::AttrSet::parse_checked("CD")?;
+    println!(
+        "\nHAVING count(*) > 100, per epoch, query {}:",
+        sql[3].split("from").next().unwrap_or("Q3").trim()
+    );
     for res in out.results.iter().filter(|r| r.query == dst_pairs) {
         let mut heavy: Vec<_> = res.having_count_over(100).collect();
         heavy.sort_by_key(|(_, a)| std::cmp::Reverse(a.count));
@@ -74,4 +76,5 @@ fn main() {
                 .unwrap_or_default()
         );
     }
+    Ok(())
 }

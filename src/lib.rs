@@ -9,6 +9,8 @@
 //! * [`msa_optimizer`] — feeding graph, cost model, space allocation and
 //!   phantom-choice algorithms (Sections 3 & 5).
 
+#![deny(unsafe_code)]
+
 pub use msa_collision as collision;
 pub use msa_core as core;
 pub use msa_gigascope as gigascope;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_clustering-210752928c235bd6.d: crates/bench/src/bin/ablation_clustering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_clustering-210752928c235bd6.rmeta: crates/bench/src/bin/ablation_clustering.rs Cargo.toml
+
+crates/bench/src/bin/ablation_clustering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_clustering-26e9513cb50eb64a.d: crates/bench/src/bin/ablation_clustering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_clustering-26e9513cb50eb64a.rmeta: crates/bench/src/bin/ablation_clustering.rs Cargo.toml
+
+crates/bench/src/bin/ablation_clustering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_clustering-5adcf05289e5f99d.d: crates/bench/src/bin/ablation_clustering.rs
+
+/root/repo/target/debug/deps/ablation_clustering-5adcf05289e5f99d: crates/bench/src/bin/ablation_clustering.rs
+
+crates/bench/src/bin/ablation_clustering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_collision_model-1e41af1fc1d12789.d: crates/bench/src/bin/ablation_collision_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_collision_model-1e41af1fc1d12789.rmeta: crates/bench/src/bin/ablation_collision_model.rs Cargo.toml
+
+crates/bench/src/bin/ablation_collision_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

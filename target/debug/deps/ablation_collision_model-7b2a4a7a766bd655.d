@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_collision_model-7b2a4a7a766bd655.d: crates/bench/src/bin/ablation_collision_model.rs
+
+/root/repo/target/debug/deps/ablation_collision_model-7b2a4a7a766bd655: crates/bench/src/bin/ablation_collision_model.rs
+
+crates/bench/src/bin/ablation_collision_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_zipf-386f14ad9c3b5268.d: crates/bench/src/bin/ablation_zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_zipf-386f14ad9c3b5268.rmeta: crates/bench/src/bin/ablation_zipf.rs Cargo.toml
+
+crates/bench/src/bin/ablation_zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_zipf-da3ff696a8113eb3.d: crates/bench/src/bin/ablation_zipf.rs
+
+/root/repo/target/debug/deps/ablation_zipf-da3ff696a8113eb3: crates/bench/src/bin/ablation_zipf.rs
+
+crates/bench/src/bin/ablation_zipf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_zipf-eba528176f9ae0fa.d: crates/bench/src/bin/ablation_zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_zipf-eba528176f9ae0fa.rmeta: crates/bench/src/bin/ablation_zipf.rs Cargo.toml
+
+crates/bench/src/bin/ablation_zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-879358e63bf4ae21.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-879358e63bf4ae21: tests/chaos.rs
+
+tests/chaos.rs:

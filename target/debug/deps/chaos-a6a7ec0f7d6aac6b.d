@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-a6a7ec0f7d6aac6b.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-a6a7ec0f7d6aac6b.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collision-f4ee5ef8f1286cd3.d: crates/bench/benches/collision.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollision-f4ee5ef8f1286cd3.rmeta: crates/bench/benches/collision.rs Cargo.toml
+
+crates/bench/benches/collision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor-811e68f25dde90d6.d: crates/bench/benches/executor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor-811e68f25dde90d6.rmeta: crates/bench/benches/executor.rs Cargo.toml
+
+crates/bench/benches/executor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

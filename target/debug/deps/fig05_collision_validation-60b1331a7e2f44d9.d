@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_collision_validation-60b1331a7e2f44d9.d: crates/bench/src/bin/fig05_collision_validation.rs
+
+/root/repo/target/debug/deps/fig05_collision_validation-60b1331a7e2f44d9: crates/bench/src/bin/fig05_collision_validation.rs
+
+crates/bench/src/bin/fig05_collision_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_collision_validation-e44a14f5e241d683.d: crates/bench/src/bin/fig05_collision_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_collision_validation-e44a14f5e241d683.rmeta: crates/bench/src/bin/fig05_collision_validation.rs Cargo.toml
+
+crates/bench/src/bin/fig05_collision_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_collision_pdf-6f9a92ae332e85cc.d: crates/bench/src/bin/fig06_collision_pdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_collision_pdf-6f9a92ae332e85cc.rmeta: crates/bench/src/bin/fig06_collision_pdf.rs Cargo.toml
+
+crates/bench/src/bin/fig06_collision_pdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_collision_pdf-8b66a5e82bd00247.d: crates/bench/src/bin/fig06_collision_pdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_collision_pdf-8b66a5e82bd00247.rmeta: crates/bench/src/bin/fig06_collision_pdf.rs Cargo.toml
+
+crates/bench/src/bin/fig06_collision_pdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_collision_pdf-e155c7c8c7df4bbb.d: crates/bench/src/bin/fig06_collision_pdf.rs
+
+/root/repo/target/debug/deps/fig06_collision_pdf-e155c7c8c7df4bbb: crates/bench/src/bin/fig06_collision_pdf.rs
+
+crates/bench/src/bin/fig06_collision_pdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_collision_curve-72217bf893e37e2d.d: crates/bench/src/bin/fig07_collision_curve.rs
+
+/root/repo/target/debug/deps/fig07_collision_curve-72217bf893e37e2d: crates/bench/src/bin/fig07_collision_curve.rs
+
+crates/bench/src/bin/fig07_collision_curve.rs:

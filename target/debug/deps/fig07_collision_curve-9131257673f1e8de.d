@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_collision_curve-9131257673f1e8de.d: crates/bench/src/bin/fig07_collision_curve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_collision_curve-9131257673f1e8de.rmeta: crates/bench/src/bin/fig07_collision_curve.rs Cargo.toml
+
+crates/bench/src/bin/fig07_collision_curve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

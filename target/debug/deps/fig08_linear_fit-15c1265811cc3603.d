@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_linear_fit-15c1265811cc3603.d: crates/bench/src/bin/fig08_linear_fit.rs
+
+/root/repo/target/debug/deps/fig08_linear_fit-15c1265811cc3603: crates/bench/src/bin/fig08_linear_fit.rs
+
+crates/bench/src/bin/fig08_linear_fit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_linear_fit-cc55cfcd276d5d18.d: crates/bench/src/bin/fig08_linear_fit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_linear_fit-cc55cfcd276d5d18.rmeta: crates/bench/src/bin/fig08_linear_fit.rs Cargo.toml
+
+crates/bench/src/bin/fig08_linear_fit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_space_alloc-a95b9a4017d0118d.d: crates/bench/src/bin/fig09_space_alloc.rs
+
+/root/repo/target/debug/deps/fig09_space_alloc-a95b9a4017d0118d: crates/bench/src/bin/fig09_space_alloc.rs
+
+crates/bench/src/bin/fig09_space_alloc.rs:

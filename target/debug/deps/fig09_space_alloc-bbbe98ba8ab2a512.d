@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_space_alloc-bbbe98ba8ab2a512.d: crates/bench/src/bin/fig09_space_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_space_alloc-bbbe98ba8ab2a512.rmeta: crates/bench/src/bin/fig09_space_alloc.rs Cargo.toml
+
+crates/bench/src/bin/fig09_space_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

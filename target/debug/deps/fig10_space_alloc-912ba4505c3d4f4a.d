@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_space_alloc-912ba4505c3d4f4a.d: crates/bench/src/bin/fig10_space_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_space_alloc-912ba4505c3d4f4a.rmeta: crates/bench/src/bin/fig10_space_alloc.rs Cargo.toml
+
+crates/bench/src/bin/fig10_space_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

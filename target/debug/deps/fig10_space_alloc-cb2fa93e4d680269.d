@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_space_alloc-cb2fa93e4d680269.d: crates/bench/src/bin/fig10_space_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_space_alloc-cb2fa93e4d680269.rmeta: crates/bench/src/bin/fig10_space_alloc.rs Cargo.toml
+
+crates/bench/src/bin/fig10_space_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_space_alloc-d943f2720b4886fe.d: crates/bench/src/bin/fig10_space_alloc.rs
+
+/root/repo/target/debug/deps/fig10_space_alloc-d943f2720b4886fe: crates/bench/src/bin/fig10_space_alloc.rs
+
+crates/bench/src/bin/fig10_space_alloc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_phantom_algorithms-00dbeac3faf5372e.d: crates/bench/src/bin/fig11_phantom_algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_phantom_algorithms-00dbeac3faf5372e.rmeta: crates/bench/src/bin/fig11_phantom_algorithms.rs Cargo.toml
+
+crates/bench/src/bin/fig11_phantom_algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

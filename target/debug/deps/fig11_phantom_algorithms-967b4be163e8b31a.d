@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_phantom_algorithms-967b4be163e8b31a.d: crates/bench/src/bin/fig11_phantom_algorithms.rs
+
+/root/repo/target/debug/deps/fig11_phantom_algorithms-967b4be163e8b31a: crates/bench/src/bin/fig11_phantom_algorithms.rs
+
+crates/bench/src/bin/fig11_phantom_algorithms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_phantom_process-58b1ccbcc5e322b8.d: crates/bench/src/bin/fig12_phantom_process.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_phantom_process-58b1ccbcc5e322b8.rmeta: crates/bench/src/bin/fig12_phantom_process.rs Cargo.toml
+
+crates/bench/src/bin/fig12_phantom_process.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_phantom_process-c91e4abc044e2954.d: crates/bench/src/bin/fig12_phantom_process.rs
+
+/root/repo/target/debug/deps/fig12_phantom_process-c91e4abc044e2954: crates/bench/src/bin/fig12_phantom_process.rs
+
+crates/bench/src/bin/fig12_phantom_process.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_synthetic_actual-14476a4b810ed7d9.d: crates/bench/src/bin/fig13_synthetic_actual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_synthetic_actual-14476a4b810ed7d9.rmeta: crates/bench/src/bin/fig13_synthetic_actual.rs Cargo.toml
+
+crates/bench/src/bin/fig13_synthetic_actual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

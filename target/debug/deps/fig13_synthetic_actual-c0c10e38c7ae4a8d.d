@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_synthetic_actual-c0c10e38c7ae4a8d.d: crates/bench/src/bin/fig13_synthetic_actual.rs
+
+/root/repo/target/debug/deps/fig13_synthetic_actual-c0c10e38c7ae4a8d: crates/bench/src/bin/fig13_synthetic_actual.rs
+
+crates/bench/src/bin/fig13_synthetic_actual.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_synthetic_actual-fb32f5bbb5dde123.d: crates/bench/src/bin/fig13_synthetic_actual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_synthetic_actual-fb32f5bbb5dde123.rmeta: crates/bench/src/bin/fig13_synthetic_actual.rs Cargo.toml
+
+crates/bench/src/bin/fig13_synthetic_actual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_real_actual-e6ec4af9a3d58691.d: crates/bench/src/bin/fig14_real_actual.rs
+
+/root/repo/target/debug/deps/fig14_real_actual-e6ec4af9a3d58691: crates/bench/src/bin/fig14_real_actual.rs
+
+crates/bench/src/bin/fig14_real_actual.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_real_actual-f3a06710166e5d4b.d: crates/bench/src/bin/fig14_real_actual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_real_actual-f3a06710166e5d4b.rmeta: crates/bench/src/bin/fig14_real_actual.rs Cargo.toml
+
+crates/bench/src/bin/fig14_real_actual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

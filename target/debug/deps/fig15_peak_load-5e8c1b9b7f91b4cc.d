@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_peak_load-5e8c1b9b7f91b4cc.d: crates/bench/src/bin/fig15_peak_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_peak_load-5e8c1b9b7f91b4cc.rmeta: crates/bench/src/bin/fig15_peak_load.rs Cargo.toml
+
+crates/bench/src/bin/fig15_peak_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_peak_load-87e295180f2ae69f.d: crates/bench/src/bin/fig15_peak_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_peak_load-87e295180f2ae69f.rmeta: crates/bench/src/bin/fig15_peak_load.rs Cargo.toml
+
+crates/bench/src/bin/fig15_peak_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_peak_load-ec6594e144392c91.d: crates/bench/src/bin/fig15_peak_load.rs
+
+/root/repo/target/debug/deps/fig15_peak_load-ec6594e144392c91: crates/bench/src/bin/fig15_peak_load.rs
+
+crates/bench/src/bin/fig15_peak_load.rs:

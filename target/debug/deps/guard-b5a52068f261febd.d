@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/guard-b5a52068f261febd.d: crates/bench/benches/guard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguard-b5a52068f261febd.rmeta: crates/bench/benches/guard.rs Cargo.toml
+
+crates/bench/benches/guard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

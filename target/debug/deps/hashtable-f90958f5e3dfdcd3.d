@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hashtable-f90958f5e3dfdcd3.d: crates/bench/benches/hashtable.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhashtable-f90958f5e3dfdcd3.rmeta: crates/bench/benches/hashtable.rs Cargo.toml
+
+crates/bench/benches/hashtable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-f0d14c10772bd56d.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-f0d14c10772bd56d: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msa_bench-0eec7f1395e618fb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/msa_bench-0eec7f1395e618fb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

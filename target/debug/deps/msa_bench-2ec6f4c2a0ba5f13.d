@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msa_bench-2ec6f4c2a0ba5f13.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsa_bench-2ec6f4c2a0ba5f13.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msa_bench-6042d78c9f248248.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsa_bench-6042d78c9f248248.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsa_bench-6042d78c9f248248.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msa_bench-deda5de20e36cedf.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsa_bench-deda5de20e36cedf.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

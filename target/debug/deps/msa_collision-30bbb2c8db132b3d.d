@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/msa_collision-30bbb2c8db132b3d.d: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+/root/repo/target/debug/deps/msa_collision-30bbb2c8db132b3d: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/curve.rs:
+crates/collision/src/models.rs:
+crates/collision/src/occupancy.rs:

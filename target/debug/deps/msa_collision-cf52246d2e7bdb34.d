@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msa_collision-cf52246d2e7bdb34.d: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+/root/repo/target/debug/deps/libmsa_collision-cf52246d2e7bdb34.rlib: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+/root/repo/target/debug/deps/libmsa_collision-cf52246d2e7bdb34.rmeta: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/curve.rs:
+crates/collision/src/models.rs:
+crates/collision/src/occupancy.rs:

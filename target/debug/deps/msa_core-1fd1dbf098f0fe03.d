@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msa_core-1fd1dbf098f0fe03.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs
+
+/root/repo/target/debug/deps/msa_core-1fd1dbf098f0fe03: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/sql.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/msa_core-88faf95e40c07107.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsa_core-88faf95e40c07107.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msa_core-ad40dd872b052611.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs
+
+/root/repo/target/debug/deps/libmsa_core-ad40dd872b052611.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs
+
+/root/repo/target/debug/deps/libmsa_core-ad40dd872b052611.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/sql.rs:

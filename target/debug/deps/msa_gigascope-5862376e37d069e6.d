@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/msa_gigascope-5862376e37d069e6.d: crates/gigascope/src/lib.rs crates/gigascope/src/channel.rs crates/gigascope/src/executor.rs crates/gigascope/src/faults.rs crates/gigascope/src/guard.rs crates/gigascope/src/hfta.rs crates/gigascope/src/plan.rs crates/gigascope/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsa_gigascope-5862376e37d069e6.rmeta: crates/gigascope/src/lib.rs crates/gigascope/src/channel.rs crates/gigascope/src/executor.rs crates/gigascope/src/faults.rs crates/gigascope/src/guard.rs crates/gigascope/src/hfta.rs crates/gigascope/src/plan.rs crates/gigascope/src/table.rs Cargo.toml
+
+crates/gigascope/src/lib.rs:
+crates/gigascope/src/channel.rs:
+crates/gigascope/src/executor.rs:
+crates/gigascope/src/faults.rs:
+crates/gigascope/src/guard.rs:
+crates/gigascope/src/hfta.rs:
+crates/gigascope/src/plan.rs:
+crates/gigascope/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

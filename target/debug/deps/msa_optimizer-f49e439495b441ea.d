@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/msa_optimizer-f49e439495b441ea.d: crates/optimizer/src/lib.rs crates/optimizer/src/alloc.rs crates/optimizer/src/config.rs crates/optimizer/src/cost.rs crates/optimizer/src/graph.rs crates/optimizer/src/greedy.rs crates/optimizer/src/peakload.rs crates/optimizer/src/planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsa_optimizer-f49e439495b441ea.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/alloc.rs crates/optimizer/src/config.rs crates/optimizer/src/cost.rs crates/optimizer/src/graph.rs crates/optimizer/src/greedy.rs crates/optimizer/src/peakload.rs crates/optimizer/src/planner.rs Cargo.toml
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/alloc.rs:
+crates/optimizer/src/config.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/graph.rs:
+crates/optimizer/src/greedy.rs:
+crates/optimizer/src/peakload.rs:
+crates/optimizer/src/planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/msa_stream-b43fe1f705b0a17f.d: crates/stream/src/lib.rs crates/stream/src/attr.rs crates/stream/src/filter.rs crates/stream/src/gen/mod.rs crates/stream/src/gen/clustered.rs crates/stream/src/gen/trace.rs crates/stream/src/gen/uniform.rs crates/stream/src/gen/zipf.rs crates/stream/src/hash.rs crates/stream/src/io.rs crates/stream/src/prng.rs crates/stream/src/record.rs crates/stream/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsa_stream-b43fe1f705b0a17f.rmeta: crates/stream/src/lib.rs crates/stream/src/attr.rs crates/stream/src/filter.rs crates/stream/src/gen/mod.rs crates/stream/src/gen/clustered.rs crates/stream/src/gen/trace.rs crates/stream/src/gen/uniform.rs crates/stream/src/gen/zipf.rs crates/stream/src/hash.rs crates/stream/src/io.rs crates/stream/src/prng.rs crates/stream/src/record.rs crates/stream/src/stats.rs Cargo.toml
+
+crates/stream/src/lib.rs:
+crates/stream/src/attr.rs:
+crates/stream/src/filter.rs:
+crates/stream/src/gen/mod.rs:
+crates/stream/src/gen/clustered.rs:
+crates/stream/src/gen/trace.rs:
+crates/stream/src/gen/uniform.rs:
+crates/stream/src/gen/zipf.rs:
+crates/stream/src/hash.rs:
+crates/stream/src/io.rs:
+crates/stream/src/prng.rs:
+crates/stream/src/record.rs:
+crates/stream/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_agg-41233455b84924f8.d: src/lib.rs
+
+/root/repo/target/debug/deps/multi_agg-41233455b84924f8: src/lib.rs
+
+src/lib.rs:

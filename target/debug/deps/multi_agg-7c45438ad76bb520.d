@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_agg-7c45438ad76bb520.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_agg-7c45438ad76bb520.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

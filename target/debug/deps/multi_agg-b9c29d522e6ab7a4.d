@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_agg-b9c29d522e6ab7a4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_agg-b9c29d522e6ab7a4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

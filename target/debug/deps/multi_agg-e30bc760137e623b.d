@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/multi_agg-e30bc760137e623b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmulti_agg-e30bc760137e623b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmulti_agg-e30bc760137e623b.rmeta: src/lib.rs
+
+src/lib.rs:

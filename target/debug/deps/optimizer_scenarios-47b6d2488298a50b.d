@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_scenarios-47b6d2488298a50b.d: tests/optimizer_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_scenarios-47b6d2488298a50b.rmeta: tests/optimizer_scenarios.rs Cargo.toml
+
+tests/optimizer_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

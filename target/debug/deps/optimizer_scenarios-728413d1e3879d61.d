@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_scenarios-728413d1e3879d61.d: tests/optimizer_scenarios.rs
+
+/root/repo/target/debug/deps/optimizer_scenarios-728413d1e3879d61: tests/optimizer_scenarios.rs
+
+tests/optimizer_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a6ec7a2be704a70d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a6ec7a2be704a70d: tests/properties.rs
+
+tests/properties.rs:

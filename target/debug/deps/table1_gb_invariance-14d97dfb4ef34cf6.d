@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_gb_invariance-14d97dfb4ef34cf6.d: crates/bench/src/bin/table1_gb_invariance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_gb_invariance-14d97dfb4ef34cf6.rmeta: crates/bench/src/bin/table1_gb_invariance.rs Cargo.toml
+
+crates/bench/src/bin/table1_gb_invariance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

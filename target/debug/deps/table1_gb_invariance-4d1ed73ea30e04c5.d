@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_gb_invariance-4d1ed73ea30e04c5.d: crates/bench/src/bin/table1_gb_invariance.rs
+
+/root/repo/target/debug/deps/table1_gb_invariance-4d1ed73ea30e04c5: crates/bench/src/bin/table1_gb_invariance.rs
+
+crates/bench/src/bin/table1_gb_invariance.rs:

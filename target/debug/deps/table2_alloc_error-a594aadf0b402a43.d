@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_alloc_error-a594aadf0b402a43.d: crates/bench/src/bin/table2_alloc_error.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_alloc_error-a594aadf0b402a43.rmeta: crates/bench/src/bin/table2_alloc_error.rs Cargo.toml
+
+crates/bench/src/bin/table2_alloc_error.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

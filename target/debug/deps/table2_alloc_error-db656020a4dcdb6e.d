@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_alloc_error-db656020a4dcdb6e.d: crates/bench/src/bin/table2_alloc_error.rs
+
+/root/repo/target/debug/deps/table2_alloc_error-db656020a4dcdb6e: crates/bench/src/bin/table2_alloc_error.rs
+
+crates/bench/src/bin/table2_alloc_error.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_sl_stats-375cd8d8d69d2cc1.d: crates/bench/src/bin/table3_sl_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_sl_stats-375cd8d8d69d2cc1.rmeta: crates/bench/src/bin/table3_sl_stats.rs Cargo.toml
+
+crates/bench/src/bin/table3_sl_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_sl_stats-7b469076951bb8a4.d: crates/bench/src/bin/table3_sl_stats.rs
+
+/root/repo/target/debug/deps/table3_sl_stats-7b469076951bb8a4: crates/bench/src/bin/table3_sl_stats.rs
+
+crates/bench/src/bin/table3_sl_stats.rs:

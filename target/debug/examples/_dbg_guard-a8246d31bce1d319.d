@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_dbg_guard-a8246d31bce1d319.d: examples/_dbg_guard.rs
+
+/root/repo/target/debug/examples/_dbg_guard-a8246d31bce1d319: examples/_dbg_guard.rs
+
+examples/_dbg_guard.rs:

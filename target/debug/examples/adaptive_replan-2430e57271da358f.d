@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_replan-2430e57271da358f.d: examples/adaptive_replan.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_replan-2430e57271da358f.rmeta: examples/adaptive_replan.rs Cargo.toml
+
+examples/adaptive_replan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

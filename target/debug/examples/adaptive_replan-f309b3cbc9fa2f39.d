@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_replan-f309b3cbc9fa2f39.d: examples/adaptive_replan.rs
+
+/root/repo/target/debug/examples/adaptive_replan-f309b3cbc9fa2f39: examples/adaptive_replan.rs
+
+examples/adaptive_replan.rs:

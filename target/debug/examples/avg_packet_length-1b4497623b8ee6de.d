@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avg_packet_length-1b4497623b8ee6de.d: examples/avg_packet_length.rs
+
+/root/repo/target/debug/examples/avg_packet_length-1b4497623b8ee6de: examples/avg_packet_length.rs
+
+examples/avg_packet_length.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/avg_packet_length-45a932f34433cd3d.d: examples/avg_packet_length.rs Cargo.toml
+
+/root/repo/target/debug/examples/libavg_packet_length-45a932f34433cd3d.rmeta: examples/avg_packet_length.rs Cargo.toml
+
+examples/avg_packet_length.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

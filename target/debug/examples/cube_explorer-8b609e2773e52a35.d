@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cube_explorer-8b609e2773e52a35.d: examples/cube_explorer.rs
+
+/root/repo/target/debug/examples/cube_explorer-8b609e2773e52a35: examples/cube_explorer.rs
+
+examples/cube_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cube_explorer-aa6317e438be064a.d: examples/cube_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcube_explorer-aa6317e438be064a.rmeta: examples/cube_explorer.rs Cargo.toml
+
+examples/cube_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

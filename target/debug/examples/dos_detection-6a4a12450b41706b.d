@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dos_detection-6a4a12450b41706b.d: examples/dos_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdos_detection-6a4a12450b41706b.rmeta: examples/dos_detection.rs Cargo.toml
+
+examples/dos_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

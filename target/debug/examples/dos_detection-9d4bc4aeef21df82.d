@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dos_detection-9d4bc4aeef21df82.d: examples/dos_detection.rs
+
+/root/repo/target/debug/examples/dos_detection-9d4bc4aeef21df82: examples/dos_detection.rs
+
+examples/dos_detection.rs:

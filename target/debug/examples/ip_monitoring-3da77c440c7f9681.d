@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ip_monitoring-3da77c440c7f9681.d: examples/ip_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libip_monitoring-3da77c440c7f9681.rmeta: examples/ip_monitoring.rs Cargo.toml
+
+examples/ip_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

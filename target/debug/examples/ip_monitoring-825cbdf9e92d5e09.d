@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ip_monitoring-825cbdf9e92d5e09.d: examples/ip_monitoring.rs
+
+/root/repo/target/debug/examples/ip_monitoring-825cbdf9e92d5e09: examples/ip_monitoring.rs
+
+examples/ip_monitoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/overload_guard-34f4a16a22494d83.d: examples/overload_guard.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboverload_guard-34f4a16a22494d83.rmeta: examples/overload_guard.rs Cargo.toml
+
+examples/overload_guard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

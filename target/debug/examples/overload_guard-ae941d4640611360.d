@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overload_guard-ae941d4640611360.d: examples/overload_guard.rs
+
+/root/repo/target/debug/examples/overload_guard-ae941d4640611360: examples/overload_guard.rs
+
+examples/overload_guard.rs:

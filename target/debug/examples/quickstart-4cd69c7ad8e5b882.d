@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4cd69c7ad8e5b882.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4cd69c7ad8e5b882: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sql_frontend-9df66577e109c633.d: examples/sql_frontend.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsql_frontend-9df66577e109c633.rmeta: examples/sql_frontend.rs Cargo.toml
+
+examples/sql_frontend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

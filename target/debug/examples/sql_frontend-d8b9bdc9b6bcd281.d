@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_frontend-d8b9bdc9b6bcd281.d: examples/sql_frontend.rs
+
+/root/repo/target/debug/examples/sql_frontend-d8b9bdc9b6bcd281: examples/sql_frontend.rs
+
+examples/sql_frontend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_clustering-5233d6d29b862b04.d: crates/bench/src/bin/ablation_clustering.rs
+
+/root/repo/target/release/deps/ablation_clustering-5233d6d29b862b04: crates/bench/src/bin/ablation_clustering.rs
+
+crates/bench/src/bin/ablation_clustering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_collision_model-d8e470dd31958060.d: crates/bench/src/bin/ablation_collision_model.rs
+
+/root/repo/target/release/deps/ablation_collision_model-d8e470dd31958060: crates/bench/src/bin/ablation_collision_model.rs
+
+crates/bench/src/bin/ablation_collision_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_zipf-37e21ae86c788712.d: crates/bench/src/bin/ablation_zipf.rs
+
+/root/repo/target/release/deps/ablation_zipf-37e21ae86c788712: crates/bench/src/bin/ablation_zipf.rs
+
+crates/bench/src/bin/ablation_zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_collision_validation-401c1cb88a3f5a56.d: crates/bench/src/bin/fig05_collision_validation.rs
+
+/root/repo/target/release/deps/fig05_collision_validation-401c1cb88a3f5a56: crates/bench/src/bin/fig05_collision_validation.rs
+
+crates/bench/src/bin/fig05_collision_validation.rs:

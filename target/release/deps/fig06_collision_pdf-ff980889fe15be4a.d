@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_collision_pdf-ff980889fe15be4a.d: crates/bench/src/bin/fig06_collision_pdf.rs
+
+/root/repo/target/release/deps/fig06_collision_pdf-ff980889fe15be4a: crates/bench/src/bin/fig06_collision_pdf.rs
+
+crates/bench/src/bin/fig06_collision_pdf.rs:

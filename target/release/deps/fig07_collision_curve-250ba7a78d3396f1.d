@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_collision_curve-250ba7a78d3396f1.d: crates/bench/src/bin/fig07_collision_curve.rs
+
+/root/repo/target/release/deps/fig07_collision_curve-250ba7a78d3396f1: crates/bench/src/bin/fig07_collision_curve.rs
+
+crates/bench/src/bin/fig07_collision_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_linear_fit-87f5db26f32841f5.d: crates/bench/src/bin/fig08_linear_fit.rs
+
+/root/repo/target/release/deps/fig08_linear_fit-87f5db26f32841f5: crates/bench/src/bin/fig08_linear_fit.rs
+
+crates/bench/src/bin/fig08_linear_fit.rs:

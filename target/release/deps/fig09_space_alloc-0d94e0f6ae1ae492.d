@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_space_alloc-0d94e0f6ae1ae492.d: crates/bench/src/bin/fig09_space_alloc.rs
+
+/root/repo/target/release/deps/fig09_space_alloc-0d94e0f6ae1ae492: crates/bench/src/bin/fig09_space_alloc.rs
+
+crates/bench/src/bin/fig09_space_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_space_alloc-16852b11599dd101.d: crates/bench/src/bin/fig10_space_alloc.rs
+
+/root/repo/target/release/deps/fig10_space_alloc-16852b11599dd101: crates/bench/src/bin/fig10_space_alloc.rs
+
+crates/bench/src/bin/fig10_space_alloc.rs:

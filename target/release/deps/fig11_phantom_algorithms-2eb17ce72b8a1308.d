@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_phantom_algorithms-2eb17ce72b8a1308.d: crates/bench/src/bin/fig11_phantom_algorithms.rs
+
+/root/repo/target/release/deps/fig11_phantom_algorithms-2eb17ce72b8a1308: crates/bench/src/bin/fig11_phantom_algorithms.rs
+
+crates/bench/src/bin/fig11_phantom_algorithms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_phantom_process-81478f0dcd2d8f42.d: crates/bench/src/bin/fig12_phantom_process.rs
+
+/root/repo/target/release/deps/fig12_phantom_process-81478f0dcd2d8f42: crates/bench/src/bin/fig12_phantom_process.rs
+
+crates/bench/src/bin/fig12_phantom_process.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_synthetic_actual-79191780024da692.d: crates/bench/src/bin/fig13_synthetic_actual.rs
+
+/root/repo/target/release/deps/fig13_synthetic_actual-79191780024da692: crates/bench/src/bin/fig13_synthetic_actual.rs
+
+crates/bench/src/bin/fig13_synthetic_actual.rs:

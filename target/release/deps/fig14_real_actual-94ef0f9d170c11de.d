@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_real_actual-94ef0f9d170c11de.d: crates/bench/src/bin/fig14_real_actual.rs
+
+/root/repo/target/release/deps/fig14_real_actual-94ef0f9d170c11de: crates/bench/src/bin/fig14_real_actual.rs
+
+crates/bench/src/bin/fig14_real_actual.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_peak_load-68cc1795b7fb9988.d: crates/bench/src/bin/fig15_peak_load.rs
+
+/root/repo/target/release/deps/fig15_peak_load-68cc1795b7fb9988: crates/bench/src/bin/fig15_peak_load.rs
+
+crates/bench/src/bin/fig15_peak_load.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msa_bench-bde7ff887177c93a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsa_bench-bde7ff887177c93a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsa_bench-bde7ff887177c93a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/msa_collision-202efc560a20fbc2.d: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+/root/repo/target/release/deps/libmsa_collision-202efc560a20fbc2.rlib: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+/root/repo/target/release/deps/libmsa_collision-202efc560a20fbc2.rmeta: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/curve.rs:
+crates/collision/src/models.rs:
+crates/collision/src/occupancy.rs:

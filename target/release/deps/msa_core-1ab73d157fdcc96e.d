@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/msa_core-1ab73d157fdcc96e.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs
+
+/root/repo/target/release/deps/libmsa_core-1ab73d157fdcc96e.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs
+
+/root/repo/target/release/deps/libmsa_core-1ab73d157fdcc96e.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/sql.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/msa_gigascope-8baa570d7048027f.d: crates/gigascope/src/lib.rs crates/gigascope/src/channel.rs crates/gigascope/src/executor.rs crates/gigascope/src/faults.rs crates/gigascope/src/guard.rs crates/gigascope/src/hfta.rs crates/gigascope/src/plan.rs crates/gigascope/src/table.rs
+
+/root/repo/target/release/deps/libmsa_gigascope-8baa570d7048027f.rlib: crates/gigascope/src/lib.rs crates/gigascope/src/channel.rs crates/gigascope/src/executor.rs crates/gigascope/src/faults.rs crates/gigascope/src/guard.rs crates/gigascope/src/hfta.rs crates/gigascope/src/plan.rs crates/gigascope/src/table.rs
+
+/root/repo/target/release/deps/libmsa_gigascope-8baa570d7048027f.rmeta: crates/gigascope/src/lib.rs crates/gigascope/src/channel.rs crates/gigascope/src/executor.rs crates/gigascope/src/faults.rs crates/gigascope/src/guard.rs crates/gigascope/src/hfta.rs crates/gigascope/src/plan.rs crates/gigascope/src/table.rs
+
+crates/gigascope/src/lib.rs:
+crates/gigascope/src/channel.rs:
+crates/gigascope/src/executor.rs:
+crates/gigascope/src/faults.rs:
+crates/gigascope/src/guard.rs:
+crates/gigascope/src/hfta.rs:
+crates/gigascope/src/plan.rs:
+crates/gigascope/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/msa_optimizer-3e50c80c318924c4.d: crates/optimizer/src/lib.rs crates/optimizer/src/alloc.rs crates/optimizer/src/config.rs crates/optimizer/src/cost.rs crates/optimizer/src/graph.rs crates/optimizer/src/greedy.rs crates/optimizer/src/peakload.rs crates/optimizer/src/planner.rs
+
+/root/repo/target/release/deps/libmsa_optimizer-3e50c80c318924c4.rlib: crates/optimizer/src/lib.rs crates/optimizer/src/alloc.rs crates/optimizer/src/config.rs crates/optimizer/src/cost.rs crates/optimizer/src/graph.rs crates/optimizer/src/greedy.rs crates/optimizer/src/peakload.rs crates/optimizer/src/planner.rs
+
+/root/repo/target/release/deps/libmsa_optimizer-3e50c80c318924c4.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/alloc.rs crates/optimizer/src/config.rs crates/optimizer/src/cost.rs crates/optimizer/src/graph.rs crates/optimizer/src/greedy.rs crates/optimizer/src/peakload.rs crates/optimizer/src/planner.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/alloc.rs:
+crates/optimizer/src/config.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/graph.rs:
+crates/optimizer/src/greedy.rs:
+crates/optimizer/src/peakload.rs:
+crates/optimizer/src/planner.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/msa_stream-10e9476bb273b7d6.d: crates/stream/src/lib.rs crates/stream/src/attr.rs crates/stream/src/filter.rs crates/stream/src/gen/mod.rs crates/stream/src/gen/clustered.rs crates/stream/src/gen/trace.rs crates/stream/src/gen/uniform.rs crates/stream/src/gen/zipf.rs crates/stream/src/hash.rs crates/stream/src/io.rs crates/stream/src/prng.rs crates/stream/src/record.rs crates/stream/src/stats.rs
+
+/root/repo/target/release/deps/libmsa_stream-10e9476bb273b7d6.rlib: crates/stream/src/lib.rs crates/stream/src/attr.rs crates/stream/src/filter.rs crates/stream/src/gen/mod.rs crates/stream/src/gen/clustered.rs crates/stream/src/gen/trace.rs crates/stream/src/gen/uniform.rs crates/stream/src/gen/zipf.rs crates/stream/src/hash.rs crates/stream/src/io.rs crates/stream/src/prng.rs crates/stream/src/record.rs crates/stream/src/stats.rs
+
+/root/repo/target/release/deps/libmsa_stream-10e9476bb273b7d6.rmeta: crates/stream/src/lib.rs crates/stream/src/attr.rs crates/stream/src/filter.rs crates/stream/src/gen/mod.rs crates/stream/src/gen/clustered.rs crates/stream/src/gen/trace.rs crates/stream/src/gen/uniform.rs crates/stream/src/gen/zipf.rs crates/stream/src/hash.rs crates/stream/src/io.rs crates/stream/src/prng.rs crates/stream/src/record.rs crates/stream/src/stats.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/attr.rs:
+crates/stream/src/filter.rs:
+crates/stream/src/gen/mod.rs:
+crates/stream/src/gen/clustered.rs:
+crates/stream/src/gen/trace.rs:
+crates/stream/src/gen/uniform.rs:
+crates/stream/src/gen/zipf.rs:
+crates/stream/src/hash.rs:
+crates/stream/src/io.rs:
+crates/stream/src/prng.rs:
+crates/stream/src/record.rs:
+crates/stream/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/multi_agg-922491089e02c65f.d: src/lib.rs
+
+/root/repo/target/release/deps/libmulti_agg-922491089e02c65f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmulti_agg-922491089e02c65f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_gb_invariance-8c997ac1ebade1af.d: crates/bench/src/bin/table1_gb_invariance.rs
+
+/root/repo/target/release/deps/table1_gb_invariance-8c997ac1ebade1af: crates/bench/src/bin/table1_gb_invariance.rs
+
+crates/bench/src/bin/table1_gb_invariance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_alloc_error-f956edb3b11839fa.d: crates/bench/src/bin/table2_alloc_error.rs
+
+/root/repo/target/release/deps/table2_alloc_error-f956edb3b11839fa: crates/bench/src/bin/table2_alloc_error.rs
+
+crates/bench/src/bin/table2_alloc_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_sl_stats-da36b58a04f0857a.d: crates/bench/src/bin/table3_sl_stats.rs
+
+/root/repo/target/release/deps/table3_sl_stats-da36b58a04f0857a: crates/bench/src/bin/table3_sl_stats.rs
+
+crates/bench/src/bin/table3_sl_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_probe-dc7f074365db5c4b.d: examples/_verify_probe.rs
+
+/root/repo/target/release/examples/_verify_probe-dc7f074365db5c4b: examples/_verify_probe.rs
+
+examples/_verify_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dos_detection-af96da34cbef3b10.d: examples/dos_detection.rs
+
+/root/repo/target/release/examples/dos_detection-af96da34cbef3b10: examples/dos_detection.rs
+
+examples/dos_detection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/overload_guard-3b6d1787cc564dd5.d: examples/overload_guard.rs
+
+/root/repo/target/release/examples/overload_guard-3b6d1787cc564dd5: examples/overload_guard.rs
+
+examples/overload_guard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-180a29617b8559db.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-180a29617b8559db: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -97,7 +97,10 @@ fn phantoms_beat_no_phantoms_on_clustered_data_measured() {
 fn predicted_cost_tracks_measured_cost() {
     // Model validation (§6.3.2): on uniform data the Eq. 7 prediction
     // should be within a small factor of the measured per-record cost.
-    let stream = UniformStreamBuilder::new(4, 800).records(80_000).seed(5).build();
+    let stream = UniformStreamBuilder::new(4, 800)
+        .records(80_000)
+        .seed(5)
+        .build();
     let stats = DatasetStats::compute(&stream.records, s("ABCD"));
     let model = LinearModel::paper_no_intercept();
     let mut ctx = CostContext::new(&stats, &model);
@@ -185,7 +188,10 @@ fn epoch_results_match_per_epoch_ground_truth() {
 fn executor_flush_cost_tracks_eq8_prediction() {
     // End-of-epoch model vs measured flush cost, single epoch, flat
     // configuration (where Eq. 8 is exact up to occupancy).
-    let stream = UniformStreamBuilder::new(2, 400).records(50_000).seed(8).build();
+    let stream = UniformStreamBuilder::new(2, 400)
+        .records(50_000)
+        .seed(8)
+        .build();
     let stats = DatasetStats::compute(&stream.records, s("AB"));
     let model = LinearModel::paper_no_intercept();
     let mut ctx = CostContext::new(&stats, &model);
@@ -224,7 +230,10 @@ fn clustered_data_lowers_measured_collision_rates() {
         .active_flows(8)
         .seed(3)
         .build();
-    let uniform = UniformStreamBuilder::new(2, 500).records(60_000).seed(3).build();
+    let uniform = UniformStreamBuilder::new(2, 500)
+        .records(60_000)
+        .seed(3)
+        .build();
     let ab = s("AB");
     let measure = |records: &[Record]| -> f64 {
         msa_gigascope::table::measure_collision_rate(

@@ -54,7 +54,10 @@ fn phantom_breakeven_matches_eq3() {
         }
     }
     assert!(adopted_when_cheap, "cheap phantom should be adopted");
-    assert!(rejected_when_saturated, "saturated phantom should be rejected");
+    assert!(
+        rejected_when_saturated,
+        "saturated phantom should be rejected"
+    );
 }
 
 /// The closed-form two-level optimum (Eqs. 19–21) is invariant to the
@@ -79,7 +82,12 @@ fn two_level_split_scaling_properties() {
 #[test]
 fn grid_and_numeric_agree_on_unsolvable_chain() {
     let stats = DatasetStats::from_group_counts(
-        [(s("A"), 200), (s("AB"), 900), (s("ABC"), 2500), (s("B"), 150)],
+        [
+            (s("A"), 200),
+            (s("AB"), 900),
+            (s("ABC"), 2500),
+            (s("B"), 150),
+        ],
         500_000,
     );
     let model = LinearModel::paper_no_intercept();
@@ -101,14 +109,8 @@ fn grid_and_numeric_agree_on_unsolvable_chain() {
 /// tiny, and spends its budget on phantoms when memory is plentiful.
 #[test]
 fn epes_tracks_memory_regimes() {
-    let stats = DatasetStats::from_group_counts(
-        [
-            (s("A"), 500),
-            (s("B"), 500),
-            (s("AB"), 2500),
-        ],
-        1_000_000,
-    );
+    let stats =
+        DatasetStats::from_group_counts([(s("A"), 500), (s("B"), 500), (s("AB"), 2500)], 1_000_000);
     let model = LinearModel::paper_no_intercept();
     let ctx = ctx(&stats, &model);
     let graph = FeedingGraph::new(&[s("A"), s("B")]);
@@ -185,11 +187,7 @@ fn single_query_degenerate_case() {
 #[test]
 fn starved_budget_remains_well_defined() {
     let stats = DatasetStats::from_group_counts(
-        [
-            (s("A"), 5000),
-            (s("B"), 5000),
-            (s("AB"), 50_000),
-        ],
+        [(s("A"), 5000), (s("B"), 5000), (s("AB"), 50_000)],
         100_000,
     );
     let model = LinearModel::paper_no_intercept();
