@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_clustering-55c9c145b7d0e03e.d: crates/bench/src/bin/ablation_clustering.rs
+
+/root/repo/target/debug/deps/libablation_clustering-55c9c145b7d0e03e.rmeta: crates/bench/src/bin/ablation_clustering.rs
+
+crates/bench/src/bin/ablation_clustering.rs:

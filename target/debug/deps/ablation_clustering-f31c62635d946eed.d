@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_clustering-f31c62635d946eed.d: crates/bench/src/bin/ablation_clustering.rs
+
+/root/repo/target/debug/deps/libablation_clustering-f31c62635d946eed.rmeta: crates/bench/src/bin/ablation_clustering.rs
+
+crates/bench/src/bin/ablation_clustering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_collision_model-64f2721c21756527.d: crates/bench/src/bin/ablation_collision_model.rs
+
+/root/repo/target/debug/deps/libablation_collision_model-64f2721c21756527.rmeta: crates/bench/src/bin/ablation_collision_model.rs
+
+crates/bench/src/bin/ablation_collision_model.rs:

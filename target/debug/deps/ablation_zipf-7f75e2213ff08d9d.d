@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_zipf-7f75e2213ff08d9d.d: crates/bench/src/bin/ablation_zipf.rs
+
+/root/repo/target/debug/deps/libablation_zipf-7f75e2213ff08d9d.rmeta: crates/bench/src/bin/ablation_zipf.rs
+
+crates/bench/src/bin/ablation_zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_zipf-93788459aad1fbab.d: crates/bench/src/bin/ablation_zipf.rs
+
+/root/repo/target/debug/deps/libablation_zipf-93788459aad1fbab.rmeta: crates/bench/src/bin/ablation_zipf.rs
+
+crates/bench/src/bin/ablation_zipf.rs:

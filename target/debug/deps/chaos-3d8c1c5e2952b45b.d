@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-3d8c1c5e2952b45b.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/libchaos-3d8c1c5e2952b45b.rmeta: tests/chaos.rs
+
+tests/chaos.rs:

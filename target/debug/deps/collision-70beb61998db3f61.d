@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collision-70beb61998db3f61.d: crates/bench/benches/collision.rs
+
+/root/repo/target/debug/deps/libcollision-70beb61998db3f61.rmeta: crates/bench/benches/collision.rs
+
+crates/bench/benches/collision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor-7660b137df515333.d: crates/bench/benches/executor.rs
+
+/root/repo/target/debug/deps/libexecutor-7660b137df515333.rmeta: crates/bench/benches/executor.rs
+
+crates/bench/benches/executor.rs:

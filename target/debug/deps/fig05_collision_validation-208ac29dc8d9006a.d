@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_collision_validation-208ac29dc8d9006a.d: crates/bench/src/bin/fig05_collision_validation.rs
+
+/root/repo/target/debug/deps/libfig05_collision_validation-208ac29dc8d9006a.rmeta: crates/bench/src/bin/fig05_collision_validation.rs
+
+crates/bench/src/bin/fig05_collision_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_collision_validation-b24a400288580045.d: crates/bench/src/bin/fig05_collision_validation.rs
+
+/root/repo/target/debug/deps/libfig05_collision_validation-b24a400288580045.rmeta: crates/bench/src/bin/fig05_collision_validation.rs
+
+crates/bench/src/bin/fig05_collision_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_collision_pdf-ef9c4d41aaa839ac.d: crates/bench/src/bin/fig06_collision_pdf.rs
+
+/root/repo/target/debug/deps/libfig06_collision_pdf-ef9c4d41aaa839ac.rmeta: crates/bench/src/bin/fig06_collision_pdf.rs
+
+crates/bench/src/bin/fig06_collision_pdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_collision_curve-5fc0a686d4996f38.d: crates/bench/src/bin/fig07_collision_curve.rs
+
+/root/repo/target/debug/deps/libfig07_collision_curve-5fc0a686d4996f38.rmeta: crates/bench/src/bin/fig07_collision_curve.rs
+
+crates/bench/src/bin/fig07_collision_curve.rs:

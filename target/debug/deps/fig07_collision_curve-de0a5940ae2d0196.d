@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_collision_curve-de0a5940ae2d0196.d: crates/bench/src/bin/fig07_collision_curve.rs
+
+/root/repo/target/debug/deps/libfig07_collision_curve-de0a5940ae2d0196.rmeta: crates/bench/src/bin/fig07_collision_curve.rs
+
+crates/bench/src/bin/fig07_collision_curve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_linear_fit-23e9b7c2c02930a8.d: crates/bench/src/bin/fig08_linear_fit.rs
+
+/root/repo/target/debug/deps/libfig08_linear_fit-23e9b7c2c02930a8.rmeta: crates/bench/src/bin/fig08_linear_fit.rs
+
+crates/bench/src/bin/fig08_linear_fit.rs:

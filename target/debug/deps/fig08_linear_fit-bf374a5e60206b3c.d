@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_linear_fit-bf374a5e60206b3c.d: crates/bench/src/bin/fig08_linear_fit.rs
+
+/root/repo/target/debug/deps/libfig08_linear_fit-bf374a5e60206b3c.rmeta: crates/bench/src/bin/fig08_linear_fit.rs
+
+crates/bench/src/bin/fig08_linear_fit.rs:

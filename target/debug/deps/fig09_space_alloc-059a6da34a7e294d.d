@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_space_alloc-059a6da34a7e294d.d: crates/bench/src/bin/fig09_space_alloc.rs
+
+/root/repo/target/debug/deps/libfig09_space_alloc-059a6da34a7e294d.rmeta: crates/bench/src/bin/fig09_space_alloc.rs
+
+crates/bench/src/bin/fig09_space_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_space_alloc-f58dc02bdb56ca4a.d: crates/bench/src/bin/fig09_space_alloc.rs
+
+/root/repo/target/debug/deps/libfig09_space_alloc-f58dc02bdb56ca4a.rmeta: crates/bench/src/bin/fig09_space_alloc.rs
+
+crates/bench/src/bin/fig09_space_alloc.rs:

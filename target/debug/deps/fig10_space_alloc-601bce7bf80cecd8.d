@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_space_alloc-601bce7bf80cecd8.d: crates/bench/src/bin/fig10_space_alloc.rs
+
+/root/repo/target/debug/deps/libfig10_space_alloc-601bce7bf80cecd8.rmeta: crates/bench/src/bin/fig10_space_alloc.rs
+
+crates/bench/src/bin/fig10_space_alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_space_alloc-ae67f9fecd32a02c.d: crates/bench/src/bin/fig10_space_alloc.rs
+
+/root/repo/target/debug/deps/libfig10_space_alloc-ae67f9fecd32a02c.rmeta: crates/bench/src/bin/fig10_space_alloc.rs
+
+crates/bench/src/bin/fig10_space_alloc.rs:

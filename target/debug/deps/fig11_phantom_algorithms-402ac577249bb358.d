@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_phantom_algorithms-402ac577249bb358.d: crates/bench/src/bin/fig11_phantom_algorithms.rs
+
+/root/repo/target/debug/deps/libfig11_phantom_algorithms-402ac577249bb358.rmeta: crates/bench/src/bin/fig11_phantom_algorithms.rs
+
+crates/bench/src/bin/fig11_phantom_algorithms.rs:

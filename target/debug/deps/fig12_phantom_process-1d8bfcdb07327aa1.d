@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_phantom_process-1d8bfcdb07327aa1.d: crates/bench/src/bin/fig12_phantom_process.rs
+
+/root/repo/target/debug/deps/libfig12_phantom_process-1d8bfcdb07327aa1.rmeta: crates/bench/src/bin/fig12_phantom_process.rs
+
+crates/bench/src/bin/fig12_phantom_process.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_phantom_process-ac74618fd97ff8de.d: crates/bench/src/bin/fig12_phantom_process.rs
+
+/root/repo/target/debug/deps/libfig12_phantom_process-ac74618fd97ff8de.rmeta: crates/bench/src/bin/fig12_phantom_process.rs
+
+crates/bench/src/bin/fig12_phantom_process.rs:

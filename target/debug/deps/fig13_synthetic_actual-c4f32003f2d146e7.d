@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_synthetic_actual-c4f32003f2d146e7.d: crates/bench/src/bin/fig13_synthetic_actual.rs
+
+/root/repo/target/debug/deps/libfig13_synthetic_actual-c4f32003f2d146e7.rmeta: crates/bench/src/bin/fig13_synthetic_actual.rs
+
+crates/bench/src/bin/fig13_synthetic_actual.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_real_actual-17bd6ae0e4816a90.d: crates/bench/src/bin/fig14_real_actual.rs
+
+/root/repo/target/debug/deps/libfig14_real_actual-17bd6ae0e4816a90.rmeta: crates/bench/src/bin/fig14_real_actual.rs
+
+crates/bench/src/bin/fig14_real_actual.rs:

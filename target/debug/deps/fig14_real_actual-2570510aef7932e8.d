@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_real_actual-2570510aef7932e8.d: crates/bench/src/bin/fig14_real_actual.rs
+
+/root/repo/target/debug/deps/libfig14_real_actual-2570510aef7932e8.rmeta: crates/bench/src/bin/fig14_real_actual.rs
+
+crates/bench/src/bin/fig14_real_actual.rs:

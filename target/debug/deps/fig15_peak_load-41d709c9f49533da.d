@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_peak_load-41d709c9f49533da.d: crates/bench/src/bin/fig15_peak_load.rs
+
+/root/repo/target/debug/deps/libfig15_peak_load-41d709c9f49533da.rmeta: crates/bench/src/bin/fig15_peak_load.rs
+
+crates/bench/src/bin/fig15_peak_load.rs:

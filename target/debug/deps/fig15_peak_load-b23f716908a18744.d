@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_peak_load-b23f716908a18744.d: crates/bench/src/bin/fig15_peak_load.rs
+
+/root/repo/target/debug/deps/libfig15_peak_load-b23f716908a18744.rmeta: crates/bench/src/bin/fig15_peak_load.rs
+
+crates/bench/src/bin/fig15_peak_load.rs:

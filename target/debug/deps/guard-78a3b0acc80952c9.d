@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guard-78a3b0acc80952c9.d: crates/bench/benches/guard.rs
+
+/root/repo/target/debug/deps/libguard-78a3b0acc80952c9.rmeta: crates/bench/benches/guard.rs
+
+crates/bench/benches/guard.rs:

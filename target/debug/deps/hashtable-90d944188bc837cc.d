@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hashtable-90d944188bc837cc.d: crates/bench/benches/hashtable.rs
+
+/root/repo/target/debug/deps/libhashtable-90d944188bc837cc.rmeta: crates/bench/benches/hashtable.rs
+
+crates/bench/benches/hashtable.rs:

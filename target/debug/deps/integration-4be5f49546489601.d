@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-4be5f49546489601.d: tests/integration.rs
+
+/root/repo/target/debug/deps/libintegration-4be5f49546489601.rmeta: tests/integration.rs
+
+tests/integration.rs:

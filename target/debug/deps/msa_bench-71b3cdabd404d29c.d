@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msa_bench-71b3cdabd404d29c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsa_bench-71b3cdabd404d29c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

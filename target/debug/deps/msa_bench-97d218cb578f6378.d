@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msa_bench-97d218cb578f6378.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsa_bench-97d218cb578f6378.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/msa_collision-24b98f9f637c1985.d: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+/root/repo/target/debug/deps/libmsa_collision-24b98f9f637c1985.rmeta: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/curve.rs:
+crates/collision/src/models.rs:
+crates/collision/src/occupancy.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/msa_collision-d988e3b4282bc8e3.d: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+/root/repo/target/debug/deps/libmsa_collision-d988e3b4282bc8e3.rmeta: crates/collision/src/lib.rs crates/collision/src/curve.rs crates/collision/src/models.rs crates/collision/src/occupancy.rs
+
+crates/collision/src/lib.rs:
+crates/collision/src/curve.rs:
+crates/collision/src/models.rs:
+crates/collision/src/occupancy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msa_core-66ff89d423e4d8a6.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs
+
+/root/repo/target/debug/deps/libmsa_core-66ff89d423e4d8a6.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/engine.rs crates/core/src/error.rs crates/core/src/sql.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/engine.rs:
+crates/core/src/error.rs:
+crates/core/src/sql.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msa_gigascope-7c03574c0ba56d69.d: crates/gigascope/src/lib.rs crates/gigascope/src/channel.rs crates/gigascope/src/executor.rs crates/gigascope/src/faults.rs crates/gigascope/src/guard.rs crates/gigascope/src/hfta.rs crates/gigascope/src/plan.rs crates/gigascope/src/table.rs
+
+/root/repo/target/debug/deps/libmsa_gigascope-7c03574c0ba56d69.rmeta: crates/gigascope/src/lib.rs crates/gigascope/src/channel.rs crates/gigascope/src/executor.rs crates/gigascope/src/faults.rs crates/gigascope/src/guard.rs crates/gigascope/src/hfta.rs crates/gigascope/src/plan.rs crates/gigascope/src/table.rs
+
+crates/gigascope/src/lib.rs:
+crates/gigascope/src/channel.rs:
+crates/gigascope/src/executor.rs:
+crates/gigascope/src/faults.rs:
+crates/gigascope/src/guard.rs:
+crates/gigascope/src/hfta.rs:
+crates/gigascope/src/plan.rs:
+crates/gigascope/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msa_optimizer-412636c557131fdf.d: crates/optimizer/src/lib.rs crates/optimizer/src/alloc.rs crates/optimizer/src/config.rs crates/optimizer/src/cost.rs crates/optimizer/src/graph.rs crates/optimizer/src/greedy.rs crates/optimizer/src/peakload.rs crates/optimizer/src/planner.rs
+
+/root/repo/target/debug/deps/libmsa_optimizer-412636c557131fdf.rmeta: crates/optimizer/src/lib.rs crates/optimizer/src/alloc.rs crates/optimizer/src/config.rs crates/optimizer/src/cost.rs crates/optimizer/src/graph.rs crates/optimizer/src/greedy.rs crates/optimizer/src/peakload.rs crates/optimizer/src/planner.rs
+
+crates/optimizer/src/lib.rs:
+crates/optimizer/src/alloc.rs:
+crates/optimizer/src/config.rs:
+crates/optimizer/src/cost.rs:
+crates/optimizer/src/graph.rs:
+crates/optimizer/src/greedy.rs:
+crates/optimizer/src/peakload.rs:
+crates/optimizer/src/planner.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/msa_stream-dadf5ab7332c940c.d: crates/stream/src/lib.rs crates/stream/src/attr.rs crates/stream/src/filter.rs crates/stream/src/gen/mod.rs crates/stream/src/gen/clustered.rs crates/stream/src/gen/trace.rs crates/stream/src/gen/uniform.rs crates/stream/src/gen/zipf.rs crates/stream/src/hash.rs crates/stream/src/io.rs crates/stream/src/prng.rs crates/stream/src/record.rs crates/stream/src/stats.rs
+
+/root/repo/target/debug/deps/libmsa_stream-dadf5ab7332c940c.rmeta: crates/stream/src/lib.rs crates/stream/src/attr.rs crates/stream/src/filter.rs crates/stream/src/gen/mod.rs crates/stream/src/gen/clustered.rs crates/stream/src/gen/trace.rs crates/stream/src/gen/uniform.rs crates/stream/src/gen/zipf.rs crates/stream/src/hash.rs crates/stream/src/io.rs crates/stream/src/prng.rs crates/stream/src/record.rs crates/stream/src/stats.rs
+
+crates/stream/src/lib.rs:
+crates/stream/src/attr.rs:
+crates/stream/src/filter.rs:
+crates/stream/src/gen/mod.rs:
+crates/stream/src/gen/clustered.rs:
+crates/stream/src/gen/trace.rs:
+crates/stream/src/gen/uniform.rs:
+crates/stream/src/gen/zipf.rs:
+crates/stream/src/hash.rs:
+crates/stream/src/io.rs:
+crates/stream/src/prng.rs:
+crates/stream/src/record.rs:
+crates/stream/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_agg-4742a2e29c7d5432.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmulti_agg-4742a2e29c7d5432.rmeta: src/lib.rs
+
+src/lib.rs:

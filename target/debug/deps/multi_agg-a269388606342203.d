@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_agg-a269388606342203.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmulti_agg-a269388606342203.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_scenarios-88dac60b0d6a44c2.d: tests/optimizer_scenarios.rs
+
+/root/repo/target/debug/deps/liboptimizer_scenarios-88dac60b0d6a44c2.rmeta: tests/optimizer_scenarios.rs
+
+tests/optimizer_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner-05ee78f8f96d686c.d: crates/bench/benches/planner.rs
+
+/root/repo/target/debug/deps/libplanner-05ee78f8f96d686c.rmeta: crates/bench/benches/planner.rs
+
+crates/bench/benches/planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4c853d63c7cfd91e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-4c853d63c7cfd91e.rmeta: tests/properties.rs
+
+tests/properties.rs:

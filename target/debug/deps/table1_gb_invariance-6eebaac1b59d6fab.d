@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_gb_invariance-6eebaac1b59d6fab.d: crates/bench/src/bin/table1_gb_invariance.rs
+
+/root/repo/target/debug/deps/libtable1_gb_invariance-6eebaac1b59d6fab.rmeta: crates/bench/src/bin/table1_gb_invariance.rs
+
+crates/bench/src/bin/table1_gb_invariance.rs:

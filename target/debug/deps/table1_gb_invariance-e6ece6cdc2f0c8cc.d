@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_gb_invariance-e6ece6cdc2f0c8cc.d: crates/bench/src/bin/table1_gb_invariance.rs
+
+/root/repo/target/debug/deps/libtable1_gb_invariance-e6ece6cdc2f0c8cc.rmeta: crates/bench/src/bin/table1_gb_invariance.rs
+
+crates/bench/src/bin/table1_gb_invariance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_alloc_error-7fd2af0d13c0da49.d: crates/bench/src/bin/table2_alloc_error.rs
+
+/root/repo/target/debug/deps/libtable2_alloc_error-7fd2af0d13c0da49.rmeta: crates/bench/src/bin/table2_alloc_error.rs
+
+crates/bench/src/bin/table2_alloc_error.rs:

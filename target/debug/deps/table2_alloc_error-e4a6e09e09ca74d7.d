@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_alloc_error-e4a6e09e09ca74d7.d: crates/bench/src/bin/table2_alloc_error.rs
+
+/root/repo/target/debug/deps/libtable2_alloc_error-e4a6e09e09ca74d7.rmeta: crates/bench/src/bin/table2_alloc_error.rs
+
+crates/bench/src/bin/table2_alloc_error.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_sl_stats-17d00bb82c84f283.d: crates/bench/src/bin/table3_sl_stats.rs
+
+/root/repo/target/debug/deps/libtable3_sl_stats-17d00bb82c84f283.rmeta: crates/bench/src/bin/table3_sl_stats.rs
+
+crates/bench/src/bin/table3_sl_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_replan-450b0ef81c59a567.d: examples/adaptive_replan.rs
+
+/root/repo/target/debug/examples/libadaptive_replan-450b0ef81c59a567.rmeta: examples/adaptive_replan.rs
+
+examples/adaptive_replan.rs:

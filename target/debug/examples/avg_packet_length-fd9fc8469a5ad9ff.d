@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avg_packet_length-fd9fc8469a5ad9ff.d: examples/avg_packet_length.rs
+
+/root/repo/target/debug/examples/libavg_packet_length-fd9fc8469a5ad9ff.rmeta: examples/avg_packet_length.rs
+
+examples/avg_packet_length.rs:

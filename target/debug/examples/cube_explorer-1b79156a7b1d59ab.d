@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cube_explorer-1b79156a7b1d59ab.d: examples/cube_explorer.rs
+
+/root/repo/target/debug/examples/libcube_explorer-1b79156a7b1d59ab.rmeta: examples/cube_explorer.rs
+
+examples/cube_explorer.rs:

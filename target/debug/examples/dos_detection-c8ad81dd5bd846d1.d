@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dos_detection-c8ad81dd5bd846d1.d: examples/dos_detection.rs
+
+/root/repo/target/debug/examples/libdos_detection-c8ad81dd5bd846d1.rmeta: examples/dos_detection.rs
+
+examples/dos_detection.rs:

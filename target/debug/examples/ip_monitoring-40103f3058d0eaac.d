@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ip_monitoring-40103f3058d0eaac.d: examples/ip_monitoring.rs
+
+/root/repo/target/debug/examples/libip_monitoring-40103f3058d0eaac.rmeta: examples/ip_monitoring.rs
+
+examples/ip_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/overload_guard-484b26786876f0e8.d: examples/overload_guard.rs
+
+/root/repo/target/debug/examples/liboverload_guard-484b26786876f0e8.rmeta: examples/overload_guard.rs
+
+examples/overload_guard.rs:

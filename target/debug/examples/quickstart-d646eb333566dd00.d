@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d646eb333566dd00.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-d646eb333566dd00.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

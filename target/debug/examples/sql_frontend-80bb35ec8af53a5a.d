@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_frontend-80bb35ec8af53a5a.d: examples/sql_frontend.rs
+
+/root/repo/target/debug/examples/libsql_frontend-80bb35ec8af53a5a.rmeta: examples/sql_frontend.rs
+
+examples/sql_frontend.rs:
