@@ -5,6 +5,13 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "==> guard: no build artifacts committed"
+if git ls-files | grep -q '^target/'; then
+    echo "error: build artifacts are tracked under target/;" \
+        "run 'git rm -r --cached target/' and commit" >&2
+    exit 1
+fi
+
 echo "==> cargo build --offline --release"
 cargo build --offline --release --workspace
 

@@ -18,6 +18,7 @@
 //! ```
 
 use msa_gigascope::plan::PlanError;
+use msa_gigascope::snapshot::{RecoveryError, SnapshotError};
 use msa_stream::io::TraceIoError;
 use msa_stream::AttrParseError;
 
@@ -35,6 +36,11 @@ pub enum MsaError {
     Attr(AttrParseError),
     /// Trace file read/write failure ([`msa_stream::io`]).
     TraceIo(TraceIoError),
+    /// Corrupted or misaligned checkpoint/log artifact
+    /// ([`msa_gigascope::snapshot`]).
+    Snapshot(SnapshotError),
+    /// Crash-recovery rejection ([`msa_gigascope::Executor::recover`]).
+    Recovery(RecoveryError),
 }
 
 impl std::fmt::Display for MsaError {
@@ -44,6 +50,8 @@ impl std::fmt::Display for MsaError {
             MsaError::Plan(e) => write!(f, "plan: {e}"),
             MsaError::Attr(e) => write!(f, "attr: {e}"),
             MsaError::TraceIo(e) => write!(f, "trace io: {e}"),
+            MsaError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            MsaError::Recovery(e) => write!(f, "recovery: {e}"),
         }
     }
 }
@@ -55,6 +63,8 @@ impl std::error::Error for MsaError {
             MsaError::Plan(e) => Some(e),
             MsaError::Attr(e) => Some(e),
             MsaError::TraceIo(e) => Some(e),
+            MsaError::Snapshot(e) => Some(e),
+            MsaError::Recovery(e) => Some(e),
         }
     }
 }
@@ -80,6 +90,18 @@ impl From<AttrParseError> for MsaError {
 impl From<TraceIoError> for MsaError {
     fn from(e: TraceIoError) -> MsaError {
         MsaError::TraceIo(e)
+    }
+}
+
+impl From<SnapshotError> for MsaError {
+    fn from(e: SnapshotError) -> MsaError {
+        MsaError::Snapshot(e)
+    }
+}
+
+impl From<RecoveryError> for MsaError {
+    fn from(e: RecoveryError) -> MsaError {
+        MsaError::Recovery(e)
     }
 }
 

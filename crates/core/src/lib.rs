@@ -49,8 +49,9 @@ pub use msa_collision::{AsymptoticModel, CollisionModel, LinearModel, PreciseMod
 pub use msa_gigascope::executor::ValueSource;
 pub use msa_gigascope::table::AggState;
 pub use msa_gigascope::{
-    Burst, ChannelFaults, CostParams, EvictionChannel, Executor, FaultPlan, GuardLevel,
-    GuardPolicy, GuardTransition, Hfta, OverloadGuard, PhysicalPlan, RunReport,
+    Burst, ChannelFaults, CostParams, CrashPlan, EvictionChannel, EvictionLog, Executor, FaultPlan,
+    GuardLevel, GuardPolicy, GuardTransition, Hfta, OverloadGuard, PhysicalPlan, RecoveryError,
+    RunReport, Snapshot, SnapshotError,
 };
 pub use msa_optimizer::{
     Algorithm, AllocStrategy, ClusterHandling, Configuration, Plan, Planner, PlannerOptions,

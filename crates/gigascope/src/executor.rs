@@ -18,10 +18,13 @@
 //! experiments can compare measured values against Eq. 7 and Eq. 8.
 
 use crate::channel::{ChannelStats, Delivery, EvictionChannel};
-use crate::faults::FaultPlan;
+use crate::faults::{CrashPlan, FaultPlan};
 use crate::guard::{GuardLevel, GuardPolicy, GuardTransition, OverloadGuard};
 use crate::hfta::Hfta;
 use crate::plan::PhysicalPlan;
+use crate::snapshot::{
+    plan_fingerprint, EvictionLog, LogEntry, RecoveryError, Snapshot, SnapshotError,
+};
 use crate::table::{AggState, LftaTable, Probe, TableStats};
 use crate::CostParams;
 use msa_stream::hash::mix64;
@@ -214,6 +217,26 @@ pub struct Executor {
     value_source: ValueSource,
     filter: Filter,
     report: RunReport,
+    /// Hash-seed base (kept for the recovery fingerprint).
+    seed: u64,
+    /// Delivery-sequence counter: one per channel delivery event
+    /// (`Delivered` or `Duplicated`; drops consume no number).
+    seq: u64,
+    /// Deliveries with `seq ≤ dedup_until` already reached the HFTA
+    /// before a crash (via the replayed log); re-processing skips their
+    /// HFTA application and log append — the exactly-once rule.
+    dedup_until: u64,
+    /// Write-ahead eviction log, when durability is enabled.
+    wal: Option<EvictionLog>,
+    /// Take a checkpoint at every epoch boundary.
+    auto_snapshot: bool,
+    /// The most recent boundary checkpoint (the durable one a crash
+    /// leaves behind).
+    latest_snapshot: Option<Box<Snapshot>>,
+    /// Armed crash fuses.
+    crash: CrashPlan,
+    /// A fuse fired: the executor is inert (simulated dead process).
+    crashed: bool,
 }
 
 impl Executor {
@@ -269,6 +292,14 @@ impl Executor {
                 costs,
                 ..RunReport::default()
             },
+            seed,
+            seq: 0,
+            dedup_until: 0,
+            wal: None,
+            auto_snapshot: false,
+            latest_snapshot: None,
+            crash: CrashPlan::none(),
+            crashed: false,
         }
     }
 
@@ -329,6 +360,33 @@ impl Executor {
         self
     }
 
+    /// Enables the write-ahead eviction log: every LFTA → HFTA delivery
+    /// is logged (with its sequence number and delivered copy count)
+    /// *before* the HFTA applies it, so a crash can replay the open
+    /// epoch's deliveries exactly once.
+    pub fn with_eviction_log(mut self) -> Executor {
+        self.wal = Some(EvictionLog::new());
+        self
+    }
+
+    /// Enables automatic checkpoints: a [`Snapshot`] is captured at
+    /// every epoch boundary (and once lazily before the first record),
+    /// and the write-ahead log is truncated to the entries the latest
+    /// checkpoint does not already cover.
+    pub fn with_snapshots(mut self) -> Executor {
+        self.auto_snapshot = true;
+        self
+    }
+
+    /// Arms crash fuses (see [`CrashPlan`]). When a fuse fires the
+    /// executor becomes inert, exactly as if the process died: no
+    /// farewell flush, no final snapshot — only the durable artifacts
+    /// remain (see [`Executor::durable_state`]).
+    pub fn with_crash(mut self, crash: CrashPlan) -> Executor {
+        self.crash = crash;
+        self
+    }
+
     /// The overload guard, if enabled.
     pub fn guard(&self) -> Option<&OverloadGuard> {
         self.guard.as_ref()
@@ -363,6 +421,9 @@ impl Executor {
     /// Pushes `(key, count)` into node `i`'s table and cascades any
     /// eviction.
     fn push(&mut self, i: usize, key: GroupKey, agg: AggState) {
+        if self.crashed {
+            return;
+        }
         if self.in_flush {
             self.report.flush_probes += 1;
         } else {
@@ -373,12 +434,49 @@ impl Executor {
         }
     }
 
+    /// Applies one channel delivery event to the HFTA under the
+    /// exactly-once rule: the event gets the next sequence number; if it
+    /// is new (past the replayed-log high-water mark) it is logged
+    /// write-ahead and applied, otherwise the replay already applied it
+    /// and only the sequence counter advances.
+    fn deliver(&mut self, slot: usize, key: GroupKey, agg: AggState, copies: u8) {
+        self.seq += 1;
+        if self.seq <= self.dedup_until {
+            return;
+        }
+        if let Some(wal) = &mut self.wal {
+            wal.append(LogEntry {
+                epoch: self.current_epoch,
+                seq: self.seq,
+                slot: slot as u32,
+                copies,
+                key,
+                agg,
+            });
+        }
+        for _ in 0..copies {
+            self.hfta.receive(slot, key, agg);
+        }
+    }
+
     /// Routes an entry leaving node `i` (eviction or flush scan) to the
     /// HFTA and/or the node's children. The HFTA hop goes through the
     /// eviction channel, which may drop or duplicate the entry; either
     /// way the report accounts the exact record mass affected.
     fn emit(&mut self, i: usize, key: GroupKey, agg: AggState) {
+        if self.crashed {
+            return;
+        }
         if let Some(slot) = self.query_slot[i] {
+            // Crash fuse: dies right before offer `after_offers + 1`
+            // (offers are counted by the eviction totals, so a fuse
+            // between two boundary counts lands mid-flush).
+            if let Some(n) = self.crash.after_offers {
+                if self.report.intra_evictions + self.report.flush_evictions >= n {
+                    self.crashed = true;
+                    return;
+                }
+            }
             // The transfer attempt costs `c2` whatever its fate.
             if self.in_flush {
                 self.report.flush_evictions += 1;
@@ -386,10 +484,9 @@ impl Executor {
                 self.report.intra_evictions += 1;
             }
             match self.channel.offer() {
-                Delivery::Delivered => self.hfta.receive(slot, key, agg),
+                Delivery::Delivered => self.deliver(slot, key, agg, 1),
                 Delivery::Duplicated => {
-                    self.hfta.receive(slot, key, agg);
-                    self.hfta.receive(slot, key, agg);
+                    self.deliver(slot, key, agg, 2);
                     self.report.evictions_duplicated += 1;
                     RunReport::bump(
                         &mut self.report.duplicated_records,
@@ -428,8 +525,27 @@ impl Executor {
     /// Processes one record, closing epochs as its timestamp dictates.
     #[inline]
     pub fn process(&mut self, record: &Record) {
+        if self.crashed {
+            return;
+        }
+        // Genesis checkpoint: before the first record everything is at
+        // an epoch boundary by construction, so a crash ahead of the
+        // first real boundary still has something to recover from.
+        if self.auto_snapshot && self.latest_snapshot.is_none() {
+            self.latest_snapshot = Some(Box::new(self.make_snapshot()));
+        }
+        // Crash fuse: dies before processing record `at_record`.
+        if let Some(n) = self.crash.at_record {
+            if self.report.records >= n {
+                self.crashed = true;
+                return;
+            }
+        }
         while record.ts_micros >= (self.current_epoch + 1).saturating_mul(self.epoch_micros) {
             self.flush_epoch();
+            if self.crashed {
+                return;
+            }
         }
         self.report.records += 1;
         if !self.filter.matches(record) {
@@ -464,9 +580,12 @@ impl Executor {
         }
     }
 
-    /// Processes a batch of records.
+    /// Processes a batch of records (stops early if a crash fuse fires).
     pub fn run(&mut self, records: &[Record]) {
         for r in records {
+            if self.crashed {
+                break;
+            }
             self.process(r);
         }
     }
@@ -475,11 +594,19 @@ impl Executor {
     /// entry to the children and finally evicting query contents to the
     /// HFTA (§3.2.2).
     pub fn flush_epoch(&mut self) {
+        if self.crashed {
+            return;
+        }
         self.in_flush = true;
         for i in 0..self.tables.len() {
             let entries = self.tables[i].drain();
             for e in entries {
                 self.emit(i, e.key, e.agg);
+                if self.crashed {
+                    // Died mid-flush: the epoch never closes; the rest
+                    // of the drained entries vanish with the process.
+                    return;
+                }
             }
         }
         self.in_flush = false;
@@ -516,6 +643,174 @@ impl Executor {
                 self.report.epochs_degraded += 1;
             }
         }
+        if self.auto_snapshot {
+            let snap = self.make_snapshot();
+            if let Some(wal) = &mut self.wal {
+                // Checkpoint truncation: the snapshot covers every
+                // delivery up to `snap.seq`, so only the (empty, at a
+                // boundary) suffix needs to stay durable.
+                *wal = EvictionLog::from_entries(wal.suffix(snap.seq).copied().collect());
+            }
+            self.latest_snapshot = Some(Box::new(snap));
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        plan_fingerprint(
+            &self.plan,
+            self.seed,
+            self.epoch_micros,
+            self.report.costs,
+            self.value_source,
+        )
+    }
+
+    /// Captures the boundary state (caller guarantees alignment).
+    fn make_snapshot(&self) -> Snapshot {
+        debug_assert!(
+            self.tables.iter().all(|t| t.occupied() == 0) && self.hfta.in_flight() == 0,
+            "checkpoints are epoch-aligned"
+        );
+        Snapshot {
+            plan_fingerprint: self.fingerprint(),
+            epoch: self.current_epoch,
+            seq: self.seq,
+            records_hwm: self.report.records,
+            channel: self.channel.export_state(),
+            guard: self.guard.as_ref().map(|g| g.export_state()),
+            tables: self.tables.iter().map(|t| t.stats()).collect(),
+            hfta: self.hfta.export_state(),
+            report: self.report.clone(),
+            intra_cost_mark: self.intra_cost_mark,
+            flush_cost_mark: self.flush_cost_mark,
+            dropped_mark: self.dropped_mark,
+            duplicated_mark: self.duplicated_mark,
+        }
+    }
+
+    /// Captures a checkpoint now. Snapshots are epoch-aligned: at a
+    /// boundary every LFTA table has just been drained and the HFTA's
+    /// combining maps are empty, so the state reduces to counters,
+    /// finished results and PRNG cursors. Mid-epoch captures are
+    /// refused with [`SnapshotError::EpochUnaligned`].
+    pub fn snapshot(&self) -> Result<Snapshot, SnapshotError> {
+        if self.tables.iter().any(|t| t.occupied() > 0) || self.hfta.in_flight() > 0 {
+            return Err(SnapshotError::EpochUnaligned);
+        }
+        Ok(self.make_snapshot())
+    }
+
+    /// The most recent boundary checkpoint (see
+    /// [`Executor::with_snapshots`]).
+    pub fn latest_snapshot(&self) -> Option<&Snapshot> {
+        self.latest_snapshot.as_deref()
+    }
+
+    /// The write-ahead eviction log (see
+    /// [`Executor::with_eviction_log`]).
+    pub fn eviction_log(&self) -> Option<&EvictionLog> {
+        self.wal.as_ref()
+    }
+
+    /// True once a crash fuse has fired; the executor is then inert.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// What a crash leaves behind: the latest boundary checkpoint plus
+    /// the write-ahead log (the durable artifacts recovery consumes).
+    /// `None` before the first checkpoint exists.
+    pub fn durable_state(&self) -> Option<(Snapshot, EvictionLog)> {
+        let snap = self.latest_snapshot.as_deref()?.clone();
+        let log = self.wal.clone().unwrap_or_default();
+        Some((snap, log))
+    }
+
+    /// Restores a crashed run into this freshly built executor.
+    ///
+    /// `self` must be configured identically to the crashed executor
+    /// (same plan, costs, epoch length and seed — enforced via the
+    /// snapshot's fingerprint). The driver:
+    ///
+    /// 1. validates the log suffix (contiguous from the snapshot's
+    ///    sequence high-water mark, same open epoch, valid query slots);
+    /// 2. restores every subsystem's boundary state — channel PRNG
+    ///    cursor, guard ladder, table statistics, HFTA results, the run
+    ///    report and the per-epoch delta marks;
+    /// 3. replays the log suffix into the HFTA (applying each entry the
+    ///    number of copies the channel originally delivered) and marks
+    ///    those sequence numbers as already applied, so re-processing
+    ///    the record stream from [`Snapshot::records_hwm`] skips their
+    ///    HFTA application — each delivery lands exactly once.
+    ///
+    /// Determinism of the pipeline (seeded hashes, restored PRNG and
+    /// shed cursors) then makes the resumed run bit-identical to a run
+    /// that never crashed.
+    pub fn recover(
+        mut self,
+        snapshot: &Snapshot,
+        log: EvictionLog,
+    ) -> Result<Executor, RecoveryError> {
+        let expected = self.fingerprint();
+        if snapshot.plan_fingerprint != expected {
+            return Err(RecoveryError::PlanMismatch {
+                expected,
+                found: snapshot.plan_fingerprint,
+            });
+        }
+        if !log.is_empty() && log.last_seq() < snapshot.seq {
+            return Err(RecoveryError::LogBehindSnapshot {
+                snapshot_seq: snapshot.seq,
+                log_seq: log.last_seq(),
+            });
+        }
+        let mut expected_seq = snapshot.seq;
+        for e in log.suffix(snapshot.seq) {
+            expected_seq += 1;
+            if e.seq != expected_seq {
+                return Err(RecoveryError::LogGap {
+                    expected: expected_seq,
+                    found: e.seq,
+                });
+            }
+            if e.epoch != snapshot.epoch {
+                return Err(RecoveryError::LogEpochMismatch {
+                    snapshot_epoch: snapshot.epoch,
+                    entry_epoch: e.epoch,
+                    seq: e.seq,
+                });
+            }
+            if e.slot as usize >= self.queries.len() {
+                return Err(RecoveryError::QueryOutOfRange {
+                    slot: e.slot,
+                    queries: self.queries.len(),
+                });
+            }
+        }
+        self.channel = EvictionChannel::from_state(&snapshot.channel);
+        self.guard = snapshot.guard.as_ref().map(OverloadGuard::from_state);
+        self.hfta = Hfta::restore(self.queries.clone(), snapshot.hfta.clone());
+        for (t, stats) in self.tables.iter_mut().zip(&snapshot.tables) {
+            t.restore_stats(*stats);
+        }
+        self.current_epoch = snapshot.epoch;
+        self.report = snapshot.report.clone();
+        self.intra_cost_mark = snapshot.intra_cost_mark;
+        self.flush_cost_mark = snapshot.flush_cost_mark;
+        self.dropped_mark = snapshot.dropped_mark;
+        self.duplicated_mark = snapshot.duplicated_mark;
+        self.seq = snapshot.seq;
+        self.dedup_until = log.last_seq().max(snapshot.seq);
+        for e in log.suffix(snapshot.seq) {
+            for _ in 0..e.copies {
+                self.hfta.receive(e.slot as usize, e.key, e.agg);
+            }
+        }
+        self.wal = Some(log);
+        self.auto_snapshot = true;
+        self.latest_snapshot = Some(Box::new(snapshot.clone()));
+        self.crashed = false;
+        Ok(self)
     }
 
     /// Flushes the final epoch and returns the report.
@@ -906,7 +1201,7 @@ mod tests {
         let mut ex = Executor::new(small_phantom_plan(), CostParams::paper(), 1_000_000, 11)
             .with_faults(&faults);
         ex.run(&recs);
-        let stats = ex.channel_stats().clone();
+        let stats = *ex.channel_stats();
         let (report, hfta) = ex.finish();
         assert!(report.evictions_dropped > 0, "faults must actually fire");
         assert!(report.evictions_duplicated > 0);

@@ -10,11 +10,18 @@
 //!   replicated `amplification`×, modelling a traffic spike at the
 //!   planned group distribution;
 //! * **epoch-clock skew** — a constant shift of every record timestamp,
-//!   modelling a NIC clock that disagrees with the host clock.
+//!   modelling a NIC clock that disagrees with the host clock;
+//! * **crashes** — a [`CrashPlan`] kills the executor at a precise
+//!   record index or after a precise number of eviction offers (which
+//!   can land mid-flush), so the checkpoint/recovery path
+//!   ([`Executor::recover`](crate::Executor::recover)) can be exercised
+//!   at any point of the pipeline.
 //!
 //! Channel faults are wired into an executor with
 //! [`Executor::with_faults`](crate::Executor::with_faults); stream
-//! faults are applied up front with [`FaultPlan::apply_to_stream`].
+//! faults are applied up front with [`FaultPlan::apply_to_stream`];
+//! crashes are armed with
+//! [`Executor::with_crash`](crate::Executor::with_crash).
 
 use crate::channel::ChannelFaults;
 use msa_stream::Record;
@@ -36,6 +43,55 @@ pub struct Burst {
     /// groups, modelling a DoS-style flood of fresh flows that blows up
     /// occupancy and the end-of-epoch flush as well.
     pub fresh_groups: bool,
+}
+
+/// A declarative crash point: the executor halts *as if the process
+/// died* — no flush, no epoch close, no farewell snapshot — leaving
+/// only the durable artifacts (last boundary snapshot + write-ahead
+/// eviction log) for [`Executor::recover`](crate::Executor::recover).
+///
+/// Both fuses count *absolute* positions (record index since run start,
+/// eviction offers since run start), so a crash point measured on a
+/// fault-free baseline run lands at the identical pipeline state when
+/// replayed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Crash before processing the record with this 0-based index
+    /// (`Some(0)` dies before the first record).
+    pub at_record: Option<u64>,
+    /// Crash after this many LFTA → HFTA eviction offers, i.e. right
+    /// before offer `n + 1`. Offers happen both intra-epoch and inside
+    /// the end-of-epoch scan, so a fuse between two boundary counts
+    /// lands **mid-flush**.
+    pub after_offers: Option<u64>,
+}
+
+impl CrashPlan {
+    /// No crash.
+    pub fn none() -> CrashPlan {
+        CrashPlan::default()
+    }
+
+    /// Crash before processing record `index` (0-based).
+    pub fn at_record(index: u64) -> CrashPlan {
+        CrashPlan {
+            at_record: Some(index),
+            after_offers: None,
+        }
+    }
+
+    /// Crash after `offers` eviction offers (before offer `offers + 1`).
+    pub fn after_offers(offers: u64) -> CrashPlan {
+        CrashPlan {
+            at_record: None,
+            after_offers: Some(offers),
+        }
+    }
+
+    /// True if no fuse is armed.
+    pub fn is_none(&self) -> bool {
+        self.at_record.is_none() && self.after_offers.is_none()
+    }
 }
 
 /// A seeded, declarative fault-injection plan.

@@ -53,6 +53,18 @@ impl GuardLevel {
         }
     }
 
+    /// Inverse of [`GuardLevel::index`]; `None` for out-of-range values
+    /// (a decoder rejecting a corrupted checkpoint).
+    pub fn from_index(index: u8) -> Option<GuardLevel> {
+        match index {
+            0 => Some(GuardLevel::Normal),
+            1 => Some(GuardLevel::Shedding),
+            2 => Some(GuardLevel::PhantomsOff),
+            3 => Some(GuardLevel::Repair),
+            _ => None,
+        }
+    }
+
     fn escalated(self) -> GuardLevel {
         match self {
             GuardLevel::Normal => GuardLevel::Shedding,
@@ -122,6 +134,27 @@ pub struct GuardTransition {
     pub to: GuardLevel,
     /// The observed per-epoch total cost that triggered the change.
     pub observed_cost: f64,
+}
+
+/// The complete serializable state of an [`OverloadGuard`].
+///
+/// Captured at checkpoint time and restored on recovery, including the
+/// mid-epoch shed counter, so a recovered executor sheds exactly the
+/// records the original would have shed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardState {
+    /// Policy in force.
+    pub policy: GuardPolicy,
+    /// Degradation level at capture.
+    pub level: GuardLevel,
+    /// Consecutive calm epochs observed at the current level.
+    pub calm_epochs: u64,
+    /// Round-robin shedding cursor.
+    pub shed_counter: u64,
+    /// Cost observed at the most recent epoch boundary.
+    pub last_cost: f64,
+    /// Whether an unconsumed repair request is pending.
+    pub repair_requested: bool,
 }
 
 /// The overload controller: observes per-epoch total cost, maintains
@@ -221,6 +254,30 @@ impl OverloadGuard {
     pub fn take_repair_request(&mut self) -> bool {
         std::mem::take(&mut self.repair_requested)
     }
+
+    /// Exports the guard's complete state for a checkpoint.
+    pub fn export_state(&self) -> GuardState {
+        GuardState {
+            policy: self.policy,
+            level: self.level,
+            calm_epochs: self.calm_epochs,
+            shed_counter: self.shed_counter,
+            last_cost: self.last_cost,
+            repair_requested: self.repair_requested,
+        }
+    }
+
+    /// Rebuilds a guard from an exported state.
+    pub fn from_state(state: &GuardState) -> OverloadGuard {
+        OverloadGuard {
+            policy: state.policy,
+            level: state.level,
+            calm_epochs: state.calm_epochs,
+            shed_counter: state.shed_counter,
+            last_cost: state.last_cost,
+            repair_requested: state.repair_requested,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +357,25 @@ mod tests {
         // Another breached epoch at Repair re-arms the request.
         g.observe_epoch(4, 10.0);
         assert!(g.repair_requested());
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_shedding_exactly() {
+        let mut g = OverloadGuard::new(GuardPolicy::new(100.0));
+        g.observe_epoch(1, 150.0);
+        for _ in 0..5 {
+            g.should_shed();
+        }
+        let mut restored = OverloadGuard::from_state(&g.export_state());
+        assert_eq!(restored.export_state(), g.export_state());
+        // Mid-cycle shed cursor resumes exactly.
+        let a: Vec<bool> = (0..12).map(|_| g.should_shed()).collect();
+        let b: Vec<bool> = (0..12).map(|_| restored.should_shed()).collect();
+        assert_eq!(a, b);
+        for level in 0..=3u8 {
+            assert_eq!(GuardLevel::from_index(level).unwrap().index(), level);
+        }
+        assert_eq!(GuardLevel::from_index(4), None);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use msa_stream::hash::FastMap;
 use msa_stream::{AttrSet, GroupKey};
 
 /// Exact aggregation results of one query for one epoch.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EpochResult {
     /// The query's grouping attributes.
     pub query: AttrSet,
@@ -44,6 +44,23 @@ impl EpochResult {
             .iter()
             .filter(move |(_, a)| a.count > threshold)
     }
+}
+
+/// The complete serializable state of an [`Hfta`] at an epoch boundary.
+///
+/// At a boundary the per-epoch combining maps are empty (the epoch was
+/// just closed), so the state is exactly the finished results plus the
+/// counters — which is why checkpoints are epoch-aligned.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HftaState {
+    /// Label of the epoch that will accumulate next.
+    pub epoch: u64,
+    /// Total partial tuples received so far.
+    pub received: u64,
+    /// Whether per-epoch results are retained.
+    pub retain_results: bool,
+    /// All finished per-epoch results at capture time.
+    pub results: Vec<EpochResult>,
 }
 
 /// The HFTA: one combiner per user query.
@@ -122,6 +139,38 @@ impl Hfta {
     /// All finished per-epoch results.
     pub fn results(&self) -> &[EpochResult] {
         &self.finished
+    }
+
+    /// Number of partials sitting in the still-open epoch's combining
+    /// maps — zero exactly at an epoch boundary, which is the alignment
+    /// condition checkpoints require.
+    pub fn in_flight(&self) -> usize {
+        self.current.iter().map(|m| m.len()).sum()
+    }
+
+    /// Exports the boundary state for a checkpoint. Partials of a
+    /// still-open epoch (see [`Hfta::in_flight`]) are *not* captured;
+    /// callers must snapshot at an epoch boundary.
+    pub fn export_state(&self) -> HftaState {
+        HftaState {
+            epoch: self.epoch,
+            received: self.received,
+            retain_results: self.retain_results,
+            results: self.finished.clone(),
+        }
+    }
+
+    /// Rebuilds an HFTA for `queries` from an exported boundary state.
+    pub fn restore(queries: Vec<AttrSet>, state: HftaState) -> Hfta {
+        let current = queries.iter().map(|_| FastMap::default()).collect();
+        Hfta {
+            queries,
+            current,
+            received: state.received,
+            finished: state.results,
+            epoch: state.epoch,
+            retain_results: state.retain_results,
+        }
     }
 
     /// Sums a query's counts across all finished epochs — the total
@@ -266,6 +315,24 @@ mod tests {
         // Value aggregates degrade the same way: the duplicated sum is
         // added once more, never corrupted.
         assert_eq!(h.aggregate_totals(a)[&key(&[1])].sum, 25);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_results_and_counters() {
+        let a = AttrSet::parse("A").unwrap();
+        let b = AttrSet::parse("B").unwrap();
+        let mut h = Hfta::new(vec![a, b]);
+        h.receive(0, key(&[1]), counted(3, 3));
+        h.receive(1, key(&[2]), counted(5, 5));
+        assert_eq!(h.in_flight(), 2);
+        h.close_epoch();
+        assert_eq!(h.in_flight(), 0);
+        let state = h.export_state();
+        let restored = Hfta::restore(vec![a, b], state.clone());
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.results(), h.results());
+        assert_eq!(restored.received(), h.received());
+        assert_eq!(restored.totals(a), h.totals(a));
     }
 
     #[test]

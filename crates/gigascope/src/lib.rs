@@ -19,8 +19,8 @@
 //! * [`hfta::Hfta`] — the host-side combiner producing exact per-epoch
 //!   aggregation results (used to verify the LFTA path end-to-end).
 //!
-//! Beyond the paper's substrate, three modules harden the runtime
-//! against overload and transport faults:
+//! Beyond the paper's substrate, four modules harden the runtime
+//! against overload, transport faults and crashes:
 //!
 //! * [`channel::EvictionChannel`] — the LFTA → HFTA hop made explicit:
 //!   bounded, fault-injectable, exactly accounted;
@@ -28,8 +28,11 @@
 //!   off → allocation repair) driven by the measured per-epoch total
 //!   cost against a peak budget `E_p`, with hysteretic recovery;
 //! * [`faults::FaultPlan`] — seeded, declarative fault injection
-//!   (eviction loss/duplication, record bursts, epoch-clock skew) for
-//!   deterministic chaos tests.
+//!   (eviction loss/duplication, record bursts, epoch-clock skew,
+//!   process crashes) for deterministic chaos tests;
+//! * [`snapshot`] — epoch-aligned checkpoints plus a write-ahead
+//!   eviction log, giving crashed executors exactly-once recovery with
+//!   bit-identical results (see [`executor::Executor::recover`]).
 
 #![deny(unsafe_code)]
 
@@ -39,14 +42,16 @@ pub mod faults;
 pub mod guard;
 pub mod hfta;
 pub mod plan;
+pub mod snapshot;
 pub mod table;
 
 pub use channel::{ChannelFaults, ChannelStats, Delivery, EvictionChannel};
-pub use executor::{Executor, RunReport};
-pub use faults::{Burst, FaultPlan};
+pub use executor::{Executor, RunReport, ValueSource};
+pub use faults::{Burst, CrashPlan, FaultPlan};
 pub use guard::{GuardLevel, GuardPolicy, GuardTransition, OverloadGuard};
 pub use hfta::Hfta;
 pub use plan::{PhysicalPlan, PlanNode};
+pub use snapshot::{EvictionLog, LogEntry, RecoveryError, Snapshot, SnapshotError};
 pub use table::{LftaTable, Probe};
 
 /// Cost parameters of the two-level architecture.

@@ -229,6 +229,13 @@ impl LftaTable {
     pub fn reset_stats(&mut self) {
         self.stats = TableStats::default();
     }
+
+    /// Restores checkpointed statistics (recovery rebuilds tables empty
+    /// — epoch-aligned checkpoints find them drained — and re-installs
+    /// the cumulative counters so stats stay continuous across a crash).
+    pub fn restore_stats(&mut self, stats: TableStats) {
+        self.stats = stats;
+    }
 }
 
 /// Streams `keys` through a fresh `buckets`-slot table and returns the

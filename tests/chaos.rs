@@ -10,10 +10,13 @@
 //! 3. **Overload guard demo** — a burst 4× the planned rate breaches
 //!    the budget; the degradation ladder caps the per-epoch cost within
 //!    two epochs and the guard returns to level 0 after the burst.
+//! 4. **Crash sweeps** — process deaths at the stream's start, middle,
+//!    end and mid-flush, composed with channel loss/duplication, all
+//!    recover bit-identically via the checkpoint + write-ahead log.
 
 use msa_core::{
-    AttrSet, Burst, CostParams, EngineOptions, Executor, FaultPlan, GuardLevel, GuardPolicy,
-    MultiAggregator, Record,
+    AttrSet, Burst, CostParams, CrashPlan, EngineOptions, Executor, FaultPlan, GuardLevel,
+    GuardPolicy, MultiAggregator, Record,
 };
 use msa_gigascope::plan::{PhysicalPlan, PlanNode};
 use msa_stream::hash::FastMap;
@@ -313,6 +316,95 @@ fn engine_applies_guard_repair_and_stays_accounted() {
             stream.records.len() as i64 + out.report.count_bias(*q),
             "bias identity across repairs for query {q}"
         );
+    }
+}
+
+/// Crash sweep composed with channel chaos: kill the pipeline at 0 %,
+/// 50 %, mid-flush and the last record of a lossy, duplicating run;
+/// every recovery lands bit-identical to the crash-free run, so the
+/// count-bias bounds of the fault suite carry over unchanged.
+#[test]
+fn crash_sweep_composed_with_channel_faults_recovers_exactly() {
+    let stream = UniformStreamBuilder::new(4, 150)
+        .records(12_000)
+        .duration_secs(6.0)
+        .seed(31)
+        .build();
+    let faults = FaultPlan::new(0xDEAD)
+        .with_eviction_loss(0.10)
+        .with_eviction_duplication(0.05);
+    let build = || {
+        Executor::new(phantom_plan(64, 32), CostParams::paper(), 1_000_000, 9).with_faults(&faults)
+    };
+
+    // Crash-free reference.
+    let mut base = build();
+    base.run(&stream.records);
+    let (base_report, base_hfta) = base.finish();
+    assert!(base_report.evictions_dropped > 0);
+    assert!(base_report.evictions_duplicated > 0);
+    let total_offers = base_report.intra_evictions + base_report.flush_evictions;
+
+    // A provably mid-flush offer index: one offer into the first
+    // end-of-epoch scan that makes at least two.
+    let mid_flush = {
+        let mut probe = build();
+        let mut found = None;
+        let (mut prev_offers, mut prev_flush, mut prev_epochs) = (0u64, 0u64, 0u64);
+        for r in &stream.records {
+            probe.process(r);
+            let rep = probe.report();
+            if rep.epochs > prev_epochs && rep.flush_evictions - prev_flush >= 2 {
+                found = Some(prev_offers + 1);
+                break;
+            }
+            prev_epochs = rep.epochs;
+            prev_flush = rep.flush_evictions;
+            prev_offers = rep.intra_evictions + rep.flush_evictions;
+        }
+        found.expect("workload must have a multi-eviction flush")
+    };
+
+    let n = stream.records.len() as u64;
+    let crashes = [
+        (CrashPlan::at_record(0), "0%"),
+        (CrashPlan::at_record(n / 2), "50%"),
+        (CrashPlan::after_offers(mid_flush), "mid-flush"),
+        (CrashPlan::at_record(n - 1), "last record"),
+        (CrashPlan::after_offers(total_offers - 1), "final flush"),
+    ];
+    for (crash, what) in crashes {
+        let mut crashed = build()
+            .with_eviction_log()
+            .with_snapshots()
+            .with_crash(crash);
+        crashed.run(&stream.records);
+        if !crashed.has_crashed() {
+            crashed.flush_epoch();
+        }
+        assert!(crashed.has_crashed(), "fuse at {what} must fire");
+        let (snap, log) = crashed.durable_state().expect("durable artifacts");
+
+        let mut ex = build()
+            .recover(&snap, log)
+            .unwrap_or_else(|e| panic!("recovery at {what}: {e}"));
+        ex.run(&stream.records[snap.records_hwm as usize..]);
+        let (report, hfta) = ex.finish();
+        assert_eq!(report, base_report, "report diverged at {what}");
+        for q in [s("A"), s("B")] {
+            assert_eq!(
+                hfta.totals(q),
+                base_hfta.totals(q),
+                "totals for {q} diverged at {what}"
+            );
+            // The chaos suite's bias identity survives the crash.
+            let observed: u64 = hfta.totals(q).values().sum();
+            assert_eq!(
+                observed as i64,
+                stream.records.len() as i64 + report.count_bias(q),
+                "bias identity at {what} for {q}"
+            );
+        }
     }
 }
 

@@ -1,0 +1,434 @@
+//! Crash-recovery suite: epoch-aligned checkpoints + write-ahead
+//! eviction log give exactly-once replay.
+//!
+//! The headline invariant: for **any** seed and **any** crash point —
+//! between records, between epochs, or in the middle of an end-of-epoch
+//! flush — a crashed-and-recovered run produces bit-identical per-query
+//! results and a bit-identical [`RunReport`] to a run that never
+//! crashed. Composed with channel loss/duplication faults the same
+//! holds, because the checkpoint carries the channel's PRNG cursor.
+//!
+//! Alongside the sweep: snapshot/log round-trips through their binary
+//! encodings, corruption rejection with typed errors, and the typed
+//! refusal paths of the recovery driver (plan mismatch, log gaps,
+//! epoch mismatches, misaligned captures).
+
+use msa_core::{
+    AttrSet, CostParams, CrashPlan, EvictionLog, Executor, FaultPlan, GuardPolicy, Record,
+    RecoveryError, RunReport, Snapshot, SnapshotError,
+};
+use msa_gigascope::plan::{PhysicalPlan, PlanNode};
+use msa_gigascope::snapshot::LogEntry;
+use msa_gigascope::Hfta;
+use msa_stream::UniformStreamBuilder;
+
+const EPOCH: u64 = 1_000_000;
+
+fn s(x: &str) -> AttrSet {
+    AttrSet::parse(x).unwrap()
+}
+
+/// AB phantom feeding A and B query tables — evictions on every path.
+fn phantom_plan() -> PhysicalPlan {
+    PhysicalPlan::new(vec![
+        PlanNode {
+            attrs: s("AB"),
+            parent: None,
+            buckets: 64,
+            is_query: false,
+        },
+        PlanNode {
+            attrs: s("A"),
+            parent: Some(0),
+            buckets: 16,
+            is_query: true,
+        },
+        PlanNode {
+            attrs: s("B"),
+            parent: Some(0),
+            buckets: 16,
+            is_query: true,
+        },
+    ])
+    .unwrap()
+}
+
+fn stream(seed: u64) -> Vec<Record> {
+    UniformStreamBuilder::new(4, 120)
+        .records(6_000)
+        .duration_secs(6.0)
+        .seed(seed)
+        .build()
+        .records
+}
+
+fn executor(seed: u64) -> Executor {
+    Executor::new(phantom_plan(), CostParams::paper(), EPOCH, seed)
+}
+
+/// Fault-free reference: the run that never crashes.
+fn baseline(seed: u64, faults: Option<&FaultPlan>, records: &[Record]) -> (RunReport, Hfta) {
+    let mut ex = executor(seed);
+    if let Some(f) = faults {
+        ex = ex.with_faults(f);
+    }
+    ex.run(records);
+    ex.finish()
+}
+
+/// Runs `ex` into its armed crash and returns the durable artifacts the
+/// "dead process" leaves behind (the harness flushes explicitly so
+/// fuses aimed at the final flush are reachable too).
+fn run_to_crash(mut ex: Executor, records: &[Record]) -> (Snapshot, EvictionLog) {
+    ex.run(records);
+    if !ex.has_crashed() {
+        ex.flush_epoch();
+    }
+    assert!(ex.has_crashed(), "crash fuse must fire for this sweep");
+    ex.durable_state().expect("genesis snapshot always exists")
+}
+
+/// Crash → recover → resume → compare bit-for-bit against `base`.
+fn recover_and_compare(
+    seed: u64,
+    faults: Option<&FaultPlan>,
+    records: &[Record],
+    crash: CrashPlan,
+    base: &(RunReport, Hfta),
+    label: &str,
+) {
+    let mut crashed = executor(seed)
+        .with_eviction_log()
+        .with_snapshots()
+        .with_crash(crash);
+    if let Some(f) = faults {
+        crashed = crashed.with_faults(f);
+    }
+    let (snap, log) = run_to_crash(crashed, records);
+
+    let recovered = executor(seed)
+        .recover(&snap, log)
+        .unwrap_or_else(|e| panic!("{label}: recovery refused: {e}"));
+    let mut ex = recovered;
+    ex.run(&records[snap.records_hwm as usize..]);
+    let (report, hfta) = ex.finish();
+
+    assert_eq!(report, base.0, "{label}: RunReport must be bit-identical");
+    assert_eq!(
+        hfta.results(),
+        base.1.results(),
+        "{label}: per-epoch results must be bit-identical"
+    );
+    for q in [s("A"), s("B")] {
+        assert_eq!(hfta.totals(q), base.1.totals(q), "{label}: totals for {q}");
+    }
+}
+
+/// The first crash point that is provably *mid-flush*: one eviction
+/// offer into an end-of-epoch scan that makes at least two.
+fn mid_flush_offer(seed: u64, faults: Option<&FaultPlan>, records: &[Record]) -> Option<u64> {
+    let mut ex = executor(seed);
+    if let Some(f) = faults {
+        ex = ex.with_faults(f);
+    }
+    let mut prev_offers = 0u64;
+    let mut prev_flush = 0u64;
+    let mut prev_epochs = 0u64;
+    for r in records {
+        ex.process(r);
+        let rep = ex.report();
+        if rep.epochs > prev_epochs && rep.flush_evictions - prev_flush >= 2 {
+            return Some(prev_offers + 1);
+        }
+        prev_epochs = rep.epochs;
+        prev_flush = rep.flush_evictions;
+        prev_offers = rep.intra_evictions + rep.flush_evictions;
+    }
+    None
+}
+
+/// The headline sweep: ≥ 20 seeds × ≥ 4 crash positions (first record,
+/// 25 % / 50 % / 75 % of the stream, provably mid-flush, last record,
+/// and inside the final flush), every combination bit-identical to the
+/// fault-free run.
+#[test]
+fn any_seed_any_crash_point_recovers_bit_identical() {
+    for seed in 0..20u64 {
+        let records = stream(seed);
+        let base = baseline(seed, None, &records);
+        let n = records.len() as u64;
+        let total_offers = base.0.intra_evictions + base.0.flush_evictions;
+        assert!(total_offers > 10, "seed {seed}: workload must evict");
+
+        let mut crashes = vec![
+            (CrashPlan::at_record(0), "record 0".to_string()),
+            (CrashPlan::at_record(n / 4), "record 25%".to_string()),
+            (CrashPlan::at_record(n / 2), "record 50%".to_string()),
+            (CrashPlan::at_record(3 * n / 4), "record 75%".to_string()),
+            (CrashPlan::at_record(n - 1), "last record".to_string()),
+            (
+                CrashPlan::after_offers(total_offers - 1),
+                "final flush".to_string(),
+            ),
+        ];
+        if let Some(offers) = mid_flush_offer(seed, None, &records) {
+            crashes.push((CrashPlan::after_offers(offers), "mid-flush".to_string()));
+        }
+        for (crash, what) in crashes {
+            recover_and_compare(
+                seed,
+                None,
+                &records,
+                crash,
+                &base,
+                &format!("seed {seed}, crash at {what}"),
+            );
+        }
+    }
+}
+
+/// Composed with PR 1's channel faults: the checkpoint carries the
+/// channel's PRNG cursor, so the recovered run re-draws the identical
+/// loss/duplication decisions — bit-identical reports (and therefore
+/// the same count-bias bounds) survive crashes too.
+#[test]
+fn crash_recovery_composes_with_channel_faults() {
+    for seed in [3u64, 7, 11, 19, 23] {
+        let records = stream(seed);
+        let faults = FaultPlan::new(seed ^ 0xFA_17)
+            .with_eviction_loss(0.10)
+            .with_eviction_duplication(0.05);
+        let base = baseline(seed, Some(&faults), &records);
+        assert!(base.0.evictions_dropped > 0, "seed {seed}: loss must fire");
+        assert!(
+            base.0.evictions_duplicated > 0,
+            "seed {seed}: dup must fire"
+        );
+
+        let n = records.len() as u64;
+        let mut crashes = vec![
+            (CrashPlan::at_record(n / 3), "record 33%".to_string()),
+            (CrashPlan::at_record(2 * n / 3), "record 66%".to_string()),
+        ];
+        if let Some(offers) = mid_flush_offer(seed, Some(&faults), &records) {
+            crashes.push((CrashPlan::after_offers(offers), "mid-flush".to_string()));
+        }
+        for (crash, what) in crashes {
+            recover_and_compare(
+                seed,
+                Some(&faults),
+                &records,
+                crash,
+                &base,
+                &format!("faulty seed {seed}, crash at {what}"),
+            );
+        }
+        // And the bias identity still reconciles the observed counts.
+        for q in [s("A"), s("B")] {
+            let observed: u64 = base.1.totals(q).values().sum();
+            assert_eq!(
+                observed as i64,
+                records.len() as i64 + base.0.count_bias(q),
+                "bias identity for {q}"
+            );
+        }
+    }
+}
+
+/// The guard's shed cursor is part of the checkpoint: a crashed-and-
+/// recovered overloaded run sheds the identical records.
+#[test]
+fn crash_recovery_preserves_overload_guard_state() {
+    let seed = 5u64;
+    let records = stream(seed);
+    let build = || executor(seed).with_guard(GuardPolicy::new(400.0));
+    let mut base_ex = build();
+    base_ex.run(&records);
+    let base = base_ex.finish();
+    assert!(base.0.records_shed > 0, "budget must force shedding");
+    assert!(!base.0.guard_transitions.is_empty());
+
+    for at in [1_000u64, 2_500, 4_999] {
+        let crashed = build()
+            .with_eviction_log()
+            .with_snapshots()
+            .with_crash(CrashPlan::at_record(at));
+        let (snap, log) = run_to_crash(crashed, &records);
+        assert!(snap.guard.is_some(), "guard state must be captured");
+        let mut ex = build().recover(&snap, log).expect("recovery");
+        ex.run(&records[snap.records_hwm as usize..]);
+        let (report, hfta) = ex.finish();
+        assert_eq!(report, base.0, "crash at record {at}");
+        assert_eq!(hfta.results(), base.1.results());
+    }
+}
+
+/// Satellite: determinism regression — two same-seed runs produce
+/// identical reports and identical per-epoch results (the property the
+/// whole recovery design rests on).
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    for seed in [0u64, 9, 42] {
+        let records = stream(seed);
+        let run = || {
+            let faults = FaultPlan::new(seed)
+                .with_eviction_loss(0.05)
+                .with_eviction_duplication(0.02);
+            let mut ex = executor(seed).with_faults(&faults);
+            ex.run(&records);
+            ex.finish()
+        };
+        let (report_a, hfta_a) = run();
+        let (report_b, hfta_b) = run();
+        assert_eq!(report_a, report_b, "seed {seed}: reports diverged");
+        assert_eq!(
+            hfta_a.results(),
+            hfta_b.results(),
+            "seed {seed}: results diverged"
+        );
+    }
+}
+
+/// The durable artifacts survive their binary encodings losslessly, and
+/// recovery from the decoded bytes is as good as from the originals.
+#[test]
+fn recovery_works_through_the_binary_encoding() {
+    let seed = 13u64;
+    let records = stream(seed);
+    let base = baseline(seed, None, &records);
+    let crashed = executor(seed)
+        .with_eviction_log()
+        .with_snapshots()
+        .with_crash(CrashPlan::at_record(records.len() as u64 / 2));
+    let (snap, log) = run_to_crash(crashed, &records);
+
+    // Round-trip both artifacts through bytes.
+    let snap2 = Snapshot::decode(&snap.encode()).expect("snapshot round-trip");
+    let log2 = EvictionLog::decode(&log.encode()).expect("log round-trip");
+    assert_eq!(snap2, snap);
+    assert_eq!(log2, log);
+
+    let mut ex = executor(seed).recover(&snap2, log2).expect("recovery");
+    ex.run(&records[snap2.records_hwm as usize..]);
+    let (report, hfta) = ex.finish();
+    assert_eq!(report, base.0);
+    assert_eq!(hfta.results(), base.1.results());
+}
+
+/// Corrupted artifacts decode to typed errors, never to garbage state.
+#[test]
+fn corrupted_artifacts_are_rejected() {
+    let seed = 17u64;
+    let records = stream(seed);
+    let crashed = executor(seed)
+        .with_eviction_log()
+        .with_snapshots()
+        .with_crash(CrashPlan::at_record(3_000));
+    let (snap, log) = run_to_crash(crashed, &records);
+
+    let mut bytes = snap.encode();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    assert!(matches!(
+        Snapshot::decode(&bytes),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+    let good = snap.encode();
+    assert!(matches!(
+        Snapshot::decode(&good[..good.len() - 2]),
+        Err(SnapshotError::Truncated)
+    ));
+
+    if !log.is_empty() {
+        let mut lb = log.encode();
+        let last = lb.len() - 1;
+        lb[last] ^= 0x01;
+        assert!(matches!(
+            EvictionLog::decode(&lb),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+}
+
+/// The recovery driver's refusal paths, each with its typed error.
+#[test]
+fn recovery_refuses_mismatched_artifacts() {
+    let seed = 23u64;
+    let records = stream(seed);
+    let crashed = executor(seed)
+        .with_eviction_log()
+        .with_snapshots()
+        .with_crash(CrashPlan::at_record(4_000));
+    let (snap, log) = run_to_crash(crashed, &records);
+    assert!(snap.seq > 0, "need deliveries before the crash");
+
+    // A different seed is a different configuration.
+    assert!(matches!(
+        executor(seed + 1).recover(&snap, log.clone()),
+        Err(RecoveryError::PlanMismatch { .. })
+    ));
+
+    // A hole in the replay suffix.
+    if log.len() >= 2 {
+        let mut entries: Vec<LogEntry> = log.entries().to_vec();
+        entries.remove(0);
+        let gappy = EvictionLog::from_entries(entries);
+        assert!(matches!(
+            executor(seed).recover(&snap, gappy),
+            Err(RecoveryError::LogGap { .. })
+        ));
+    }
+
+    // A suffix entry from another epoch.
+    let mut entries: Vec<LogEntry> = log.entries().to_vec();
+    if let Some(e) = entries.last_mut() {
+        e.epoch += 7;
+    }
+    assert!(matches!(
+        executor(seed).recover(&snap, EvictionLog::from_entries(entries)),
+        Err(RecoveryError::LogEpochMismatch { .. })
+    ));
+
+    // A suffix entry naming a query the plan does not have.
+    let mut entries: Vec<LogEntry> = log.entries().to_vec();
+    if let Some(e) = entries.last_mut() {
+        e.slot = 99;
+    }
+    assert!(matches!(
+        executor(seed).recover(&snap, EvictionLog::from_entries(entries)),
+        Err(RecoveryError::QueryOutOfRange { slot: 99, .. })
+    ));
+
+    // A log whose high-water mark is behind the snapshot's.
+    let stale = EvictionLog::from_entries(vec![LogEntry {
+        epoch: 0,
+        seq: 1,
+        slot: 0,
+        copies: 1,
+        key: records[0].project(s("A")),
+        agg: msa_core::AggState::unit(),
+    }]);
+    if snap.seq > 1 {
+        assert!(matches!(
+            executor(seed).recover(&snap, stale),
+            Err(RecoveryError::LogBehindSnapshot { .. })
+        ));
+    }
+
+    // And the artifacts are still good: the untouched pair recovers.
+    assert!(executor(seed).recover(&snap, log).is_ok());
+}
+
+/// Manual captures are refused mid-epoch: snapshots are epoch-aligned
+/// by contract.
+#[test]
+fn mid_epoch_capture_is_refused() {
+    let records = stream(29);
+    let mut ex = executor(29);
+    ex.run(&records[..100]);
+    assert!(matches!(ex.snapshot(), Err(SnapshotError::EpochUnaligned)));
+    ex.flush_epoch();
+    let snap = ex.snapshot().expect("boundary capture succeeds");
+    assert_eq!(snap.records_hwm, 100);
+    assert!(snap.plan_fingerprint != 0);
+}
