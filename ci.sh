@@ -21,6 +21,18 @@ cargo test --offline --workspace -q
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> msa-lint: rule catalog"
+rules=$(cargo run --offline --release -q -p msa-lint -- --list-rules | wc -l)
+echo "msa-lint: $rules rules registered"
+if [ "$rules" -lt 8 ]; then
+    echo "error: msa-lint catalog shrank to $rules rules (expected >= 8);" \
+        "a rule was compiled out" >&2
+    exit 1
+fi
+
+echo "==> msa-lint --workspace"
+cargo run --offline --release -q -p msa-lint -- --workspace
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

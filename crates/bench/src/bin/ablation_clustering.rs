@@ -10,26 +10,27 @@
 
 use msa_bench::{m_sweep, measured_cost, paper_trace, print_table, stats_abcd_temporal};
 use msa_collision::LinearModel;
+use msa_core::MsaError;
 use msa_optimizer::cost::{ClusterHandling, CostContext};
 use msa_optimizer::planner::Plan;
 use msa_optimizer::{greedy_collision, AllocStrategy, FeedingGraph};
 use msa_stream::AttrSet;
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let stream = paper_trace();
     let stats = stats_abcd_temporal(&stream.records);
     let model = LinearModel::paper_no_intercept();
     let queries: Vec<AttrSet> = ["AB", "BC", "BD", "CD"]
         .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+        .map(|q| AttrSet::parse_checked(q))
+        .collect::<Result<_, _>>()?;
     let graph = FeedingGraph::new(&queries);
 
     println!(
         "Ablation: clustering handling (packet trace, {} records, ABCD \
          bucket-level flow length {:.1})",
         stream.len(),
-        stats.flow_length(AttrSet::parse("ABCD").expect("valid"))
+        stats.flow_length(AttrSet::parse_checked("ABCD")?)
     );
 
     let policies = [
@@ -78,4 +79,6 @@ fn main() {
          and can scare the planner away from beneficial phantoms; the \
          raw-only policy matches what the executor's tables experience."
     );
+
+    Ok(())
 }

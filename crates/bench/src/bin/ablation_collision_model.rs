@@ -9,18 +9,19 @@
 
 use msa_bench::{m_sweep, measured_cost, paper_uniform, print_table, stats_abcd};
 use msa_collision::{AsymptoticModel, CollisionModel, LinearModel, PreciseModel};
+use msa_core::MsaError;
 use msa_optimizer::cost::{ClusterHandling, CostContext};
 use msa_optimizer::planner::Plan;
 use msa_optimizer::{greedy_collision, AllocStrategy, FeedingGraph};
 use msa_stream::AttrSet;
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let stream = paper_uniform(4);
     let stats = stats_abcd(&stream.records);
     let queries: Vec<AttrSet> = ["A", "B", "C", "D"]
         .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+        .map(|q| AttrSet::parse_checked(q))
+        .collect::<Result<_, _>>()?;
     let graph = FeedingGraph::new(&queries);
 
     println!(
@@ -71,4 +72,6 @@ fn main() {
          model loses little plan quality; divergence at small M shows \
          where the saturating models matter."
     );
+
+    Ok(())
 }

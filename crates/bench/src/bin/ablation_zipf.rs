@@ -9,16 +9,17 @@
 
 use msa_bench::{measured_cost, print_table, scale, stats_abcd};
 use msa_collision::LinearModel;
+use msa_core::MsaError;
 use msa_optimizer::cost::{ClusterHandling, CostContext};
 use msa_optimizer::planner::Plan;
 use msa_optimizer::{greedy_collision, AllocStrategy, Configuration, FeedingGraph};
 use msa_stream::{AttrSet, ZipfStreamBuilder};
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let queries: Vec<AttrSet> = ["AB", "BC", "BD", "CD"]
         .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+        .map(|q| AttrSet::parse_checked(q))
+        .collect::<Result<_, _>>()?;
     let graph = FeedingGraph::new(&queries);
     let model = LinearModel::paper_no_intercept();
     let m = 40_000.0 * scale();
@@ -82,4 +83,6 @@ fn main() {
          configurations (hot groups camp in buckets); the phantom \
          advantage persists across the sweep."
     );
+
+    Ok(())
 }

@@ -11,16 +11,17 @@
 
 use msa_bench::{f4, paper_trace_declustered, print_table};
 use msa_collision::models;
+use msa_core::MsaError;
 use msa_gigascope::table::measure_collision_rate;
 use msa_stream::{AttrSet, DatasetStats};
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let stream = paper_trace_declustered();
     let prefixes = ["A", "AB", "ABC", "ABCD"];
     let sets: Vec<AttrSet> = prefixes
         .iter()
-        .map(|p| AttrSet::parse(p).expect("valid"))
-        .collect();
+        .map(|p| AttrSet::parse_checked(p))
+        .collect::<Result<_, _>>()?;
     let stats = DatasetStats::compute_for(&stream.records, &sets);
 
     println!("Figure 5: collision rates of (synthesized) real data");
@@ -95,4 +96,6 @@ fn main() {
         "\nmeasurements within 5% of the precise model: {within5}/{total} \
          (paper: more than 95%); within 10%: {within10}/{total}"
     );
+
+    Ok(())
 }

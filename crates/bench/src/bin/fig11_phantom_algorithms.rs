@@ -9,11 +9,12 @@
 
 use msa_bench::{paper_uniform, print_table, scale, stats_abcd};
 use msa_collision::LinearModel;
+use msa_core::MsaError;
 use msa_optimizer::cost::{ClusterHandling, CostContext};
 use msa_optimizer::{epes, greedy_collision, greedy_space, AllocStrategy, FeedingGraph};
 use msa_stream::AttrSet;
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let stream = paper_uniform(4);
     let stats = stats_abcd(&stream.records);
     let model = LinearModel::paper_no_intercept();
@@ -21,8 +22,8 @@ fn main() {
     ctx.clustering = ClusterHandling::None; // synthetic data is unclustered
     let queries: Vec<AttrSet> = ["A", "B", "C", "D"]
         .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+        .map(|q| AttrSet::parse_checked(q))
+        .collect::<Result<_, _>>()?;
     let graph = FeedingGraph::new(&queries);
     let m = 40_000.0 * scale();
 
@@ -30,7 +31,7 @@ fn main() {
         "Figure 11: phantom-choice algorithms, uniform data, M = {m:.0} words, \
          {} records, {} groups",
         stream.len(),
-        stats.groups(AttrSet::parse("ABCD").expect("valid"))
+        stats.groups(AttrSet::parse_checked("ABCD")?)
     );
 
     let optimal = epes(&graph, m, &ctx);
@@ -56,4 +57,6 @@ fn main() {
     println!("\nEPES configuration: {}", optimal.configuration);
     println!("GCSL configuration: {}", gcsl.final_step().configuration);
     println!("paper: GS knee around phi ≈ 1; GCSL below GS everywhere.");
+
+    Ok(())
 }

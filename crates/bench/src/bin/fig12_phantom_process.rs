@@ -8,6 +8,7 @@
 
 use msa_bench::{paper_uniform, print_table, scale, stats_abcd};
 use msa_collision::LinearModel;
+use msa_core::MsaError;
 use msa_optimizer::cost::{ClusterHandling, CostContext};
 use msa_optimizer::greedy::GreedyTrace;
 use msa_optimizer::{epes, greedy_collision, greedy_space, AllocStrategy, FeedingGraph};
@@ -22,7 +23,7 @@ fn series(trace: &GreedyTrace, norm: f64, len: usize) -> Vec<String> {
         .collect()
 }
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let stream = paper_uniform(4);
     let stats = stats_abcd(&stream.records);
     let model = LinearModel::paper_no_intercept();
@@ -30,8 +31,8 @@ fn main() {
     ctx.clustering = ClusterHandling::None;
     let queries: Vec<AttrSet> = ["A", "B", "C", "D"]
         .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+        .map(|q| AttrSet::parse_checked(q))
+        .collect::<Result<_, _>>()?;
     let graph = FeedingGraph::new(&queries);
     let m = 40_000.0 * scale();
 
@@ -78,6 +79,8 @@ fn main() {
         println!("phantoms chosen: {name} {:?}", choices(t));
     }
     println!("paper: first phantom largest drop; GS phi=1.2/1.3 stop at one phantom.");
+
+    Ok(())
 }
 
 fn choices(t: &GreedyTrace) -> Vec<String> {

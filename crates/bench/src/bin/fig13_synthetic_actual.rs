@@ -9,6 +9,7 @@
 
 use msa_bench::{m_sweep, measured_cost, paper_uniform, print_table, stats_abcd};
 use msa_collision::LinearModel;
+use msa_core::MsaError;
 use msa_optimizer::cost::{ClusterHandling, CostContext};
 use msa_optimizer::planner::Plan;
 use msa_optimizer::{
@@ -16,7 +17,7 @@ use msa_optimizer::{
 };
 use msa_stream::AttrSet;
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let stream = paper_uniform(4);
     let stats = stats_abcd(&stream.records);
     let model = LinearModel::paper_no_intercept();
@@ -24,8 +25,8 @@ fn main() {
     ctx.clustering = ClusterHandling::None;
     let queries: Vec<AttrSet> = ["A", "B", "C", "D"]
         .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+        .map(|q| AttrSet::parse_checked(q))
+        .collect::<Result<_, _>>()?;
     let graph = FeedingGraph::new(&queries);
 
     println!(
@@ -93,4 +94,6 @@ fn main() {
          (as low as 26% of GS at M = 60k); no-phantom is ~an order of \
          magnitude worse."
     );
+
+    Ok(())
 }

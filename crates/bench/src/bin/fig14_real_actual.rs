@@ -7,6 +7,7 @@
 
 use msa_bench::{m_sweep, measured_cost, paper_trace, print_table, stats_abcd_temporal};
 use msa_collision::LinearModel;
+use msa_core::MsaError;
 use msa_optimizer::cost::CostContext;
 use msa_optimizer::planner::Plan;
 use msa_optimizer::{
@@ -14,23 +15,23 @@ use msa_optimizer::{
 };
 use msa_stream::AttrSet;
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let stream = paper_trace();
     let stats = stats_abcd_temporal(&stream.records);
     let model = LinearModel::paper_no_intercept();
     let ctx = CostContext::new(&stats, &model); // RawOnly clustering default
     let queries: Vec<AttrSet> = ["AB", "BC", "BD", "CD"]
         .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+        .map(|q| AttrSet::parse_checked(q))
+        .collect::<Result<_, _>>()?;
     let graph = FeedingGraph::new(&queries);
 
     println!(
         "Figure 14: actual costs on the packet trace ({} records, \
          ABCD groups = {}, ABCD flow length = {:.2})",
         stream.len(),
-        stats.groups(AttrSet::parse("ABCD").expect("valid")),
-        stats.flow_length(AttrSet::parse("ABCD").expect("valid")),
+        stats.groups(AttrSet::parse_checked("ABCD")?),
+        stats.flow_length(AttrSet::parse_checked("ABCD")?),
     );
 
     let run = |cfg: &Configuration, alloc: &msa_optimizer::Allocation, seed: u64| -> f64 {
@@ -91,4 +92,6 @@ fn main() {
         "\npaper: GCSL outperforms GS; phantoms give up to ~100x \
          improvement over the no-phantom configuration."
     );
+
+    Ok(())
 }

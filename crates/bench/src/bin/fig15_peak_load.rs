@@ -12,21 +12,22 @@
 
 use msa_bench::{measured_cost, paper_trace, print_table, scale, stats_abcd_temporal};
 use msa_collision::LinearModel;
+use msa_core::MsaError;
 use msa_optimizer::cost::{end_of_epoch_cost, CostContext};
 use msa_optimizer::peakload::{enforce_peak_load, PeakLoadMethod};
 use msa_optimizer::planner::Plan;
 use msa_optimizer::{greedy_collision, AllocStrategy, FeedingGraph};
 use msa_stream::AttrSet;
 
-fn main() {
+fn main() -> Result<(), MsaError> {
     let stream = paper_trace();
     let stats = stats_abcd_temporal(&stream.records);
     let model = LinearModel::paper_no_intercept();
     let ctx = CostContext::new(&stats, &model);
     let queries: Vec<AttrSet> = ["AB", "BC", "BD", "CD"]
         .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+        .map(|q| AttrSet::parse_checked(q))
+        .collect::<Result<_, _>>()?;
     let graph = FeedingGraph::new(&queries);
     let m = 40_000.0 * scale();
 
@@ -75,4 +76,6 @@ fn main() {
         "\npaper: shift better near 98%; shrink better when E_p is far \
          below E_u (~82%)."
     );
+
+    Ok(())
 }

@@ -226,7 +226,7 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
         // Pivot.
         let piv = (col..3)
             .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
-            .expect("non-empty range");
+            .unwrap_or(col);
         a.swap(col, piv);
         b.swap(col, piv);
         let d = a[col][col];

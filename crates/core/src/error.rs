@@ -41,6 +41,9 @@ pub enum MsaError {
     Snapshot(SnapshotError),
     /// Crash-recovery rejection ([`msa_gigascope::Executor::recover`]).
     Recovery(RecoveryError),
+    /// An engine query made before the corresponding state exists
+    /// (no final plan yet, no durable checkpoint captured, …).
+    State(&'static str),
 }
 
 impl std::fmt::Display for MsaError {
@@ -52,6 +55,7 @@ impl std::fmt::Display for MsaError {
             MsaError::TraceIo(e) => write!(f, "trace io: {e}"),
             MsaError::Snapshot(e) => write!(f, "snapshot: {e}"),
             MsaError::Recovery(e) => write!(f, "recovery: {e}"),
+            MsaError::State(what) => write!(f, "state: {what}"),
         }
     }
 }
@@ -65,6 +69,7 @@ impl std::error::Error for MsaError {
             MsaError::TraceIo(e) => Some(e),
             MsaError::Snapshot(e) => Some(e),
             MsaError::Recovery(e) => Some(e),
+            MsaError::State(_) => None,
         }
     }
 }

@@ -213,7 +213,12 @@ impl<'a> Lexer<'a> {
                     while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
                         self.pos += 1;
                     }
-                    let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| {
+                        SqlError::Syntax {
+                            at,
+                            expected: "number",
+                        }
+                    })?;
                     Token::Number(text.parse().map_err(|_| SqlError::Syntax {
                         at,
                         expected: "number",
@@ -227,7 +232,12 @@ impl<'a> Lexer<'a> {
                     {
                         self.pos += 1;
                     }
-                    let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                    let text = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| {
+                        SqlError::Syntax {
+                            at,
+                            expected: "identifier",
+                        }
+                    })?;
                     Token::Ident(text.to_ascii_lowercase())
                 }
                 _ => {

@@ -262,6 +262,7 @@ impl EvictionLog {
     }
 
     /// Deserializes a log, validating magic, version and checksum.
+    #[must_use = "a decoded log must be inspected or replayed; dropping it hides corruption"]
     pub fn decode(bytes: &[u8]) -> Result<EvictionLog, SnapshotError> {
         let mut r = unframe(LOG_MAGIC, bytes)?;
         let n = r.u64()?;
@@ -428,6 +429,7 @@ impl Snapshot {
     }
 
     /// Deserializes a snapshot, validating magic, version and checksum.
+    #[must_use = "a decoded snapshot must be installed or verified; dropping it hides corruption"]
     pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
         let mut r = unframe(SNAPSHOT_MAGIC, bytes)?;
         let plan_fingerprint = r.u64()?;
@@ -626,12 +628,27 @@ fn unframe(magic: [u8; 4], bytes: &[u8]) -> Result<ByteReader<'_>, SnapshotError
     if bytes[..4] != magic {
         return Err(SnapshotError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let head = |range: std::ops::Range<usize>| -> Result<&[u8], SnapshotError> {
+        bytes.get(range).ok_or(SnapshotError::Truncated)
+    };
+    let version = u32::from_le_bytes(
+        head(4..8)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?,
+    );
     if version != SNAPSHOT_VERSION {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
-    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-    let expected = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(
+        head(8..16)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?,
+    ) as usize;
+    let expected = u64::from_le_bytes(
+        head(16..24)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?,
+    );
     let payload = bytes.get(24..).ok_or(SnapshotError::Truncated)?;
     if payload.len() != len {
         return Err(SnapshotError::Truncated);
@@ -685,7 +702,8 @@ impl ByteWriter {
 
     fn key(&mut self, key: GroupKey) {
         let vals = key.values();
-        self.u8(vals.len() as u8);
+        debug_assert!(vals.len() <= usize::from(u8::MAX));
+        self.u8(u8::try_from(vals.len()).unwrap_or(u8::MAX));
         for &v in vals {
             self.u32(v);
         }
@@ -729,21 +747,27 @@ impl ByteReader<'_> {
     }
 
     fn u16(&mut self) -> Result<u16, SnapshotError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        let bytes = self
+            .take(2)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?;
+        Ok(u16::from_le_bytes(bytes))
     }
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let bytes = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let bytes = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| SnapshotError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn f64(&mut self) -> Result<f64, SnapshotError> {

@@ -1,0 +1,217 @@
+//! The committed `lint.toml` allowlist of grandfathered findings.
+//!
+//! Format — a dependency-free subset of TOML: `[[allow]]` array-of-table
+//! headers, `key = "string"` pairs and `#` comments. Nothing else is
+//! accepted, so there is nothing else to get subtly wrong:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "R001"
+//! file = "crates/core/src/engine.rs"
+//! contains = ".expect(\"set above\")"
+//! justification = "internal invariant: stats assigned two lines up"
+//! ```
+//!
+//! An entry suppresses every finding of `rule` in `file` whose source
+//! line contains `contains`. Every field is mandatory and the
+//! justification must be non-empty: a suppression nobody can explain is
+//! a bug. Entries that suppress nothing are *stale* and fail the run —
+//! fixed code must shed its grandfather clause.
+
+use crate::rules::{rule_by_id, Finding};
+
+/// One `[[allow]]` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the entry suppresses (`D001`…).
+    pub rule: String,
+    /// Workspace-relative file the entry applies to.
+    pub file: String,
+    /// Substring the offending source line must contain.
+    pub contains: String,
+    /// Human reason the site is exempt. Mandatory, non-empty.
+    pub justification: String,
+    /// Line of the `[[allow]]` header in `lint.toml` (diagnostics).
+    pub toml_line: u32,
+}
+
+impl AllowEntry {
+    /// True if this entry suppresses `f`.
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule && self.file == f.file && f.snippet.contains(&self.contains)
+    }
+}
+
+/// Parses `lint.toml` text into entries, validating every field.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut open: Option<(u32, [Option<String>; 4])> = None;
+
+    let finish =
+        |open: &mut Option<(u32, [Option<String>; 4])>| -> Result<Option<AllowEntry>, String> {
+            let Some((line, fields)) = open.take() else {
+                return Ok(None);
+            };
+            let [rule, file, contains, justification] = fields;
+            let missing = |what: &str| {
+                format!("lint.toml:{line}: [[allow]] entry is missing the `{what}` key")
+            };
+            let rule = rule.ok_or_else(|| missing("rule"))?;
+            let file = file.ok_or_else(|| missing("file"))?;
+            let contains = contains.ok_or_else(|| missing("contains"))?;
+            let justification = justification.ok_or_else(|| missing("justification"))?;
+            if rule_by_id(&rule).is_none() {
+                return Err(format!("lint.toml:{line}: unknown rule id `{rule}`"));
+            }
+            if justification.trim().is_empty() {
+                return Err(format!(
+                    "lint.toml:{line}: empty justification; every grandfathered site needs a reason"
+                ));
+            }
+            Ok(Some(AllowEntry {
+                rule,
+                file,
+                contains,
+                justification,
+                toml_line: line,
+            }))
+        };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(done) = finish(&mut open)? {
+                entries.push(done);
+            }
+            open = Some((lineno, [None, None, None, None]));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint.toml:{lineno}: expected `key = \"value\"`"));
+        };
+        let Some((_, fields)) = open.as_mut() else {
+            return Err(format!(
+                "lint.toml:{lineno}: key outside an [[allow]] entry"
+            ));
+        };
+        let slot = match key.trim() {
+            "rule" => 0,
+            "file" => 1,
+            "contains" => 2,
+            "justification" => 3,
+            other => {
+                return Err(format!("lint.toml:{lineno}: unknown key `{other}`"));
+            }
+        };
+        let value = parse_string(value.trim())
+            .ok_or_else(|| format!("lint.toml:{lineno}: value must be a \"quoted string\""))?;
+        if fields[slot].replace(value).is_some() {
+            return Err(format!("lint.toml:{lineno}: duplicate key"));
+        }
+    }
+    if let Some(done) = finish(&mut open)? {
+        entries.push(done);
+    }
+    Ok(entries)
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a basic TOML string: `"…"` with `\"` and `\\` escapes.
+fn parse_string(value: &str) -> Option<String> {
+    let inner = value.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            return None; // unescaped quote mid-string: not one string
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_with_comments_and_escapes() {
+        let toml = r#"
+# header comment
+[[allow]]
+rule = "R001"  # trailing comment
+file = "crates/core/src/engine.rs"
+contains = ".expect(\"set above\")"
+justification = "invariant: assigned two lines up"
+
+[[allow]]
+rule = "D002"
+file = "crates/stream/src/stats.rs"
+contains = "HashMap::with_capacity"
+justification = "lookup-only table"
+"#;
+        let entries = parse(toml).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "R001");
+        assert_eq!(entries[0].contains, ".expect(\"set above\")");
+        assert_eq!(entries[1].toml_line, 9);
+    }
+
+    #[test]
+    fn every_field_is_mandatory() {
+        for missing in ["rule", "file", "contains", "justification"] {
+            let toml: String = ["rule", "file", "contains", "justification"]
+                .iter()
+                .filter(|k| **k != missing)
+                .map(|k| format!("{k} = \"R001\"\n"))
+                .collect();
+            let err = parse(&format!("[[allow]]\n{toml}")).expect_err("must fail");
+            assert!(err.contains(missing), "{err}");
+        }
+    }
+
+    #[test]
+    fn unknown_rules_and_empty_justifications_are_rejected() {
+        let bad_rule =
+            "[[allow]]\nrule = \"Z999\"\nfile = \"x\"\ncontains = \"y\"\njustification = \"z\"\n";
+        assert!(parse(bad_rule).expect_err("fails").contains("Z999"));
+        let empty_just =
+            "[[allow]]\nrule = \"R001\"\nfile = \"x\"\ncontains = \"y\"\njustification = \" \"\n";
+        assert!(parse(empty_just)
+            .expect_err("fails")
+            .contains("justification"));
+    }
+
+    #[test]
+    fn keys_outside_entries_are_rejected() {
+        assert!(parse("rule = \"R001\"\n").is_err());
+    }
+}

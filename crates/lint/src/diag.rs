@@ -1,0 +1,65 @@
+//! Rustc-style plain-text rendering of findings.
+//!
+//! ```text
+//! error[D001]: `Instant` breaks run-to-run determinism outside crates/bench
+//!   --> crates/gigascope/src/executor.rs:42:17
+//!    |
+//! 42 |     let t = Instant::now();
+//!    |             ^^^^^^^
+//!    = help: derive time from record timestamps / epoch counters …
+//!    = note: suppress with `// msa-lint: allow(D001)` or a justified lint.toml entry
+//! ```
+
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// Renders one finding as a multi-line diagnostic block.
+pub fn render(f: &Finding) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}[{}]: {}", f.severity.label(), f.rule, f.message);
+    let _ = writeln!(out, "  --> {}:{}:{}", f.file, f.line, f.col);
+    let lineno = f.line.to_string();
+    let gutter = " ".repeat(lineno.len());
+    let _ = writeln!(out, "{gutter} |");
+    let _ = writeln!(out, "{lineno} | {}", f.snippet.trim_end());
+    let pad = " ".repeat(f.col.saturating_sub(1) as usize);
+    let carets = "^".repeat(f.width.max(1) as usize);
+    let _ = writeln!(out, "{gutter} | {pad}{carets}");
+    if !f.help.is_empty() {
+        let _ = writeln!(out, "{gutter} = help: {}", f.help);
+    }
+    let _ = writeln!(
+        out,
+        "{gutter} = note: suppress with `// msa-lint: allow({})` or a justified lint.toml entry",
+        f.rule
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Severity;
+
+    #[test]
+    fn renders_position_snippet_and_underline() {
+        let f = Finding {
+            rule: "D001",
+            severity: Severity::Error,
+            file: "crates/x/src/a.rs".to_owned(),
+            line: 42,
+            col: 13,
+            width: 7,
+            message: "`Instant` breaks determinism".to_owned(),
+            help: "use the epoch counter",
+            snippet: "    let t = Instant::now();".to_owned(),
+        };
+        let text = render(&f);
+        assert!(text.starts_with("error[D001]: `Instant` breaks determinism"));
+        assert!(text.contains("--> crates/x/src/a.rs:42:13"));
+        assert!(text.contains("42 |     let t = Instant::now();"));
+        assert!(text.contains("   |             ^^^^^^^"));
+        assert!(text.contains("= help: use the epoch counter"));
+        assert!(text.contains("allow(D001)"));
+    }
+}

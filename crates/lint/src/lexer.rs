@@ -1,0 +1,493 @@
+//! A minimal, total Rust lexer.
+//!
+//! Just enough lexing to tell code from non-code: line, block and doc
+//! comments, string-like literals (cooked, raw, byte, C), character
+//! literals and lifetimes are recognized and set aside, so a rule never
+//! fires on `Instant::now()` quoted in a doc-comment example or on
+//! `"unwrap"` inside an error-message string. The lexer is *lossy* — it
+//! keeps only the token classes the rule engine consumes — and *total*:
+//! any byte it does not understand becomes a one-byte [`TokenKind::Punct`]
+//! token instead of an error, so a half-written file still lints.
+//!
+//! Comments are not emitted as tokens, but they are scanned for inline
+//! suppression pragmas of the form `// msa-lint: allow(D001, R004)`,
+//! which the engine applies to findings on the pragma's own line and the
+//! line directly below it.
+
+/// Classes of tokens the rule engine consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers arrive without `r#`).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Integer literal, with suffix if any (`42`, `0xFF`, `7u64`).
+    Int,
+    /// Float literal, with suffix if any (`1.0`, `1e-3`, `2f64`).
+    Float,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// Punctuation; multi-character where it matters (`==`, `::`, `->`).
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text of the token (raw identifiers keep their name only).
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// True if the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if the token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// An inline `msa-lint: allow(…)` pragma found in a comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Line the pragma's comment starts on.
+    pub line: u32,
+    /// Rule ids listed inside `allow(…)`.
+    pub rules: Vec<String>,
+}
+
+/// Lexer output: the token stream plus suppression pragmas.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// All code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Inline suppression pragmas, in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Lexes one source file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+/// Multi-character operators, longest first so maximal munch wins.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "::", "->", "=>", "&&", "||", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.cooked_string(TokenKind::Str),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters. Columns
+    /// count characters: UTF-8 continuation bytes do not advance them.
+    fn bump(&mut self) {
+        if let Some(b) = self.peek(0) {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else if b & 0xC0 != 0x80 {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn slice(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.slice(start);
+        self.scan_pragma(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let (start, line) = (self.pos, self.line);
+        self.bump_n(2);
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+        let text = self.slice(start);
+        self.scan_pragma(&text, line);
+    }
+
+    /// A `"…"` string with backslash escapes (used for plain, byte and
+    /// C strings). Multi-line contents are legal.
+    fn cooked_string(&mut self, kind: TokenKind) {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        let text = self.slice(start);
+        self.push(kind, text, line, col);
+    }
+
+    /// A raw string body after its `r#…#"` opener: runs to `"` followed
+    /// by `hashes` hash signs. No escapes.
+    fn raw_string_body(&mut self, hashes: usize, start: usize, line: u32, col: u32) {
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    self.bump();
+                    if (0..hashes).all(|i| self.peek(i) == Some(b'#')) {
+                        self.bump_n(hashes);
+                        break;
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        let text = self.slice(start);
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// `'` starts either a lifetime (`'a`) or a char literal (`'a'`).
+    fn char_or_lifetime(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        let next = self.peek(1);
+        let lifetime = matches!(next, Some(b) if is_ident_start(b))
+            && self.peek(2).is_some_and(|b| b != b'\'');
+        if lifetime {
+            self.bump(); // quote
+            while matches!(self.peek(0), Some(b) if is_ident_continue(b)) {
+                self.bump();
+            }
+            let text = self.slice(start);
+            self.push(TokenKind::Lifetime, text, line, col);
+            return;
+        }
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                b'\n' => break, // unterminated; don't swallow the file
+                _ => self.bump(),
+            }
+        }
+        let text = self.slice(start);
+        self.push(TokenKind::Char, text, line, col);
+    }
+
+    fn number(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        while matches!(self.peek(0), Some(b) if is_ident_continue(b)) {
+            self.bump();
+        }
+        // Fractional part: `1.5` (but not `1..2`, `1.method()`).
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b) if b.is_ascii_digit()) {
+            self.bump();
+            while matches!(self.peek(0), Some(b) if is_ident_continue(b)) {
+                self.bump();
+            }
+        }
+        // Signed exponent: `1e-3`, `2.5E+10`.
+        if matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && matches!(
+                self.src.get(self.pos.wrapping_sub(1)),
+                Some(b'e') | Some(b'E')
+            )
+            && !self.slice(start).starts_with("0x")
+            && matches!(self.peek(1), Some(b) if b.is_ascii_digit())
+        {
+            self.bump();
+            while matches!(self.peek(0), Some(b) if is_ident_continue(b)) {
+                self.bump();
+            }
+        }
+        let text = self.slice(start);
+        let no_prefix =
+            !(text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b"));
+        let is_float = text.contains('.')
+            || text.ends_with("f32")
+            || text.ends_with("f64")
+            || (no_prefix && (text.contains('e') || text.contains('E')));
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line, col);
+    }
+
+    /// An identifier, or a literal carrying an identifier-like prefix:
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`, `b'x'`, `r#ident`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        while matches!(self.peek(0), Some(b) if is_ident_continue(b)) {
+            self.bump();
+        }
+        let text = self.slice(start);
+        match (text.as_str(), self.peek(0)) {
+            // Cooked byte / C strings: escapes apply.
+            ("b" | "c", Some(b'"')) => self.cooked_string(TokenKind::Str),
+            // Raw strings with zero hashes: no escapes.
+            ("r" | "br" | "cr", Some(b'"')) => {
+                self.bump();
+                self.raw_string_body(0, start, line, col);
+            }
+            // Raw strings with hashes, or a raw identifier.
+            ("r" | "br" | "cr", Some(b'#')) => {
+                let mut hashes = 0;
+                while self.peek(hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some(b'"') {
+                    self.bump_n(hashes + 1);
+                    self.raw_string_body(hashes, start, line, col);
+                } else if text == "r"
+                    && hashes == 1
+                    && matches!(self.peek(1), Some(b) if is_ident_start(b))
+                {
+                    self.bump(); // the hash
+                    let name_start = self.pos;
+                    while matches!(self.peek(0), Some(b) if is_ident_continue(b)) {
+                        self.bump();
+                    }
+                    let name = self.slice(name_start);
+                    self.push(TokenKind::Ident, name, line, col);
+                } else {
+                    self.push(TokenKind::Ident, text, line, col);
+                }
+            }
+            // Byte char literal.
+            ("b", Some(b'\'')) => self.char_or_lifetime(),
+            _ => self.push(TokenKind::Ident, text, line, col),
+        }
+    }
+
+    fn punct(&mut self) {
+        let (line, col) = (self.line, self.col);
+        for p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                self.bump_n(p.len());
+                self.push(TokenKind::Punct, (*p).to_owned(), line, col);
+                return;
+            }
+        }
+        let start = self.pos;
+        self.bump();
+        let text = self.slice(start);
+        self.push(TokenKind::Punct, text, line, col);
+    }
+
+    /// Extracts `msa-lint: allow(D001, R004)` pragmas from comment text.
+    fn scan_pragma(&mut self, comment: &str, line: u32) {
+        let Some(at) = comment.find("msa-lint:") else {
+            return;
+        };
+        let rest = comment[at + "msa-lint:".len()..].trim_start();
+        let Some(body) = rest.strip_prefix("allow(") else {
+            return;
+        };
+        let Some(close) = body.find(')') else {
+            return;
+        };
+        let rules: Vec<String> = body[..close]
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if !rules.is_empty() {
+            self.out.suppressions.push(Suppression { line, rules });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+// Instant::now() in a line comment
+/// doc example: `map.unwrap()`
+/* block Instant */ let x = "Instant::now() in a string";
+let raw = r#"unwrap() in a raw string"#;
+"##;
+        let toks = kinds(src);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "Instant" || t == "unwrap")));
+        // The string literals themselves survive as single tokens.
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".to_owned())));
+        assert!(toks.contains(&(TokenKind::Char, "'x'".to_owned())));
+    }
+
+    #[test]
+    fn floats_ints_and_operators() {
+        let toks = kinds("a == 1.5; b != 2; c = 0xFF; d = 1e-3; e = 3f64; f = 2.0e+7;");
+        assert!(toks.contains(&(TokenKind::Float, "1.5".to_owned())));
+        assert!(toks.contains(&(TokenKind::Int, "2".to_owned())));
+        assert!(toks.contains(&(TokenKind::Int, "0xFF".to_owned())));
+        assert!(toks.contains(&(TokenKind::Float, "1e-3".to_owned())));
+        assert!(toks.contains(&(TokenKind::Float, "3f64".to_owned())));
+        assert!(toks.contains(&(TokenKind::Float, "2.0e+7".to_owned())));
+        assert!(toks.contains(&(TokenKind::Punct, "==".to_owned())));
+        assert!(toks.contains(&(TokenKind::Punct, "!=".to_owned())));
+    }
+
+    #[test]
+    fn tuple_indexing_is_not_a_float() {
+        let toks = kinds("x.0; y.1.max(2); 1..5");
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Float));
+        assert!(toks.contains(&(TokenKind::Punct, "..".to_owned())));
+    }
+
+    #[test]
+    fn raw_identifiers_lose_their_prefix() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "type".to_owned())));
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_single_tokens() {
+        let toks = kinds(r##"let a = b"bytes"; let b = br#"raw"#; let c = c"cstr";"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let lexed = lex("let x = 1;\n  foo();\n");
+        let foo = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("foo"))
+            .expect("foo token");
+        assert_eq!((foo.line, foo.col), (2, 3));
+    }
+
+    #[test]
+    fn pragmas_are_collected_with_their_line() {
+        let src = "let a = 1; // msa-lint: allow(D001)\n// msa-lint: allow(R001, R004)\nlet b = 2;\n// msa-lint: not a pragma\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.suppressions.len(), 2);
+        assert_eq!(lexed.suppressions[0].line, 1);
+        assert_eq!(lexed.suppressions[0].rules, vec!["D001"]);
+        assert_eq!(lexed.suppressions[1].line, 2);
+        assert_eq!(lexed.suppressions[1].rules, vec!["R001", "R004"]);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        for src in ["\"never closed", "/* never closed", "'\n", "r#\"open"] {
+            let _ = lex(src); // must terminate
+        }
+    }
+}

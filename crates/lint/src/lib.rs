@@ -1,0 +1,239 @@
+//! `msa-lint` — a self-contained determinism & invariant linter.
+//!
+//! Bit-identical crash recovery (DESIGN.md §8) made the whole
+//! LFTA → HFTA pipeline silently depend on invariants no compiler
+//! enforces: seeded PRNGs only, no wall-clock reads, no iteration over
+//! randomly-hashed maps in state paths, no lossy casts in the binary
+//! codecs, no panicking shortcuts in library code. Clippy cannot express
+//! these project-specific rules, so this crate does — with zero external
+//! dependencies:
+//!
+//! * [`lexer`] — a minimal Rust lexer that correctly sets aside
+//!   comments, doc-comments and string/char literals, so rules never
+//!   fire on prose or quoted code;
+//! * [`scope`] — path classification plus `#[cfg(test)]`/`#[test]` span
+//!   detection, so test code keeps its `unwrap()`s;
+//! * [`rules`] — the catalog (D001–D004 determinism, R001–R004
+//!   robustness);
+//! * [`allowlist`] — the committed `lint.toml` of grandfathered sites,
+//!   each with a mandatory justification; stale entries fail the run;
+//! * [`diag`] — rustc-style `file:line:col` rendering.
+//!
+//! The `msa-lint` binary wires these into the CI gate:
+//! `cargo run --offline --release -p msa-lint -- --workspace`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use allowlist::AllowEntry;
+use rules::{Finding, CATALOG};
+use scope::FileCtx;
+use std::path::{Path, PathBuf};
+
+/// The outcome of linting one source file.
+#[derive(Debug, Default)]
+pub struct LintedFile {
+    /// Findings that survived inline `// msa-lint: allow(…)` pragmas.
+    pub findings: Vec<Finding>,
+    /// Findings an inline pragma suppressed.
+    pub inline_suppressed: usize,
+}
+
+/// Runs every catalog rule over one file. `rel_path` must be
+/// workspace-relative with `/` separators — rules scope on it.
+/// Inline suppressions are applied; the allowlist is not (that is a
+/// workspace-level concern, see [`lint_workspace`]).
+pub fn lint_source(rel_path: &str, source: &str) -> LintedFile {
+    let lexed = lexer::lex(source);
+    let ctx = FileCtx::new(rel_path, source, &lexed);
+    let mut all: Vec<Finding> = CATALOG
+        .iter()
+        .flat_map(|rule| (rule.check)(rule, &ctx))
+        .collect();
+    all.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    let suppressed_inline = |f: &Finding| {
+        lexed.suppressions.iter().any(|s| {
+            (f.line == s.line || f.line == s.line + 1) && s.rules.iter().any(|r| r == f.rule)
+        })
+    };
+    let total = all.len();
+    let findings: Vec<Finding> = all.into_iter().filter(|f| !suppressed_inline(f)).collect();
+    LintedFile {
+        inline_suppressed: total - findings.len(),
+        findings,
+    }
+}
+
+/// A full workspace lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, ordered by (file, line, col).
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that suppressed nothing — stale grandfather
+    /// clauses that must be removed. These fail the run.
+    pub stale: Vec<AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Findings suppressed by inline pragmas.
+    pub inline_suppressed: usize,
+    /// Findings suppressed by `lint.toml` entries.
+    pub allow_suppressed: usize,
+}
+
+impl Report {
+    /// True if the run gates green: no findings, no stale entries.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// A workspace lint failure that is not a finding.
+#[derive(Debug)]
+pub enum LintError {
+    /// A file or directory could not be read.
+    Io(PathBuf, std::io::Error),
+    /// `lint.toml` is malformed.
+    Allowlist(String),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            LintError::Allowlist(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Directories scanned under the workspace root.
+const SCAN_DIRS: &[&str] = &["crates", "examples", "src", "tests"];
+
+/// Directory names never descended into: build output and the lint
+/// crate's own deliberately-violating fixtures.
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Lints every `.rs` file under `root`'s source directories, applying
+/// the `lint.toml` allowlist if one is present at `root`.
+pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
+    let allow_path = root.join("lint.toml");
+    let entries: Vec<AllowEntry> = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| LintError::Io(allow_path.clone(), e))?;
+        allowlist::parse(&text).map_err(LintError::Allowlist)?
+    } else {
+        Vec::new()
+    };
+
+    let mut files = Vec::new();
+    for dir in SCAN_DIRS {
+        let path = root.join(dir);
+        if path.is_dir() {
+            collect_rs_files(&path, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    let mut used = vec![false; entries.len()];
+    for path in files {
+        let source = std::fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e))?;
+        let rel = rel_unix_path(root, &path);
+        let linted = lint_source(&rel, &source);
+        report.files += 1;
+        report.inline_suppressed += linted.inline_suppressed;
+        for f in linted.findings {
+            let mut suppressed = false;
+            for (idx, entry) in entries.iter().enumerate() {
+                if entry.matches(&f) {
+                    used[idx] = true;
+                    suppressed = true;
+                }
+            }
+            if suppressed {
+                report.allow_suppressed += 1;
+            } else {
+                report.findings.push(f);
+            }
+        }
+    }
+    report.stale = entries
+        .into_iter()
+        .zip(&used)
+        .filter(|(_, used)| !**used)
+        .map(|(e, _)| e)
+        .collect();
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_DIRS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_owned(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_owned(), e))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with `/` separators (what rules scope on).
+fn rel_unix_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_pragma_suppresses_same_and_next_line() {
+        let src = "use std::time::Instant; // msa-lint: allow(D001)\n\
+                   // msa-lint: allow(D001)\n\
+                   fn f() { let _ = Instant::now(); }\n\
+                   fn g() { let _ = Instant::now(); }\n";
+        let linted = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(linted.inline_suppressed, 2);
+        assert_eq!(linted.findings.len(), 1);
+        assert_eq!(linted.findings[0].line, 4);
+    }
+
+    #[test]
+    fn pragma_for_a_different_rule_does_not_suppress() {
+        let src = "fn f() { let _ = x.unwrap(); } // msa-lint: allow(D001)\n";
+        let linted = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(linted.findings.len(), 1);
+        assert_eq!(linted.findings[0].rule, "R001");
+    }
+
+    #[test]
+    fn findings_are_ordered_by_position() {
+        let src =
+            "fn f() { let _ = x.unwrap(); let _ = Instant::now(); }\nfn g() { y.expect(\"\"); }\n";
+        let linted = lint_source("crates/core/src/x.rs", src);
+        let lines: Vec<(u32, u32)> = linted.findings.iter().map(|f| (f.line, f.col)).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+        assert_eq!(linted.findings.len(), 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! The `msa-lint` CLI — the workspace's determinism & invariant gate.
+//!
+//! ```text
+//! msa-lint --workspace          lint the whole workspace (CI mode)
+//! msa-lint --list-rules         print the catalog, one rule per line
+//! msa-lint FILE…                lint specific files (paths relative to
+//!                               the workspace root)
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed findings or stale allowlist
+//! entries, `2` usage or I/O error. All output goes to stdout so CI
+//! logs interleave deterministically.
+
+#![deny(unsafe_code)]
+
+use msa_lint::rules::CATALOG;
+use msa_lint::{diag, lint_source, lint_workspace, LintError, Report};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: msa-lint [--workspace | --list-rules | FILE...]";
+
+/// Writes to stdout, ignoring errors: a closed pipe (`msa-lint | head`)
+/// must truncate output, not panic the linter.
+fn emit(text: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        emit(USAGE);
+        emit("\n");
+        return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--list-rules") {
+        list_rules();
+        return ExitCode::SUCCESS;
+    }
+    let result = if args.iter().any(|a| a == "--workspace") {
+        workspace_mode()
+    } else {
+        files_mode(&args)
+    };
+    match result {
+        Ok(report) => {
+            let code = print_report(&report);
+            ExitCode::from(code)
+        }
+        Err(e) => {
+            emit(&format!("msa-lint: error: {e}\n"));
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// One line per rule — CI counts these lines to detect a rule that was
+/// accidentally compiled out.
+fn list_rules() {
+    for rule in CATALOG {
+        emit(&format!(
+            "{}  {:<12} {:<8} {}\n",
+            rule.id,
+            rule.group,
+            rule.severity.label(),
+            rule.summary
+        ));
+    }
+}
+
+fn workspace_mode() -> Result<Report, LintError> {
+    let root = find_workspace_root()?;
+    lint_workspace(&root)
+}
+
+/// Lints explicitly named files. Paths are taken relative to the
+/// current directory and reported relative to the workspace root when
+/// they fall under it; the allowlist still applies.
+fn files_mode(args: &[String]) -> Result<Report, LintError> {
+    let root = find_workspace_root()?;
+    let entries = {
+        let path = root.join("lint.toml");
+        if path.is_file() {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e))?;
+            msa_lint::allowlist::parse(&text).map_err(LintError::Allowlist)?
+        } else {
+            Vec::new()
+        }
+    };
+    let mut report = Report::default();
+    let mut used = vec![false; entries.len()];
+    for arg in args.iter().filter(|a| !a.starts_with("--")) {
+        let path = PathBuf::from(arg);
+        let source = std::fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e))?;
+        let abs = path.canonicalize().unwrap_or_else(|_| path.clone());
+        let rel = match abs.strip_prefix(&root) {
+            Ok(rel) => rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/"),
+            // Outside the workspace: keep the platform path as-is.
+            Err(_) => abs.display().to_string(),
+        };
+        let linted = lint_source(&rel, &source);
+        report.files += 1;
+        report.inline_suppressed += linted.inline_suppressed;
+        for f in linted.findings {
+            let mut suppressed = false;
+            for (idx, entry) in entries.iter().enumerate() {
+                if entry.matches(&f) {
+                    used[idx] = true;
+                    suppressed = true;
+                }
+            }
+            if suppressed {
+                report.allow_suppressed += 1;
+            } else {
+                report.findings.push(f);
+            }
+        }
+    }
+    // File mode lints a subset, so unused entries are not stale.
+    Ok(report)
+}
+
+/// Walks upward from the current directory to the first `Cargo.toml`
+/// that declares `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, LintError> {
+    let start = std::env::current_dir().map_err(|e| LintError::Io(PathBuf::from("."), e))?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| LintError::Io(manifest.clone(), e))?;
+            if text.contains("[workspace]") {
+                return Ok(dir.to_owned());
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(LintError::Io(
+                    start.join("Cargo.toml"),
+                    std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        "no [workspace] Cargo.toml above the current directory",
+                    ),
+                ))
+            }
+        }
+    }
+}
+
+/// Prints diagnostics and the summary line; returns the exit code.
+fn print_report(report: &Report) -> u8 {
+    for f in &report.findings {
+        emit(&diag::render(f));
+        emit("\n");
+    }
+    for entry in &report.stale {
+        emit(&format!(
+            "error[stale-allow]: lint.toml:{} grandfathers nothing: rule {} in {} (`{}`)\n",
+            entry.toml_line, entry.rule, entry.file, entry.contains
+        ));
+        emit("  = note: the site was fixed or moved; delete the entry\n\n");
+    }
+    emit(&format!(
+        "msa-lint: {} files scanned, {} rules active; {} finding(s), {} stale allowlist entr{}; \
+         {} suppressed ({} inline, {} allowlist)\n",
+        report.files,
+        CATALOG.len(),
+        report.findings.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" },
+        report.inline_suppressed + report.allow_suppressed,
+        report.inline_suppressed,
+        report.allow_suppressed,
+    ));
+    u8::from(!report.clean())
+}

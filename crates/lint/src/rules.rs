@@ -1,0 +1,537 @@
+//! The rule catalog: determinism (D…) and robustness (R…) invariants.
+//!
+//! Every rule is a token-level check over one [`FileCtx`]. The checks
+//! are deliberately heuristic — they flag the syntactic chokepoints of
+//! each invariant (construction sites, cast sites, call sites) rather
+//! than attempting type inference — and the `lint.toml` allowlist plus
+//! inline `// msa-lint: allow(…)` pragmas absorb the justified
+//! exceptions. The catalog is wired to the recovery-equality guarantee
+//! of DESIGN.md §8: each D-rule removes one way a recovered run could
+//! diverge bit-wise from an uninterrupted one.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scope::{attr_group, FileCtx};
+
+/// How severe a finding is. Both severities gate CI; the split exists
+/// so the renderer can distinguish "broken invariant" from "missing
+/// annotation".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// A determinism or robustness invariant is violated.
+    Error,
+    /// A required annotation is missing.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used by the renderer.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule id (`D001`…).
+    pub rule: &'static str,
+    /// Severity of the rule that fired.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Width (in characters) of the offending token, for underlining.
+    pub width: u32,
+    /// What is wrong, specifically.
+    pub message: String,
+    /// How to fix it.
+    pub help: &'static str,
+    /// Full text of the offending source line (used for allowlist
+    /// matching and rendering).
+    pub snippet: String,
+}
+
+/// A catalog entry: identity, documentation and the check itself.
+pub struct Rule {
+    /// Stable id (`D001`…), used in pragmas and the allowlist.
+    pub id: &'static str,
+    /// `determinism` or `robustness`.
+    pub group: &'static str,
+    /// Severity of this rule's findings.
+    pub severity: Severity,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+    /// Suggested fix, rendered as the diagnostic's `help:` line.
+    pub help: &'static str,
+    /// The check. Receives its own catalog entry so findings carry the
+    /// rule's id/severity/help without a by-id lookup.
+    pub check: fn(&'static Rule, &FileCtx) -> Vec<Finding>,
+}
+
+/// The shipped rule catalog, in id order.
+pub const CATALOG: &[Rule] = &[
+    Rule {
+        id: "D001",
+        group: "determinism",
+        severity: Severity::Error,
+        summary: "no wall-clock or ambient randomness (SystemTime/Instant/thread_rng) outside crates/bench",
+        help: "derive time from record timestamps / epoch counters and randomness from a seeded SplitMix64",
+        check: d001_wall_clock,
+    },
+    Rule {
+        id: "D002",
+        group: "determinism",
+        severity: Severity::Error,
+        summary: "no default-hasher HashMap/HashSet in gigascope/stream state paths (use FastMap/FastSet or BTreeMap)",
+        help: "use msa_stream::hash::{FastMap, FastSet} (fixed-seed) or a BTreeMap/BTreeSet, or sort before draining",
+        check: d002_default_hasher,
+    },
+    Rule {
+        id: "D003",
+        group: "determinism",
+        severity: Severity::Error,
+        summary: "no narrowing `as` casts in snapshot.rs codecs (use try_from)",
+        help: "use try_from and surface SnapshotError::Malformed instead of silently truncating",
+        check: d003_lossy_casts,
+    },
+    Rule {
+        id: "D004",
+        group: "determinism",
+        severity: Severity::Error,
+        summary: "no float `==`/`!=` against literals in collision/optimizer model code",
+        help: "compare with an explicit epsilon or total_cmp; exact float equality breaks across refactors",
+        check: d004_float_eq,
+    },
+    Rule {
+        id: "R001",
+        group: "robustness",
+        severity: Severity::Error,
+        summary: "no unwrap()/expect() in non-test code",
+        help: "propagate with `?` and a typed error (MsaError in examples/bins), or grandfather the site in lint.toml",
+        check: r001_unwrap,
+    },
+    Rule {
+        id: "R002",
+        group: "robustness",
+        severity: Severity::Warning,
+        summary: "public Result-returning fns in snapshot.rs/channel.rs carry #[must_use = \"…\"]",
+        help: "add #[must_use = \"…\"] so the durability contract is visible (and enforced) at the definition",
+        check: r002_must_use,
+    },
+    Rule {
+        id: "R003",
+        group: "robustness",
+        severity: Severity::Error,
+        summary: "every crate root declares #![deny(unsafe_code)]",
+        help: "add #![deny(unsafe_code)] to the crate root",
+        check: r003_deny_unsafe,
+    },
+    Rule {
+        id: "R004",
+        group: "robustness",
+        severity: Severity::Error,
+        summary: "no todo!/unimplemented! outside tests",
+        help: "finish the implementation or gate the item out of non-test builds",
+        check: r004_todo,
+    },
+];
+
+/// Looks a rule up by id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    CATALOG.iter().find(|r| r.id == id)
+}
+
+fn finding(rule: &'static Rule, ctx: &FileCtx, tok: &Token, message: String) -> Finding {
+    Finding {
+        rule: rule.id,
+        severity: rule.severity,
+        file: ctx.rel_path.to_owned(),
+        line: tok.line,
+        col: tok.col,
+        width: tok.text.chars().count().max(1) as u32,
+        message,
+        help: rule.help,
+        snippet: ctx.line_text(tok.line).to_owned(),
+    }
+}
+
+/// D001 — wall-clock reads and ambient randomness. `crates/bench` is
+/// exempt (throughput measurement needs a real clock), as is all
+/// test-path code.
+fn d001_wall_clock(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.crate_dir() == Some("bench") || ctx.is_test_path() {
+        return Vec::new();
+    }
+    ctx.lexed
+        .tokens
+        .iter()
+        .filter(|t| {
+            t.kind == TokenKind::Ident
+                && matches!(t.text.as_str(), "SystemTime" | "Instant" | "thread_rng")
+                && !ctx.in_test_span(t.line)
+        })
+        .map(|t| {
+            finding(
+                rule,
+                ctx,
+                t,
+                format!(
+                    "`{}` breaks run-to-run determinism outside crates/bench",
+                    t.text
+                ),
+            )
+        })
+        .collect()
+}
+
+/// D002 — default-hasher (`RandomState`) map/set construction in the
+/// deterministic state paths. Iterating such a container yields a
+/// process-random order, which bit-identical recovery (DESIGN.md §8)
+/// cannot tolerate; construction is the chokepoint a lexer can see.
+fn d002_default_hasher(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    let in_scope = ctx.rel_path.starts_with("crates/gigascope/src")
+        || ctx.rel_path.starts_with("crates/stream/src");
+    if !in_scope || ctx.is_test_path() {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !matches!(t.text.as_str(), "HashMap" | "HashSet") {
+            continue;
+        }
+        if ctx.in_test_span(t.line) {
+            continue;
+        }
+        let ctor = toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| {
+                matches!(
+                    n.text.as_str(),
+                    "new" | "default" | "with_capacity" | "from"
+                )
+            });
+        if ctor {
+            out.push(finding(
+                rule,
+                ctx,
+                t,
+                format!(
+                    "`{}::{}` builds a RandomState-hashed container in a deterministic state path",
+                    t.text,
+                    toks[i + 2].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// D003 — narrowing `as` casts inside the snapshot/eviction-log codecs.
+/// A silent truncation there encodes garbage that decodes "successfully"
+/// into wrong state. Widening casts (`as u64`, `as usize`, `as f64`) are
+/// fine on the 64-bit targets the codecs assume.
+fn d003_lossy_casts(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.file_name() != "snapshot.rs" || ctx.is_test_path() {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("as") || ctx.in_test_span(t.line) {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if target.kind == TokenKind::Ident
+            && matches!(
+                target.text.as_str(),
+                "u8" | "u16" | "u32" | "i8" | "i16" | "i32" | "f32"
+            )
+        {
+            out.push(finding(
+                rule,
+                ctx,
+                t,
+                format!("narrowing `as {}` cast in a codec path", target.text),
+            ));
+        }
+    }
+    out
+}
+
+/// D004 — exact float comparison against a literal in the cost /
+/// collision model crates. (Identifier-vs-identifier float comparisons
+/// are invisible to a lexer; literals are the common and catchable case.)
+fn d004_float_eq(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    let in_scope = ctx.rel_path.starts_with("crates/collision/src")
+        || ctx.rel_path.starts_with("crates/optimizer/src");
+    if !in_scope || ctx.is_test_path() {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_punct("==") || t.is_punct("!=")) || ctx.in_test_span(t.line) {
+            continue;
+        }
+        let float_next = toks.get(i + 1).is_some_and(|n| n.kind == TokenKind::Float);
+        let float_prev = i > 0 && toks[i - 1].kind == TokenKind::Float;
+        if float_next || float_prev {
+            out.push(finding(
+                rule,
+                ctx,
+                t,
+                format!("exact float `{}` comparison in model code", t.text),
+            ));
+        }
+    }
+    out
+}
+
+/// R001 — `unwrap()` / `expect()` outside test code.
+fn r001_unwrap(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.is_test_path() {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !matches!(t.text.as_str(), "unwrap" | "expect") {
+            continue;
+        }
+        let is_call =
+            i > 0 && toks[i - 1].is_punct(".") && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if is_call && !ctx.in_test_span(t.line) {
+            out.push(finding(
+                rule,
+                ctx,
+                t,
+                format!("`.{}()` can panic in non-test code", t.text),
+            ));
+        }
+    }
+    out
+}
+
+/// R002 — public `fn … -> Result<…>` in the durable-artifact modules
+/// must carry `#[must_use = "…"]`. `Result` is `#[must_use]` on its own,
+/// but a reasoned attribute survives wrapping in type aliases and makes
+/// the *why* visible at the definition.
+fn r002_must_use(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if !matches!(ctx.file_name(), "snapshot.rs" | "channel.rs") || ctx.is_test_path() {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("pub") || ctx.in_test_span(toks[i].line) {
+            i += 1;
+            continue;
+        }
+        // `pub`, optionally a `(crate)`-style restriction, then
+        // qualifiers, then `fn`.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+            let mut depth = 0usize;
+            while j < toks.len() {
+                if toks[j].is_punct("(") {
+                    depth += 1;
+                } else if toks[j].is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        while toks.get(j).is_some_and(|t| {
+            matches!(t.text.as_str(), "const" | "async" | "unsafe" | "extern")
+                || t.kind == TokenKind::Str
+        }) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(j + 1) else {
+            break;
+        };
+        if returns_result(toks, j + 2) && !has_must_use_attr(toks, i) {
+            out.push(finding(
+                rule,
+                ctx,
+                name,
+                format!(
+                    "public `fn {}` returns Result without #[must_use = \"…\"]",
+                    name.text
+                ),
+            ));
+        }
+        i = j + 2;
+    }
+    out
+}
+
+/// Scans a fn signature from just past the name: skips generics and the
+/// parameter list, then looks for `Result` in the return type.
+fn returns_result(toks: &[Token], mut j: usize) -> bool {
+    // Generics: `<` … `>` with `<<`/`>>` counting double.
+    if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0isize;
+        while j < toks.len() {
+            if toks[j].kind == TokenKind::Punct {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    "<<" => depth += 2,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+            }
+            j += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    // Parameter list.
+    if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+        return false;
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        if toks[j].is_punct("(") {
+            depth += 1;
+        } else if toks[j].is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        }
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct("->")) {
+        return false;
+    }
+    // Return type runs to the body, a `;`, or a `where` clause.
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("{") || t.is_punct(";") || t.is_ident("where") {
+            return false;
+        }
+        if t.is_ident("Result") {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// True if the attribute groups directly above token `i` include
+/// `must_use`.
+fn has_must_use_attr(toks: &[Token], i: usize) -> bool {
+    // Walk backwards over contiguous `#[…]` groups.
+    let mut end = i; // exclusive
+    loop {
+        if end == 0 || !toks[end - 1].is_punct("]") {
+            return false;
+        }
+        // Find the `[` opening this group, then the `#` before it.
+        let mut depth = 0usize;
+        let mut k = end - 1;
+        loop {
+            if toks[k].is_punct("]") {
+                depth += 1;
+            } else if toks[k].is_punct("[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == 0 {
+                return false;
+            }
+            k -= 1;
+        }
+        if k == 0 || !toks[k - 1].is_punct("#") {
+            return false;
+        }
+        if let Some((attr, _)) = attr_group(toks, k - 1) {
+            if attr.iter().any(|t| t.is_ident("must_use")) {
+                return true;
+            }
+        }
+        end = k - 1;
+    }
+}
+
+/// R003 — crate roots must carry `#![deny(unsafe_code)]` (or `forbid`).
+fn r003_deny_unsafe(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if !ctx.is_crate_root() {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("!")) {
+            if let Some((attr, next)) = attr_group(toks, i) {
+                let level = attr
+                    .iter()
+                    .any(|t| t.is_ident("deny") || t.is_ident("forbid"));
+                if level && attr.iter().any(|t| t.is_ident("unsafe_code")) {
+                    return Vec::new();
+                }
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    vec![Finding {
+        rule: rule.id,
+        severity: rule.severity,
+        file: ctx.rel_path.to_owned(),
+        line: 1,
+        col: 1,
+        width: 1,
+        message: "crate root lacks #![deny(unsafe_code)]".to_owned(),
+        help: rule.help,
+        snippet: ctx.line_text(1).to_owned(),
+    }]
+}
+
+/// R004 — `todo!` / `unimplemented!` outside tests.
+fn r004_todo(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.is_test_path() {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "todo" | "unimplemented")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && !ctx.in_test_span(t.line)
+        {
+            out.push(finding(
+                rule,
+                ctx,
+                t,
+                format!("`{}!` left in non-test code", t.text),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,217 @@
+//! File classification and test-code span detection.
+//!
+//! Rules are scoped two ways: by *path* (a file under `tests/` or
+//! `benches/` is test/harness code wholesale; `crates/bench` is exempt
+//! from wall-clock rules) and by *span* (a `#[cfg(test)]` module or a
+//! `#[test]` function inside a library file). Span detection is purely
+//! token-based: find a test attribute, skip any further attributes, then
+//! brace-match the item body that follows. Strings and comments cannot
+//! confuse the brace matching because the lexer already removed them.
+
+use crate::lexer::{Lexed, Token};
+
+/// Everything a rule needs to know about one source file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: &'a str,
+    /// Raw source lines (1-based access via [`FileCtx::line_text`]).
+    pub lines: Vec<&'a str>,
+    /// Token stream and suppression pragmas.
+    pub lexed: &'a Lexed,
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context for one lexed file.
+    pub fn new(rel_path: &'a str, source: &'a str, lexed: &'a Lexed) -> FileCtx<'a> {
+        FileCtx {
+            rel_path,
+            lines: source.lines().collect(),
+            lexed,
+            test_spans: test_spans(&lexed.tokens),
+        }
+    }
+
+    /// The `name` of `crates/name/…`, if the file lives in a crate.
+    pub fn crate_dir(&self) -> Option<&str> {
+        self.rel_path.strip_prefix("crates/")?.split('/').next()
+    }
+
+    /// True for files that are test or bench-harness code by location:
+    /// integration tests, fixtures and Criterion-style bench targets.
+    pub fn is_test_path(&self) -> bool {
+        let p = self.rel_path;
+        p.starts_with("tests/") || p.contains("/tests/") || p.contains("/benches/")
+    }
+
+    /// True if `line` falls inside a `#[cfg(test)]`/`#[test]` item.
+    pub fn in_test_span(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The file's basename (`snapshot.rs`).
+    pub fn file_name(&self) -> &str {
+        self.rel_path.rsplit('/').next().unwrap_or(self.rel_path)
+    }
+
+    /// True for crate roots: `src/lib.rs` or `src/main.rs` of a package.
+    pub fn is_crate_root(&self) -> bool {
+        self.rel_path.ends_with("src/lib.rs")
+            || self.rel_path.ends_with("src/main.rs")
+            || self.rel_path == "src/lib.rs"
+            || self.rel_path == "src/main.rs"
+    }
+
+    /// The text of a 1-based line (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines.get(line as usize - 1).copied().unwrap_or("")
+    }
+}
+
+/// True if the attribute token slice (the `…` of `#[…]`) marks test-only
+/// code: `test`, or `cfg(test)` in any positive combination. `not(test)`
+/// compiles everywhere *but* tests, so it does not count.
+fn is_test_attr(attr: &[Token]) -> bool {
+    let has = |name: &str| attr.iter().any(|t| t.is_ident(name));
+    has("test") && !has("not")
+}
+
+/// Inclusive line spans of items annotated with a test attribute.
+fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_punct("#") {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let Some((attr, mut j)) = attr_group(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test_attr(&attr) {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while j < tokens.len() && tokens[j].is_punct("#") {
+            match attr_group(tokens, j) {
+                Some((_, next)) => j = next,
+                None => break,
+            }
+        }
+        // Find the item body: the first `{` wins; a `;` first means the
+        // item has no body (e.g. an annotated `use`), so the span is
+        // just the header lines.
+        let mut end_line = start_line;
+        while j < tokens.len() {
+            if tokens[j].is_punct(";") {
+                end_line = tokens[j].line;
+                j += 1;
+                break;
+            }
+            if tokens[j].is_punct("{") {
+                let close = match_brace(tokens, j);
+                end_line = tokens[close.min(tokens.len() - 1)].line;
+                j = close + 1;
+                break;
+            }
+            end_line = tokens[j].line;
+            j += 1;
+        }
+        spans.push((start_line, end_line));
+        i = j;
+    }
+    spans
+}
+
+/// Parses `#[…]` / `#![…]` starting at the `#` token `i`; returns the
+/// inner tokens and the index just past the closing `]`.
+pub fn attr_group(tokens: &[Token], i: usize) -> Option<(Vec<Token>, usize)> {
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct("!")) {
+        j += 1;
+    }
+    if !tokens.get(j)?.is_punct("[") {
+        return None;
+    }
+    let mut depth = 0usize;
+    let start = j + 1;
+    while j < tokens.len() {
+        if tokens[j].is_punct("[") {
+            depth += 1;
+        } else if tokens[j].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return Some((tokens[start..j].to_vec(), j + 1));
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open` (last token if unmatched).
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn spans(src: &str) -> Vec<(u32, u32)> {
+        test_spans(&lex(src).tokens)
+    }
+
+    #[test]
+    fn cfg_test_module_span_covers_the_whole_module() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn also_live() {}\n";
+        assert_eq!(spans(src), vec![(2, 5)]);
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_is_covered() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n    body();\n}\n";
+        assert_eq!(spans(src), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        assert!(spans("#[cfg(not(test))]\nfn prod() {}\n").is_empty());
+    }
+
+    #[test]
+    fn ctx_classifies_paths() {
+        let lexed = lex("");
+        for (path, test, root, cr) in [
+            ("crates/stream/src/stats.rs", false, false, Some("stream")),
+            ("crates/lint/tests/rules.rs", true, false, Some("lint")),
+            ("crates/bench/benches/guard.rs", true, false, Some("bench")),
+            ("tests/chaos.rs", true, false, None),
+            ("src/lib.rs", false, true, None),
+            ("crates/core/src/lib.rs", false, true, Some("core")),
+            ("examples/quickstart.rs", false, false, None),
+        ] {
+            let ctx = FileCtx::new(path, "", &lexed);
+            assert_eq!(ctx.is_test_path(), test, "{path}");
+            assert_eq!(ctx.is_crate_root(), root, "{path}");
+            assert_eq!(ctx.crate_dir(), cr, "{path}");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! FIXTURE (D001 positive): wall-clock reads in engine code.
+use std::time::Instant;
+
+pub fn elapsed_micros() -> u64 {
+    let started = Instant::now();
+    started.elapsed().as_micros() as u64
+}

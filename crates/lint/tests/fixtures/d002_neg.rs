@@ -1,0 +1,7 @@
+//! FIXTURE (D002 negative): seeded-hasher aliases and ordered maps.
+use std::collections::BTreeMap;
+
+pub fn group_counts() -> BTreeMap<u32, u64> {
+    let map: BTreeMap<u32, u64> = BTreeMap::new();
+    map
+}

@@ -1,0 +1,8 @@
+//! FIXTURE (D002 positive): default-hasher map in stream state.
+use std::collections::{HashMap, HashSet};
+
+pub fn group_counts() -> HashMap<u32, u64> {
+    let mut seen: HashSet<u32> = HashSet::with_capacity(16);
+    seen.insert(1);
+    HashMap::new()
+}

@@ -1,0 +1,6 @@
+//! FIXTURE (D003 negative): checked conversion; widening casts stay.
+pub fn encode_len(len: usize) -> Result<u8, core::num::TryFromIntError> {
+    let wide = len as u64;
+    let _ = wide;
+    u8::try_from(len)
+}

@@ -1,0 +1,4 @@
+//! FIXTURE (D003 positive): lossy narrowing cast in a codec.
+pub fn encode_len(len: usize) -> u8 {
+    len as u8
+}

@@ -1,0 +1,8 @@
+//! FIXTURE (D004 negative): tolerance compare and total ordering.
+pub fn is_unit_cost(cost: f64) -> bool {
+    (cost - 1.0).abs() < 1e-9
+}
+
+pub fn same_cost(a: f64, b: f64) -> bool {
+    a.total_cmp(&b).is_eq()
+}

@@ -1,0 +1,4 @@
+//! FIXTURE (D004 positive): exact float equality in a cost model.
+pub fn is_unit_cost(cost: f64) -> bool {
+    cost == 1.0
+}

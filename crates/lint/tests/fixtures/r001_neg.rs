@@ -1,0 +1,12 @@
+//! FIXTURE (R001 negative): errors propagate; tests may unwrap.
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,6 @@
+//! FIXTURE (R001 positive): panicking shortcuts in library code.
+pub fn first_two(xs: &[u32]) -> u32 {
+    let head = *xs.first().unwrap();
+    let next = *xs.get(1).expect("two elements");
+    head + next
+}

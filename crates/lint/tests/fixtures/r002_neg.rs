@@ -1,0 +1,11 @@
+//! FIXTURE (R002 negative): the Result carries a must_use reason.
+pub struct Corrupt;
+
+#[must_use = "dropping a decode result hides corruption"]
+pub fn decode(bytes: &[u8]) -> Result<u32, Corrupt> {
+    bytes.first().map(|b| u32::from(*b)).ok_or(Corrupt)
+}
+
+fn helper() -> Result<(), Corrupt> {
+    Ok(())
+}

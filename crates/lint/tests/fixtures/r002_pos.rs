@@ -1,0 +1,6 @@
+//! FIXTURE (R002 positive): public codec Result without #[must_use].
+pub struct Corrupt;
+
+pub fn decode(bytes: &[u8]) -> Result<u32, Corrupt> {
+    bytes.first().map(|b| u32::from(*b)).ok_or(Corrupt)
+}

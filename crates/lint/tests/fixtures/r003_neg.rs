@@ -1,0 +1,4 @@
+//! FIXTURE (R003 negative): crate root forbids unsafe code.
+#![deny(unsafe_code)]
+
+pub fn noop() {}

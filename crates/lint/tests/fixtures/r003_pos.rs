@@ -1,0 +1,4 @@
+//! FIXTURE (R003 positive): crate root without #![deny(unsafe_code)].
+#![warn(missing_docs)]
+
+pub fn noop() {}

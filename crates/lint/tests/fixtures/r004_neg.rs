@@ -1,0 +1,13 @@
+//! FIXTURE (R004 negative): placeholders only inside tests.
+pub fn eviction_rate() -> f64 {
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "scaffolding"]
+    fn pending() {
+        todo!("flesh out once the model lands")
+    }
+}

@@ -1,0 +1,8 @@
+//! FIXTURE (R004 positive): placeholder panics in library code.
+pub fn eviction_rate() -> f64 {
+    todo!("derive from the collision model")
+}
+
+pub fn spill_policy() -> u32 {
+    unimplemented!()
+}

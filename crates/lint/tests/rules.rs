@@ -1,0 +1,128 @@
+//! Fixture-driven rule tests: every rule has a positive fixture that
+//! must fire and a negative fixture that must stay silent under the
+//! same (synthetic) workspace-relative path. The fixtures live under
+//! `tests/fixtures/` — a directory the workspace scan deliberately
+//! skips, so the deliberately-violating code never fails CI itself.
+
+use msa_lint::lint_source;
+
+/// (line, col) of every `rule` finding in `src` linted as `rel`.
+fn fire_at(rel: &str, src: &str, rule: &str) -> Vec<(u32, u32)> {
+    lint_source(rel, src)
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| (f.line, f.col))
+        .collect()
+}
+
+fn fires(rel: &str, src: &str, rule: &str) -> usize {
+    fire_at(rel, src, rule).len()
+}
+
+#[test]
+fn d001_wall_clock() {
+    let pos = include_str!("fixtures/d001_pos.rs");
+    let neg = include_str!("fixtures/d001_neg.rs");
+    let hits = fire_at("crates/gigascope/src/executor.rs", pos, "D001");
+    assert!(!hits.is_empty(), "Instant in engine code must fire");
+    assert_eq!(fires("crates/gigascope/src/executor.rs", neg, "D001"), 0);
+    // crates/bench is exempt: measurement code may read the clock.
+    assert_eq!(fires("crates/bench/src/bin/fig01.rs", pos, "D001"), 0);
+}
+
+#[test]
+fn d002_default_hasher() {
+    let pos = include_str!("fixtures/d002_pos.rs");
+    let neg = include_str!("fixtures/d002_neg.rs");
+    let hits = fire_at("crates/stream/src/state.rs", pos, "D002");
+    assert!(hits.len() >= 2, "HashMap::new and HashSet::with_capacity");
+    assert_eq!(fires("crates/stream/src/state.rs", neg, "D002"), 0);
+    // Scope: only gigascope/stream state paths are covered.
+    assert_eq!(fires("crates/collision/src/model.rs", pos, "D002"), 0);
+}
+
+#[test]
+fn d003_lossy_casts() {
+    let pos = include_str!("fixtures/d003_pos.rs");
+    let neg = include_str!("fixtures/d003_neg.rs");
+    assert_eq!(fires("crates/gigascope/src/snapshot.rs", pos, "D003"), 1);
+    // Widening `as u64` is allowed; try_from is the fix, not a finding.
+    assert_eq!(fires("crates/gigascope/src/snapshot.rs", neg, "D003"), 0);
+    // Scope: only the codec file is covered.
+    assert_eq!(fires("crates/gigascope/src/executor.rs", pos, "D003"), 0);
+}
+
+#[test]
+fn d004_float_eq() {
+    let pos = include_str!("fixtures/d004_pos.rs");
+    let neg = include_str!("fixtures/d004_neg.rs");
+    assert_eq!(fires("crates/collision/src/model.rs", pos, "D004"), 1);
+    assert_eq!(fires("crates/collision/src/model.rs", neg, "D004"), 0);
+}
+
+#[test]
+fn r001_unwrap_expect() {
+    let pos = include_str!("fixtures/r001_pos.rs");
+    let neg = include_str!("fixtures/r001_neg.rs");
+    let hits = fire_at("crates/core/src/engine.rs", pos, "R001");
+    assert_eq!(hits.len(), 2, "one unwrap + one expect: {hits:?}");
+    // Tests may unwrap: the #[cfg(test)] module is exempt.
+    assert_eq!(fires("crates/core/src/engine.rs", neg, "R001"), 0);
+    // Integration-test paths are exempt wholesale.
+    assert_eq!(fires("tests/chaos.rs", pos, "R001"), 0);
+}
+
+#[test]
+fn r002_must_use() {
+    let pos = include_str!("fixtures/r002_pos.rs");
+    let neg = include_str!("fixtures/r002_neg.rs");
+    assert_eq!(fires("crates/gigascope/src/snapshot.rs", pos, "R002"), 1);
+    assert_eq!(fires("crates/gigascope/src/channel.rs", pos, "R002"), 1);
+    // A reasoned #[must_use = "…"] satisfies the rule; private helpers
+    // returning Result are not covered.
+    assert_eq!(fires("crates/gigascope/src/snapshot.rs", neg, "R002"), 0);
+    // Scope: only the durable-artifact codecs are covered.
+    assert_eq!(fires("crates/gigascope/src/executor.rs", pos, "R002"), 0);
+}
+
+#[test]
+fn r003_deny_unsafe() {
+    let pos = include_str!("fixtures/r003_pos.rs");
+    let neg = include_str!("fixtures/r003_neg.rs");
+    assert_eq!(fires("crates/fake/src/lib.rs", pos, "R003"), 1);
+    assert_eq!(fires("crates/fake/src/lib.rs", neg, "R003"), 0);
+    // Only crate roots carry the attribute.
+    assert_eq!(fires("crates/fake/src/util.rs", pos, "R003"), 0);
+}
+
+#[test]
+fn r004_todo_unimplemented() {
+    let pos = include_str!("fixtures/r004_pos.rs");
+    let neg = include_str!("fixtures/r004_neg.rs");
+    let hits = fire_at("crates/core/src/engine.rs", pos, "R004");
+    assert_eq!(hits.len(), 2, "todo! + unimplemented!: {hits:?}");
+    assert_eq!(fires("crates/core/src/engine.rs", neg, "R004"), 0);
+}
+
+#[test]
+fn every_rule_has_a_fixture_pair() {
+    // Catalog drift guard: adding a rule without fixtures fails here.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for rule in msa_lint::rules::CATALOG {
+        let stem = rule.id.to_ascii_lowercase();
+        for kind in ["pos", "neg"] {
+            let path = dir.join(format!("{stem}_{kind}.rs"));
+            assert!(path.is_file(), "missing fixture {}", path.display());
+        }
+    }
+}
+
+#[test]
+fn inline_pragma_suppresses_fixture_findings() {
+    let src =
+        "pub fn f(xs: &[u32]) -> u32 { xs.first().copied().unwrap() } // msa-lint: allow(R001)\n";
+    let linted = lint_source("crates/core/src/engine.rs", src);
+    assert!(linted.findings.is_empty());
+    assert_eq!(linted.inline_suppressed, 1);
+}

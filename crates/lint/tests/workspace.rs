@@ -1,0 +1,88 @@
+//! The linter against the real tree: the workspace must gate green,
+//! every committed `lint.toml` entry must still match a live source
+//! site (no stale grandfather clauses), and an injected violation must
+//! flip the report to failing.
+
+use msa_lint::rules::CATALOG;
+use msa_lint::{lint_workspace, Report};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the root")
+        .to_path_buf()
+}
+
+fn lint_real_tree() -> Report {
+    lint_workspace(&workspace_root()).expect("workspace lints")
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report = lint_real_tree();
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("{}:{}:{} {}", f.file, f.line, f.col, f.rule))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files > 50, "scanned only {} files", report.files);
+}
+
+#[test]
+fn allowlist_has_no_stale_entries() {
+    // Every lint.toml entry must still suppress a real finding; a fixed
+    // site must shed its grandfather clause in the same change.
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
+    let entries = msa_lint::allowlist::parse(&text).expect("lint.toml parses");
+    assert!(!entries.is_empty(), "allowlist unexpectedly empty");
+    let report = lint_real_tree();
+    assert!(
+        report.stale.is_empty(),
+        "stale entries: {:?}",
+        report
+            .stale
+            .iter()
+            .map(|e| (e.rule.as_str(), e.file.as_str()))
+            .collect::<Vec<_>>()
+    );
+    assert!(report.allow_suppressed >= entries.len());
+}
+
+#[test]
+fn catalog_holds_all_eight_rules() {
+    assert_eq!(CATALOG.len(), 8);
+    let ids: Vec<&str> = CATALOG.iter().map(|r| r.id).collect();
+    assert_eq!(
+        ids,
+        ["D001", "D002", "D003", "D004", "R001", "R002", "R003", "R004"]
+    );
+}
+
+#[test]
+fn injected_violation_fails_the_run() {
+    // A scratch workspace with one violating file must produce findings
+    // — proving the gate actually gates.
+    let dir = std::env::temp_dir().join(format!("msa-lint-inject-{}", std::process::id()));
+    let src_dir = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![deny(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .expect("source");
+    let report = lint_workspace(&dir).expect("lints");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(!report.clean());
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "R001");
+    assert_eq!(report.findings[0].file, "crates/demo/src/lib.rs");
+}

@@ -352,7 +352,8 @@ impl<'a> Parser<'a> {
                 .peek()
                 .map_or(ParseError::Eof, |_| ParseError::Unexpected(self.pos)));
         }
-        let name = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+        let name = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| ParseError::Unexpected(start))?;
         AttrSet::parse(name).ok_or(ParseError::Unexpected(start))
     }
 

@@ -10,10 +10,10 @@
 //! packets interleave.
 
 use super::{spread_timestamps, GeneratedStream};
+use crate::hash::{fast_set_with_capacity, FastSet};
 use crate::prng::SplitMix64;
 use crate::record::Record;
 use crate::MAX_ATTRS;
-use std::collections::HashSet;
 
 /// Distribution of flow lengths (packets per flow).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -172,7 +172,7 @@ impl ClusteredStreamBuilder {
     pub fn build(&self) -> GeneratedStream {
         let mut rng = SplitMix64::new(self.seed);
         // Universe of distinct group tuples.
-        let mut seen: HashSet<[u32; MAX_ATTRS]> = HashSet::with_capacity(self.groups * 2);
+        let mut seen: FastSet<[u32; MAX_ATTRS]> = fast_set_with_capacity(self.groups * 2);
         let mut universe = Vec::with_capacity(self.groups);
         while universe.len() < self.groups {
             let mut tuple = [0u32; MAX_ATTRS];

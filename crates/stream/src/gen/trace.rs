@@ -17,10 +17,10 @@
 
 use super::clustered::{interleave_flows, FlowLengthDistribution};
 use super::{spread_timestamps, GeneratedStream};
+use crate::hash::{fast_set_with_capacity, FastSet};
 use crate::prng::SplitMix64;
 use crate::record::Record;
 use crate::MAX_ATTRS;
-use std::collections::HashSet;
 
 /// Calibration targets for the synthetic trace.
 #[derive(Clone, Debug)]
@@ -132,7 +132,7 @@ impl PacketTraceBuilder {
     ) -> Vec<[u32; MAX_ATTRS]> {
         assert!(target >= parents.len(), "level target below parent count");
         let mut children: Vec<[u32; MAX_ATTRS]> = Vec::with_capacity(target);
-        let mut used: HashSet<(usize, u32)> = HashSet::with_capacity(target * 2);
+        let mut used: FastSet<(usize, u32)> = fast_set_with_capacity(target * 2);
         // One child per parent first, then spread the surplus uniformly.
         let mut counts = vec![1usize; parents.len()];
         for _ in 0..(target - parents.len()) {
@@ -169,11 +169,12 @@ impl PacketTraceBuilder {
     fn flow_population(&self, rng: &mut SplitMix64) -> Vec<([u32; MAX_ATTRS], usize)> {
         let p = &self.profile;
         // Level 1: distinct srcIP values.
-        let mut srcs: HashSet<u32> = HashSet::with_capacity(p.prefix_groups[0] * 2);
+        let mut srcs: FastSet<u32> = fast_set_with_capacity(p.prefix_groups[0] * 2);
         while srcs.len() < p.prefix_groups[0] {
             srcs.insert(rng.next_u32());
         }
-        // Sort for determinism: HashSet iteration order varies per process.
+        // Sort into a canonical order; set iteration order is an
+        // implementation detail even with the seeded hasher.
         let mut srcs: Vec<u32> = srcs.into_iter().collect();
         srcs.sort_unstable();
         let level1: Vec<[u32; MAX_ATTRS]> = srcs
@@ -211,7 +212,7 @@ impl PacketTraceBuilder {
         let mut rng = SplitMix64::new(self.seed);
         let population = self.flow_population(&mut rng);
         let universe: Vec<[u32; MAX_ATTRS]> = {
-            let mut seen = HashSet::new();
+            let mut seen = FastSet::default();
             population
                 .iter()
                 .filter(|(attrs, _)| seen.insert(*attrs))
@@ -247,7 +248,7 @@ impl PacketTraceBuilder {
         let mut rng = SplitMix64::new(self.seed);
         let population = self.flow_population(&mut rng);
         let groups = {
-            let mut seen = HashSet::new();
+            let mut seen = FastSet::default();
             population
                 .iter()
                 .filter(|(attrs, _)| seen.insert(*attrs))

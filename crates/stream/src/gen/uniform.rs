@@ -7,10 +7,10 @@
 //! group count exactly.
 
 use super::{spread_timestamps, GeneratedStream};
+use crate::hash::{fast_set_with_capacity, FastSet};
 use crate::prng::SplitMix64;
 use crate::record::Record;
 use crate::MAX_ATTRS;
-use std::collections::HashSet;
 
 /// Builder for uniform random streams.
 ///
@@ -93,7 +93,7 @@ impl UniformStreamBuilder {
 
     /// Generates the universe of distinct tuples.
     fn universe(&self, rng: &mut SplitMix64) -> Vec<[u32; MAX_ATTRS]> {
-        let mut seen: HashSet<[u32; MAX_ATTRS]> = HashSet::with_capacity(self.groups * 2);
+        let mut seen: FastSet<[u32; MAX_ATTRS]> = fast_set_with_capacity(self.groups * 2);
         let mut universe = Vec::with_capacity(self.groups);
         while universe.len() < self.groups {
             let mut tuple = [0u32; MAX_ATTRS];

@@ -7,10 +7,10 @@
 //! frequencies.
 
 use super::{spread_timestamps, GeneratedStream};
+use crate::hash::{fast_set_with_capacity, FastSet};
 use crate::prng::SplitMix64;
 use crate::record::Record;
 use crate::MAX_ATTRS;
-use std::collections::HashSet;
 
 /// Builder for Zipf-distributed streams over a fixed group universe.
 ///
@@ -71,7 +71,7 @@ impl ZipfStreamBuilder {
     pub fn build(&self) -> GeneratedStream {
         let mut rng = SplitMix64::new(self.seed);
         // Materialise the universe (random-valued distinct tuples).
-        let mut seen: HashSet<[u32; MAX_ATTRS]> = HashSet::with_capacity(self.groups * 2);
+        let mut seen: FastSet<[u32; MAX_ATTRS]> = fast_set_with_capacity(self.groups * 2);
         let mut universe = Vec::with_capacity(self.groups);
         while universe.len() < self.groups {
             let mut tuple = [0u32; MAX_ATTRS];

@@ -70,8 +70,9 @@ impl Hasher for FastHasher {
         // Consume full 8-byte lanes, then the tail.
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            let lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-            self.state = mix64(self.state ^ lane);
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(chunk); // chunks_exact(8) guarantees the length
+            self.state = mix64(self.state ^ u64::from_le_bytes(lane));
         }
         let rem = chunks.remainder();
         if !rem.is_empty() {
@@ -124,6 +125,18 @@ impl BuildHasher for FastState {
 pub type FastMap<K, V> = std::collections::HashMap<K, V, FastState>;
 /// A `HashSet` keyed with the workspace hasher.
 pub type FastSet<K> = std::collections::HashSet<K, FastState>;
+
+/// A [`FastMap`] with room for `capacity` entries — the deterministic
+/// replacement for `HashMap::with_capacity` (msa-lint D002).
+pub fn fast_map_with_capacity<K, V>(capacity: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(capacity, FastState::default())
+}
+
+/// A [`FastSet`] with room for `capacity` entries — the deterministic
+/// replacement for `HashSet::with_capacity` (msa-lint D002).
+pub fn fast_set_with_capacity<K>(capacity: usize) -> FastSet<K> {
+    FastSet::with_capacity_and_hasher(capacity, FastState::default())
+}
 
 #[cfg(test)]
 mod tests {

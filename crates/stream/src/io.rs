@@ -62,7 +62,7 @@ fn take<'a, const N: usize>(cursor: &mut &'a [u8]) -> Result<&'a [u8; N], TraceI
     }
     let (head, rest) = cursor.split_at(N);
     *cursor = rest;
-    Ok(head.try_into().expect("split_at returned N bytes"))
+    head.try_into().map_err(|_| TraceIoError::Truncated)
 }
 
 fn take_u16_le(cursor: &mut &[u8]) -> Result<u16, TraceIoError> {

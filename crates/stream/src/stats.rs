@@ -8,15 +8,17 @@
 //! `l_R = records / runs_R`.
 
 use crate::attr::{subsets_of, AttrSet};
-use crate::hash::FastState;
+use crate::hash::fast_set_with_capacity;
 use crate::record::Record;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-attribute-set statistics of a concrete dataset.
 #[derive(Clone, Debug, Default)]
 pub struct DatasetStats {
-    groups: HashMap<AttrSet, usize>,
-    flow_lengths: HashMap<AttrSet, f64>,
+    // BTreeMaps so `known_sets()` iterates in a deterministic order —
+    // planners walk these when sizing relations (msa-lint D002).
+    groups: BTreeMap<AttrSet, usize>,
+    flow_lengths: BTreeMap<AttrSet, f64>,
     records: usize,
 }
 
@@ -32,11 +34,10 @@ impl DatasetStats {
 
     /// Computes statistics only for the given attribute sets.
     pub fn compute_for(records: &[Record], sets: &[AttrSet]) -> DatasetStats {
-        let mut groups = HashMap::with_capacity(sets.len());
-        let mut flow_lengths = HashMap::with_capacity(sets.len());
+        let mut groups = BTreeMap::new();
+        let mut flow_lengths = BTreeMap::new();
         for &set in sets {
-            let mut distinct =
-                std::collections::HashSet::with_capacity_and_hasher(1024, FastState::default());
+            let mut distinct = fast_set_with_capacity(1024);
             let mut runs = 0usize;
             let mut prev = None;
             for r in records {
@@ -69,8 +70,8 @@ impl DatasetStats {
         counts: I,
         records: usize,
     ) -> DatasetStats {
-        let groups: HashMap<AttrSet, usize> = counts.into_iter().collect();
-        let flow_lengths = groups.keys().map(|&s| (s, 1.0)).collect();
+        let groups: BTreeMap<AttrSet, usize> = counts.into_iter().collect();
+        let flow_lengths: BTreeMap<AttrSet, f64> = groups.keys().map(|&s| (s, 1.0)).collect();
         DatasetStats {
             groups,
             flow_lengths,

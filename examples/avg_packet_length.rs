@@ -57,7 +57,10 @@ fn main() -> Result<(), MsaError> {
     let out = engine.finish();
     println!(
         "\nplan: {}",
-        out.final_plan.as_ref().expect("planned").configuration
+        out.final_plan
+            .as_ref()
+            .ok_or(MsaError::State("engine produced no final plan"))?
+            .configuration
     );
 
     // Exact AVG per (dstIP, dstPort), HAVING count > 100.

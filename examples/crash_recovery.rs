@@ -16,30 +16,29 @@ use msa_core::{
 use msa_gigascope::plan::{PhysicalPlan, PlanNode};
 use msa_stream::UniformStreamBuilder;
 
-fn plan() -> PhysicalPlan {
+fn plan() -> Result<PhysicalPlan, MsaError> {
     // AB phantom feeding the A and B queries: evictions cascade on
     // every path, so the crash lands in a busy pipeline.
-    PhysicalPlan::new(vec![
+    Ok(PhysicalPlan::new(vec![
         PlanNode {
-            attrs: AttrSet::parse("AB").unwrap(),
+            attrs: AttrSet::parse_checked("AB")?,
             parent: None,
             buckets: 64,
             is_query: false,
         },
         PlanNode {
-            attrs: AttrSet::parse("A").unwrap(),
+            attrs: AttrSet::parse_checked("A")?,
             parent: Some(0),
             buckets: 16,
             is_query: true,
         },
         PlanNode {
-            attrs: AttrSet::parse("B").unwrap(),
+            attrs: AttrSet::parse_checked("B")?,
             parent: Some(0),
             buckets: 16,
             is_query: true,
         },
-    ])
-    .unwrap()
+    ])?)
 }
 
 fn main() -> Result<(), MsaError> {
@@ -53,7 +52,10 @@ fn main() -> Result<(), MsaError> {
     let faults = FaultPlan::new(99)
         .with_eviction_loss(0.05)
         .with_eviction_duplication(0.02);
-    let build = || Executor::new(plan(), CostParams::paper(), 1_000_000, 42).with_faults(&faults);
+    let base_plan = plan()?;
+    let build = || {
+        Executor::new(base_plan.clone(), CostParams::paper(), 1_000_000, 42).with_faults(&faults)
+    };
 
     // The reference: a run that never crashes.
     let mut reference = build();
@@ -76,7 +78,9 @@ fn main() -> Result<(), MsaError> {
         .with_crash(CrashPlan::at_record(7_000));
     victim.run(&stream.records);
     assert!(victim.has_crashed());
-    let (snapshot, log) = victim.durable_state().expect("durable artifacts");
+    let (snapshot, log) = victim.durable_state().ok_or(MsaError::State(
+        "crashed executor kept no durable artifacts",
+    ))?;
     println!(
         "\ncrash at record 7000: last checkpoint at epoch {}, record {}, seq {}; \
          write-ahead log holds {} deliveries past it",
@@ -118,7 +122,7 @@ fn main() -> Result<(), MsaError> {
     assert_eq!(report, ref_report, "reports must be bit-identical");
     assert_eq!(hfta.results(), ref_hfta.results());
     println!("\nrecovered run is bit-identical to the crash-free run:");
-    for q in [AttrSet::parse("A").unwrap(), AttrSet::parse("B").unwrap()] {
+    for q in [AttrSet::parse_checked("A")?, AttrSet::parse_checked("B")?] {
         let observed: u64 = hfta.totals(q).values().sum();
         println!(
             "  query {q}: {} groups, {observed} records observed (bias {:+})",

@@ -57,7 +57,10 @@ fn main() -> Result<(), MsaError> {
         engine.push(*r);
     }
     let output = engine.finish();
-    let plan = output.final_plan.as_ref().expect("planned");
+    let plan = output
+        .final_plan
+        .as_ref()
+        .ok_or(MsaError::State("engine produced no final plan"))?;
     println!("\nconfiguration with phantoms: {}", plan.configuration);
     let with_phantoms = output.report.per_record_cost();
 

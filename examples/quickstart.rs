@@ -26,7 +26,10 @@ fn main() -> Result<(), MsaError> {
     }
     let output = engine.finish();
 
-    let plan = output.final_plan.as_ref().expect("planned");
+    let plan = output
+        .final_plan
+        .as_ref()
+        .ok_or(MsaError::State("engine produced no final plan"))?;
     println!("chosen configuration: {}", plan.configuration);
     println!(
         "predicted per-record cost: {:.3} (c1 units)",

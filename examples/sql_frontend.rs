@@ -48,7 +48,10 @@ fn main() -> Result<(), MsaError> {
     }
     let out = engine.finish();
 
-    let plan = out.final_plan.as_ref().expect("planned");
+    let plan = out
+        .final_plan
+        .as_ref()
+        .ok_or(MsaError::State("engine produced no final plan"))?;
     println!("\nchosen configuration: {}", plan.configuration);
     println!(
         "processed {} packets in {} epochs; per-record cost {:.2} c1",

@@ -443,3 +443,33 @@ fn tiny_tables_under_full_fault_plan_do_not_panic() {
         );
     }
 }
+
+/// Determinism smoke for the panic-free refactor: the same seeded chaos
+/// pipeline, built twice from scratch, yields bit-identical
+/// [`RunReport`]s and query results. The trace generator's seeded sets,
+/// the planner's ordered statistics maps and the fault PRNGs are all on
+/// this path, so any reintroduced run-to-run variance (msa-lint
+/// D001/D002 territory) trips here before it reaches the recovery
+/// proofs.
+#[test]
+fn identical_seeds_produce_identical_run_reports() {
+    let run = || {
+        let trace = PacketTraceBuilder::new(TraceProfile::paper_scaled(0.05))
+            .seed(77)
+            .build();
+        let faults = FaultPlan::new(0xFEED_FACE)
+            .with_eviction_loss(0.08)
+            .with_eviction_duplication(0.04);
+        let mut ex = Executor::new(phantom_plan(64, 32), CostParams::paper(), 1_000_000, 5)
+            .with_faults(&faults)
+            .with_eviction_log()
+            .with_snapshots();
+        ex.run(&trace.records);
+        ex.finish()
+    };
+    let (report_a, hfta_a) = run();
+    let (report_b, hfta_b) = run();
+    assert_eq!(report_a, report_b, "RunReport must be bit-identical");
+    assert_eq!(hfta_a.results(), hfta_b.results());
+    assert!(report_a.records > 0);
+}
