@@ -24,14 +24,20 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> msa-lint: rule catalog"
 rules=$(cargo run --offline --release -q -p msa-lint -- --list-rules | wc -l)
 echo "msa-lint: $rules rules registered"
-if [ "$rules" -lt 8 ]; then
-    echo "error: msa-lint catalog shrank to $rules rules (expected >= 8);" \
+if [ "$rules" -lt 9 ]; then
+    echo "error: msa-lint catalog shrank to $rules rules (expected >= 9);" \
         "a rule was compiled out" >&2
     exit 1
 fi
 
 echo "==> msa-lint --workspace"
 cargo run --offline --release -q -p msa-lint -- --workspace
+
+echo "==> differential battery (reduced matrix)"
+# The full {shards} x {faults} x {guard} x {crash points} matrix runs in
+# the workspace test step above; this re-runs the sharded-vs-serial
+# battery at the reduced CI matrix to prove the MSA_SCALE knob works.
+MSA_SCALE=0.05 cargo test --offline -q --test differential
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

@@ -288,6 +288,97 @@ pub mod harness {
     }
 }
 
+/// Shard-scaling measurement for the multi-core LFTA
+/// ([`msa_gigascope::shard`]).
+///
+/// A single host core cannot demonstrate wall-clock speedup, so the
+/// headline metric here is the **critical path**: partition the stream
+/// with the deployment's own hash partitioner, time each shard's
+/// executor serially on its own partition, and take the slowest shard
+/// as the deployment's completion time. On a host with at least `N`
+/// cores the threaded runtime approaches exactly this bound; the
+/// emitted JSON records both the critical path and the measured
+/// single-machine wall clock, plus the host's core count, so the
+/// numbers stay honest on any machine.
+pub mod sharding {
+    use super::{CostParams, Executor, PhysicalPlan};
+    use msa_gigascope::{shard_of, shard_seed, ShardedExecutor};
+    use msa_stream::Record;
+    use std::time::Instant;
+
+    /// One measured deployment size.
+    pub struct ShardRow {
+        /// Shard count `N`.
+        pub shards: usize,
+        /// Completion time of the slowest shard, seconds.
+        pub critical_path_secs: f64,
+        /// Wall clock of the real threaded deployment, seconds.
+        pub wall_clock_secs: f64,
+        /// `records / critical_path_secs`.
+        pub records_per_sec: f64,
+    }
+
+    /// Partitions `records` exactly as [`ShardedExecutor`] would and
+    /// times each shard's executor serially, then times the threaded
+    /// deployment end to end for the wall-clock column.
+    pub fn measure(
+        plan: &PhysicalPlan,
+        records: &[Record],
+        epoch_micros: u64,
+        seed: u64,
+        shards: usize,
+    ) -> ShardRow {
+        let mut parts: Vec<Vec<Record>> = vec![Vec::new(); shards];
+        for r in records {
+            parts[shard_of(seed, r, shards)].push(*r);
+        }
+        let shard_plan = plan.split_for_shards(shards);
+        let mut critical = 0.0f64;
+        for (k, part) in parts.iter().enumerate() {
+            // Median of three fresh runs per shard, after one warm-up
+            // pass, so page faults and cache state don't masquerade as
+            // scaling.
+            let time_once = || {
+                let mut ex = Executor::new(
+                    shard_plan.clone(),
+                    CostParams::paper(),
+                    epoch_micros,
+                    shard_seed(seed, k, shards),
+                );
+                let t = Instant::now();
+                ex.run(part);
+                std::hint::black_box(ex.finish());
+                t.elapsed().as_secs_f64()
+            };
+            std::hint::black_box(time_once());
+            let mut samples = [time_once(), time_once(), time_once()];
+            samples.sort_by(f64::total_cmp);
+            critical = critical.max(samples[1]);
+        }
+        let wall = match ShardedExecutor::new(
+            plan.clone(),
+            CostParams::paper(),
+            epoch_micros,
+            seed,
+            shards,
+        ) {
+            Ok(mut sx) => {
+                let t = Instant::now();
+                sx.run(records);
+                std::hint::black_box(sx.finish());
+                t.elapsed().as_secs_f64()
+            }
+            Err(_) => f64::NAN,
+        };
+        ShardRow {
+            shards,
+            critical_path_secs: critical,
+            wall_clock_secs: wall,
+            records_per_sec: records.len() as f64 / critical.max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
 /// Formats a float with 4 significant decimals.
 pub fn f4(x: f64) -> String {
     format!("{x:.4}")

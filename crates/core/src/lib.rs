@@ -49,9 +49,10 @@ pub use msa_collision::{AsymptoticModel, CollisionModel, LinearModel, PreciseMod
 pub use msa_gigascope::executor::ValueSource;
 pub use msa_gigascope::table::AggState;
 pub use msa_gigascope::{
-    Burst, ChannelFaults, CostParams, CrashPlan, EvictionChannel, EvictionLog, Executor, FaultPlan,
-    GuardLevel, GuardPolicy, GuardTransition, Hfta, OverloadGuard, PhysicalPlan, RecoveryError,
-    RunReport, Snapshot, SnapshotError,
+    shard_of, shard_seed, Burst, ChannelFaults, CostParams, CrashPlan, EvictionChannel,
+    EvictionLog, Executor, ExecutorConfig, FaultPlan, GuardLevel, GuardPolicy, GuardTransition,
+    Hfta, OverloadGuard, PhysicalPlan, RecoveryError, RunReport, ShardError, ShardedExecutor,
+    ShardedSnapshot, Snapshot, SnapshotError,
 };
 pub use msa_optimizer::{
     Algorithm, AllocStrategy, ClusterHandling, Configuration, Plan, Planner, PlannerOptions,

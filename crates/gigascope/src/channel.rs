@@ -75,6 +75,18 @@ pub struct ChannelStats {
     pub overflowed: u64,
 }
 
+impl ChannelStats {
+    /// Folds another channel's accounting into this one (a sharded run
+    /// reporting the merged totals of its per-shard channels). Pure
+    /// sums, so the fold commutes.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.overflowed += other.overflowed;
+    }
+}
+
 /// The complete serializable state of an [`EvictionChannel`].
 ///
 /// Captured at checkpoint time and restored on recovery: the PRNG
@@ -261,6 +273,31 @@ mod tests {
         let b: Vec<Delivery> = (0..1000).map(|_| resumed.offer()).collect();
         assert_eq!(a, b);
         assert_eq!(ch.stats(), resumed.stats());
+    }
+
+    #[test]
+    fn stats_merge_sums_and_commutes() {
+        let a = ChannelStats {
+            delivered: 10,
+            dropped: 3,
+            duplicated: 2,
+            overflowed: 1,
+        };
+        let b = ChannelStats {
+            delivered: 7,
+            dropped: 0,
+            duplicated: 5,
+            overflowed: 0,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.delivered, 17);
+        assert_eq!(ab.dropped, 3);
+        assert_eq!(ab.duplicated, 7);
+        assert_eq!(ab.overflowed, 1);
     }
 
     #[test]

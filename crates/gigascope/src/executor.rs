@@ -160,9 +160,18 @@ impl RunReport {
     }
 
     /// Folds `other` into `self` (an engine retiring one executor of a
-    /// multi-executor run). Epoch numbering is absolute, so `epochs`
-    /// takes the maximum; sequential executors cover disjoint epochs, so
-    /// `epochs_degraded` and everything else accumulates.
+    /// multi-executor run, or a sharded run combining per-shard
+    /// reports). Epoch numbering is absolute, so `epochs` takes the
+    /// maximum; everything else accumulates.
+    ///
+    /// The merge **commutes**: `A.merge(B)` equals `B.merge(A)` field
+    /// for field. Keyed vectors are re-sorted into a canonical order,
+    /// per-epoch traces are coalesced by epoch (shards close the same
+    /// absolute epochs; sequential executors cover disjoint ones, for
+    /// which coalescing is a no-op), and the cost sums rely on IEEE 754
+    /// two-operand addition being commutative. Only `costs` is taken
+    /// from `self` — merging reports with different cost parameters is
+    /// meaningless.
     pub fn merge(&mut self, other: &RunReport) {
         self.records += other.records;
         self.intra_probes += other.intra_probes;
@@ -181,10 +190,113 @@ impl RunReport {
         for &(q, n) in &other.duplicated_records {
             RunReport::bump(&mut self.duplicated_records, q, n);
         }
+        self.dropped_records.sort_by_key(|(q, _)| q.bits());
+        self.duplicated_records.sort_by_key(|(q, _)| q.bits());
         self.guard_transitions
             .extend(other.guard_transitions.iter().copied());
-        self.epoch_costs.extend(other.epoch_costs.iter().copied());
-        self.epoch_faults.extend(other.epoch_faults.iter().copied());
+        self.guard_transitions.sort_by_key(|t| {
+            (
+                t.epoch,
+                t.from.index(),
+                t.to.index(),
+                t.observed_cost.to_bits(),
+            )
+        });
+        for &(e, intra, flush) in &other.epoch_costs {
+            match self.epoch_costs.iter_mut().find(|(e2, _, _)| *e2 == e) {
+                Some((_, i2, f2)) => {
+                    *i2 += intra;
+                    *f2 += flush;
+                }
+                None => self.epoch_costs.push((e, intra, flush)),
+            }
+        }
+        self.epoch_costs.sort_by_key(|&(e, _, _)| e);
+        for &(e, dropped, duplicated) in &other.epoch_faults {
+            match self.epoch_faults.iter_mut().find(|(e2, _, _)| *e2 == e) {
+                Some((_, d2, u2)) => {
+                    *d2 += dropped;
+                    *u2 += duplicated;
+                }
+                None => self.epoch_faults.push((e, dropped, duplicated)),
+            }
+        }
+        self.epoch_faults.sort_by_key(|&(e, _, _)| e);
+    }
+}
+
+/// A reusable recipe for building identically configured [`Executor`]s.
+///
+/// The sharded runtime needs to construct the same executor shape many
+/// times — once per shard, and again from scratch when a crashed shard
+/// is recovered — so the builder-chain configuration is reified into a
+/// plain value that can be cloned, adjusted per shard (plan split,
+/// derived seeds, scaled guard budget) and turned into a live executor
+/// on demand.
+#[derive(Clone, Debug)]
+pub struct ExecutorConfig {
+    /// The physical plan to instantiate.
+    pub plan: PhysicalPlan,
+    /// Cost parameters for the report.
+    pub costs: CostParams,
+    /// Epoch length in microseconds (`u64::MAX` for one open epoch).
+    pub epoch_micros: u64,
+    /// Hash-seed base.
+    pub seed: u64,
+    /// Metric-value source for SUM/MIN/MAX/AVG aggregates.
+    pub value_source: ValueSource,
+    /// Selection filter applied ahead of all probes.
+    pub filter: Filter,
+    /// Channel-level fault injection, if any.
+    pub faults: Option<FaultPlan>,
+    /// Overload-guard policy, if enabled.
+    pub guard: Option<GuardPolicy>,
+    /// Enable the write-ahead eviction log plus boundary checkpoints.
+    pub durable: bool,
+    /// Armed crash fuses.
+    pub crash: CrashPlan,
+}
+
+impl ExecutorConfig {
+    /// A config with the same defaults as [`Executor::new`].
+    pub fn new(
+        plan: PhysicalPlan,
+        costs: CostParams,
+        epoch_micros: u64,
+        seed: u64,
+    ) -> ExecutorConfig {
+        ExecutorConfig {
+            plan,
+            costs,
+            epoch_micros,
+            seed,
+            value_source: ValueSource::None,
+            filter: Filter::all(),
+            faults: None,
+            guard: None,
+            durable: false,
+            crash: CrashPlan::none(),
+        }
+    }
+
+    /// Builds a fresh executor from this recipe.
+    pub fn build(&self) -> Executor {
+        let mut ex = Executor::new(self.plan.clone(), self.costs, self.epoch_micros, self.seed)
+            .with_value_source(self.value_source)
+            .with_filter(self.filter.clone());
+        if let Some(faults) = &self.faults {
+            ex = ex.with_faults(faults);
+        }
+        if let Some(policy) = self.guard {
+            ex = ex.with_guard(policy);
+        }
+        if self.durable {
+            ex = ex.with_eviction_log().with_snapshots();
+        }
+        if !self.crash.is_none() {
+            ex = ex.with_crash(self.crash);
+        }
+        ex
     }
 }
 
@@ -411,6 +523,11 @@ impl Executor {
     /// The plan being executed.
     pub fn plan(&self) -> &PhysicalPlan {
         &self.plan
+    }
+
+    /// Query attribute sets in HFTA slot order.
+    pub fn queries(&self) -> &[AttrSet] {
+        &self.queries
     }
 
     /// Per-table statistics `(relation, stats)` in plan order.
@@ -1308,6 +1425,118 @@ mod tests {
             observed as i64,
             recs.len() as i64 + report.count_bias(s("A"))
         );
+    }
+
+    #[test]
+    fn report_merge_commutes() {
+        use crate::guard::{GuardLevel, GuardTransition};
+        // Two reports with overlapping epochs, differently ordered keyed
+        // vectors and interleaved guard histories: folding either way
+        // must land on the identical struct.
+        let a = RunReport {
+            records: 10,
+            intra_probes: 100,
+            intra_evictions: 7,
+            flush_probes: 20,
+            flush_evictions: 5,
+            epochs: 3,
+            filtered_out: 1,
+            records_shed: 2,
+            evictions_dropped: 3,
+            evictions_duplicated: 1,
+            dropped_records: vec![(s("B"), 4), (s("A"), 2)],
+            duplicated_records: vec![(s("A"), 1)],
+            epochs_degraded: 1,
+            guard_transitions: vec![GuardTransition {
+                epoch: 2,
+                from: GuardLevel::Normal,
+                to: GuardLevel::Shedding,
+                observed_cost: 12.5,
+            }],
+            epoch_costs: vec![(0, 1.5, 2.5), (1, 3.0, 4.0), (2, 0.25, 0.5)],
+            epoch_faults: vec![(1, 2, 0), (2, 1, 1)],
+            costs: CostParams::paper(),
+        };
+        let b = RunReport {
+            records: 4,
+            intra_probes: 40,
+            intra_evictions: 2,
+            flush_probes: 9,
+            flush_evictions: 3,
+            epochs: 2,
+            filtered_out: 0,
+            records_shed: 1,
+            evictions_dropped: 1,
+            evictions_duplicated: 2,
+            dropped_records: vec![(s("A"), 5), (s("C"), 1)],
+            duplicated_records: vec![(s("B"), 3), (s("A"), 2)],
+            epochs_degraded: 2,
+            guard_transitions: vec![
+                GuardTransition {
+                    epoch: 1,
+                    from: GuardLevel::Normal,
+                    to: GuardLevel::Shedding,
+                    observed_cost: 9.0,
+                },
+                GuardTransition {
+                    epoch: 2,
+                    from: GuardLevel::Shedding,
+                    to: GuardLevel::Normal,
+                    observed_cost: 1.0,
+                },
+            ],
+            epoch_costs: vec![(1, 0.125, 8.0), (3, 6.0, 7.0)],
+            epoch_faults: vec![(1, 0, 3)],
+            costs: CostParams::paper(),
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Coalescing preserved totals and keyed sums.
+        assert_eq!(ab.records, 14);
+        assert_eq!(ab.dropped_records_for(s("A")), 7);
+        assert_eq!(ab.duplicated_records_for(s("A")), 3);
+        assert_eq!(ab.epoch_costs.len(), 4);
+        assert_eq!(ab.epoch_costs[1], (1, 3.0 + 0.125, 4.0 + 8.0));
+        assert_eq!(ab.epoch_faults, vec![(1, 2, 3), (2, 1, 1)]);
+        // Merging commutes with itself repeatedly (fold in any order).
+        let mut fold1 = RunReport {
+            costs: CostParams::paper(),
+            ..RunReport::default()
+        };
+        fold1.merge(&a);
+        fold1.merge(&b);
+        assert_eq!(fold1, ab);
+    }
+
+    #[test]
+    fn executor_config_build_matches_builder_chain() {
+        let recs: Vec<Record> = (0..3000u32)
+            .map(|i| Record::new(&[i % 19, i % 11, 0, 0], u64::from(i) * 500))
+            .collect();
+        let faults = FaultPlan::new(0xC0FF)
+            .with_eviction_loss(0.05)
+            .with_eviction_duplication(0.02);
+        let cfg = ExecutorConfig {
+            faults: Some(faults),
+            guard: Some(GuardPolicy::new(5_000.0)),
+            durable: true,
+            ..ExecutorConfig::new(small_phantom_plan(), CostParams::paper(), 500_000, 17)
+        };
+        let mut from_cfg = cfg.build();
+        let mut chained = Executor::new(small_phantom_plan(), CostParams::paper(), 500_000, 17)
+            .with_faults(&faults)
+            .with_guard(GuardPolicy::new(5_000.0))
+            .with_eviction_log()
+            .with_snapshots();
+        from_cfg.run(&recs);
+        chained.run(&recs);
+        let (ra, ha) = from_cfg.finish();
+        let (rb, hb) = chained.finish();
+        assert_eq!(ra, rb);
+        assert_eq!(ha.results(), hb.results());
     }
 
     #[test]

@@ -173,6 +173,68 @@ impl Hfta {
         }
     }
 
+    /// Combines per-shard HFTAs into one, in deterministic
+    /// epoch-then-slot order — the order a serial executor would have
+    /// produced. For every epoch (ascending) and every query slot (in
+    /// `queries` order), the shards' partial results are merged in
+    /// source (shard) order; empty combinations are skipped, exactly as
+    /// [`Hfta::close_epoch`] skips empty maps. Queries are matched by
+    /// attribute set, so `queries` must be distinct (plan validation
+    /// already guarantees the executors agree on the slot order).
+    ///
+    /// Counters merge too: `received` sums, the next-epoch label takes
+    /// the maximum, and results are retained only if every source
+    /// retained them (a discarding source would make the merge
+    /// incomplete).
+    pub fn merge_ordered(queries: Vec<AttrSet>, sources: &[Hfta]) -> Hfta {
+        let mut epochs: Vec<u64> = sources
+            .iter()
+            .flat_map(|s| s.finished.iter().map(|r| r.epoch))
+            .collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        let mut finished = Vec::new();
+        for &epoch in &epochs {
+            for &query in &queries {
+                let mut aggregates: FastMap<GroupKey, AggState> = FastMap::default();
+                for s in sources {
+                    for r in s
+                        .finished
+                        .iter()
+                        .filter(|r| r.epoch == epoch && r.query == query)
+                    {
+                        for (k, a) in &r.aggregates {
+                            match aggregates.entry(*k) {
+                                std::collections::hash_map::Entry::Occupied(mut e) => {
+                                    e.get_mut().merge(a)
+                                }
+                                std::collections::hash_map::Entry::Vacant(v) => {
+                                    v.insert(*a);
+                                }
+                            }
+                        }
+                    }
+                }
+                if !aggregates.is_empty() {
+                    finished.push(EpochResult {
+                        query,
+                        epoch,
+                        aggregates,
+                    });
+                }
+            }
+        }
+        let current = queries.iter().map(|_| FastMap::default()).collect();
+        Hfta {
+            current,
+            received: sources.iter().map(|s| s.received).sum(),
+            finished,
+            epoch: sources.iter().map(|s| s.epoch).max().unwrap_or(0),
+            retain_results: sources.iter().all(|s| s.retain_results),
+            queries,
+        }
+    }
+
     /// Sums a query's counts across all finished epochs — the total
     /// per-group record counts, used to verify end-to-end correctness.
     pub fn totals(&self, query: AttrSet) -> FastMap<GroupKey, u64> {
@@ -333,6 +395,64 @@ mod tests {
         assert_eq!(restored.results(), h.results());
         assert_eq!(restored.received(), h.received());
         assert_eq!(restored.totals(a), h.totals(a));
+    }
+
+    #[test]
+    fn merge_ordered_matches_serial_order() {
+        let a = AttrSet::parse("A").unwrap();
+        let b = AttrSet::parse("B").unwrap();
+        // Serial reference: all partials through one HFTA.
+        let mut serial = Hfta::new(vec![a, b]);
+        serial.receive(0, key(&[1]), counted(3, 3));
+        serial.receive(0, key(&[2]), counted(2, 2));
+        serial.receive(1, key(&[7]), counted(5, 5));
+        serial.close_epoch();
+        serial.receive(0, key(&[1]), counted(4, 4));
+        serial.close_epoch();
+        // Sharded: the same partials split across two HFTAs by group.
+        let mut s0 = Hfta::new(vec![a, b]);
+        s0.receive(0, key(&[1]), counted(3, 3));
+        s0.close_epoch();
+        s0.receive(0, key(&[1]), counted(4, 4));
+        s0.close_epoch();
+        let mut s1 = Hfta::new(vec![a, b]);
+        s1.receive(0, key(&[2]), counted(2, 2));
+        s1.receive(1, key(&[7]), counted(5, 5));
+        s1.close_epoch();
+        s1.close_epoch();
+        let merged = Hfta::merge_ordered(vec![a, b], &[s0, s1]);
+        // Bit-for-bit the serial result list: same (query, epoch)
+        // sequence, same combined aggregates, no empty entries.
+        assert_eq!(merged.results(), serial.results());
+        assert_eq!(merged.received(), serial.received());
+        assert_eq!(merged.totals(a), serial.totals(a));
+        assert_eq!(merged.totals(b), serial.totals(b));
+        // Shard order is part of the contract, not the result: groups
+        // are disjoint across shards so either order combines equally.
+        let merged_rev = Hfta::merge_ordered(
+            vec![a, b],
+            &[Hfta::restore(vec![a, b], merged.export_state())],
+        );
+        assert_eq!(merged_rev.results(), serial.results());
+    }
+
+    #[test]
+    fn merge_ordered_combines_same_group_partials_in_shard_order() {
+        // Two shards holding partials of the SAME group (possible after
+        // a rebalance): they must combine, not duplicate.
+        let a = AttrSet::parse("A").unwrap();
+        let mut s0 = Hfta::new(vec![a]);
+        s0.receive(0, key(&[1]), counted(3, 30));
+        s0.close_epoch();
+        let mut s1 = Hfta::new(vec![a]);
+        s1.receive(0, key(&[1]), counted(4, 4));
+        s1.close_epoch();
+        let merged = Hfta::merge_ordered(vec![a], &[s0, s1]);
+        assert_eq!(merged.results().len(), 1);
+        let aggs = &merged.results()[0].aggregates;
+        assert_eq!(aggs[&key(&[1])].count, 7);
+        assert_eq!(aggs[&key(&[1])].sum, 34);
+        assert_eq!(aggs[&key(&[1])].min, 4);
     }
 
     #[test]

@@ -32,7 +32,11 @@
 //!   process crashes) for deterministic chaos tests;
 //! * [`snapshot`] — epoch-aligned checkpoints plus a write-ahead
 //!   eviction log, giving crashed executors exactly-once recovery with
-//!   bit-identical results (see [`executor::Executor::recover`]).
+//!   bit-identical results (see [`executor::Executor::recover`]);
+//! * [`shard`] — hash-partitioned multi-core execution: `N` shard
+//!   executors on OS threads behind bounded feeds, merged into one
+//!   deterministic result independent of thread scheduling (see
+//!   [`shard::ShardedExecutor`]).
 
 #![deny(unsafe_code)]
 
@@ -42,16 +46,20 @@ pub mod faults;
 pub mod guard;
 pub mod hfta;
 pub mod plan;
+pub mod shard;
 pub mod snapshot;
 pub mod table;
 
 pub use channel::{ChannelFaults, ChannelStats, Delivery, EvictionChannel};
-pub use executor::{Executor, RunReport, ValueSource};
+pub use executor::{Executor, ExecutorConfig, RunReport, ValueSource};
 pub use faults::{Burst, CrashPlan, FaultPlan};
 pub use guard::{GuardLevel, GuardPolicy, GuardTransition, OverloadGuard};
 pub use hfta::Hfta;
 pub use plan::{PhysicalPlan, PlanNode};
-pub use snapshot::{EvictionLog, LogEntry, RecoveryError, Snapshot, SnapshotError};
+pub use shard::{shard_of, shard_seed, ShardError, ShardedExecutor};
+pub use snapshot::{
+    EvictionLog, LogEntry, RecoveryError, ShardedSnapshot, Snapshot, SnapshotError,
+};
 pub use table::{LftaTable, Probe};
 
 /// Cost parameters of the two-level architecture.

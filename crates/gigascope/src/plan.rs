@@ -103,6 +103,25 @@ impl PhysicalPlan {
             .sum()
     }
 
+    /// The per-shard plan of an `N`-way sharded deployment: the same
+    /// tree with every allocation cut to `buckets/N` (floored, at least
+    /// one bucket), so `N` shard instances together stay within the
+    /// memory limit `M` the original plan was sized for. `N = 1` is the
+    /// identity.
+    pub fn split_for_shards(&self, shards: usize) -> PhysicalPlan {
+        let shards = shards.max(1);
+        PhysicalPlan {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| PlanNode {
+                    buckets: (n.buckets / shards).max(1),
+                    ..*n
+                })
+                .collect(),
+        }
+    }
+
     /// Convenience: a plan with no phantoms — every query is raw, with
     /// the given `(attrs, buckets)` list.
     pub fn flat(queries: &[(AttrSet, usize)]) -> Result<PhysicalPlan, PlanError> {
@@ -267,6 +286,41 @@ mod tests {
         }])
         .unwrap_err();
         assert!(matches!(err, PlanError::ZeroBuckets { .. }));
+    }
+
+    #[test]
+    fn split_for_shards_divides_space() {
+        let plan = PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("ABC"),
+                parent: None,
+                buckets: 100,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("A"),
+                parent: Some(0),
+                buckets: 10,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("B"),
+                parent: Some(0),
+                buckets: 3,
+                is_query: true,
+            },
+        ])
+        .unwrap();
+        // N = 1 is the identity.
+        assert_eq!(plan.split_for_shards(1).nodes(), plan.nodes());
+        let quarter = plan.split_for_shards(4);
+        assert_eq!(quarter.nodes()[0].buckets, 25);
+        assert_eq!(quarter.nodes()[1].buckets, 2);
+        // Small allocations floor at one bucket, never zero.
+        assert_eq!(quarter.nodes()[2].buckets, 1);
+        // Tree shape is untouched.
+        assert_eq!(quarter.nodes()[1].parent, Some(0));
+        assert!(quarter.space_words() <= plan.space_words() / 4 + 8);
     }
 
     #[test]

@@ -1,0 +1,534 @@
+//! Sharded multi-core LFTA execution.
+//!
+//! Gigascope-style deployments scale by partitioning the packet stream
+//! across processing units ahead of the aggregation tier. This module
+//! runs `N` independent shard [`Executor`]s — each with its own LFTA
+//! tables (cut to `buckets/N`), eviction channel, overload guard and a
+//! hash seed derived from the root seed — on OS threads behind bounded
+//! SPSC feeds, then merges the per-shard outputs deterministically:
+//!
+//! * records are routed by [`shard_of`], a pure function of the root
+//!   seed and the record's attribute tuple (never its timestamp), so
+//!   identical tuples always co-locate and replay-identical partitions
+//!   fall out of any arrival order;
+//! * per-epoch evictions merge into one [`Hfta`] in shard-then-sequence
+//!   order ([`Hfta::merge_ordered`]), and per-shard [`RunReport`]s fold
+//!   with the commutative [`RunReport::merge`] in shard order — the
+//!   final outputs are therefore independent of thread scheduling;
+//! * with one shard every derivation is the identity (same plan, same
+//!   seed, no merge pass), so `ShardedExecutor` with `N = 1` is
+//!   bit-identical to the serial [`Executor`].
+//!
+//! This file is the only place in the engine allowed to spawn threads
+//! (msa-lint rule D005 enforces the containment): everything outside
+//! sees ordinary deterministic values.
+
+use crate::channel::ChannelStats;
+use crate::executor::{Executor, ExecutorConfig, RunReport, ValueSource};
+use crate::faults::{CrashPlan, FaultPlan};
+use crate::guard::GuardPolicy;
+use crate::hfta::Hfta;
+use crate::plan::PhysicalPlan;
+use crate::snapshot::{EvictionLog, RecoveryError, ShardedSnapshot, Snapshot};
+use crate::CostParams;
+use msa_stream::hash::mix64;
+use msa_stream::{AttrSet, Filter, Record};
+
+/// Domain-separation salt for the partitioner's hash chain.
+const PARTITION_SALT: u64 = 0x5348_4152_4450_4152;
+/// Domain-separation salt for per-shard executor seeds.
+const SHARD_SEED_SALT: u64 = 0x5348_4152_4453_4544;
+/// Domain-separation salt for per-shard fault-plan seeds.
+const FAULT_SEED_SALT: u64 = 0x5348_4152_4446_4C54;
+
+/// Records fed to a shard per channel message.
+const FEED_BATCH: usize = 256;
+/// Bounded SPSC depth, in batches, per shard feed.
+const FEED_DEPTH: usize = 4;
+
+/// The shard a record belongs to: a pure function of the root seed and
+/// the record's attribute tuple. Timestamps are deliberately excluded,
+/// so re-ordered or re-timestamped replays of the same tuples partition
+/// identically, and records with equal attributes always co-locate —
+/// which is what keeps every per-group aggregate whole within one
+/// shard's table cascade.
+pub fn shard_of(root_seed: u64, record: &Record, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h = mix64(root_seed ^ PARTITION_SALT);
+    for &a in &record.attrs {
+        h = mix64(h ^ u64::from(a));
+    }
+    (h % shards as u64) as usize
+}
+
+/// The hash-seed base of shard `k` in an `n`-way deployment, derived
+/// from the root seed. With one shard the derivation is the identity,
+/// so a 1-way sharded run uses the exact serial executor seed.
+pub fn shard_seed(root_seed: u64, k: usize, n: usize) -> u64 {
+    if n == 1 {
+        root_seed
+    } else {
+        mix64(root_seed ^ SHARD_SEED_SALT ^ k as u64)
+    }
+}
+
+/// Per-shard fault-plan seed (same identity rule as [`shard_seed`]).
+fn fault_seed(root_seed: u64, k: usize, n: usize) -> u64 {
+    if n == 1 {
+        root_seed
+    } else {
+        mix64(root_seed ^ FAULT_SEED_SALT ^ k as u64)
+    }
+}
+
+/// Sharded-deployment construction failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// A deployment needs at least one shard.
+    ZeroShards,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ZeroShards => write!(f, "a sharded deployment needs at least one shard"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// `N` shard [`Executor`]s behind a deterministic hash partitioner.
+///
+/// Configure with the same builder verbs as [`Executor`] (they apply to
+/// every shard, with per-shard derivations where the subsystem needs
+/// them: seeds, fault PRNG streams, `peak_budget / N` guard budgets,
+/// `buckets / N` table allocations), feed records with
+/// [`ShardedExecutor::run`], and collect the merged outputs with
+/// [`ShardedExecutor::finish`].
+#[derive(Debug)]
+pub struct ShardedExecutor {
+    config: ExecutorConfig,
+    crashes: Vec<CrashPlan>,
+    shards: Vec<Executor>,
+    n: usize,
+}
+
+impl ShardedExecutor {
+    /// Creates an `shards`-way deployment over `plan`. The plan is the
+    /// *serial* plan — each shard instantiates it with `buckets / N`
+    /// per table, so the deployment as a whole respects the memory
+    /// limit the plan was sized for.
+    pub fn new(
+        plan: PhysicalPlan,
+        costs: CostParams,
+        epoch_micros: u64,
+        seed: u64,
+        shards: usize,
+    ) -> Result<ShardedExecutor, ShardError> {
+        if shards == 0 {
+            return Err(ShardError::ZeroShards);
+        }
+        let mut sharded = ShardedExecutor {
+            config: ExecutorConfig::new(plan, costs, epoch_micros, seed),
+            crashes: vec![CrashPlan::none(); shards],
+            shards: Vec::new(),
+            n: shards,
+        };
+        sharded.rebuild();
+        Ok(sharded)
+    }
+
+    /// The executor configuration of shard `k`: the serial recipe with
+    /// the plan split `N` ways, the shard's derived hash and fault
+    /// seeds, its slice of the guard budget, and its crash fuses.
+    fn shard_config(&self, k: usize) -> ExecutorConfig {
+        let mut cfg = self.config.clone();
+        cfg.plan = self.config.plan.split_for_shards(self.n);
+        cfg.seed = shard_seed(self.config.seed, k, self.n);
+        if let Some(faults) = &mut cfg.faults {
+            faults.seed = fault_seed(faults.seed, k, self.n);
+        }
+        if let Some(guard) = &mut cfg.guard {
+            guard.peak_budget /= self.n as f64;
+        }
+        cfg.crash = self.crashes[k];
+        cfg
+    }
+
+    /// (Re)builds every shard executor from the current configuration.
+    /// Builders call this; any processed state is discarded, exactly as
+    /// reconfiguring a serial executor mid-stream would be a new run.
+    fn rebuild(&mut self) {
+        self.shards = (0..self.n).map(|k| self.shard_config(k).build()).collect();
+    }
+
+    /// Sets the metric-value source for every shard.
+    pub fn with_value_source(mut self, source: ValueSource) -> ShardedExecutor {
+        self.config.value_source = source;
+        self.rebuild();
+        self
+    }
+
+    /// Installs a selection filter on every shard.
+    pub fn with_filter(mut self, filter: Filter) -> ShardedExecutor {
+        self.config.filter = filter;
+        self.rebuild();
+        self
+    }
+
+    /// Wires channel-level faults into every shard. Each shard's
+    /// channel draws an independent PRNG stream derived from the plan's
+    /// seed, so fault decisions stay deterministic per shard.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> ShardedExecutor {
+        self.config.faults = Some(*plan);
+        self.rebuild();
+        self
+    }
+
+    /// Enables the overload guard on every shard, each policing
+    /// `peak_budget / N` — its share of the deployment budget.
+    pub fn with_guard(mut self, policy: GuardPolicy) -> ShardedExecutor {
+        self.config.guard = Some(policy);
+        self.rebuild();
+        self
+    }
+
+    /// Enables the write-ahead eviction log and boundary checkpoints on
+    /// every shard.
+    pub fn with_durability(mut self) -> ShardedExecutor {
+        self.config.durable = true;
+        self.rebuild();
+        self
+    }
+
+    /// Arms crash fuses on shard `k` only (fuse counters are
+    /// shard-local: they count the shard's own records and offers).
+    pub fn with_crash(mut self, k: usize, crash: CrashPlan) -> ShardedExecutor {
+        self.crashes[k] = crash;
+        self.rebuild();
+        self
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.n
+    }
+
+    /// The shard executor at index `k`.
+    pub fn shard(&self, k: usize) -> &Executor {
+        &self.shards[k]
+    }
+
+    /// Indices of shards whose crash fuse has fired.
+    pub fn crashed_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, ex)| ex.has_crashed())
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Splits `records` into per-shard partitions, preserving stream
+    /// order within each partition — exactly the sequences the shard
+    /// executors consume.
+    pub fn partition(&self, records: &[Record]) -> Vec<Vec<Record>> {
+        let mut parts = vec![Vec::new(); self.n];
+        for &r in records {
+            parts[shard_of(self.config.seed, &r, self.n)].push(r);
+        }
+        parts
+    }
+
+    /// Streams `records` through the deployment: the caller's thread
+    /// routes each record to its shard's bounded SPSC feed (in stream
+    /// order), one OS thread per shard drains its feed into its
+    /// executor, and every executor is joined back before returning —
+    /// so the post-run state is a plain deterministic value whatever
+    /// the scheduler did.
+    pub fn run(&mut self, records: &[Record]) {
+        if self.n == 1 {
+            // Single shard: the serial fast path, bit-identical to the
+            // plain executor (no threads, no channel hop).
+            if let Some(ex) = self.shards.first_mut() {
+                ex.run(records);
+            }
+            return;
+        }
+        let executors = std::mem::take(&mut self.shards);
+        let root_seed = self.config.seed;
+        let n = self.n;
+        let finished = std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
+            for mut ex in executors {
+                let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<Record>>(FEED_DEPTH);
+                senders.push(tx);
+                handles.push(scope.spawn(move || {
+                    while let Ok(batch) = rx.recv() {
+                        ex.run(&batch);
+                    }
+                    ex
+                }));
+            }
+            let mut bufs: Vec<Vec<Record>> =
+                (0..n).map(|_| Vec::with_capacity(FEED_BATCH)).collect();
+            for &r in records {
+                let k = shard_of(root_seed, &r, n);
+                bufs[k].push(r);
+                if bufs[k].len() == FEED_BATCH {
+                    let full = std::mem::replace(&mut bufs[k], Vec::with_capacity(FEED_BATCH));
+                    // A send only fails if the shard thread died; the
+                    // join below surfaces the panic.
+                    let _ = senders[k].send(full);
+                }
+            }
+            for (k, buf) in bufs.into_iter().enumerate() {
+                if !buf.is_empty() {
+                    let _ = senders[k].send(buf);
+                }
+            }
+            drop(senders);
+            let mut out = Vec::with_capacity(n);
+            for handle in handles {
+                match handle.join() {
+                    Ok(ex) => out.push(ex),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            out
+        });
+        self.shards = finished;
+    }
+
+    /// Merged eviction-channel accounting across all shards.
+    pub fn channel_stats(&self) -> ChannelStats {
+        let mut stats = ChannelStats::default();
+        for ex in &self.shards {
+            stats.merge(ex.channel_stats());
+        }
+        stats
+    }
+
+    /// Shard `k`'s durable artifacts (see [`Executor::durable_state`]).
+    pub fn durable_state(&self, k: usize) -> Option<(Snapshot, EvictionLog)> {
+        self.shards[k].durable_state()
+    }
+
+    /// The deployment-wide checkpoint: every shard's latest boundary
+    /// snapshot under one shard-count header. `None` until every shard
+    /// has checkpointed at least once.
+    pub fn durable_snapshot(&self) -> Option<ShardedSnapshot> {
+        let mut shards = Vec::with_capacity(self.n);
+        for ex in &self.shards {
+            shards.push(ex.latest_snapshot()?.clone());
+        }
+        Some(ShardedSnapshot { shards })
+    }
+
+    /// Recovers crashed shard `k` from its durable artifacts and
+    /// re-feeds it the tail of its partition of `records` (the full
+    /// stream the deployment was running when the shard died), from
+    /// the snapshot's record high-water mark. The recovered shard is
+    /// then bit-identical to one that never crashed — the exactly-once
+    /// replay rule of [`Executor::recover`], applied per shard.
+    pub fn recover_shard(
+        &mut self,
+        k: usize,
+        snapshot: &Snapshot,
+        log: EvictionLog,
+        records: &[Record],
+    ) -> Result<(), RecoveryError> {
+        let mut cfg = self.shard_config(k);
+        cfg.crash = CrashPlan::none();
+        let recovered = cfg.build().recover(snapshot, log)?;
+        let mut ex = recovered;
+        let part: Vec<Record> = records
+            .iter()
+            .filter(|r| shard_of(self.config.seed, r, self.n) == k)
+            .copied()
+            .collect();
+        let resume_at = usize::try_from(snapshot.records_hwm)
+            .unwrap_or(part.len())
+            .min(part.len());
+        ex.run(&part[resume_at..]);
+        self.shards[k] = ex;
+        self.crashes[k] = CrashPlan::none();
+        Ok(())
+    }
+
+    /// Flushes every shard's final epoch and merges the outputs in
+    /// deterministic shard order: reports fold with the commutative
+    /// [`RunReport::merge`], HFTAs combine epoch-by-epoch with
+    /// [`Hfta::merge_ordered`]. With one shard this is a passthrough —
+    /// literally the serial executor's `finish`.
+    pub fn finish(mut self) -> (RunReport, Hfta) {
+        if self.n == 1 {
+            if let Some(ex) = self.shards.drain(..).next() {
+                return ex.finish();
+            }
+        }
+        let queries: Vec<AttrSet> = match self.shards.first() {
+            Some(ex) => ex.queries().to_vec(),
+            None => Vec::new(),
+        };
+        let mut report: Option<RunReport> = None;
+        let mut hftas = Vec::with_capacity(self.shards.len());
+        for ex in self.shards {
+            let (r, h) = ex.finish();
+            match &mut report {
+                Some(acc) => acc.merge(&r),
+                None => report = Some(r),
+            }
+            hftas.push(h);
+        }
+        (
+            report.unwrap_or_default(),
+            Hfta::merge_ordered(queries, &hftas),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanNode;
+    use msa_stream::hash::FastMap;
+    use msa_stream::GroupKey;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    fn phantom_plan() -> PhysicalPlan {
+        PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("AB"),
+                parent: None,
+                buckets: 64,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("A"),
+                parent: Some(0),
+                buckets: 16,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("B"),
+                parent: Some(0),
+                buckets: 16,
+                is_query: true,
+            },
+        ])
+        .unwrap()
+    }
+
+    fn stream(n: u32) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(&[i % 37, i % 23, 0, 0], u64::from(i) * 400))
+            .collect()
+    }
+
+    fn exact(records: &[Record], q: AttrSet) -> FastMap<GroupKey, u64> {
+        let mut m = FastMap::default();
+        for r in records {
+            *m.entry(r.project(q)).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let err = ShardedExecutor::new(phantom_plan(), CostParams::paper(), u64::MAX, 1, 0)
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, ShardError::ZeroShards);
+    }
+
+    #[test]
+    fn partitioner_ignores_timestamps_and_covers_all_shards() {
+        let recs = stream(2000);
+        for &n in &[2usize, 4, 8] {
+            let mut seen = vec![0u64; n];
+            for r in &recs {
+                let k = shard_of(42, r, n);
+                assert!(k < n);
+                seen[k] += 1;
+                let shifted = Record {
+                    attrs: r.attrs,
+                    ts_micros: r.ts_micros + 999_999,
+                };
+                assert_eq!(shard_of(42, &shifted, n), k, "timestamp must not matter");
+            }
+            assert!(seen.iter().all(|&c| c > 0), "all {n} shards reached");
+        }
+    }
+
+    #[test]
+    fn one_shard_is_bit_identical_to_serial() {
+        let recs = stream(5000);
+        let mut serial = Executor::new(phantom_plan(), CostParams::paper(), 500_000, 7);
+        serial.run(&recs);
+        let (sr, sh) = serial.finish();
+        let mut one =
+            ShardedExecutor::new(phantom_plan(), CostParams::paper(), 500_000, 7, 1).unwrap();
+        one.run(&recs);
+        let (or_, oh) = one.finish();
+        assert_eq!(sr, or_);
+        assert_eq!(sh.results(), oh.results());
+    }
+
+    #[test]
+    fn sharded_results_match_serial_per_epoch() {
+        let recs = stream(6000);
+        let mut serial = Executor::new(phantom_plan(), CostParams::paper(), 500_000, 7);
+        serial.run(&recs);
+        let (_, sh) = serial.finish();
+        for &n in &[2usize, 4] {
+            let mut sharded =
+                ShardedExecutor::new(phantom_plan(), CostParams::paper(), 500_000, 7, n).unwrap();
+            sharded.run(&recs);
+            let (report, hfta) = sharded.finish();
+            assert_eq!(report.records, recs.len() as u64);
+            // Lossless, guard-off: the merged per-epoch result list is
+            // exactly the serial one, not just the totals.
+            assert_eq!(hfta.results(), sh.results(), "{n} shards");
+            for q in [s("A"), s("B")] {
+                assert_eq!(hfta.totals(q), exact(&recs, q));
+            }
+        }
+    }
+
+    #[test]
+    fn two_threaded_runs_are_bit_identical() {
+        let recs = stream(6000);
+        let run = || {
+            let mut sharded =
+                ShardedExecutor::new(phantom_plan(), CostParams::paper(), 500_000, 11, 4).unwrap();
+            sharded.run(&recs);
+            sharded.finish()
+        };
+        let (r1, h1) = run();
+        let (r2, h2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(h1.results(), h2.results());
+    }
+
+    #[test]
+    fn shard_seeds_and_plans_are_derived() {
+        let sharded =
+            ShardedExecutor::new(phantom_plan(), CostParams::paper(), u64::MAX, 3, 4).unwrap();
+        // Derived seeds are distinct from each other and the root.
+        let mut seeds: Vec<u64> = (0..4).map(|k| shard_seed(3, k, 4)).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4);
+        assert!(!seeds.contains(&3));
+        // Tables are cut to a quarter.
+        assert_eq!(sharded.shard(0).plan().nodes()[0].buckets, 16);
+        assert_eq!(sharded.shard(0).plan().nodes()[1].buckets, 4);
+    }
+}

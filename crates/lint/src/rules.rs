@@ -109,6 +109,14 @@ pub const CATALOG: &[Rule] = &[
         check: d004_float_eq,
     },
     Rule {
+        id: "D005",
+        group: "determinism",
+        severity: Severity::Error,
+        summary: "no thread spawning outside crates/gigascope/src/shard.rs and crates/bench",
+        help: "route concurrency through shard::ShardedExecutor, whose merge order is deterministic; ad-hoc threads leak scheduling into results",
+        check: d005_thread_spawn,
+    },
+    Rule {
         id: "R001",
         group: "robustness",
         severity: Severity::Error,
@@ -289,6 +297,41 @@ fn d004_float_eq(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
                 ctx,
                 t,
                 format!("exact float `{}` comparison in model code", t.text),
+            ));
+        }
+    }
+    out
+}
+
+/// D005 — thread spawning outside the sharded runtime. All OS-thread
+/// concurrency must flow through `shard::ShardedExecutor`, whose
+/// shard-then-sequence merge keeps results independent of scheduling;
+/// a `spawn` call anywhere else can leak thread interleaving into
+/// deterministic state. `crates/bench` is exempt (wall-clock harnesses
+/// may thread freely), as is test code.
+fn d005_thread_spawn(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.rel_path == "crates/gigascope/src/shard.rs"
+        || ctx.crate_dir() == Some("bench")
+        || ctx.is_test_path()
+    {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "spawn" {
+            continue;
+        }
+        // `thread::spawn(…)`, `scope.spawn(…)`, `Builder::…::spawn(…)` —
+        // any call position counts; a bare identifier (e.g. a local
+        // named `spawn`) does not.
+        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if is_call && !ctx.in_test_span(t.line) {
+            out.push(finding(
+                rule,
+                ctx,
+                t,
+                "thread `spawn` outside crates/gigascope/src/shard.rs".to_owned(),
             ));
         }
     }

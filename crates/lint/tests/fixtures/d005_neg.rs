@@ -1,0 +1,19 @@
+//! FIXTURE (D005 negative): no thread creation; `spawn` appears only
+//! as a plain identifier and inside test code.
+pub fn sequential_sum(parts: &[Vec<u64>]) -> u64 {
+    parts.iter().map(|p| p.iter().sum::<u64>()).sum()
+}
+
+/// A field named `spawn` is not a call.
+pub struct Knobs {
+    pub spawn: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_in_tests_are_fine() {
+        let h = std::thread::spawn(|| 1u64);
+        assert_eq!(h.join().unwrap_or(0), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! FIXTURE (D005 positive): ad-hoc thread spawning in engine code.
+use std::thread;
+
+pub fn fan_out(parts: Vec<Vec<u64>>) -> u64 {
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|p| thread::spawn(move || p.iter().sum::<u64>()))
+        .collect();
+    let mut total = 0;
+    for h in handles {
+        total += h.join().unwrap_or(0);
+    }
+    total
+}
+
+pub fn scoped(parts: &[Vec<u64>]) -> u64 {
+    std::thread::scope(|s| {
+        let hs: Vec<_> = parts
+            .iter()
+            .map(|p| s.spawn(move || p.iter().sum::<u64>()))
+            .collect();
+        hs.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    })
+}

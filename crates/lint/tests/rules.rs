@@ -62,6 +62,24 @@ fn d004_float_eq() {
 }
 
 #[test]
+fn d005_thread_spawn() {
+    let pos = include_str!("fixtures/d005_pos.rs");
+    let neg = include_str!("fixtures/d005_neg.rs");
+    let hits = fire_at("crates/gigascope/src/executor.rs", pos, "D005");
+    assert_eq!(hits.len(), 2, "thread::spawn + scope spawn: {hits:?}");
+    assert_eq!(fires("crates/gigascope/src/executor.rs", neg, "D005"), 0);
+    // The sharded runtime is the one sanctioned home for threads.
+    assert_eq!(fires("crates/gigascope/src/shard.rs", pos, "D005"), 0);
+    // crates/bench may thread freely (wall-clock harnesses).
+    assert_eq!(
+        fires("crates/bench/src/bin/shard_scaling.rs", pos, "D005"),
+        0
+    );
+    // Test paths are exempt wholesale.
+    assert_eq!(fires("tests/differential.rs", pos, "D005"), 0);
+}
+
+#[test]
 fn r001_unwrap_expect() {
     let pos = include_str!("fixtures/r001_pos.rs");
     let neg = include_str!("fixtures/r001_neg.rs");

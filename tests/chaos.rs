@@ -473,3 +473,104 @@ fn identical_seeds_produce_identical_run_reports() {
     assert_eq!(hfta_a.results(), hfta_b.results());
     assert!(report_a.records > 0);
 }
+
+/// Sharded determinism sweep: across 20 root seeds, a threaded 4-shard
+/// chaos run (channel loss + duplication + guard) built twice from
+/// scratch yields bit-identical merged [`RunReport`]s and result lists
+/// — whatever the OS scheduler did to the shard threads — and its
+/// bias-corrected per-query totals match the serial executor's on the
+/// same stream. Probe/eviction cost counters legitimately differ from
+/// serial (each shard hashes into a smaller table with its own derived
+/// seed), so equivalence is asserted on counts, not costs.
+#[test]
+fn sharded_chaos_runs_are_deterministic_across_seeds() {
+    use msa_core::ShardedExecutor;
+    for seed in 0..20u64 {
+        let records = UniformStreamBuilder::new(4, 90)
+            .records(1_500)
+            .duration_secs(3.0)
+            .seed(seed ^ 0xC0A5)
+            .build()
+            .records;
+        let faults = FaultPlan::new(seed.wrapping_mul(0x9E37))
+            .with_eviction_loss(0.06)
+            .with_eviction_duplication(0.03);
+        let sharded = || {
+            let mut sx = ShardedExecutor::new(
+                phantom_plan(64, 16),
+                CostParams::paper(),
+                1_000_000,
+                seed,
+                4,
+            )
+            .unwrap()
+            .with_faults(&faults)
+            .with_guard(GuardPolicy::new(4_000.0));
+            sx.run(&records);
+            sx.finish()
+        };
+        let (report_a, hfta_a) = sharded();
+        let (report_b, hfta_b) = sharded();
+        assert_eq!(report_a, report_b, "seed {seed}: merged report");
+        assert_eq!(hfta_a.results(), hfta_b.results(), "seed {seed}: results");
+        let mut serial = Executor::new(phantom_plan(64, 16), CostParams::paper(), 1_000_000, seed)
+            .with_faults(&faults)
+            .with_guard(GuardPolicy::new(4_000.0));
+        serial.run(&records);
+        let (serial_report, serial_hfta) = serial.finish();
+        assert_eq!(report_a.records, serial_report.records, "seed {seed}");
+        for q in [s("A"), s("B")] {
+            let sharded_total: u64 = hfta_a.totals(q).values().sum();
+            let serial_total: u64 = serial_hfta.totals(q).values().sum();
+            // Both paths are exact after correcting their own bias.
+            assert_eq!(
+                sharded_total as i64 - report_a.count_bias(q),
+                records.len() as i64,
+                "seed {seed}: sharded bias-corrected total for {q}"
+            );
+            assert_eq!(
+                serial_total as i64 - serial_report.count_bias(q),
+                records.len() as i64,
+                "seed {seed}: serial bias-corrected total for {q}"
+            );
+        }
+    }
+}
+
+/// Lossless sharded chaos (burst + clock skew, no channel faults): the
+/// merged totals equal both a naive recount and the serial executor's
+/// totals, for every seed.
+#[test]
+fn sharded_lossless_chaos_matches_serial_totals() {
+    use msa_core::ShardedExecutor;
+    for seed in 0..20u64 {
+        let base = UniformStreamBuilder::new(4, 60)
+            .records(1_200)
+            .duration_secs(3.0)
+            .seed(seed ^ 0xB00)
+            .build()
+            .records;
+        let disturb = FaultPlan::new(seed)
+            .with_burst(Burst {
+                start_epoch: 1,
+                epochs: 1,
+                amplification: 3,
+                fresh_groups: seed % 2 == 0,
+            })
+            .with_clock_skew(150_000);
+        let records = disturb.apply_to_stream(&base, 1_000_000);
+        let mut sx =
+            ShardedExecutor::new(phantom_plan(32, 8), CostParams::paper(), 1_000_000, seed, 3)
+                .unwrap();
+        sx.run(&records);
+        let (_, hfta) = sx.finish();
+        let mut serial = Executor::new(phantom_plan(32, 8), CostParams::paper(), 1_000_000, seed);
+        serial.run(&records);
+        let (_, serial_hfta) = serial.finish();
+        for q in [s("A"), s("B")] {
+            let want = exact(&records, q);
+            assert_eq!(hfta.totals(q), want, "seed {seed}: query {q}");
+            assert_eq!(serial_hfta.totals(q), want, "seed {seed}: serial {q}");
+        }
+    }
+}

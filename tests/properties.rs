@@ -369,3 +369,79 @@ fn trace_io_roundtrips() {
         assert_eq!(decoded, narrowed);
     }
 }
+
+/// The shard partitioner is a pure function of the root seed and the
+/// record's grouping attributes: timestamps never influence placement,
+/// equal attribute vectors always co-locate, and every assignment is
+/// stable across calls and within range.
+#[test]
+fn partitioner_is_pure_in_seed_and_key() {
+    use msa_core::shard_of;
+    let mut rng = SplitMix64::new(0xC4A);
+    for _ in 0..80 {
+        let records = record_batch(&mut rng);
+        let seed = rng.next_u64();
+        let shards = 1 + rng.gen_index(8);
+        let mut by_attrs: FastMap<[u32; 8], usize> = FastMap::default();
+        for r in &records {
+            let k = shard_of(seed, r, shards);
+            assert!(k < shards, "assignment within range");
+            // Stable across calls.
+            assert_eq!(k, shard_of(seed, r, shards));
+            // Timestamps are ignored.
+            let shifted = Record {
+                ts_micros: r.ts_micros.wrapping_add(rng.next_u64()),
+                ..*r
+            };
+            assert_eq!(k, shard_of(seed, &shifted, shards));
+            // Equal keys co-locate.
+            match by_attrs.entry(r.attrs) {
+                std::collections::hash_map::Entry::Occupied(e) => assert_eq!(*e.get(), k),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(k);
+                }
+            }
+        }
+        // A single shard degenerates to the identity placement.
+        for r in &records {
+            assert_eq!(shard_of(seed, r, 1), 0);
+        }
+    }
+}
+
+/// Permuting the arrival order of a stream never changes the final
+/// per-group counts of a sharded run — aggregation is
+/// order-insensitive, so within one epoch any interleaving of the same
+/// multiset of records yields the same totals (and they equal a naive
+/// recount).
+#[test]
+fn shard_totals_are_arrival_order_invariant() {
+    use msa_core::ShardedExecutor;
+    let mut rng = SplitMix64::new(0xD5B);
+    for _ in 0..20 {
+        let queries = query_set(&mut rng);
+        let mut records = record_batch(&mut rng);
+        let shards = 1 + rng.gen_index(8);
+        let seed = rng.next_u64();
+        let plan =
+            PhysicalPlan::flat(&queries.iter().map(|&q| (q, 8)).collect::<Vec<_>>()).unwrap();
+        let run = |records: &[Record]| {
+            let mut sx =
+                ShardedExecutor::new(plan.clone(), CostParams::paper(), u64::MAX, seed, shards)
+                    .unwrap();
+            sx.run(records);
+            sx.finish()
+        };
+        let (_, baseline) = run(&records);
+        // Fisher–Yates shuffle driven by the deterministic generator.
+        for i in (1..records.len()).rev() {
+            records.swap(i, rng.gen_index(i + 1));
+        }
+        let (_, shuffled) = run(&records);
+        for &q in &queries {
+            let want = exact(&records, q);
+            assert_eq!(baseline.totals(q), want, "query {q} vs naive recount");
+            assert_eq!(shuffled.totals(q), want, "query {q} after permutation");
+        }
+    }
+}

@@ -432,3 +432,54 @@ fn mid_epoch_capture_is_refused() {
     assert_eq!(snap.records_hwm, 100);
     assert!(snap.plan_fingerprint != 0);
 }
+
+/// Shard-local recovery: crash one shard of a 4-shard deployment
+/// mid-epoch (after a handful of eviction offers, i.e. during a flush
+/// or cascade), recover it from its own snapshot + eviction log, and
+/// the merged HFTA matches the **serial** executor's no-crash run on
+/// the same stream — full per-epoch result equality, since the
+/// channels are lossless.
+#[test]
+fn crashed_shard_recovers_to_match_serial_run() {
+    use msa_core::ShardedExecutor;
+    for seed in [3u64, 11, 42] {
+        let records = stream(seed);
+        // Serial reference that never crashes.
+        let mut serial = executor(seed);
+        serial.run(&records);
+        let (_, want_hfta) = serial.finish();
+        let build = || {
+            ShardedExecutor::new(phantom_plan(), CostParams::paper(), EPOCH, seed, 4)
+                .unwrap()
+                .with_durability()
+        };
+        for crash_shard in [0usize, 2] {
+            // A few offers into the shard's run lands the fuse inside an
+            // epoch — after the genesis checkpoint, before the final
+            // flush — so recovery must replay suffix records and
+            // deduplicate already-logged evictions.
+            let mut sx = build().with_crash(crash_shard, CrashPlan::after_offers(7));
+            sx.run(&records);
+            assert_eq!(sx.crashed_shards(), vec![crash_shard], "seed {seed}");
+            let (snapshot, log) = sx
+                .durable_state(crash_shard)
+                .expect("crashed shard has durable artifacts");
+            assert!(
+                snapshot.records_hwm < records.len() as u64,
+                "seed {seed}: crash landed mid-stream"
+            );
+            sx.recover_shard(crash_shard, &snapshot, log, &records)
+                .expect("shard recovery succeeds");
+            let (report, hfta) = sx.finish();
+            assert_eq!(report.records, records.len() as u64, "seed {seed}");
+            assert_eq!(
+                hfta.results(),
+                want_hfta.results(),
+                "seed {seed}, shard {crash_shard}: merged results vs serial no-crash run"
+            );
+            for q in [s("A"), s("B")] {
+                assert_eq!(hfta.totals(q), want_hfta.totals(q), "seed {seed} {q}");
+            }
+        }
+    }
+}
