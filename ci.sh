@@ -15,8 +15,11 @@ fi
 echo "==> cargo build --offline --release"
 cargo build --offline --release --workspace
 
-echo "==> cargo test --offline -q"
-cargo test --offline --workspace -q
+# A wedged shard (a thread stuck inside one `process` call) is invisible
+# to the in-process supervisor; the hard timeout is the outer tripwire
+# that turns a hang into a CI failure instead of a stalled pipeline.
+echo "==> cargo test --offline -q (hard timeout 1800s)"
+timeout 1800 cargo test --offline --workspace -q
 
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
@@ -24,8 +27,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> msa-lint: rule catalog"
 rules=$(cargo run --offline --release -q -p msa-lint -- --list-rules | wc -l)
 echo "msa-lint: $rules rules registered"
-if [ "$rules" -lt 9 ]; then
-    echo "error: msa-lint catalog shrank to $rules rules (expected >= 9);" \
+if [ "$rules" -lt 10 ]; then
+    echo "error: msa-lint catalog shrank to $rules rules (expected >= 10);" \
         "a rule was compiled out" >&2
     exit 1
 fi
@@ -37,7 +40,13 @@ echo "==> differential battery (reduced matrix)"
 # The full {shards} x {faults} x {guard} x {crash points} matrix runs in
 # the workspace test step above; this re-runs the sharded-vs-serial
 # battery at the reduced CI matrix to prove the MSA_SCALE knob works.
-MSA_SCALE=0.05 cargo test --offline -q --test differential
+MSA_SCALE=0.05 timeout 900 cargo test --offline -q --test differential
+
+echo "==> supervision drill matrix (reduced matrix)"
+# {panic, stall, poison} x {shards} x {guard on/off}: each cell must be
+# deterministic across two runs and, where replay covers the outage,
+# bit-identical to the fault-free serial run.
+MSA_SCALE=0.05 timeout 900 cargo test --offline -q --test supervision
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

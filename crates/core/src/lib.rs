@@ -51,8 +51,9 @@ pub use msa_gigascope::table::AggState;
 pub use msa_gigascope::{
     shard_of, shard_seed, Burst, ChannelFaults, CostParams, CrashPlan, EvictionChannel,
     EvictionLog, Executor, ExecutorConfig, FaultPlan, GuardLevel, GuardPolicy, GuardTransition,
-    Hfta, OverloadGuard, PhysicalPlan, RecoveryError, RunReport, ShardError, ShardedExecutor,
-    ShardedSnapshot, Snapshot, SnapshotError,
+    Hfta, OverloadGuard, PhysicalPlan, PoisonRecord, RecoveryError, RunReport, ShardError,
+    ShardFault, ShardHealth, ShardHeartbeat, ShardState, ShardedExecutor, ShardedSnapshot,
+    Snapshot, SnapshotError, SupervisorPolicy,
 };
 pub use msa_optimizer::{
     Algorithm, AllocStrategy, ClusterHandling, Configuration, Plan, Planner, PlannerOptions,

@@ -73,6 +73,13 @@ pub struct ChannelStats {
     pub duplicated: u64,
     /// The subset of `dropped` caused by the per-epoch capacity bound.
     pub overflowed: u64,
+    /// Record mass stranded by shutdown rather than a channel fault:
+    /// feed records still in flight when a crashed shard's feed closed,
+    /// replay-buffer overruns, and per-query mass left in an abandoned
+    /// shard's tables or open epoch. Kept out of `dropped` (those are
+    /// eviction-level fault counts); the per-query record corrections
+    /// live in the run report's drop/shed ledgers.
+    pub shutdown_lost: u64,
 }
 
 impl ChannelStats {
@@ -84,6 +91,7 @@ impl ChannelStats {
         self.dropped += other.dropped;
         self.duplicated += other.duplicated;
         self.overflowed += other.overflowed;
+        self.shutdown_lost += other.shutdown_lost;
     }
 }
 
@@ -169,6 +177,14 @@ impl EvictionChannel {
     /// Closes the epoch window: resets the per-epoch capacity budget.
     pub fn end_epoch(&mut self) {
         self.epoch_sent = 0;
+    }
+
+    /// Accounts `n` units of record mass lost to shutdown (a feed
+    /// closing on a dead shard, a replay-buffer overrun, or an
+    /// abandoned shard's stranded tables) — the drop ledger's answer to
+    /// "where did the in-flight records go".
+    pub fn account_shutdown_loss(&mut self, n: u64) {
+        self.stats.shutdown_lost += n;
     }
 
     /// Cumulative accounting.
@@ -282,12 +298,14 @@ mod tests {
             dropped: 3,
             duplicated: 2,
             overflowed: 1,
+            shutdown_lost: 4,
         };
         let b = ChannelStats {
             delivered: 7,
             dropped: 0,
             duplicated: 5,
             overflowed: 0,
+            shutdown_lost: 2,
         };
         let mut ab = a;
         ab.merge(&b);
@@ -298,6 +316,19 @@ mod tests {
         assert_eq!(ab.dropped, 3);
         assert_eq!(ab.duplicated, 7);
         assert_eq!(ab.overflowed, 1);
+        assert_eq!(ab.shutdown_lost, 6);
+    }
+
+    #[test]
+    fn shutdown_loss_rides_its_own_ledger() {
+        let mut ch = EvictionChannel::lossless();
+        ch.offer();
+        ch.account_shutdown_loss(9);
+        assert_eq!(ch.stats().shutdown_lost, 9);
+        assert_eq!(ch.stats().dropped, 0, "not conflated with fault drops");
+        // The ledger survives a checkpoint round-trip.
+        let resumed = EvictionChannel::from_state(&ch.export_state());
+        assert_eq!(resumed.stats().shutdown_lost, 9);
     }
 
     #[test]

@@ -94,6 +94,21 @@ pub struct RunReport {
     /// Per-epoch channel faults: `(epoch, dropped, duplicated)`,
     /// recorded only for epochs where at least one fault fired.
     pub epoch_faults: Vec<(u64, u64, u64)>,
+    /// Times the shard supervisor restarted a shard from its snapshot
+    /// (a panic boundary caught a death, or the stuck deadline fired).
+    pub shard_restarts: u64,
+    /// Records quarantined as poison: each deterministically killed its
+    /// shard `poison_threshold` consecutive times and was skipped. They
+    /// are included in `records` and every query undercounts by exactly
+    /// this many; the typed per-record reports live in
+    /// [`crate::supervise::PoisonRecord`].
+    pub records_poisoned: u64,
+    /// Records that could not be replayed after a restart because they
+    /// had already left the bounded replay buffer. Counted into
+    /// `records_shed` (they degrade through the same explicit ledger as
+    /// guard shedding), and broken out here so operators can tell
+    /// replay-buffer overruns from overload.
+    pub records_unreplayed: u64,
     /// Cost parameters used.
     pub costs: CostParams,
 }
@@ -149,14 +164,16 @@ impl RunReport {
     /// Exact count bias of `query`: `observed_total − true_total`.
     ///
     /// Every processed record contributes one count to every query, so
-    /// shedding undercounts each query by `records_shed`; channel drops
-    /// and duplicates shift the count by the dropped/duplicated record
-    /// mass. The identity `observed = true + count_bias(q)` holds
-    /// exactly — the chaos tests assert it per injected event.
+    /// shedding undercounts each query by `records_shed` and poison
+    /// quarantine by `records_poisoned`; channel drops and duplicates
+    /// shift the count by the dropped/duplicated record mass. The
+    /// identity `observed = true + count_bias(q)` holds exactly — the
+    /// chaos tests assert it per injected event.
     pub fn count_bias(&self, query: AttrSet) -> i64 {
         self.duplicated_records_for(query) as i64
             - self.dropped_records_for(query) as i64
             - self.records_shed as i64
+            - self.records_poisoned as i64
     }
 
     /// Folds `other` into `self` (an engine retiring one executor of a
@@ -184,6 +201,9 @@ impl RunReport {
         self.evictions_duplicated += other.evictions_duplicated;
         self.epochs = self.epochs.max(other.epochs);
         self.epochs_degraded += other.epochs_degraded;
+        self.shard_restarts += other.shard_restarts;
+        self.records_poisoned += other.records_poisoned;
+        self.records_unreplayed += other.records_unreplayed;
         for &(q, n) in &other.dropped_records {
             RunReport::bump(&mut self.dropped_records, q, n);
         }
@@ -834,6 +854,84 @@ impl Executor {
         self.crashed
     }
 
+    /// Supervisor hook: counts one supervised restart of this shard
+    /// (a panic boundary caught a death, or the stuck deadline fired).
+    pub(crate) fn note_restart(&mut self) {
+        self.report.shard_restarts += 1;
+    }
+
+    /// Supervisor hook: a poison record was quarantined instead of
+    /// processed. It counts as seen, and every query undercounts by
+    /// exactly one — `count_bias` carries the correction.
+    pub(crate) fn absorb_poisoned(&mut self) {
+        self.report.records += 1;
+        self.report.records_poisoned += 1;
+    }
+
+    /// Supervisor hook: `n` feed records could not be replayed after a
+    /// restart because the bounded replay buffer had already evicted
+    /// them. They degrade through the same explicit ledger as overload
+    /// shedding (seen, shed, bias-corrected), broken out as
+    /// `records_unreplayed` so operators can tell buffer overruns from
+    /// guard pressure.
+    pub(crate) fn absorb_replay_gap(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.report.records += n;
+        self.report.records_shed += n;
+        self.report.records_unreplayed += n;
+        self.channel.account_shutdown_loss(n);
+    }
+
+    /// Shutdown hook: `n` records were still in flight on this shard's
+    /// feed when it closed (the shard had crashed and nobody drained
+    /// them). They are counted into the shed/bias ledger — never
+    /// silently dropped — and tallied on the channel's shutdown stat.
+    pub(crate) fn absorb_shutdown_loss(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.report.records += n;
+        self.report.records_shed += n;
+        self.channel.account_shutdown_loss(n);
+    }
+
+    /// A crash fuse fired and nobody recovered this executor before
+    /// `finish`: the record mass still sitting in its LFTA tables,
+    /// drained mid-flush, or parked in the HFTA's open-epoch combining
+    /// maps will never reach a finished result. Account it into the
+    /// per-query drop ledger exactly, so `observed = true +
+    /// count_bias(q)` keeps holding on an abandoned deployment instead
+    /// of silently undercounting.
+    fn account_abandonment(&mut self) {
+        if !self.hfta.retains_results() {
+            return;
+        }
+        let processed = self.report.records
+            - self.report.filtered_out
+            - self.report.records_shed
+            - self.report.records_poisoned;
+        let mut total_stranded = 0u64;
+        for &q in &self.queries {
+            let observed: u64 = self.hfta.totals(q).values().sum();
+            // Every processed record owes one count to `q`; what was
+            // neither finished nor already ledgered as dropped is
+            // stranded in a table or an open epoch.
+            let expected = processed + self.report.duplicated_records_for(q);
+            let reachable = observed + self.report.dropped_records_for(q);
+            let stranded = expected.saturating_sub(reachable);
+            if stranded > 0 {
+                RunReport::bump(&mut self.report.dropped_records, q, stranded);
+                total_stranded += stranded;
+            }
+        }
+        self.report.dropped_records.sort_by_key(|(q, _)| q.bits());
+        if total_stranded > 0 {
+            self.channel.account_shutdown_loss(total_stranded);
+        }
+    }
+
     /// What a crash leaves behind: the latest boundary checkpoint plus
     /// the write-ahead log (the durable artifacts recovery consumes).
     /// `None` before the first checkpoint exists.
@@ -939,6 +1037,9 @@ impl Executor {
     /// Like [`Executor::finish`], additionally handing back the guard so
     /// its state can be transplanted into a successor executor.
     pub fn finish_parts(mut self) -> (RunReport, Hfta, Option<OverloadGuard>) {
+        if self.crashed {
+            self.account_abandonment();
+        }
         self.flush_epoch();
         (self.report, self.hfta, self.guard)
     }
@@ -1455,6 +1556,9 @@ mod tests {
             }],
             epoch_costs: vec![(0, 1.5, 2.5), (1, 3.0, 4.0), (2, 0.25, 0.5)],
             epoch_faults: vec![(1, 2, 0), (2, 1, 1)],
+            shard_restarts: 1,
+            records_poisoned: 2,
+            records_unreplayed: 0,
             costs: CostParams::paper(),
         };
         let b = RunReport {
@@ -1487,6 +1591,9 @@ mod tests {
             ],
             epoch_costs: vec![(1, 0.125, 8.0), (3, 6.0, 7.0)],
             epoch_faults: vec![(1, 0, 3)],
+            shard_restarts: 2,
+            records_poisoned: 0,
+            records_unreplayed: 4,
             costs: CostParams::paper(),
         };
         let mut ab = a.clone();
@@ -1501,6 +1608,9 @@ mod tests {
         assert_eq!(ab.epoch_costs.len(), 4);
         assert_eq!(ab.epoch_costs[1], (1, 3.0 + 0.125, 4.0 + 8.0));
         assert_eq!(ab.epoch_faults, vec![(1, 2, 3), (2, 1, 1)]);
+        assert_eq!(ab.shard_restarts, 3);
+        assert_eq!(ab.records_poisoned, 2);
+        assert_eq!(ab.records_unreplayed, 4);
         // Merging commutes with itself repeatedly (fold in any order).
         let mut fold1 = RunReport {
             costs: CostParams::paper(),

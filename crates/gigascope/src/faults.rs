@@ -94,6 +94,80 @@ impl CrashPlan {
     }
 }
 
+/// A declarative shard-level fault: the disturbances the shard
+/// supervisor ([`crate::supervise`]) must absorb without aborting the
+/// deployment. Both fuses count **shard-local** record indices (the
+/// position in the shard's own partition), so a fault measured on a
+/// baseline run lands at the identical pipeline state when replayed.
+///
+/// * **panic** — the shard thread panics right before processing the
+///   record at `panic_at_record`, `panic_times` consecutive times. One
+///   firing models a transient fault (the supervisor restarts the shard
+///   from its checkpoint and replay makes the run bit-identical to a
+///   fault-free one); firings at or above the supervisor's poison
+///   threshold model a poison record, which gets quarantined.
+/// * **stall** — upon reaching `stall_at_record` the shard stops making
+///   progress while input keeps arriving. It resumes on its own after
+///   `stall_records` further records have been fed, unless the
+///   supervisor's stuck deadline expires first and restarts it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardFault {
+    /// Panic before processing the shard-local record with this index.
+    pub panic_at_record: Option<u64>,
+    /// Consecutive times the panic fires before clearing (0 is
+    /// normalized to 1 when a panic fuse is armed).
+    pub panic_times: u32,
+    /// Stop making progress upon reaching this shard-local record index.
+    pub stall_at_record: Option<u64>,
+    /// Records that must arrive while stalled before the shard resumes
+    /// on its own.
+    pub stall_records: u64,
+}
+
+impl ShardFault {
+    /// No shard fault.
+    pub fn none() -> ShardFault {
+        ShardFault::default()
+    }
+
+    /// A transient panic: the shard dies once, right before processing
+    /// shard-local record `index`.
+    pub fn panic_at(index: u64) -> ShardFault {
+        ShardFault {
+            panic_at_record: Some(index),
+            panic_times: 1,
+            ..ShardFault::default()
+        }
+    }
+
+    /// A deterministic killer: the panic at `index` re-fires `times`
+    /// consecutive times — at or above the supervisor's poison
+    /// threshold this models a poison record.
+    pub fn panic_repeating(index: u64, times: u32) -> ShardFault {
+        ShardFault {
+            panic_at_record: Some(index),
+            panic_times: times.max(1),
+            ..ShardFault::default()
+        }
+    }
+
+    /// A stall: the shard stops at shard-local record `index` and
+    /// resumes only after `records` further records have arrived (or
+    /// the supervisor restarts it, whichever the deadline decides).
+    pub fn stall_at(index: u64, records: u64) -> ShardFault {
+        ShardFault {
+            stall_at_record: Some(index),
+            stall_records: records,
+            ..ShardFault::default()
+        }
+    }
+
+    /// True if no fault is armed.
+    pub fn is_none(&self) -> bool {
+        self.panic_at_record.is_none() && self.stall_at_record.is_none()
+    }
+}
+
 /// A seeded, declarative fault-injection plan.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultPlan {

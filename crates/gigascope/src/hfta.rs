@@ -141,6 +141,13 @@ impl Hfta {
         &self.finished
     }
 
+    /// True when finished per-epoch results are retained (the default;
+    /// see [`Hfta::discard_results`]). Abandonment accounting needs the
+    /// finished totals, so it only runs in this mode.
+    pub fn retains_results(&self) -> bool {
+        self.retain_results
+    }
+
     /// Number of partials sitting in the still-open epoch's combining
     /// maps — zero exactly at an epoch boundary, which is the alignment
     /// condition checkpoints require.

@@ -36,7 +36,12 @@
 //! * [`shard`] — hash-partitioned multi-core execution: `N` shard
 //!   executors on OS threads behind bounded feeds, merged into one
 //!   deterministic result independent of thread scheduling (see
-//!   [`shard::ShardedExecutor`]).
+//!   [`shard::ShardedExecutor`]);
+//! * [`supervise`] — self-healing shard supervision: panic isolation
+//!   behind a single `catch_unwind` boundary, record-counted
+//!   stuck-shard detection, live restart from epoch-aligned
+//!   checkpoints with bounded-buffer replay, poison-record quarantine
+//!   and explicit degradation accounting.
 
 #![deny(unsafe_code)]
 
@@ -48,11 +53,12 @@ pub mod hfta;
 pub mod plan;
 pub mod shard;
 pub mod snapshot;
+pub mod supervise;
 pub mod table;
 
 pub use channel::{ChannelFaults, ChannelStats, Delivery, EvictionChannel};
 pub use executor::{Executor, ExecutorConfig, RunReport, ValueSource};
-pub use faults::{Burst, CrashPlan, FaultPlan};
+pub use faults::{Burst, CrashPlan, FaultPlan, ShardFault};
 pub use guard::{GuardLevel, GuardPolicy, GuardTransition, OverloadGuard};
 pub use hfta::Hfta;
 pub use plan::{PhysicalPlan, PlanNode};
@@ -60,6 +66,7 @@ pub use shard::{shard_of, shard_seed, ShardError, ShardedExecutor};
 pub use snapshot::{
     EvictionLog, LogEntry, RecoveryError, ShardedSnapshot, Snapshot, SnapshotError,
 };
+pub use supervise::{PoisonRecord, ShardHealth, ShardHeartbeat, ShardState, SupervisorPolicy};
 pub use table::{LftaTable, Probe};
 
 /// Cost parameters of the two-level architecture.

@@ -94,6 +94,13 @@ impl PhysicalPlan {
             .map(|(i, _)| i)
     }
 
+    /// The attribute sets of the query nodes, in slot order — the
+    /// queries a record feeds, which is what a poison-record report
+    /// names as the blast radius of a quarantined record.
+    pub fn query_attrs(&self) -> Vec<AttrSet> {
+        self.query_nodes().map(|i| self.nodes[i].attrs).collect()
+    }
+
     /// Total space in 4-byte words (`Σ buckets·(arity+1)`), the quantity
     /// bounded by the LFTA memory limit `M`.
     pub fn space_words(&self) -> usize {

@@ -25,14 +25,16 @@
 
 use crate::channel::ChannelStats;
 use crate::executor::{Executor, ExecutorConfig, RunReport, ValueSource};
-use crate::faults::{CrashPlan, FaultPlan};
+use crate::faults::{CrashPlan, FaultPlan, ShardFault};
 use crate::guard::GuardPolicy;
 use crate::hfta::Hfta;
 use crate::plan::PhysicalPlan;
 use crate::snapshot::{EvictionLog, RecoveryError, ShardedSnapshot, Snapshot};
+use crate::supervise::{PoisonRecord, ShardDriver, ShardHealth, ShardHeartbeat, SupervisorPolicy};
 use crate::CostParams;
 use msa_stream::hash::mix64;
 use msa_stream::{AttrSet, Filter, Record};
+use std::sync::Arc;
 
 /// Domain-separation salt for the partitioner's hash chain.
 const PARTITION_SALT: u64 = 0x5348_4152_4450_4152;
@@ -112,7 +114,11 @@ impl std::error::Error for ShardError {}
 pub struct ShardedExecutor {
     config: ExecutorConfig,
     crashes: Vec<CrashPlan>,
+    shard_faults: Vec<ShardFault>,
+    policy: SupervisorPolicy,
     shards: Vec<Executor>,
+    health: Vec<ShardHealth>,
+    heartbeats: Vec<Arc<ShardHeartbeat>>,
     n: usize,
 }
 
@@ -134,7 +140,13 @@ impl ShardedExecutor {
         let mut sharded = ShardedExecutor {
             config: ExecutorConfig::new(plan, costs, epoch_micros, seed),
             crashes: vec![CrashPlan::none(); shards],
+            shard_faults: vec![ShardFault::none(); shards],
+            policy: SupervisorPolicy::default(),
             shards: Vec::new(),
+            health: vec![ShardHealth::default(); shards],
+            heartbeats: (0..shards)
+                .map(|_| Arc::new(ShardHeartbeat::default()))
+                .collect(),
             n: shards,
         };
         sharded.rebuild();
@@ -143,7 +155,11 @@ impl ShardedExecutor {
 
     /// The executor configuration of shard `k`: the serial recipe with
     /// the plan split `N` ways, the shard's derived hash and fault
-    /// seeds, its slice of the guard budget, and its crash fuses.
+    /// seeds, its slice of the guard budget, and its crash fuses. A
+    /// shard with an armed [`ShardFault`] is durable whatever the
+    /// deployment setting — supervised restart recovers from the
+    /// epoch-aligned snapshot, and durability is observation-
+    /// transparent (`durability_does_not_change_results`).
     fn shard_config(&self, k: usize) -> ExecutorConfig {
         let mut cfg = self.config.clone();
         cfg.plan = self.config.plan.split_for_shards(self.n);
@@ -155,6 +171,7 @@ impl ShardedExecutor {
             guard.peak_budget /= self.n as f64;
         }
         cfg.crash = self.crashes[k];
+        cfg.durable = self.config.durable || !self.shard_faults[k].is_none();
         cfg
     }
 
@@ -163,6 +180,7 @@ impl ShardedExecutor {
     /// reconfiguring a serial executor mid-stream would be a new run.
     fn rebuild(&mut self) {
         self.shards = (0..self.n).map(|k| self.shard_config(k).build()).collect();
+        self.health = vec![ShardHealth::default(); self.n];
     }
 
     /// Sets the metric-value source for every shard.
@@ -212,6 +230,46 @@ impl ShardedExecutor {
         self
     }
 
+    /// Arms a supervised [`ShardFault`] on shard `k`: an injected panic
+    /// or stall the shard supervisor must absorb (restart, quarantine
+    /// or explicit degradation) without aborting the deployment. Fuse
+    /// indices are shard-local, like crash fuses.
+    pub fn with_shard_fault(mut self, k: usize, fault: ShardFault) -> ShardedExecutor {
+        self.shard_faults[k] = fault;
+        self.rebuild();
+        self
+    }
+
+    /// Overrides the supervision policy (stuck deadline, poison
+    /// threshold, replay-buffer bound) for every shard.
+    pub fn with_supervision(mut self, policy: SupervisorPolicy) -> ShardedExecutor {
+        self.policy = policy;
+        self.rebuild();
+        self
+    }
+
+    /// Supervision outcome of shard `k` from the runs so far: restarts,
+    /// caught panics, stuck detections, replay volume and quarantined
+    /// poison records.
+    pub fn shard_health(&self, k: usize) -> &ShardHealth {
+        &self.health[k]
+    }
+
+    /// Every quarantined poison record across the deployment, in shard
+    /// order — the typed report behind `RunReport::records_poisoned`.
+    pub fn poison_reports(&self) -> Vec<PoisonRecord> {
+        self.health
+            .iter()
+            .flat_map(|h| h.poisoned.iter().cloned())
+            .collect()
+    }
+
+    /// Shard `k`'s live heartbeat (progress counter + supervision
+    /// state), observable from outside the worker thread.
+    pub fn heartbeat(&self, k: usize) -> Arc<ShardHeartbeat> {
+        Arc::clone(&self.heartbeats[k])
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.n
@@ -251,27 +309,59 @@ impl ShardedExecutor {
     /// the scheduler did.
     pub fn run(&mut self, records: &[Record]) {
         if self.n == 1 {
-            // Single shard: the serial fast path, bit-identical to the
-            // plain executor (no threads, no channel hop).
-            if let Some(ex) = self.shards.first_mut() {
-                ex.run(records);
+            if self.shard_faults[0].is_none() {
+                // Single healthy shard: the serial fast path,
+                // bit-identical to the plain executor (no threads, no
+                // channel hop, no supervision overhead).
+                if let Some(ex) = self.shards.first_mut() {
+                    ex.run(records);
+                }
+                return;
+            }
+            // Single shard with an armed fault: run the supervision
+            // loop inline on the caller's thread — same state machine,
+            // no thread to isolate.
+            if let Some(ex) = self.shards.pop() {
+                let mut driver = ShardDriver::new(
+                    0,
+                    self.shard_config(0),
+                    ex,
+                    self.shard_faults[0],
+                    self.policy,
+                    Arc::clone(&self.heartbeats[0]),
+                );
+                for batch in records.chunks(FEED_BATCH) {
+                    driver.offer(batch);
+                }
+                let (ex, health) = driver.close();
+                self.shards.push(ex);
+                self.health[0].absorb(&health);
             }
             return;
         }
         let executors = std::mem::take(&mut self.shards);
         let root_seed = self.config.seed;
         let n = self.n;
+        let configs: Vec<ExecutorConfig> = (0..n).map(|k| self.shard_config(k)).collect();
+        let policy = self.policy;
         let finished = std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(n);
             let mut handles = Vec::with_capacity(n);
-            for mut ex in executors {
+            for (k, (ex, cfg)) in executors.into_iter().zip(configs).enumerate() {
                 let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<Record>>(FEED_DEPTH);
                 senders.push(tx);
+                let fault = self.shard_faults[k];
+                let heartbeat = Arc::clone(&self.heartbeats[k]);
                 handles.push(scope.spawn(move || {
+                    // Every worker runs the supervision loop: records
+                    // are processed inside supervise.rs's panic
+                    // boundary, so a dying shard restarts from its
+                    // checkpoint instead of killing the deployment.
+                    let mut driver = ShardDriver::new(k, cfg, ex, fault, policy, heartbeat);
                     while let Ok(batch) = rx.recv() {
-                        ex.run(&batch);
+                        driver.offer(&batch);
                     }
-                    ex
+                    driver.close()
                 }));
             }
             let mut bufs: Vec<Vec<Record>> =
@@ -282,7 +372,7 @@ impl ShardedExecutor {
                 if bufs[k].len() == FEED_BATCH {
                     let full = std::mem::replace(&mut bufs[k], Vec::with_capacity(FEED_BATCH));
                     // A send only fails if the shard thread died; the
-                    // join below surfaces the panic.
+                    // join below surfaces the failure.
                     let _ = senders[k].send(full);
                 }
             }
@@ -293,15 +383,21 @@ impl ShardedExecutor {
             }
             drop(senders);
             let mut out = Vec::with_capacity(n);
-            for handle in handles {
+            for (k, handle) in handles.into_iter().enumerate() {
                 match handle.join() {
-                    Ok(ex) => out.push(ex),
-                    Err(panic) => std::panic::resume_unwind(panic),
+                    Ok(result) => out.push(result),
+                    // The supervision boundary lives inside the driver;
+                    // an unwind escaping it is a supervisor bug, not a
+                    // shard fault, and must not be re-raised quietly.
+                    Err(_) => panic!("shard {k} worker died outside the supervision boundary"),
                 }
             }
             out
         });
-        self.shards = finished;
+        for (k, (ex, health)) in finished.into_iter().enumerate() {
+            self.shards.push(ex);
+            self.health[k].absorb(&health);
+        }
     }
 
     /// Merged eviction-channel accounting across all shards.

@@ -349,6 +349,7 @@ impl Snapshot {
         w.u64(self.channel.stats.dropped);
         w.u64(self.channel.stats.duplicated);
         w.u64(self.channel.stats.overflowed);
+        w.u64(self.channel.stats.shutdown_lost);
         // Guard.
         match &self.guard {
             None => w.u8(0),
@@ -400,6 +401,9 @@ impl Snapshot {
         w.keyed_counts(&self.report.dropped_records);
         w.keyed_counts(&self.report.duplicated_records);
         w.u64(self.report.epochs_degraded);
+        w.u64(self.report.shard_restarts);
+        w.u64(self.report.records_poisoned);
+        w.u64(self.report.records_unreplayed);
         w.u64(self.report.guard_transitions.len() as u64);
         for t in &self.report.guard_transitions {
             w.u64(t.epoch);
@@ -450,6 +454,7 @@ impl Snapshot {
                 dropped: r.u64()?,
                 duplicated: r.u64()?,
                 overflowed: r.u64()?,
+                shutdown_lost: r.u64()?,
             },
         };
         let guard = match r.u8()? {
@@ -519,6 +524,9 @@ impl Snapshot {
             dropped_records: r.keyed_counts()?,
             duplicated_records: r.keyed_counts()?,
             epochs_degraded: r.u64()?,
+            shard_restarts: r.u64()?,
+            records_poisoned: r.u64()?,
+            records_unreplayed: r.u64()?,
             ..RunReport::default()
         };
         let n_transitions = r.u64()?;
@@ -944,6 +952,7 @@ mod tests {
                     dropped: 2,
                     duplicated: 1,
                     overflowed: 0,
+                    shutdown_lost: 3,
                 },
             },
             guard: Some(GuardState {
@@ -994,6 +1003,9 @@ mod tests {
                 }],
                 epoch_costs: vec![(0, 100.0, 50.0), (1, 110.0, 60.0)],
                 epoch_faults: vec![(1, 2, 1)],
+                shard_restarts: 2,
+                records_poisoned: 1,
+                records_unreplayed: 5,
                 costs: CostParams::paper(),
             },
             intra_cost_mark: 210.0,

@@ -148,6 +148,14 @@ pub const CATALOG: &[Rule] = &[
         help: "finish the implementation or gate the item out of non-test builds",
         check: r004_todo,
     },
+    Rule {
+        id: "R005",
+        group: "robustness",
+        severity: Severity::Error,
+        summary: "no catch_unwind/resume_unwind outside crates/gigascope/src/supervise.rs",
+        help: "route panic handling through supervise::ShardDriver; scattered panic boundaries hide shard deaths from the supervisor's restart/quarantine accounting",
+        check: r005_panic_boundary,
+    },
 ];
 
 /// Looks a rule up by id.
@@ -332,6 +340,43 @@ fn d005_thread_spawn(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
                 ctx,
                 t,
                 "thread `spawn` outside crates/gigascope/src/shard.rs".to_owned(),
+            ));
+        }
+    }
+    out
+}
+
+/// R005 — `catch_unwind` / `resume_unwind` outside the shard
+/// supervisor. Panic boundaries must stay in one place: a stray
+/// `catch_unwind` swallows a shard death without the restart, replay
+/// and quarantine accounting that keeps supervised runs exact, and a
+/// stray `resume_unwind` re-raises across threads what the supervisor
+/// should have absorbed.
+fn r005_panic_boundary(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.rel_path == "crates/gigascope/src/supervise.rs" || ctx.is_test_path() {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !matches!(t.text.as_str(), "catch_unwind" | "resume_unwind")
+        {
+            continue;
+        }
+        // `panic::catch_unwind(…)` / `std::panic::resume_unwind(…)` —
+        // call position only; a bare identifier (a doc mention, a local
+        // of that name) does not count.
+        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if is_call && !ctx.in_test_span(t.line) {
+            out.push(finding(
+                rule,
+                ctx,
+                t,
+                format!(
+                    "`{}` erects a panic boundary outside crates/gigascope/src/supervise.rs",
+                    t.text
+                ),
             ));
         }
     }

@@ -1,0 +1,25 @@
+//! FIXTURE (R005 negative): no panic boundary; the names appear only
+//! as plain identifiers and inside test code.
+
+/// A field named after the forbidden call is not a call.
+pub struct Knobs {
+    pub catch_unwind: bool,
+    pub resume_unwind: bool,
+}
+
+pub fn describe(k: &Knobs) -> &'static str {
+    if k.catch_unwind {
+        "catch_unwind requested"
+    } else {
+        "plain"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn boundaries_in_tests_are_fine() {
+        let caught = std::panic::catch_unwind(|| 1u64);
+        assert_eq!(caught.unwrap_or(0), 1);
+    }
+}

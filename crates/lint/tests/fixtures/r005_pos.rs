@@ -1,0 +1,12 @@
+//! FIXTURE (R005 positive): ad-hoc panic boundaries in engine code.
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub fn swallow(work: impl FnOnce() -> u64) -> u64 {
+    // A stray boundary: the shard death never reaches the supervisor.
+    catch_unwind(AssertUnwindSafe(work)).unwrap_or(0)
+}
+
+pub fn reraise(payload: Box<dyn std::any::Any + Send>) -> ! {
+    // Re-raising across threads what supervision should have absorbed.
+    std::panic::resume_unwind(payload)
+}

@@ -124,6 +124,19 @@ fn r004_todo_unimplemented() {
 }
 
 #[test]
+fn r005_panic_boundary() {
+    let pos = include_str!("fixtures/r005_pos.rs");
+    let neg = include_str!("fixtures/r005_neg.rs");
+    let hits = fire_at("crates/gigascope/src/shard.rs", pos, "R005");
+    assert_eq!(hits.len(), 2, "catch_unwind + resume_unwind: {hits:?}");
+    assert_eq!(fires("crates/gigascope/src/shard.rs", neg, "R005"), 0);
+    // The supervisor is the one sanctioned home for panic boundaries.
+    assert_eq!(fires("crates/gigascope/src/supervise.rs", pos, "R005"), 0);
+    // Test paths are exempt wholesale.
+    assert_eq!(fires("tests/supervision.rs", pos, "R005"), 0);
+}
+
+#[test]
 fn every_rule_has_a_fixture_pair() {
     // Catalog drift guard: adding a rule without fixtures fails here.
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");

@@ -57,12 +57,12 @@ fn allowlist_has_no_stale_entries() {
 }
 
 #[test]
-fn catalog_holds_all_nine_rules() {
-    assert_eq!(CATALOG.len(), 9);
+fn catalog_holds_all_ten_rules() {
+    assert_eq!(CATALOG.len(), 10);
     let ids: Vec<&str> = CATALOG.iter().map(|r| r.id).collect();
     assert_eq!(
         ids,
-        ["D001", "D002", "D003", "D004", "D005", "R001", "R002", "R003", "R004"]
+        ["D001", "D002", "D003", "D004", "D005", "R001", "R002", "R003", "R004", "R005"]
     );
 }
 

