@@ -27,8 +27,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> msa-lint: rule catalog"
 rules=$(cargo run --offline --release -q -p msa-lint -- --list-rules | wc -l)
 echo "msa-lint: $rules rules registered"
-if [ "$rules" -lt 10 ]; then
-    echo "error: msa-lint catalog shrank to $rules rules (expected >= 10);" \
+if [ "$rules" -lt 11 ]; then
+    echo "error: msa-lint catalog shrank to $rules rules (expected >= 11);" \
         "a rule was compiled out" >&2
     exit 1
 fi
@@ -47,6 +47,19 @@ echo "==> supervision drill matrix (reduced matrix)"
 # deterministic across two runs and, where replay covers the outage,
 # bit-identical to the fault-free serial run.
 MSA_SCALE=0.05 timeout 900 cargo test --offline -q --test supervision
+
+echo "==> bound-soundness battery (reduced matrix)"
+# {shards} x {loss, dup, burst} x {panic, stall, poison} x {crash
+# points}: every guaranteed interval must contain the fault-free true
+# count, bit-identically across two seeded runs.
+MSA_SCALE=0.05 timeout 900 cargo test --offline -q --test bounds
+
+echo "==> degraded-accuracy bench (reduced scale)"
+# Width-vs-error soundness and two-run interval determinism are
+# asserted inside the bench; the committed full-scale JSON is restored
+# afterwards so the reduced run never clobbers the published numbers.
+MSA_SCALE=0.05 timeout 900 cargo run --offline --release -q -p msa-bench --bin degraded_accuracy
+git checkout -- results/BENCH_degraded_accuracy.json 2>/dev/null || true
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

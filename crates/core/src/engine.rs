@@ -5,7 +5,8 @@ use msa_collision::{AsymptoticModel, CollisionModel, LinearModel, PreciseModel};
 pub use msa_gigascope::executor::ValueSource;
 use msa_gigascope::hfta::EpochResult;
 use msa_gigascope::{
-    CostParams, Executor, FaultPlan, GuardLevel, GuardPolicy, OverloadGuard, RunReport,
+    BoundsReport, CostParams, Executor, FaultPlan, GuardLevel, GuardPolicy, OverloadGuard,
+    RunReport,
 };
 use msa_optimizer::cost::{end_of_epoch_cost, rates, CostContext};
 use msa_optimizer::{
@@ -118,6 +119,11 @@ pub struct AggregationOutput {
     /// The plan in effect at the end of the run (None if the stream
     /// ended during bootstrap with no records at all).
     pub final_plan: Option<Plan>,
+    /// The query set the run aggregated, in registration order.
+    pub queries: Vec<AttrSet>,
+    /// Loss mass the overload guard metered against its degradation
+    /// budget (zero when no guard was configured).
+    pub records_lost: u64,
 }
 
 impl AggregationOutput {
@@ -127,6 +133,19 @@ impl AggregationOutput {
             .into_iter()
             .map(|(k, a)| (k, a.count))
             .collect()
+    }
+
+    /// Guaranteed per-query count intervals derived from the run's loss
+    /// ledgers: for every query, the fault-free true count lies in
+    /// `[lo, hi]`, with every lost record attributed to a
+    /// [`msa_gigascope::LossClass`]. Exact runs report the degenerate
+    /// interval `lo == hi`.
+    pub fn bounds(&self) -> BoundsReport {
+        let mut bounds = BoundsReport::from_ledgers(&self.report, &self.queries, |q| {
+            self.totals(q).into_iter().collect()
+        });
+        bounds.records_lost = self.records_lost;
+        bounds
     }
 
     /// Combines one query's full aggregate states (count/sum/min/max of
@@ -538,6 +557,11 @@ impl MultiAggregator {
             replans: self.replans,
             repairs: self.repairs,
             final_plan: self.plan.clone(),
+            queries: self.queries.clone(),
+            records_lost: self
+                .guard_state
+                .as_ref()
+                .map_or(0, OverloadGuard::records_lost),
         }
     }
 }

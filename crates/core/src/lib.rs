@@ -49,10 +49,11 @@ pub use msa_collision::{AsymptoticModel, CollisionModel, LinearModel, PreciseMod
 pub use msa_gigascope::executor::ValueSource;
 pub use msa_gigascope::table::AggState;
 pub use msa_gigascope::{
-    shard_of, shard_seed, Burst, ChannelFaults, CostParams, CrashPlan, EvictionChannel,
-    EvictionLog, Executor, ExecutorConfig, FaultPlan, GuardLevel, GuardPolicy, GuardTransition,
-    Hfta, OverloadGuard, PhysicalPlan, PoisonRecord, RecoveryError, RunReport, ShardError,
-    ShardFault, ShardHealth, ShardHeartbeat, ShardState, ShardedExecutor, ShardedSnapshot,
+    shard_of, shard_seed, BoundsReport, Burst, ChannelFaults, CostParams, CrashPlan,
+    DegradationPolicy, EvictionChannel, EvictionLog, Executor, ExecutorConfig, FaultPlan,
+    GuardLevel, GuardPolicy, GuardTransition, Hfta, LossBreakdown, LossClass, OverloadGuard,
+    PhysicalPlan, PoisonRecord, QueryBounds, RecoveryError, RunReport, ShardError, ShardFault,
+    ShardHealth, ShardHeartbeat, ShardState, ShardedExecutor, ShardedSnapshot, ShedDecision,
     Snapshot, SnapshotError, SupervisorPolicy,
 };
 pub use msa_optimizer::{

@@ -1,0 +1,613 @@
+//! Guaranteed count intervals over the loss ledgers: the degraded-answer
+//! subsystem.
+//!
+//! Every record the pipeline fails to aggregate is already accounted in
+//! an explicit ledger — guard shedding, channel faults, poison
+//! quarantine, replay-buffer overruns, shutdown losses, crash
+//! abandonment. This module turns those ledgers into per-query
+//! **guaranteed intervals** `[lo, hi]` such that the fault-free true
+//! count always lies inside:
+//!
+//! * every *undercounting* loss class widens `hi` (the lost record might
+//!   have reached this query),
+//! * every *overcounting* fault (channel duplication) widens `lo`
+//!   downward (an observed record might be a duplicate),
+//! * mass that is merely *still in flight* (parked in LFTA tables or the
+//!   HFTA's open epoch) is not an error at all — it is reported
+//!   separately as [`QueryBounds::in_flight`] so progressive mid-epoch
+//!   answers stay sound while boundary answers stay tight.
+//!
+//! At an epoch boundary of a fault-free run every ledger is zero and
+//! nothing is in flight, so `lo == hi == observed`: exactness is the
+//! degenerate interval, not a separate code path. All interval state is
+//! additive, which makes [`BoundsReport::merge`] a commutative sum —
+//! shards fold bit-identically in any order — and lets snapshots persist
+//! the inputs rather than the intervals.
+//!
+//! The guard-side knob is [`crate::guard::DegradationPolicy`]; the
+//! report carries the guard's `records_lost` budget odometer and the
+//! latched `bound_breached` flag so operators see *whether the promised
+//! width still holds*, not just how wide the interval is.
+
+use crate::executor::RunReport;
+use crate::hfta::Hfta;
+use msa_stream::{AttrSet, GroupKey};
+use std::fmt;
+
+/// Why a record is missing from (or double-counted in) a query answer.
+///
+/// Classes are disjoint: each lost record is attributed to exactly one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LossClass {
+    /// Load-shed by the overload guard before probing any table.
+    GuardShed,
+    /// Lost by a faulty eviction channel on the way to the HFTA.
+    ChannelDropped,
+    /// Delivered twice by a faulty eviction channel (overcount).
+    ChannelDuplicated,
+    /// Quarantined by the supervisor as a poison record.
+    PoisonQuarantined,
+    /// Evicted from the bounded replay buffer before a restart replay.
+    ReplayOverrun,
+    /// Still in flight on a crashed shard's feed at shutdown.
+    ShutdownLost,
+    /// Stranded in tables or the open epoch of an unrecovered executor.
+    Abandoned,
+}
+
+impl fmt::Display for LossClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LossClass::GuardShed => "guard-shed",
+            LossClass::ChannelDropped => "channel-dropped",
+            LossClass::ChannelDuplicated => "channel-duplicated",
+            LossClass::PoisonQuarantined => "poison-quarantined",
+            LossClass::ReplayOverrun => "replay-overrun",
+            LossClass::ShutdownLost => "shutdown-lost",
+            LossClass::Abandoned => "abandoned",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Per-query loss mass, broken out by [`LossClass`].
+///
+/// All fields are additive record counts; merging is a plain sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LossBreakdown {
+    /// [`LossClass::GuardShed`] mass (undercount).
+    pub guard_shed: u64,
+    /// [`LossClass::ChannelDropped`] mass (undercount).
+    pub channel_dropped: u64,
+    /// [`LossClass::ChannelDuplicated`] mass (overcount).
+    pub channel_duplicated: u64,
+    /// [`LossClass::PoisonQuarantined`] mass (undercount).
+    pub poison_quarantined: u64,
+    /// [`LossClass::ReplayOverrun`] mass (undercount).
+    pub replay_overrun: u64,
+    /// [`LossClass::ShutdownLost`] mass (undercount).
+    pub shutdown_lost: u64,
+    /// [`LossClass::Abandoned`] mass (undercount).
+    pub abandoned: u64,
+}
+
+impl LossBreakdown {
+    /// Total mass that may be missing from the observed count.
+    pub fn undercount(&self) -> u64 {
+        self.guard_shed
+            + self.channel_dropped
+            + self.poison_quarantined
+            + self.replay_overrun
+            + self.shutdown_lost
+            + self.abandoned
+    }
+
+    /// Total mass that may be double-counted in the observed count.
+    pub fn overcount(&self) -> u64 {
+        self.channel_duplicated
+    }
+
+    /// Total attributed loss mass across every class.
+    pub fn total(&self) -> u64 {
+        self.undercount() + self.overcount()
+    }
+
+    /// The breakdown as `(class, mass)` pairs, in declaration order.
+    pub fn classes(&self) -> [(LossClass, u64); 7] {
+        [
+            (LossClass::GuardShed, self.guard_shed),
+            (LossClass::ChannelDropped, self.channel_dropped),
+            (LossClass::ChannelDuplicated, self.channel_duplicated),
+            (LossClass::PoisonQuarantined, self.poison_quarantined),
+            (LossClass::ReplayOverrun, self.replay_overrun),
+            (LossClass::ShutdownLost, self.shutdown_lost),
+            (LossClass::Abandoned, self.abandoned),
+        ]
+    }
+
+    /// Sums another breakdown into this one.
+    ///
+    /// Exhaustive destructure on purpose: adding a loss class without
+    /// deciding how it merges must be a compile error here.
+    pub fn merge(&mut self, other: &LossBreakdown) {
+        let LossBreakdown {
+            guard_shed,
+            channel_dropped,
+            channel_duplicated,
+            poison_quarantined,
+            replay_overrun,
+            shutdown_lost,
+            abandoned,
+        } = *other;
+        self.guard_shed += guard_shed;
+        self.channel_dropped += channel_dropped;
+        self.channel_duplicated += channel_duplicated;
+        self.poison_quarantined += poison_quarantined;
+        self.replay_overrun += replay_overrun;
+        self.shutdown_lost += shutdown_lost;
+        self.abandoned += abandoned;
+    }
+}
+
+/// The guaranteed count interval for one query.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryBounds {
+    /// The query (its group-by attribute set).
+    pub query: AttrSet,
+    /// Count mass that reached finished HFTA results.
+    pub observed: u64,
+    /// Mass processed but not yet in a finished result: parked in LFTA
+    /// tables or the HFTA's open epoch. Zero at every epoch boundary.
+    /// Progress, not error — it widens only the upper *group* bound
+    /// (an in-flight record's group is unknown) and is reported
+    /// separately from the loss-derived interval.
+    pub in_flight: u64,
+    /// Loss mass attributed to this query, by class.
+    pub losses: LossBreakdown,
+    /// Per-group observed counts, sorted by group key for bit-identical
+    /// output regardless of shard count or merge order.
+    pub groups: Vec<(GroupKey, u64)>,
+}
+
+impl QueryBounds {
+    /// Guaranteed lower bound on the fault-free true count.
+    pub fn lo(&self) -> u64 {
+        self.observed.saturating_sub(self.losses.overcount())
+    }
+
+    /// Guaranteed upper bound on the fault-free true count.
+    pub fn hi(&self) -> u64 {
+        self.observed.saturating_add(self.losses.undercount())
+    }
+
+    /// Interval width `hi - lo`; the promised `max_width` budget of
+    /// [`crate::guard::DegradationPolicy::BoundedApprox`] caps this.
+    pub fn width(&self) -> u64 {
+        self.hi() - self.lo()
+    }
+
+    /// Upper bound that also covers still-in-flight mass — the
+    /// conservative progressive bound for a mid-epoch query. Equal to
+    /// [`QueryBounds::hi`] at every epoch boundary.
+    pub fn hi_progressive(&self) -> u64 {
+        self.hi().saturating_add(self.in_flight)
+    }
+
+    /// True when the interval is degenerate (`lo == hi`): the answer is
+    /// exact. Holds at every boundary of a fault-free run.
+    pub fn is_exact(&self) -> bool {
+        self.lo() == self.hi()
+    }
+
+    /// Whether `true_count` is consistent with this interval.
+    pub fn contains(&self, true_count: u64) -> bool {
+        self.lo() <= true_count && true_count <= self.hi()
+    }
+
+    /// Guaranteed interval for a single group's count.
+    ///
+    /// Loss mass is not attributed to groups (a shed record's group was
+    /// never computed), so every group's bound widens by the query's
+    /// full undercount plus any in-flight mass; duplicated mass may
+    /// have landed in this group, so `lo` gives it all back. A group
+    /// never seen yields `[0, undercount + in_flight]`.
+    pub fn group_bounds(&self, key: GroupKey) -> (u64, u64) {
+        let observed = self
+            .groups
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |&(_, n)| n);
+        let lo = observed.saturating_sub(self.losses.overcount());
+        let hi = observed
+            .saturating_add(self.losses.undercount())
+            .saturating_add(self.in_flight);
+        (lo, hi)
+    }
+
+    /// Sums another shard's partial interval state for the same query.
+    pub fn merge(&mut self, other: &QueryBounds) {
+        assert_eq!(
+            self.query.bits(),
+            other.query.bits(),
+            "merging bounds of different queries"
+        );
+        self.observed += other.observed;
+        self.in_flight += other.in_flight;
+        self.losses.merge(&other.losses);
+        for &(key, n) in &other.groups {
+            match self.groups.iter_mut().find(|(k, _)| *k == key) {
+                Some(slot) => slot.1 += n,
+                None => self.groups.push((key, n)),
+            }
+        }
+        self.groups
+            .sort_unstable_by(|a, b| a.0.values().cmp(b.0.values()));
+    }
+}
+
+/// The degraded-answer report: one guaranteed interval per query, plus
+/// the run-level degradation telemetry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BoundsReport {
+    /// Per-query intervals, in plan query order.
+    pub queries: Vec<QueryBounds>,
+    /// Records the guard *refused* to shed because shedding them would
+    /// have broken the promised bound (they were processed instead).
+    pub records_shed_denied: u64,
+    /// Record mass charged against the degradation budget across every
+    /// guard that fed this report (the guard's `records_lost` odometer).
+    pub records_lost: u64,
+    /// Records successfully re-fed from replay buffers after restarts —
+    /// mass that supervision *saved* from becoming interval width.
+    pub records_replayed: u64,
+    /// Latched true the moment any contributing guard saw losses exceed
+    /// its [`crate::guard::DegradationPolicy`] budget. The intervals
+    /// are still sound when this is set; the *promise* is what broke.
+    pub bound_breached: bool,
+}
+
+impl BoundsReport {
+    /// Derives the guaranteed intervals from a run's ledgers.
+    ///
+    /// Sound at any instant; *tight* at epoch boundaries, where
+    /// in-flight mass is zero and every processed record is either in a
+    /// finished result or in exactly one loss ledger. Requires the HFTA
+    /// to retain finished results (the default).
+    pub fn from_run(report: &RunReport, hfta: &Hfta, queries: &[AttrSet]) -> BoundsReport {
+        BoundsReport::from_ledgers(report, queries, |q| hfta.totals(q).into_iter().collect())
+    }
+
+    /// The ledger-to-interval core behind [`BoundsReport::from_run`],
+    /// decoupled from the HFTA: `totals` supplies one query's observed
+    /// per-group counts from whatever store holds them (an [`Hfta`], an
+    /// engine's retired epoch results, …). Every layer that can produce
+    /// a [`RunReport`] derives its intervals through this one function,
+    /// so the interval algebra cannot fork between layers.
+    pub fn from_ledgers<F>(report: &RunReport, queries: &[AttrSet], totals: F) -> BoundsReport
+    where
+        F: Fn(AttrSet) -> Vec<(GroupKey, u64)>,
+    {
+        // Mass shed by the guard proper: `records_shed` also absorbs
+        // replay overruns and shutdown losses, which get their own
+        // classes below.
+        let guard_shed = report
+            .records_shed
+            .saturating_sub(report.records_unreplayed)
+            .saturating_sub(report.records_shutdown_lost);
+        // Mass that entered the tables: everything seen minus the
+        // filtered, the shed (incl. overrun/shutdown), and the poisoned.
+        let processed =
+            report.records - report.filtered_out - report.records_shed - report.records_poisoned;
+        let mut out = BoundsReport {
+            queries: Vec::with_capacity(queries.len()),
+            records_shed_denied: report.records_shed_denied,
+            records_lost: 0,
+            records_replayed: 0,
+            bound_breached: report.bound_breached,
+        };
+        for &query in queries {
+            let dropped = report.dropped_records_for(query);
+            let duplicated = report.duplicated_records_for(query);
+            let abandoned = report.abandoned_records_for(query);
+            let mut groups: Vec<(GroupKey, u64)> = totals(query);
+            let observed: u64 = groups.iter().map(|&(_, n)| n).sum();
+            groups.sort_unstable_by(|a, b| a.0.values().cmp(b.0.values()));
+            // What this query should have observed given the ledgers;
+            // the shortfall is mass still working through the pipeline.
+            let expected = (processed + duplicated).saturating_sub(dropped + abandoned);
+            let in_flight = expected.saturating_sub(observed);
+            out.queries.push(QueryBounds {
+                query,
+                observed,
+                in_flight,
+                losses: LossBreakdown {
+                    guard_shed,
+                    channel_dropped: dropped,
+                    channel_duplicated: duplicated,
+                    poison_quarantined: report.records_poisoned,
+                    replay_overrun: report.records_unreplayed,
+                    shutdown_lost: report.records_shutdown_lost,
+                    abandoned,
+                },
+                groups,
+            });
+        }
+        out
+    }
+
+    /// Derives the intervals of a *finished* run from the pair
+    /// [`crate::executor::Executor::finish`] (or the sharded
+    /// equivalent) returned — the query list comes from the HFTA.
+    pub fn at_finish(report: &RunReport, hfta: &Hfta) -> BoundsReport {
+        let queries: Vec<AttrSet> = hfta.queries().to_vec();
+        BoundsReport::from_run(report, hfta, &queries)
+    }
+
+    /// The interval for one query, if it is part of this report.
+    pub fn for_query(&self, query: AttrSet) -> Option<&QueryBounds> {
+        self.queries.iter().find(|b| b.query.bits() == query.bits())
+    }
+
+    /// Widest per-query interval in the report — the number an operator
+    /// compares against a `BoundedApprox { max_width }` promise.
+    pub fn max_width(&self) -> u64 {
+        self.queries
+            .iter()
+            .map(QueryBounds::width)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when every query's interval is degenerate.
+    pub fn is_exact(&self) -> bool {
+        self.queries.iter().all(QueryBounds::is_exact)
+    }
+
+    /// Latches the breach flag (guard saw losses exceed its budget).
+    pub(crate) fn flag_breached(&mut self) {
+        self.bound_breached = true;
+    }
+
+    /// Folds another shard's partial report into this one. Commutative
+    /// and associative: every field is a sum (or an OR), and per-query
+    /// group vectors re-sort canonically, so any fold order over any
+    /// shard partition produces bit-identical bytes.
+    ///
+    /// Exhaustive destructure on purpose: a new report field that is
+    /// not merged must fail to compile, not silently vanish on the
+    /// sharded path.
+    pub fn merge(&mut self, other: &BoundsReport) {
+        let BoundsReport {
+            queries,
+            records_shed_denied,
+            records_lost,
+            records_replayed,
+            bound_breached,
+        } = other;
+        for theirs in queries {
+            match self
+                .queries
+                .iter_mut()
+                .find(|b| b.query.bits() == theirs.query.bits())
+            {
+                Some(ours) => ours.merge(theirs),
+                None => self.queries.push(theirs.clone()),
+            }
+        }
+        self.queries.sort_by_key(|b| b.query.bits());
+        self.records_shed_denied += records_shed_denied;
+        self.records_lost += records_lost;
+        self.records_replayed += records_replayed;
+        self.bound_breached |= bound_breached;
+    }
+}
+
+impl fmt::Display for QueryBounds {
+    /// `observed=… in [lo, hi] (±w)` — the progressive-answer line the
+    /// examples print per epoch.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "observed={} in [{}, {}] (width {}{})",
+            self.observed,
+            self.lo(),
+            self.hi(),
+            self.width(),
+            if self.in_flight > 0 {
+                format!(", {} in flight", self.in_flight)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(attrs: &[u8]) -> AttrSet {
+        AttrSet::from_attrs(attrs.iter().copied())
+    }
+
+    fn g(vals: &[u32]) -> GroupKey {
+        GroupKey::from_values(vals)
+    }
+
+    #[test]
+    fn degenerate_interval_without_losses() {
+        let b = QueryBounds {
+            query: q(&[0]),
+            observed: 42,
+            ..QueryBounds::default()
+        };
+        assert_eq!((b.lo(), b.hi()), (42, 42));
+        assert!(b.is_exact());
+        assert!(b.contains(42));
+        assert!(!b.contains(41));
+        assert_eq!(b.width(), 0);
+    }
+
+    #[test]
+    fn undercount_raises_hi_and_overcount_lowers_lo() {
+        let b = QueryBounds {
+            query: q(&[0]),
+            observed: 100,
+            losses: LossBreakdown {
+                guard_shed: 5,
+                channel_dropped: 3,
+                channel_duplicated: 2,
+                poison_quarantined: 1,
+                replay_overrun: 4,
+                shutdown_lost: 6,
+                abandoned: 7,
+            },
+            ..QueryBounds::default()
+        };
+        assert_eq!(b.losses.undercount(), 5 + 3 + 1 + 4 + 6 + 7);
+        assert_eq!(b.losses.overcount(), 2);
+        assert_eq!(b.losses.total(), 28);
+        assert_eq!(b.lo(), 98);
+        assert_eq!(b.hi(), 126);
+        assert_eq!(b.width(), 28);
+        assert!(b.contains(98) && b.contains(126) && !b.contains(97));
+        // Every class shows up exactly once in the display breakdown.
+        assert_eq!(b.losses.classes().len(), 7);
+        let summed: u64 = b.losses.classes().iter().map(|&(_, n)| n).sum();
+        assert_eq!(summed, b.losses.total());
+    }
+
+    #[test]
+    fn group_bounds_share_the_query_slack() {
+        let b = QueryBounds {
+            query: q(&[0]),
+            observed: 30,
+            in_flight: 4,
+            losses: LossBreakdown {
+                guard_shed: 10,
+                channel_duplicated: 2,
+                ..LossBreakdown::default()
+            },
+            groups: vec![(g(&[1]), 20), (g(&[2]), 10)],
+        };
+        assert_eq!(b.group_bounds(g(&[1])), (18, 34));
+        assert_eq!(b.group_bounds(g(&[2])), (8, 24));
+        // A group never observed could still own all the lost mass.
+        assert_eq!(b.group_bounds(g(&[3])), (0, 14));
+    }
+
+    #[test]
+    fn merge_is_commutative_and_canonically_sorted() {
+        let mk = |obs, groups: Vec<(GroupKey, u64)>, shed, dup| QueryBounds {
+            query: q(&[0, 1]),
+            observed: obs,
+            in_flight: 1,
+            losses: LossBreakdown {
+                guard_shed: shed,
+                channel_duplicated: dup,
+                ..LossBreakdown::default()
+            },
+            groups,
+        };
+        let a = BoundsReport {
+            queries: vec![mk(10, vec![(g(&[2, 2]), 6), (g(&[1, 1]), 4)], 3, 1)],
+            records_shed_denied: 2,
+            records_lost: 3,
+            records_replayed: 5,
+            bound_breached: false,
+        };
+        let b = BoundsReport {
+            queries: vec![mk(7, vec![(g(&[1, 1]), 7)], 1, 0)],
+            records_shed_denied: 1,
+            records_lost: 1,
+            records_replayed: 0,
+            bound_breached: true,
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        let m = ab.for_query(q(&[0, 1])).unwrap();
+        assert_eq!(m.observed, 17);
+        assert_eq!(m.in_flight, 2);
+        assert_eq!(m.losses.guard_shed, 4);
+        assert_eq!(m.groups, vec![(g(&[1, 1]), 11), (g(&[2, 2]), 6)]);
+        assert_eq!((m.lo(), m.hi()), (16, 21));
+        assert_eq!(ab.records_shed_denied, 3);
+        assert_eq!(ab.records_lost, 4);
+        assert_eq!(ab.records_replayed, 5);
+        assert!(ab.bound_breached);
+        assert_eq!(ab.max_width(), 5);
+        assert!(!ab.is_exact());
+    }
+
+    #[test]
+    fn from_run_splits_shed_mass_into_disjoint_classes() {
+        use crate::executor::RunReport;
+        let query = q(&[0]);
+        let mut report = RunReport {
+            records: 100,
+            filtered_out: 10,
+            // 20 shed total: 12 by the guard, 5 unreplayed, 3 shutdown.
+            records_shed: 20,
+            records_unreplayed: 5,
+            records_shutdown_lost: 3,
+            records_poisoned: 4,
+            dropped_records: vec![(query, 2)],
+            duplicated_records: vec![(query, 1)],
+            abandoned_records: vec![(query, 6)],
+            records_shed_denied: 9,
+            ..RunReport::default()
+        };
+        report.bound_breached = true;
+        // 100 - 10 - 20 - 4 = 66 processed; +1 dup -2 dropped -6
+        // abandoned = 59 expected; 50 observed => 9 in flight.
+        let mut hfta = Hfta::new(vec![query]);
+        for _ in 0..50 {
+            hfta.receive(0, g(&[7]), crate::table::AggState::unit());
+        }
+        hfta.close_epoch();
+        let bounds = BoundsReport::from_run(&report, &hfta, &[query]);
+        let qb = bounds.for_query(query).unwrap();
+        assert_eq!(qb.observed, 50);
+        assert_eq!(qb.in_flight, 9);
+        assert_eq!(
+            qb.losses,
+            LossBreakdown {
+                guard_shed: 12,
+                channel_dropped: 2,
+                channel_duplicated: 1,
+                poison_quarantined: 4,
+                replay_overrun: 5,
+                shutdown_lost: 3,
+                abandoned: 6,
+            }
+        );
+        assert_eq!((qb.lo(), qb.hi()), (49, 82));
+        assert_eq!(bounds.records_shed_denied, 9);
+        assert!(bounds.bound_breached);
+        assert_eq!(bounds.for_query(q(&[3])), None);
+    }
+
+    #[test]
+    fn loss_class_names_are_stable() {
+        let shown: Vec<String> = LossBreakdown::default()
+            .classes()
+            .iter()
+            .map(|(c, _)| c.to_string())
+            .collect();
+        assert_eq!(
+            shown,
+            [
+                "guard-shed",
+                "channel-dropped",
+                "channel-duplicated",
+                "poison-quarantined",
+                "replay-overrun",
+                "shutdown-lost",
+                "abandoned",
+            ]
+        );
+    }
+}

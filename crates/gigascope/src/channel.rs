@@ -86,12 +86,23 @@ impl ChannelStats {
     /// Folds another channel's accounting into this one (a sharded run
     /// reporting the merged totals of its per-shard channels). Pure
     /// sums, so the fold commutes.
+    ///
+    /// `other` is destructured exhaustively — no `..` — so adding a
+    /// counter field without deciding how it merges is a compile error,
+    /// not a silently-unsound bound.
     pub fn merge(&mut self, other: &ChannelStats) {
-        self.delivered += other.delivered;
-        self.dropped += other.dropped;
-        self.duplicated += other.duplicated;
-        self.overflowed += other.overflowed;
-        self.shutdown_lost += other.shutdown_lost;
+        let ChannelStats {
+            delivered,
+            dropped,
+            duplicated,
+            overflowed,
+            shutdown_lost,
+        } = *other;
+        self.delivered += delivered;
+        self.dropped += dropped;
+        self.duplicated += duplicated;
+        self.overflowed += overflowed;
+        self.shutdown_lost += shutdown_lost;
     }
 }
 

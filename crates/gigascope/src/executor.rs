@@ -17,9 +17,10 @@
 //! The executor meters intra-epoch and end-of-epoch costs separately, so
 //! experiments can compare measured values against Eq. 7 and Eq. 8.
 
+use crate::bounds::BoundsReport;
 use crate::channel::{ChannelStats, Delivery, EvictionChannel};
 use crate::faults::{CrashPlan, FaultPlan};
-use crate::guard::{GuardLevel, GuardPolicy, GuardTransition, OverloadGuard};
+use crate::guard::{GuardLevel, GuardPolicy, GuardTransition, OverloadGuard, ShedDecision};
 use crate::hfta::Hfta;
 use crate::plan::PhysicalPlan;
 use crate::snapshot::{
@@ -109,6 +110,26 @@ pub struct RunReport {
     /// guard shedding), and broken out here so operators can tell
     /// replay-buffer overruns from overload.
     pub records_unreplayed: u64,
+    /// The subset of `records_shed` stranded by shutdown: feed records
+    /// still in flight when a crashed shard's feed closed. Broken out
+    /// so the bounds subsystem can attribute each lost record to one
+    /// loss class (`records_shed − records_unreplayed −
+    /// records_shutdown_lost` is pure guard shedding).
+    pub records_shutdown_lost: u64,
+    /// Shed requests the overload guard *denied* because the
+    /// [`crate::guard::DegradationPolicy`] loss budget was exhausted —
+    /// the records were processed normally, at the cost the ladder
+    /// wanted to avoid.
+    pub records_shed_denied: u64,
+    /// Per-query record mass stranded in a crashed, never-recovered
+    /// executor at shutdown (tables, a mid-flush drain, or the HFTA's
+    /// open-epoch maps). Its own loss class: unlike `dropped_records`
+    /// these losses are certain — nothing downstream ever saw the mass.
+    pub abandoned_records: Vec<(AttrSet, u64)>,
+    /// The degradation promise was breached: uncontrolled loss pushed
+    /// the accounted total past the policy's budget. Latched; merges
+    /// with OR so one breached shard flags the whole deployment.
+    pub bound_breached: bool,
     /// Cost parameters used.
     pub costs: CostParams,
 }
@@ -161,17 +182,27 @@ impl RunReport {
             .map_or(0, |(_, n)| *n)
     }
 
+    /// Record mass `query` abandoned at shutdown (crashed, unrecovered).
+    pub fn abandoned_records_for(&self, query: AttrSet) -> u64 {
+        self.abandoned_records
+            .iter()
+            .find(|(q, _)| *q == query)
+            .map_or(0, |(_, n)| *n)
+    }
+
     /// Exact count bias of `query`: `observed_total − true_total`.
     ///
     /// Every processed record contributes one count to every query, so
     /// shedding undercounts each query by `records_shed` and poison
     /// quarantine by `records_poisoned`; channel drops and duplicates
-    /// shift the count by the dropped/duplicated record mass. The
-    /// identity `observed = true + count_bias(q)` holds exactly — the
-    /// chaos tests assert it per injected event.
+    /// shift the count by the dropped/duplicated record mass, and an
+    /// abandoned shutdown by the stranded mass. The identity
+    /// `observed = true + count_bias(q)` holds exactly — the chaos
+    /// tests assert it per injected event.
     pub fn count_bias(&self, query: AttrSet) -> i64 {
         self.duplicated_records_for(query) as i64
             - self.dropped_records_for(query) as i64
+            - self.abandoned_records_for(query) as i64
             - self.records_shed as i64
             - self.records_poisoned as i64
     }
@@ -189,31 +220,69 @@ impl RunReport {
     /// two-operand addition being commutative. Only `costs` is taken
     /// from `self` — merging reports with different cost parameters is
     /// meaningless.
+    ///
+    /// `other` is destructured exhaustively — no `..` — so adding a
+    /// counter field without deciding how it merges is a compile error,
+    /// not a silently-unsound bound (the top drift hazard for the
+    /// guaranteed intervals `bounds.rs` derives from this ledger).
     pub fn merge(&mut self, other: &RunReport) {
-        self.records += other.records;
-        self.intra_probes += other.intra_probes;
-        self.intra_evictions += other.intra_evictions;
-        self.flush_probes += other.flush_probes;
-        self.flush_evictions += other.flush_evictions;
-        self.filtered_out += other.filtered_out;
-        self.records_shed += other.records_shed;
-        self.evictions_dropped += other.evictions_dropped;
-        self.evictions_duplicated += other.evictions_duplicated;
-        self.epochs = self.epochs.max(other.epochs);
-        self.epochs_degraded += other.epochs_degraded;
-        self.shard_restarts += other.shard_restarts;
-        self.records_poisoned += other.records_poisoned;
-        self.records_unreplayed += other.records_unreplayed;
-        for &(q, n) in &other.dropped_records {
+        let RunReport {
+            records,
+            intra_probes,
+            intra_evictions,
+            flush_probes,
+            flush_evictions,
+            epochs,
+            filtered_out,
+            records_shed,
+            evictions_dropped,
+            evictions_duplicated,
+            dropped_records,
+            duplicated_records,
+            epochs_degraded,
+            guard_transitions,
+            epoch_costs,
+            epoch_faults,
+            shard_restarts,
+            records_poisoned,
+            records_unreplayed,
+            records_shutdown_lost,
+            records_shed_denied,
+            abandoned_records,
+            bound_breached,
+            costs: _, // kept from `self` by design
+        } = other;
+        self.records += records;
+        self.intra_probes += intra_probes;
+        self.intra_evictions += intra_evictions;
+        self.flush_probes += flush_probes;
+        self.flush_evictions += flush_evictions;
+        self.filtered_out += filtered_out;
+        self.records_shed += records_shed;
+        self.evictions_dropped += evictions_dropped;
+        self.evictions_duplicated += evictions_duplicated;
+        self.epochs = self.epochs.max(*epochs);
+        self.epochs_degraded += epochs_degraded;
+        self.shard_restarts += shard_restarts;
+        self.records_poisoned += records_poisoned;
+        self.records_unreplayed += records_unreplayed;
+        self.records_shutdown_lost += records_shutdown_lost;
+        self.records_shed_denied += records_shed_denied;
+        self.bound_breached |= bound_breached;
+        for &(q, n) in dropped_records {
             RunReport::bump(&mut self.dropped_records, q, n);
         }
-        for &(q, n) in &other.duplicated_records {
+        for &(q, n) in duplicated_records {
             RunReport::bump(&mut self.duplicated_records, q, n);
+        }
+        for &(q, n) in abandoned_records {
+            RunReport::bump(&mut self.abandoned_records, q, n);
         }
         self.dropped_records.sort_by_key(|(q, _)| q.bits());
         self.duplicated_records.sort_by_key(|(q, _)| q.bits());
+        self.abandoned_records.sort_by_key(|(q, _)| q.bits());
         self.guard_transitions
-            .extend(other.guard_transitions.iter().copied());
+            .extend(guard_transitions.iter().copied());
         self.guard_transitions.sort_by_key(|t| {
             (
                 t.epoch,
@@ -222,7 +291,7 @@ impl RunReport {
                 t.observed_cost.to_bits(),
             )
         });
-        for &(e, intra, flush) in &other.epoch_costs {
+        for &(e, intra, flush) in epoch_costs {
             match self.epoch_costs.iter_mut().find(|(e2, _, _)| *e2 == e) {
                 Some((_, i2, f2)) => {
                     *i2 += intra;
@@ -232,7 +301,7 @@ impl RunReport {
             }
         }
         self.epoch_costs.sort_by_key(|&(e, _, _)| e);
-        for &(e, dropped, duplicated) in &other.epoch_faults {
+        for &(e, dropped, duplicated) in epoch_faults {
             match self.epoch_faults.iter_mut().find(|(e2, _, _)| *e2 == e) {
                 Some((_, d2, u2)) => {
                     *d2 += dropped;
@@ -630,6 +699,11 @@ impl Executor {
                         self.queries[slot],
                         agg.count,
                     );
+                    // Uncontrolled overcount: it widens the guaranteed
+                    // interval, so it draws down the degradation budget.
+                    if let Some(g) = &mut self.guard {
+                        g.account_loss(agg.count);
+                    }
                 }
                 Delivery::Dropped => {
                     self.report.evictions_dropped += 1;
@@ -638,6 +712,10 @@ impl Executor {
                         self.queries[slot],
                         agg.count,
                     );
+                    // Uncontrolled undercount, same budget accounting.
+                    if let Some(g) = &mut self.guard {
+                        g.account_loss(agg.count);
+                    }
                 }
             }
         }
@@ -691,9 +769,20 @@ impl Executor {
         }
         let mut phantoms_off = false;
         if let Some(g) = &mut self.guard {
-            if g.should_shed() {
-                self.report.records_shed += 1;
-                return;
+            match g.shed_decision() {
+                ShedDecision::Shed => {
+                    // A controlled loss: the guard meters it against the
+                    // degradation budget so the promised bound holds.
+                    g.account_loss(1);
+                    self.report.records_shed += 1;
+                    return;
+                }
+                ShedDecision::Denied => {
+                    // Budget exhausted: process the record anyway and
+                    // count the denial for the operator.
+                    self.report.records_shed_denied += 1;
+                }
+                ShedDecision::Process => {}
             }
             phantoms_off = g.phantoms_disabled();
         }
@@ -778,6 +867,11 @@ impl Executor {
             }
             if g.level() != GuardLevel::Normal {
                 self.report.epochs_degraded += 1;
+            }
+            // Publish a latched budget breach at the boundary, before
+            // the checkpoint below captures the report.
+            if g.bound_breached() {
+                self.report.bound_breached = true;
             }
         }
         if self.auto_snapshot {
@@ -866,6 +960,9 @@ impl Executor {
     pub(crate) fn absorb_poisoned(&mut self) {
         self.report.records += 1;
         self.report.records_poisoned += 1;
+        if let Some(g) = &mut self.guard {
+            g.account_loss(1);
+        }
     }
 
     /// Supervisor hook: `n` feed records could not be replayed after a
@@ -882,6 +979,9 @@ impl Executor {
         self.report.records_shed += n;
         self.report.records_unreplayed += n;
         self.channel.account_shutdown_loss(n);
+        if let Some(g) = &mut self.guard {
+            g.account_loss(n);
+        }
     }
 
     /// Shutdown hook: `n` records were still in flight on this shard's
@@ -894,16 +994,21 @@ impl Executor {
         }
         self.report.records += n;
         self.report.records_shed += n;
+        self.report.records_shutdown_lost += n;
         self.channel.account_shutdown_loss(n);
+        if let Some(g) = &mut self.guard {
+            g.account_loss(n);
+        }
     }
 
     /// A crash fuse fired and nobody recovered this executor before
     /// `finish`: the record mass still sitting in its LFTA tables,
     /// drained mid-flush, or parked in the HFTA's open-epoch combining
     /// maps will never reach a finished result. Account it into the
-    /// per-query drop ledger exactly, so `observed = true +
+    /// per-query abandonment ledger exactly, so `observed = true +
     /// count_bias(q)` keeps holding on an abandoned deployment instead
-    /// of silently undercounting.
+    /// of silently undercounting — and the bounds subsystem can report
+    /// the stranded mass as its own loss class.
     fn account_abandonment(&mut self) {
         if !self.hfta.retains_results() {
             return;
@@ -916,19 +1021,27 @@ impl Executor {
         for &q in &self.queries {
             let observed: u64 = self.hfta.totals(q).values().sum();
             // Every processed record owes one count to `q`; what was
-            // neither finished nor already ledgered as dropped is
-            // stranded in a table or an open epoch.
+            // neither finished nor already ledgered as dropped or
+            // abandoned is stranded in a table or an open epoch.
             let expected = processed + self.report.duplicated_records_for(q);
-            let reachable = observed + self.report.dropped_records_for(q);
+            let reachable = observed
+                + self.report.dropped_records_for(q)
+                + self.report.abandoned_records_for(q);
             let stranded = expected.saturating_sub(reachable);
             if stranded > 0 {
-                RunReport::bump(&mut self.report.dropped_records, q, stranded);
+                RunReport::bump(&mut self.report.abandoned_records, q, stranded);
                 total_stranded += stranded;
             }
         }
-        self.report.dropped_records.sort_by_key(|(q, _)| q.bits());
+        self.report.abandoned_records.sort_by_key(|(q, _)| q.bits());
         if total_stranded > 0 {
             self.channel.account_shutdown_loss(total_stranded);
+            if let Some(g) = &mut self.guard {
+                g.account_loss(total_stranded);
+                if g.bound_breached() {
+                    self.report.bound_breached = true;
+                }
+            }
         }
     }
 
@@ -1041,12 +1154,37 @@ impl Executor {
             self.account_abandonment();
         }
         self.flush_epoch();
+        // A crashed executor skips the boundary flush above, so publish
+        // any latched breach directly before the report leaves.
+        if self.guard.as_ref().is_some_and(|g| g.bound_breached()) {
+            self.report.bound_breached = true;
+        }
         (self.report, self.hfta, self.guard)
     }
 
     /// The report so far (without flushing).
     pub fn report(&self) -> &RunReport {
         &self.report
+    }
+
+    /// The guaranteed-interval view of the run so far: per-query count
+    /// bounds `[lo, hi]` derived from the loss ledgers, queryable live
+    /// without stopping ingestion. At an epoch boundary (tables just
+    /// drained, HFTA epoch closed) every processed record is either in
+    /// a finished result or in a loss ledger, so the interval is tight;
+    /// mid-epoch the still-in-flight mass is reported separately as
+    /// [`crate::bounds::QueryBounds::in_flight`].
+    pub fn bounds(&self) -> BoundsReport {
+        let mut bounds = BoundsReport::from_run(&self.report, &self.hfta, &self.queries);
+        if let Some(g) = &self.guard {
+            bounds.records_lost = g.records_lost();
+            // A breach latched mid-epoch is visible immediately, not at
+            // the next boundary.
+            if g.bound_breached() {
+                bounds.flag_breached();
+            }
+        }
+        bounds
     }
 
     /// Resets per-table statistics (drift detection works on windows;
@@ -1559,6 +1697,10 @@ mod tests {
             shard_restarts: 1,
             records_poisoned: 2,
             records_unreplayed: 0,
+            records_shutdown_lost: 3,
+            records_shed_denied: 1,
+            abandoned_records: vec![(s("B"), 2)],
+            bound_breached: false,
             costs: CostParams::paper(),
         };
         let b = RunReport {
@@ -1594,6 +1736,10 @@ mod tests {
             shard_restarts: 2,
             records_poisoned: 0,
             records_unreplayed: 4,
+            records_shutdown_lost: 1,
+            records_shed_denied: 2,
+            abandoned_records: vec![(s("A"), 1), (s("B"), 3)],
+            bound_breached: true,
             costs: CostParams::paper(),
         };
         let mut ab = a.clone();
@@ -1610,6 +1756,12 @@ mod tests {
         assert_eq!(ab.epoch_faults, vec![(1, 2, 3), (2, 1, 1)]);
         assert_eq!(ab.shard_restarts, 3);
         assert_eq!(ab.records_poisoned, 2);
+        assert_eq!(ab.records_shutdown_lost, 4);
+        assert_eq!(ab.records_shed_denied, 3);
+        assert_eq!(ab.abandoned_records_for(s("A")), 1);
+        assert_eq!(ab.abandoned_records_for(s("B")), 5);
+        // A breach on either side survives the fold.
+        assert!(ab.bound_breached);
         assert_eq!(ab.records_unreplayed, 4);
         // Merging commutes with itself repeatedly (fold in any order).
         let mut fold1 = RunReport {

@@ -27,6 +27,24 @@
 //! `recover_ratio · peak_budget` for `recover_epochs` consecutive
 //! epochs before the guard steps one level down; costs inside the
 //! band `(recover_ratio · E_p, E_p]` hold the current level.
+//!
+//! A [`DegradationPolicy`] bounds *how much* answer quality the ladder
+//! may spend. Every lost record — a shed, a channel drop, a poisoned
+//! record, a replay overrun — widens the guaranteed count interval the
+//! bounds subsystem reports (see `bounds.rs`), and the guard meters
+//! that widening against the operator's promise:
+//!
+//! * [`DegradationPolicy::BestEffort`] — unlimited shedding (the
+//!   historical behavior); the interval widens as far as load demands;
+//! * [`DegradationPolicy::BoundedApprox`] — shed only while the total
+//!   accounted loss stays within `max_width`; further shed requests are
+//!   *denied* (the record is processed), and if uncontrolled losses
+//!   push past the budget anyway the guard latches a deterministic
+//!   [`OverloadGuard::bound_breached`] alert instead of lying;
+//! * [`DegradationPolicy::ExactOrStall`] — a zero budget: the shedding
+//!   rung is skipped entirely (the ladder goes straight to the lossless
+//!   phantoms-off rung), every shed request is denied, and *any*
+//!   uncontrolled loss latches the breach alert.
 
 /// Degradation level, least to most severe.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
@@ -94,6 +112,67 @@ impl std::fmt::Display for GuardLevel {
     }
 }
 
+/// Operator-chosen failure mode under overload: how much guaranteed-
+/// interval width (see `bounds.rs`) the guard may spend on shedding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradationPolicy {
+    /// Never trade accuracy for load: the shedding rung is skipped and
+    /// every shed request is denied. Any uncontrolled loss (channel
+    /// fault, poison quarantine, replay overrun) latches the breach
+    /// alert — the deployment either stays exact or says it stalled.
+    ExactOrStall,
+    /// Shed freely while the total accounted loss stays at or below
+    /// `max_width` records; deny further sheds past it and latch the
+    /// breach alert if uncontrolled losses overrun the budget anyway.
+    BoundedApprox {
+        /// Maximum interval width (in records) the operator accepts.
+        max_width: u64,
+    },
+    /// Unlimited shedding; the interval widens as far as load demands.
+    /// The historical guard behavior and the default.
+    #[default]
+    BestEffort,
+}
+
+impl DegradationPolicy {
+    /// The loss budget in records: `Some(0)` for
+    /// [`DegradationPolicy::ExactOrStall`], `Some(max_width)` for
+    /// [`DegradationPolicy::BoundedApprox`], `None` (unlimited) for
+    /// [`DegradationPolicy::BestEffort`].
+    pub fn loss_budget(self) -> Option<u64> {
+        match self {
+            DegradationPolicy::ExactOrStall => Some(0),
+            DegradationPolicy::BoundedApprox { max_width } => Some(max_width),
+            DegradationPolicy::BestEffort => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DegradationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationPolicy::ExactOrStall => write!(f, "exact-or-stall"),
+            DegradationPolicy::BoundedApprox { max_width } => {
+                write!(f, "bounded-approx(max_width={max_width})")
+            }
+            DegradationPolicy::BestEffort => write!(f, "best-effort"),
+        }
+    }
+}
+
+/// What to do with the next record, once the ladder is at or above the
+/// shedding rung and the [`DegradationPolicy`] has been consulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedDecision {
+    /// Process the record normally.
+    Process,
+    /// Drop the record; the caller must account the loss.
+    Shed,
+    /// The ladder wanted to shed but the loss budget is exhausted:
+    /// process the record and count the denial.
+    Denied,
+}
+
 /// Guard configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GuardPolicy {
@@ -108,18 +187,28 @@ pub struct GuardPolicy {
     pub recover_epochs: u64,
     /// While shedding, keep one in `shed_factor` records.
     pub shed_factor: u64,
+    /// How much answer quality the ladder may spend (loss budget).
+    pub degradation: DegradationPolicy,
 }
 
 impl GuardPolicy {
     /// A policy with budget `peak_budget` and default knobs
-    /// (`recover_ratio = 0.7`, `recover_epochs = 1`, `shed_factor = 4`).
+    /// (`recover_ratio = 0.7`, `recover_epochs = 1`, `shed_factor = 4`,
+    /// `degradation = BestEffort`).
     pub fn new(peak_budget: f64) -> GuardPolicy {
         GuardPolicy {
             peak_budget,
             recover_ratio: 0.7,
             recover_epochs: 1,
             shed_factor: 4,
+            degradation: DegradationPolicy::default(),
         }
+    }
+
+    /// Replaces the degradation policy (builder style).
+    pub fn with_degradation(mut self, degradation: DegradationPolicy) -> GuardPolicy {
+        self.degradation = degradation;
+        self
     }
 }
 
@@ -155,6 +244,10 @@ pub struct GuardState {
     pub last_cost: f64,
     /// Whether an unconsumed repair request is pending.
     pub repair_requested: bool,
+    /// Total loss mass accounted against the degradation budget.
+    pub records_lost: u64,
+    /// Whether the promised bound has been breached (latched).
+    pub bound_breached: bool,
 }
 
 /// The overload controller: observes per-epoch total cost, maintains
@@ -167,6 +260,8 @@ pub struct OverloadGuard {
     shed_counter: u64,
     last_cost: f64,
     repair_requested: bool,
+    records_lost: u64,
+    bound_breached: bool,
 }
 
 impl OverloadGuard {
@@ -179,6 +274,8 @@ impl OverloadGuard {
             shed_counter: 0,
             last_cost: 0.0,
             repair_requested: false,
+            records_lost: 0,
+            bound_breached: false,
         }
     }
 
@@ -202,9 +299,16 @@ impl OverloadGuard {
     pub fn observe_epoch(&mut self, epoch: u64, cost: f64) -> Option<GuardTransition> {
         self.last_cost = cost;
         let from = self.level;
+        let skip_shedding = self.policy.degradation == DegradationPolicy::ExactOrStall;
         if cost > self.policy.peak_budget {
             self.calm_epochs = 0;
             self.level = self.level.escalated();
+            if skip_shedding && self.level == GuardLevel::Shedding {
+                // ExactOrStall never spends accuracy: the lossy rung is
+                // skipped and the ladder lands on the lossless
+                // phantoms-off rung directly.
+                self.level = self.level.escalated();
+            }
             if self.level == GuardLevel::Repair {
                 self.repair_requested = true;
             }
@@ -212,6 +316,9 @@ impl OverloadGuard {
             self.calm_epochs += 1;
             if self.calm_epochs >= self.policy.recover_epochs.max(1) {
                 self.level = self.level.relaxed();
+                if skip_shedding && self.level == GuardLevel::Shedding {
+                    self.level = self.level.relaxed();
+                }
                 self.calm_epochs = 0;
             }
         } else {
@@ -226,17 +333,61 @@ impl OverloadGuard {
         })
     }
 
-    /// Whether the *next* record should be shed. Deterministic round-
-    /// robin sampling: at level ≥ 1, keeps one in `shed_factor` records.
-    pub fn should_shed(&mut self) -> bool {
+    /// Decides the fate of the *next* record. Deterministic round-robin
+    /// sampling: at level ≥ 1 the ladder wants to drop all but one in
+    /// `shed_factor` records, but a drop is only granted while the
+    /// [`DegradationPolicy`] loss budget still has room — past it the
+    /// decision is [`ShedDecision::Denied`] and the record is processed.
+    /// After a [`ShedDecision::Shed`] the caller must feed the loss back
+    /// through [`OverloadGuard::account_loss`].
+    pub fn shed_decision(&mut self) -> ShedDecision {
         if self.level < GuardLevel::Shedding {
-            return false;
+            return ShedDecision::Process;
         }
         let keep = self
             .shed_counter
             .is_multiple_of(self.policy.shed_factor.max(1));
         self.shed_counter = self.shed_counter.wrapping_add(1);
-        !keep
+        if keep {
+            return ShedDecision::Process;
+        }
+        match self.policy.degradation.loss_budget() {
+            Some(budget) if self.records_lost >= budget => ShedDecision::Denied,
+            _ => ShedDecision::Shed,
+        }
+    }
+
+    /// Whether the *next* record should be shed — `true` exactly when
+    /// [`OverloadGuard::shed_decision`] grants a [`ShedDecision::Shed`].
+    pub fn should_shed(&mut self) -> bool {
+        self.shed_decision() == ShedDecision::Shed
+    }
+
+    /// Accounts `n` records of loss mass against the degradation
+    /// budget: sheds the guard granted *and* losses it cannot control
+    /// (channel drops/duplicates, poison quarantine, replay overruns,
+    /// shutdown abandonment). Controlled sheds stop exactly at the
+    /// budget, so only uncontrolled loss can overrun it — when it does,
+    /// the breach alert latches deterministically.
+    pub fn account_loss(&mut self, n: u64) {
+        self.records_lost = self.records_lost.saturating_add(n);
+        if let Some(budget) = self.policy.degradation.loss_budget() {
+            if self.records_lost > budget {
+                self.bound_breached = true;
+            }
+        }
+    }
+
+    /// Total loss mass accounted against the degradation budget so far.
+    pub fn records_lost(&self) -> u64 {
+        self.records_lost
+    }
+
+    /// Whether the promised bound has been breached: uncontrolled loss
+    /// pushed the accounted total past the [`DegradationPolicy`] budget.
+    /// Latched — a breach is never silently forgotten.
+    pub fn bound_breached(&self) -> bool {
+        self.bound_breached
     }
 
     /// Whether phantom maintenance is currently disabled (level ≥ 2).
@@ -264,6 +415,8 @@ impl OverloadGuard {
             shed_counter: self.shed_counter,
             last_cost: self.last_cost,
             repair_requested: self.repair_requested,
+            records_lost: self.records_lost,
+            bound_breached: self.bound_breached,
         }
     }
 
@@ -276,6 +429,8 @@ impl OverloadGuard {
             shed_counter: state.shed_counter,
             last_cost: state.last_cost,
             repair_requested: state.repair_requested,
+            records_lost: state.records_lost,
+            bound_breached: state.bound_breached,
         }
     }
 }
@@ -385,5 +540,116 @@ mod tests {
         assert!(!g.phantoms_disabled());
         g.observe_epoch(2, 150.0);
         assert!(g.phantoms_disabled());
+    }
+
+    #[test]
+    fn best_effort_never_denies_or_breaches() {
+        let mut g = OverloadGuard::new(GuardPolicy::new(100.0));
+        g.observe_epoch(1, 200.0);
+        let mut shed = 0;
+        for _ in 0..1000 {
+            match g.shed_decision() {
+                ShedDecision::Shed => {
+                    g.account_loss(1);
+                    shed += 1;
+                }
+                ShedDecision::Denied => panic!("best-effort must never deny"),
+                ShedDecision::Process => {}
+            }
+        }
+        assert_eq!(shed, 750, "3 of 4 shed");
+        assert_eq!(g.records_lost(), 750);
+        assert!(!g.bound_breached());
+    }
+
+    #[test]
+    fn bounded_approx_sheds_exactly_up_to_the_budget() {
+        let policy = GuardPolicy::new(100.0)
+            .with_degradation(DegradationPolicy::BoundedApprox { max_width: 5 });
+        let mut g = OverloadGuard::new(policy);
+        g.observe_epoch(1, 200.0);
+        let mut shed = 0;
+        let mut denied = 0;
+        for _ in 0..100 {
+            match g.shed_decision() {
+                ShedDecision::Shed => {
+                    g.account_loss(1);
+                    shed += 1;
+                }
+                ShedDecision::Denied => denied += 1,
+                ShedDecision::Process => {}
+            }
+        }
+        assert_eq!(shed, 5, "controlled sheds stop at the budget");
+        assert_eq!(denied, 70, "the remaining drop slots are denied");
+        assert_eq!(g.records_lost(), 5);
+        assert!(!g.bound_breached(), "spending the budget is not a breach");
+        // An uncontrolled loss past the budget latches the alert.
+        g.account_loss(1);
+        assert!(g.bound_breached());
+    }
+
+    #[test]
+    fn exact_or_stall_skips_the_shedding_rung() {
+        let policy = GuardPolicy::new(100.0).with_degradation(DegradationPolicy::ExactOrStall);
+        let mut g = OverloadGuard::new(policy);
+        let t = g.observe_epoch(1, 150.0).expect("transition");
+        assert_eq!(
+            (t.from, t.to),
+            (GuardLevel::Normal, GuardLevel::PhantomsOff),
+            "the lossy rung is skipped"
+        );
+        // The round-robin keep slot still processes; every slot that
+        // would shed is denied instead — never `Shed`.
+        let mut denied = 0;
+        for _ in 0..8 {
+            match g.shed_decision() {
+                ShedDecision::Shed => panic!("exact-or-stall must never shed"),
+                ShedDecision::Denied => denied += 1,
+                ShedDecision::Process => {}
+            }
+        }
+        assert!(denied > 0, "drop slots are denied under a zero budget");
+        for _ in 0..8 {
+            assert!(!g.should_shed(), "the boolean view agrees: no shedding");
+        }
+        assert_eq!(g.records_lost(), 0);
+        assert!(!g.bound_breached());
+        // Relaxing skips the rung on the way down too.
+        let t = g.observe_epoch(2, 10.0).expect("recovers");
+        assert_eq!(
+            (t.from, t.to),
+            (GuardLevel::PhantomsOff, GuardLevel::Normal)
+        );
+        // Any uncontrolled loss is a breach under a zero budget.
+        g.account_loss(1);
+        assert!(g.bound_breached());
+    }
+
+    #[test]
+    fn degradation_state_roundtrips() {
+        let policy = GuardPolicy::new(100.0)
+            .with_degradation(DegradationPolicy::BoundedApprox { max_width: 3 });
+        let mut g = OverloadGuard::new(policy);
+        g.observe_epoch(1, 200.0);
+        g.account_loss(2);
+        let restored = OverloadGuard::from_state(&g.export_state());
+        assert_eq!(restored.export_state(), g.export_state());
+        assert_eq!(restored.records_lost(), 2);
+        g.account_loss(2);
+        assert!(g.bound_breached());
+        let restored = OverloadGuard::from_state(&g.export_state());
+        assert!(restored.bound_breached(), "the latch survives a roundtrip");
+    }
+
+    #[test]
+    fn loss_budgets_follow_the_policy() {
+        assert_eq!(DegradationPolicy::ExactOrStall.loss_budget(), Some(0));
+        assert_eq!(
+            DegradationPolicy::BoundedApprox { max_width: 9 }.loss_budget(),
+            Some(9)
+        );
+        assert_eq!(DegradationPolicy::BestEffort.loss_budget(), None);
+        assert_eq!(DegradationPolicy::default(), DegradationPolicy::BestEffort);
     }
 }

@@ -97,6 +97,11 @@ impl Hfta {
         self
     }
 
+    /// The queries this HFTA combines, in slot order.
+    pub fn queries(&self) -> &[AttrSet] {
+        &self.queries
+    }
+
     /// Receives one evicted partial for query slot `qi`.
     #[inline]
     pub fn receive(&mut self, qi: usize, key: GroupKey, agg: AggState) {

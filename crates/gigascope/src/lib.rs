@@ -41,10 +41,16 @@
 //!   behind a single `catch_unwind` boundary, record-counted
 //!   stuck-shard detection, live restart from epoch-aligned
 //!   checkpoints with bounded-buffer replay, poison-record quarantine
-//!   and explicit degradation accounting.
+//!   and explicit degradation accounting;
+//! * [`bounds`] — the degraded-answer subsystem: converts the loss
+//!   ledgers above into per-query guaranteed count intervals
+//!   `[lo, hi]` (and per-group bounds), mergeable across shards and
+//!   queryable live at every epoch boundary, with the failure mode
+//!   chosen by [`guard::DegradationPolicy`].
 
 #![deny(unsafe_code)]
 
+pub mod bounds;
 pub mod channel;
 pub mod executor;
 pub mod faults;
@@ -56,10 +62,13 @@ pub mod snapshot;
 pub mod supervise;
 pub mod table;
 
+pub use bounds::{BoundsReport, LossBreakdown, LossClass, QueryBounds};
 pub use channel::{ChannelFaults, ChannelStats, Delivery, EvictionChannel};
 pub use executor::{Executor, ExecutorConfig, RunReport, ValueSource};
 pub use faults::{Burst, CrashPlan, FaultPlan, ShardFault};
-pub use guard::{GuardLevel, GuardPolicy, GuardTransition, OverloadGuard};
+pub use guard::{
+    DegradationPolicy, GuardLevel, GuardPolicy, GuardTransition, OverloadGuard, ShedDecision,
+};
 pub use hfta::Hfta;
 pub use plan::{PhysicalPlan, PlanNode};
 pub use shard::{shard_of, shard_seed, ShardError, ShardedExecutor};

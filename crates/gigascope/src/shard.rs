@@ -23,10 +23,11 @@
 //! (msa-lint rule D005 enforces the containment): everything outside
 //! sees ordinary deterministic values.
 
+use crate::bounds::BoundsReport;
 use crate::channel::ChannelStats;
 use crate::executor::{Executor, ExecutorConfig, RunReport, ValueSource};
 use crate::faults::{CrashPlan, FaultPlan, ShardFault};
-use crate::guard::GuardPolicy;
+use crate::guard::{DegradationPolicy, GuardPolicy};
 use crate::hfta::Hfta;
 use crate::plan::PhysicalPlan;
 use crate::snapshot::{EvictionLog, RecoveryError, ShardedSnapshot, Snapshot};
@@ -169,6 +170,15 @@ impl ShardedExecutor {
         }
         if let Some(guard) = &mut cfg.guard {
             guard.peak_budget /= self.n as f64;
+            if let DegradationPolicy::BoundedApprox { max_width } = guard.degradation {
+                // The promised interval width is a deployment-wide
+                // budget: shard shares must sum to exactly `max_width`
+                // (merged widths add), so low-index shards absorb the
+                // division remainder.
+                let n = self.n as u64;
+                let share = max_width / n + u64::from((k as u64) < max_width % n);
+                guard.degradation = DegradationPolicy::BoundedApprox { max_width: share };
+            }
         }
         cfg.crash = self.crashes[k];
         cfg.durable = self.config.durable || !self.shard_faults[k].is_none();
@@ -398,6 +408,27 @@ impl ShardedExecutor {
             self.shards.push(ex);
             self.health[k].absorb(&health);
         }
+    }
+
+    /// The deployment's live degraded-answer view: every shard's
+    /// guaranteed intervals folded with the commutative
+    /// [`BoundsReport::merge`] (fold order cannot matter), plus the
+    /// replay volume supervision recovered instead of losing. Queryable
+    /// at any epoch boundary without stopping ingestion.
+    pub fn bounds(&self) -> BoundsReport {
+        let mut merged: Option<BoundsReport> = None;
+        for ex in &self.shards {
+            let b = ex.bounds();
+            match &mut merged {
+                Some(acc) => acc.merge(&b),
+                None => merged = Some(b),
+            }
+        }
+        let mut bounds = merged.unwrap_or_default();
+        for h in &self.health {
+            bounds.records_replayed += h.records_replayed;
+        }
+        bounds
     }
 
     /// Merged eviction-channel accounting across all shards.

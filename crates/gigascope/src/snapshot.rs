@@ -26,7 +26,7 @@
 
 use crate::channel::ChannelState;
 use crate::executor::{RunReport, ValueSource};
-use crate::guard::{GuardLevel, GuardPolicy, GuardState, GuardTransition};
+use crate::guard::{DegradationPolicy, GuardLevel, GuardPolicy, GuardState, GuardTransition};
 use crate::hfta::{EpochResult, HftaState};
 use crate::plan::PhysicalPlan;
 use crate::table::{AggState, TableStats};
@@ -35,7 +35,12 @@ use msa_stream::hash::FastMap;
 use msa_stream::{AttrSet, GroupKey, MAX_ATTRS};
 
 /// Current snapshot/log encoding version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version 2 added the degraded-answer ledger section: the report's
+/// shutdown/abandonment/denied-shed counters and breach flag, plus the
+/// guard's [`crate::guard::DegradationPolicy`] and budget odometer, so
+/// recovery restores guaranteed count intervals bit-exactly.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const SNAPSHOT_MAGIC: [u8; 4] = *b"MSNP";
 const LOG_MAGIC: [u8; 4] = *b"MSWL";
@@ -364,6 +369,9 @@ impl Snapshot {
                 w.u64(g.shed_counter);
                 w.f64(g.last_cost);
                 w.u8(u8::from(g.repair_requested));
+                w.degradation(g.policy.degradation);
+                w.u64(g.records_lost);
+                w.u8(u8::from(g.bound_breached));
             }
         }
         // Tables.
@@ -404,6 +412,10 @@ impl Snapshot {
         w.u64(self.report.shard_restarts);
         w.u64(self.report.records_poisoned);
         w.u64(self.report.records_unreplayed);
+        w.u64(self.report.records_shutdown_lost);
+        w.u64(self.report.records_shed_denied);
+        w.keyed_counts(&self.report.abandoned_records);
+        w.u8(u8::from(self.report.bound_breached));
         w.u64(self.report.guard_transitions.len() as u64);
         for t in &self.report.guard_transitions {
             w.u64(t.epoch);
@@ -459,19 +471,38 @@ impl Snapshot {
         };
         let guard = match r.u8()? {
             0 => None,
-            1 => Some(GuardState {
-                policy: GuardPolicy {
-                    peak_budget: r.f64()?,
-                    recover_ratio: r.f64()?,
-                    recover_epochs: r.u64()?,
-                    shed_factor: r.u64()?,
-                },
-                level: r.guard_level()?,
-                calm_epochs: r.u64()?,
-                shed_counter: r.u64()?,
-                last_cost: r.f64()?,
-                repair_requested: r.bool()?,
-            }),
+            1 => {
+                // Field order mirrors `encode`: the degradation policy
+                // and budget odometer trail the v1 fields.
+                let peak_budget = r.f64()?;
+                let recover_ratio = r.f64()?;
+                let recover_epochs = r.u64()?;
+                let shed_factor = r.u64()?;
+                let level = r.guard_level()?;
+                let calm_epochs = r.u64()?;
+                let shed_counter = r.u64()?;
+                let last_cost = r.f64()?;
+                let repair_requested = r.bool()?;
+                let degradation = r.degradation()?;
+                let records_lost = r.u64()?;
+                let bound_breached = r.bool()?;
+                Some(GuardState {
+                    policy: GuardPolicy {
+                        peak_budget,
+                        recover_ratio,
+                        recover_epochs,
+                        shed_factor,
+                        degradation,
+                    },
+                    level,
+                    calm_epochs,
+                    shed_counter,
+                    last_cost,
+                    repair_requested,
+                    records_lost,
+                    bound_breached,
+                })
+            }
             _ => return Err(SnapshotError::Malformed("guard presence tag")),
         };
         let n_tables = r.u64()?;
@@ -527,6 +558,10 @@ impl Snapshot {
             shard_restarts: r.u64()?,
             records_poisoned: r.u64()?,
             records_unreplayed: r.u64()?,
+            records_shutdown_lost: r.u64()?,
+            records_shed_denied: r.u64()?,
+            abandoned_records: r.keyed_counts()?,
+            bound_breached: r.bool()?,
             ..RunReport::default()
         };
         let n_transitions = r.u64()?;
@@ -782,6 +817,17 @@ impl ByteWriter {
             self.u64(n);
         }
     }
+
+    fn degradation(&mut self, policy: DegradationPolicy) {
+        match policy {
+            DegradationPolicy::ExactOrStall => self.u8(0),
+            DegradationPolicy::BoundedApprox { max_width } => {
+                self.u8(1);
+                self.u64(max_width);
+            }
+            DegradationPolicy::BestEffort => self.u8(2),
+        }
+    }
 }
 
 /// Little-endian byte source; every read is bounds-checked.
@@ -878,6 +924,17 @@ impl ByteReader<'_> {
         GuardLevel::from_index(self.u8()?).ok_or(SnapshotError::Malformed("guard level"))
     }
 
+    fn degradation(&mut self) -> Result<DegradationPolicy, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(DegradationPolicy::ExactOrStall),
+            1 => Ok(DegradationPolicy::BoundedApprox {
+                max_width: self.u64()?,
+            }),
+            2 => Ok(DegradationPolicy::BestEffort),
+            _ => Err(SnapshotError::Malformed("degradation policy tag")),
+        }
+    }
+
     fn keyed_counts(&mut self) -> Result<Vec<(AttrSet, u64)>, SnapshotError> {
         let n = self.u64()?;
         let mut out = Vec::with_capacity(n.min(1 << 16) as usize);
@@ -956,12 +1013,15 @@ mod tests {
                 },
             },
             guard: Some(GuardState {
-                policy: GuardPolicy::new(500.0),
+                policy: GuardPolicy::new(500.0)
+                    .with_degradation(DegradationPolicy::BoundedApprox { max_width: 40 }),
                 level: GuardLevel::Shedding,
                 calm_epochs: 1,
                 shed_counter: 9,
                 last_cost: 612.5,
                 repair_requested: false,
+                records_lost: 11,
+                bound_breached: true,
             }),
             tables: vec![
                 TableStats {
@@ -1006,6 +1066,10 @@ mod tests {
                 shard_restarts: 2,
                 records_poisoned: 1,
                 records_unreplayed: 5,
+                records_shutdown_lost: 3,
+                records_shed_denied: 6,
+                abandoned_records: vec![(a, 2)],
+                bound_breached: true,
                 costs: CostParams::paper(),
             },
             intra_cost_mark: 210.0,

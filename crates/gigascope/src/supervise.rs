@@ -204,14 +204,28 @@ pub struct ShardHealth {
 
 impl ShardHealth {
     /// Folds a later run segment's outcome into this one.
+    ///
+    /// Exhaustive destructure on purpose: a new health counter that is
+    /// not folded here would silently vanish from merged reports — and
+    /// from the loss accounting the bounds subsystem derives intervals
+    /// from — so it must be a compile error instead.
     pub fn absorb(&mut self, other: &ShardHealth) {
-        self.state = other.state;
-        self.restarts += other.restarts;
-        self.panics_caught += other.panics_caught;
-        self.stalls_detected += other.stalls_detected;
-        self.records_replayed += other.records_replayed;
-        self.records_unreplayed += other.records_unreplayed;
-        self.poisoned.extend(other.poisoned.iter().cloned());
+        let ShardHealth {
+            state,
+            restarts,
+            panics_caught,
+            stalls_detected,
+            records_replayed,
+            records_unreplayed,
+            poisoned,
+        } = other;
+        self.state = *state;
+        self.restarts += restarts;
+        self.panics_caught += panics_caught;
+        self.stalls_detected += stalls_detected;
+        self.records_replayed += records_replayed;
+        self.records_unreplayed += records_unreplayed;
+        self.poisoned.extend(poisoned.iter().cloned());
     }
 }
 

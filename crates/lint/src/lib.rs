@@ -13,7 +13,7 @@
 //!   fire on prose or quoted code;
 //! * [`scope`] — path classification plus `#[cfg(test)]`/`#[test]` span
 //!   detection, so test code keeps its `unwrap()`s;
-//! * [`rules`] — the catalog (D001–D004 determinism, R001–R004
+//! * [`rules`] — the catalog (D001–D005 determinism, R001–R006
 //!   robustness);
 //! * [`allowlist`] — the committed `lint.toml` of grandfathered sites,
 //!   each with a mandatory justification; stale entries fail the run;
@@ -143,25 +143,44 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
 
     let mut report = Report::default();
     let mut used = vec![false; entries.len()];
+    // Inputs for the cross-file half of R006: the identifier set of
+    // bounds.rs plus every gigascope source (checked after the scan,
+    // when bounds.rs has certainly been read).
+    let mut bounds_idents = std::collections::BTreeSet::new();
+    let mut gigascope_sources: Vec<(String, String)> = Vec::new();
+    let mut suppress = |report: &mut Report, f: Finding| {
+        let mut suppressed = false;
+        for (idx, entry) in entries.iter().enumerate() {
+            if entry.matches(&f) {
+                used[idx] = true;
+                suppressed = true;
+            }
+        }
+        if suppressed {
+            report.allow_suppressed += 1;
+        } else {
+            report.findings.push(f);
+        }
+    };
     for path in files {
         let source = std::fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e))?;
         let rel = rel_unix_path(root, &path);
+        if rel == rules::BOUNDS_PATH {
+            bounds_idents = rules::ident_set(&source);
+        }
+        if rel.starts_with("crates/gigascope/src") {
+            gigascope_sources.push((rel.clone(), source.clone()));
+        }
         let linted = lint_source(&rel, &source);
         report.files += 1;
         report.inline_suppressed += linted.inline_suppressed;
         for f in linted.findings {
-            let mut suppressed = false;
-            for (idx, entry) in entries.iter().enumerate() {
-                if entry.matches(&f) {
-                    used[idx] = true;
-                    suppressed = true;
-                }
-            }
-            if suppressed {
-                report.allow_suppressed += 1;
-            } else {
-                report.findings.push(f);
-            }
+            suppress(&mut report, f);
+        }
+    }
+    for (rel, source) in &gigascope_sources {
+        for f in rules::r006_missing_in_bounds(rel, source, &bounds_idents) {
+            suppress(&mut report, f);
         }
     }
     report.stale = entries

@@ -156,6 +156,14 @@ pub const CATALOG: &[Rule] = &[
         help: "route panic handling through supervise::ShardDriver; scattered panic boundaries hide shard deaths from the supervisor's restart/quarantine accounting",
         check: r005_panic_boundary,
     },
+    Rule {
+        id: "R006",
+        group: "robustness",
+        severity: Severity::Error,
+        summary: "every pub `records_*`/`*_lost` counter in gigascope is folded in a merge/absorb fn and surfaced in bounds.rs",
+        help: "fold the counter in the owning struct's merge()/absorb() and attribute it to a loss class in crates/gigascope/src/bounds.rs, or grandfather the site in lint.toml",
+        check: r006_counter_merge,
+    },
 ];
 
 /// Looks a rule up by id.
@@ -598,6 +606,179 @@ fn r003_deny_unsafe(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
         help: rule.help,
         snippet: ctx.line_text(1).to_owned(),
     }]
+}
+
+/// The file where every loss counter must surface as interval width.
+pub const BOUNDS_PATH: &str = "crates/gigascope/src/bounds.rs";
+
+/// True for the ledger-counter naming pattern R006 audits.
+pub fn is_counter_name(name: &str) -> bool {
+    name.starts_with("records_") || (name.ends_with("_lost") && name.len() > "_lost".len())
+}
+
+/// Public `records_*` / `*_lost` struct fields declared in `ctx` — the
+/// loss counters R006 audits. Declaration sites only (`pub name:` or
+/// `pub(crate) name:`, outside test spans): struct-literal and pattern
+/// positions have `,`/`{` before the name and do not count.
+pub fn counter_decls(ctx: &FileCtx) -> Vec<Token> {
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !is_counter_name(&t.text) || ctx.in_test_span(t.line) {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+            continue;
+        }
+        let public = if i >= 1 && toks[i - 1].is_ident("pub") {
+            true
+        } else if i >= 1 && toks[i - 1].is_punct(")") {
+            // `pub(crate) name:` — walk back over the restriction group.
+            let mut depth = 0usize;
+            let mut k = i - 1;
+            loop {
+                if toks[k].is_punct(")") {
+                    depth += 1;
+                } else if toks[k].is_punct("(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            k >= 1 && toks[k - 1].is_ident("pub")
+        } else {
+            false
+        };
+        if public {
+            out.push(t.clone());
+        }
+    }
+    out
+}
+
+/// Every identifier appearing inside a `fn merge*` / `fn absorb*` body
+/// in the token stream.
+fn merge_fn_idents(toks: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut set = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let is_merge_fn = toks[i].is_ident("fn")
+            && toks.get(i + 1).is_some_and(|n| {
+                n.kind == TokenKind::Ident
+                    && (n.text.starts_with("merge") || n.text.starts_with("absorb"))
+            });
+        if is_merge_fn {
+            // Body: the first `{` after the signature (a `;` first means
+            // a trait method without a default body).
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct("{")) {
+                let close = crate::scope::match_brace(toks, j);
+                for t in &toks[j..=close.min(toks.len() - 1)] {
+                    if t.kind == TokenKind::Ident {
+                        set.insert(t.text.clone());
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    set
+}
+
+/// R006 (per-file half) — a loss counter declared in a gigascope source
+/// file must be folded by a `merge`/`absorb` fn *in the same file*;
+/// otherwise a new counter silently vanishes on the sharded merge path
+/// and every interval derived from it under-reports. The cross-file
+/// half (the counter must also appear in `bounds.rs`) runs in
+/// [`crate::lint_workspace`] via [`r006_missing_in_bounds`].
+fn r006_counter_merge(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if !ctx.rel_path.starts_with("crates/gigascope/src") || ctx.is_test_path() {
+        return Vec::new();
+    }
+    let decls = counter_decls(ctx);
+    if decls.is_empty() {
+        return Vec::new();
+    }
+    let merged = merge_fn_idents(&ctx.lexed.tokens);
+    decls
+        .into_iter()
+        .filter(|t| !merged.contains(&t.text))
+        .map(|t| {
+            finding(
+                rule,
+                ctx,
+                &t,
+                format!(
+                    "loss counter `{}` is not folded in any merge/absorb fn in this file",
+                    t.text
+                ),
+            )
+        })
+        .collect()
+}
+
+/// R006 (cross-file half) — every loss counter declared in a gigascope
+/// file must appear as an identifier in [`BOUNDS_PATH`], where loss
+/// ledgers become guaranteed intervals; a counter absent there is loss
+/// the degraded-answer API would silently omit. Called by
+/// [`crate::lint_workspace`] with the identifier set of `bounds.rs`
+/// (empty if the file is missing, which makes every counter fire).
+/// Inline `// msa-lint: allow(R006)` pragmas are honored here too.
+pub fn r006_missing_in_bounds(
+    rel_path: &str,
+    source: &str,
+    bounds_idents: &std::collections::BTreeSet<String>,
+) -> Vec<Finding> {
+    let Some(rule) = rule_by_id("R006") else {
+        return Vec::new();
+    };
+    if rel_path == BOUNDS_PATH || !rel_path.starts_with("crates/gigascope/src") {
+        // bounds.rs declarations are their own surfacing.
+        return Vec::new();
+    }
+    let lexed = crate::lexer::lex(source);
+    let ctx = FileCtx::new(rel_path, source, &lexed);
+    if ctx.is_test_path() {
+        return Vec::new();
+    }
+    counter_decls(&ctx)
+        .into_iter()
+        .filter(|t| !bounds_idents.contains(&t.text))
+        .filter(|t| {
+            !lexed.suppressions.iter().any(|s| {
+                (t.line == s.line || t.line == s.line + 1) && s.rules.iter().any(|r| r == "R006")
+            })
+        })
+        .map(|t| {
+            finding(
+                rule,
+                &ctx,
+                &t,
+                format!("loss counter `{}` is not surfaced in {BOUNDS_PATH}", t.text),
+            )
+        })
+        .collect()
+}
+
+/// The identifier set of one source file (used for the cross-file half
+/// of R006 over [`BOUNDS_PATH`]).
+pub fn ident_set(source: &str) -> std::collections::BTreeSet<String> {
+    crate::lexer::lex(source)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text)
+        .collect()
 }
 
 /// R004 — `todo!` / `unimplemented!` outside tests.

@@ -1,0 +1,22 @@
+//! R006 negative fixture: every pub loss counter in the file is folded
+//! by the owning struct's merge fn (exhaustive destructure, the
+//! satellite-1 idiom), so the per-file half stays silent.
+
+pub struct Stats {
+    pub delivered: u64,
+    pub records_leaked: u64,
+    pub feed_lost: u64,
+}
+
+impl Stats {
+    pub fn merge(&mut self, other: &Stats) {
+        let Stats {
+            delivered,
+            records_leaked,
+            feed_lost,
+        } = other;
+        self.delivered += delivered;
+        self.records_leaked += records_leaked;
+        self.feed_lost += feed_lost;
+    }
+}

@@ -1,0 +1,16 @@
+//! R006 positive fixture: a pub loss counter whose owning file has a
+//! merge fn that forgets to fold it. (The cross-file bounds.rs half is
+//! exercised at workspace level, not through lint_source.)
+
+pub struct Stats {
+    pub delivered: u64,
+    pub records_leaked: u64,
+    pub feed_lost: u64,
+}
+
+impl Stats {
+    pub fn merge(&mut self, other: &Stats) {
+        self.delivered += other.delivered;
+        self.feed_lost += other.feed_lost;
+    }
+}

@@ -137,6 +137,38 @@ fn r005_panic_boundary() {
 }
 
 #[test]
+fn r006_counter_merge() {
+    let pos = include_str!("fixtures/r006_pos.rs");
+    let neg = include_str!("fixtures/r006_neg.rs");
+    let hits = fire_at("crates/gigascope/src/channel.rs", pos, "R006");
+    assert_eq!(hits.len(), 1, "records_leaked unfolded in merge: {hits:?}");
+    // `feed_lost` IS folded, so only the forgotten counter fires.
+    assert_eq!(fires("crates/gigascope/src/channel.rs", neg, "R006"), 0);
+    // Scope: only gigascope sources carry the loss-ledger invariant.
+    assert_eq!(fires("crates/core/src/engine.rs", pos, "R006"), 0);
+    // Test paths are exempt wholesale.
+    assert_eq!(fires("tests/bounds.rs", pos, "R006"), 0);
+}
+
+#[test]
+fn r006_cross_file_bounds_half() {
+    use msa_lint::rules::{ident_set, r006_missing_in_bounds};
+    let neg = include_str!("fixtures/r006_neg.rs");
+    // bounds.rs that surfaces only one of the two counters.
+    let bounds = ident_set("pub struct B { pub records_leaked: u64 }");
+    let hits = r006_missing_in_bounds("crates/gigascope/src/channel.rs", neg, &bounds);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].message.contains("feed_lost"));
+    assert!(hits[0].message.contains("bounds.rs"));
+    // Surfacing both counters silences the check.
+    let full = ident_set("pub struct B { pub records_leaked: u64, pub feed_lost: u64 }");
+    assert!(r006_missing_in_bounds("crates/gigascope/src/channel.rs", neg, &full).is_empty());
+    // bounds.rs itself and non-gigascope files are out of scope.
+    assert!(r006_missing_in_bounds(msa_lint::rules::BOUNDS_PATH, neg, &bounds).is_empty());
+    assert!(r006_missing_in_bounds("crates/core/src/engine.rs", neg, &bounds).is_empty());
+}
+
+#[test]
 fn every_rule_has_a_fixture_pair() {
     // Catalog drift guard: adding a rule without fixtures fails here.
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");

@@ -57,13 +57,46 @@ fn allowlist_has_no_stale_entries() {
 }
 
 #[test]
-fn catalog_holds_all_ten_rules() {
-    assert_eq!(CATALOG.len(), 10);
+fn catalog_holds_all_eleven_rules() {
+    assert_eq!(CATALOG.len(), 11);
     let ids: Vec<&str> = CATALOG.iter().map(|r| r.id).collect();
     assert_eq!(
         ids,
-        ["D001", "D002", "D003", "D004", "D005", "R001", "R002", "R003", "R004", "R005"]
+        ["D001", "D002", "D003", "D004", "D005", "R001", "R002", "R003", "R004", "R005", "R006"]
     );
+}
+
+#[test]
+fn r006_cross_file_half_fires_in_a_scratch_workspace() {
+    // A gigascope counter folded in its merge fn but absent from
+    // bounds.rs must still fail the run — the workspace-level half.
+    let dir = std::env::temp_dir().join(format!("msa-lint-r006-{}", std::process::id()));
+    let src_dir = dir.join("crates/gigascope/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![deny(unsafe_code)]\n\
+         pub struct S { pub records_vanished: u64 }\n\
+         impl S { pub fn merge(&mut self, o: &S) { let S { records_vanished } = o; \
+         self.records_vanished += records_vanished; } }\n",
+    )
+    .expect("source");
+    std::fs::write(
+        src_dir.join("bounds.rs"),
+        "#![deny(unsafe_code)]\npub struct BoundsReport;\n",
+    )
+    .expect("bounds");
+    let report = lint_workspace(&dir).expect("lints");
+    std::fs::remove_dir_all(&dir).ok();
+    let r006: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "R006")
+        .collect();
+    assert_eq!(r006.len(), 1, "{r006:?}");
+    assert!(r006[0].message.contains("records_vanished"));
+    assert!(r006[0].message.contains("bounds.rs"));
 }
 
 #[test]

@@ -81,15 +81,31 @@ fn main() -> Result<(), MsaError> {
         "\n{} records shed over {} degraded epochs; {} allocation repairs",
         out.report.records_shed, out.report.epochs_degraded, out.repairs
     );
+
+    // The degraded-answer view: every shed record became interval
+    // width, so each query's true count is *guaranteed* to lie in
+    // [lo, hi] — the bias identity, restated as a bound.
+    let bounds = out.bounds();
+    let truth = disturbed.len() as u64;
+    println!("\nguaranteed intervals (true count always inside):");
     for q in &queries {
-        let observed: u64 = out.totals(*q).values().sum();
+        let qb = bounds
+            .for_query(*q)
+            .ok_or(MsaError::State("query missing from bounds"))?;
+        println!("  query {q}: {qb}");
+        for (class, mass) in qb.losses.classes() {
+            if mass > 0 {
+                println!("    {mass:>6} records {class}");
+            }
+        }
         let bias = out.report.count_bias(*q);
-        println!(
-            "query {q}: observed {observed}, bias {bias:+} => true count {}",
-            observed as i64 - bias
-        );
-        assert_eq!(observed as i64 - bias, disturbed.len() as i64);
+        assert_eq!(qb.observed as i64 - bias, truth as i64, "bias identity");
+        assert!(qb.contains(truth), "interval must contain the true count");
     }
-    println!("\nevery degradation accounted: observed - bias recovers the true count.");
+    println!(
+        "\n{} records metered against the degradation budget; promise breached: {}",
+        bounds.records_lost, bounds.bound_breached
+    );
+    println!("every degradation accounted: the true count sits inside every interval.");
     Ok(())
 }
