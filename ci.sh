@@ -27,8 +27,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> msa-lint: rule catalog"
 rules=$(cargo run --offline --release -q -p msa-lint -- --list-rules | wc -l)
 echo "msa-lint: $rules rules registered"
-if [ "$rules" -lt 11 ]; then
-    echo "error: msa-lint catalog shrank to $rules rules (expected >= 11);" \
+if [ "$rules" -lt 12 ]; then
+    echo "error: msa-lint catalog shrank to $rules rules (expected >= 12);" \
         "a rule was compiled out" >&2
     exit 1
 fi
@@ -53,6 +53,20 @@ echo "==> bound-soundness battery (reduced matrix)"
 # points}: every guaranteed interval must contain the fault-free true
 # count, bit-identically across two seeded runs.
 MSA_SCALE=0.05 timeout 900 cargo test --offline -q --test bounds
+
+echo "==> adaptive-runtime battery (reduced matrix)"
+# {static, adaptive} x {drift kinds} x {shards} x {crash during swap}:
+# closed-epoch outputs must be bit-identical across two runs in every
+# cell, and identical modulo the swap ledger between static and
+# adaptive in lossless cells; includes the forced-rollback drill.
+MSA_SCALE=0.05 timeout 900 cargo test --offline -q --test adaptive
+
+echo "==> replan-swap bench (reduced scale)"
+# Swap pause (in records), before/after throughput and collision rate;
+# two-run determinism is asserted inside the bench. The committed
+# full-scale JSON is restored afterwards.
+MSA_SCALE=0.05 timeout 900 cargo run --offline --release -q -p msa-bench --bin replan_swap
+git checkout -- results/BENCH_replan_swap.json 2>/dev/null || true
 
 echo "==> degraded-accuracy bench (reduced scale)"
 # Width-vs-error soundness and two-run interval determinism are

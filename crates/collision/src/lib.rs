@@ -73,6 +73,41 @@ impl LinearModel {
             mu: PAPER_MU,
         }
     }
+
+    /// Refits the slope `µ` through a fixed intercept from observed
+    /// `(load, rate)` points, where `load = g/b` (already divided by the
+    /// flow length for clustered tables) and `rate` is the measured
+    /// collision fraction. Least squares through the origin after
+    /// subtracting `alpha`:
+    ///
+    /// ```text
+    /// µ = Σ (xᵢ − α)·rᵢ / Σ rᵢ²      with rᵢ = (g/b)ᵢ
+    /// ```
+    ///
+    /// Points with non-positive load carry no slope information and are
+    /// skipped; with no usable points the model keeps the paper's slope.
+    /// The adaptive runtime uses this to recalibrate the cost model from
+    /// live table telemetry without abandoning the paper's functional
+    /// form.
+    pub fn fit_through_intercept(
+        alpha: f64,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) -> LinearModel {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (load, rate) in points {
+            if load > 0.0 {
+                num += (rate - alpha) * load;
+                den += load * load;
+            }
+        }
+        let mu = if den > 0.0 {
+            (num / den).max(0.0)
+        } else {
+            PAPER_MU
+        };
+        LinearModel { alpha, mu }
+    }
 }
 
 impl CollisionModel for LinearModel {
@@ -134,6 +169,30 @@ mod tests {
         assert!((m.clustered_rate(500.0, 1000.0, 5.0) - x / 5.0).abs() < 1e-12);
         // l < 1 treated as 1.
         assert_eq!(m.clustered_rate(500.0, 1000.0, 0.5), x);
+    }
+
+    #[test]
+    fn refit_recovers_a_synthetic_slope() {
+        // Points generated by x = 0.0267 + 0.5·(g/b): the refit must
+        // recover µ = 0.5 exactly (the system is consistent).
+        let alpha = PAPER_ALPHA;
+        let pts: Vec<(f64, f64)> = [0.1, 0.4, 0.9, 1.7]
+            .iter()
+            .map(|&r| (r, alpha + 0.5 * r))
+            .collect();
+        let m = LinearModel::fit_through_intercept(alpha, pts);
+        assert!((m.mu - 0.5).abs() < 1e-12, "mu = {}", m.mu);
+        assert_eq!(m.alpha, alpha);
+    }
+
+    #[test]
+    fn refit_without_points_keeps_paper_slope() {
+        let m = LinearModel::fit_through_intercept(0.0, std::iter::empty());
+        assert_eq!(m.mu, PAPER_MU);
+        // Negative fitted slopes clamp to zero rather than predicting
+        // negative collision rates.
+        let m = LinearModel::fit_through_intercept(0.5, [(1.0, 0.0)]);
+        assert_eq!(m.mu, 0.0);
     }
 
     #[test]

@@ -8,14 +8,16 @@
 //! beyond a threshold, refresh the statistics and replan.
 //!
 //! Statistics are refreshed by inverting the linear collision model on
-//! the observed rates: `x = µ·g/(b·l)` gives `g ≈ x·b·l/µ` for every
-//! instantiated table (flow lengths come from the tables' measured run
-//! lengths). Relations that are not instantiated have no observation, so
-//! their group counts are scaled by the median correction factor of the
-//! instantiated ones — a coarse but serviceable extrapolation that keeps
-//! the feeding graph's relative cardinalities plausible.
+//! the observed rates: `x = α + µ·g/(b·l)` gives `g ≈ (x−α)·b·l/µ` for
+//! every instantiated table (flow lengths come from the tables' measured
+//! run lengths, and `α`/`µ` from the *live* model — which recalibration
+//! may have refit, see [`calibration_points`]). Relations that are not
+//! instantiated have no observation, so their group counts are scaled by
+//! the median correction factor of the instantiated ones — a coarse but
+//! serviceable extrapolation that keeps the feeding graph's relative
+//! cardinalities plausible.
 
-use msa_collision::PAPER_MU;
+use msa_collision::LinearModel;
 use msa_gigascope::table::TableStats;
 use msa_optimizer::{Allocation, Configuration};
 use msa_stream::{AttrSet, DatasetStats};
@@ -65,11 +67,50 @@ pub fn drift(
     worst
 }
 
-/// Refreshes `stats` from the observed table behaviour (see module docs).
+/// Collision-model calibration points from live table telemetry:
+/// `(load, rate)` pairs with `load = g/(b·l)` (the believed group count
+/// over the table's buckets, de-clustered for raw tables) and `rate`
+/// the measured collision fraction. Feed the result to
+/// [`msa_collision::LinearModel::fit_through_intercept`] to refit the
+/// model's slope µ while keeping the believed cardinalities —
+/// the dual of [`refine_stats`], which adjusts cardinalities while
+/// keeping the slope. The adaptive runtime uses the calibrated slope to
+/// decide whether observed drift is a *model* error (refit and keep the
+/// plan) or a *data* error (re-plan).
+pub fn calibration_points(
+    stats: &DatasetStats,
+    cfg: &Configuration,
+    alloc: &Allocation,
+    observed: &[(AttrSet, TableStats)],
+    policy: &AdaptivePolicy,
+) -> Vec<(f64, f64)> {
+    let mut points = Vec::new();
+    for (attrs, t) in observed {
+        if t.probes < policy.min_probes || !cfg.contains(*attrs) {
+            continue;
+        }
+        let Some(g) = stats.groups_opt(*attrs) else {
+            continue;
+        };
+        let raw = cfg.parent(*attrs).is_none();
+        let l = if raw {
+            t.avg_run_length().max(1.0)
+        } else {
+            1.0
+        };
+        let b = alloc.buckets(*attrs).max(1.0);
+        points.push((g as f64 / (b * l), t.collision_rate()));
+    }
+    points
+}
+
+/// Refreshes `stats` from the observed table behaviour (see module
+/// docs), inverting `model`'s rate line on every instantiated table.
 pub fn refine_stats(
     stats: &DatasetStats,
     cfg: &Configuration,
     alloc: &Allocation,
+    model: &LinearModel,
     observed: &[(AttrSet, TableStats)],
     policy: &AdaptivePolicy,
 ) -> DatasetStats {
@@ -88,7 +129,8 @@ pub fn refine_stats(
             1.0
         };
         let b = alloc.buckets(*attrs).max(1.0);
-        let g_est = (t.collision_rate() * b * l / PAPER_MU).max(1.0);
+        let excess = (t.collision_rate() - model.alpha).max(0.0);
+        let g_est = (excess * b * l / model.mu.max(1e-9)).max(1.0);
         new_groups.insert(*attrs, g_est.round() as usize);
         if raw {
             new_flows.insert(*attrs, l);
@@ -131,6 +173,7 @@ pub fn refine_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msa_collision::PAPER_MU;
 
     fn s(x: &str) -> AttrSet {
         AttrSet::parse(x).unwrap()
@@ -169,6 +212,39 @@ mod tests {
     }
 
     #[test]
+    fn calibration_points_recover_the_true_slope() {
+        // A table whose believed cardinality is right but whose rate
+        // follows µ = 0.5 instead of the paper's 0.354: the calibration
+        // pipeline refits the slope exactly.
+        let stats = DatasetStats::from_group_counts([(s("A"), 500)], 10_000);
+        let cfg = Configuration::from_queries(&[s("A")]);
+        let mut alloc = Allocation::default();
+        alloc.set(s("A"), 1000.0);
+        let rate = 0.5 * 500.0 / 1000.0;
+        let collisions = (10_000.0 * rate) as u64;
+        let observed = vec![(s("A"), table(10_000, collisions, collisions))];
+        let pts = calibration_points(&stats, &cfg, &alloc, &observed, &AdaptivePolicy::default());
+        assert_eq!(pts.len(), 1);
+        let m = msa_collision::LinearModel::fit_through_intercept(0.0, pts);
+        assert!((m.mu - 0.5).abs() < 1e-9, "mu = {}", m.mu);
+    }
+
+    #[test]
+    fn calibration_skips_unknown_and_quiet_tables() {
+        let stats = DatasetStats::from_group_counts([(s("A"), 500)], 10_000);
+        let cfg = Configuration::with_phantoms(&[s("A"), s("B")], &[]);
+        let mut alloc = Allocation::default();
+        alloc.set(s("A"), 1000.0);
+        alloc.set(s("B"), 1000.0);
+        let observed = vec![
+            (s("A"), table(10, 5, 5)),         // below the noise floor
+            (s("B"), table(10_000, 100, 100)), // no believed cardinality
+        ];
+        let pts = calibration_points(&stats, &cfg, &alloc, &observed, &AdaptivePolicy::default());
+        assert!(pts.is_empty());
+    }
+
+    #[test]
     fn refine_inverts_linear_model() {
         let stats = DatasetStats::from_group_counts([(s("A"), 100), (s("B"), 100)], 10_000);
         let cfg = Configuration::from_queries(&[s("A"), s("B")]);
@@ -180,7 +256,14 @@ mod tests {
             (s("A"), table(10_000, 3_540, 3_540)),
             (s("B"), table(10_000, 3_540, 3_540)),
         ];
-        let refined = refine_stats(&stats, &cfg, &alloc, &observed, &AdaptivePolicy::default());
+        let refined = refine_stats(
+            &stats,
+            &cfg,
+            &alloc,
+            &LinearModel::paper_no_intercept(),
+            &observed,
+            &AdaptivePolicy::default(),
+        );
         assert_eq!(refined.groups(s("A")), 1000);
         assert_eq!(refined.groups(s("B")), 1000);
     }
@@ -200,7 +283,14 @@ mod tests {
             (s("A"), table(10_000, collisions, collisions)),
             (s("B"), table(10_000, collisions, collisions)),
         ];
-        let refined = refine_stats(&stats, &cfg, &alloc, &observed, &AdaptivePolicy::default());
+        let refined = refine_stats(
+            &stats,
+            &cfg,
+            &alloc,
+            &LinearModel::paper_no_intercept(),
+            &observed,
+            &AdaptivePolicy::default(),
+        );
         // AB was not instantiated → scaled by the median ratio (≈ 2).
         let ab = refined.groups(s("AB"));
         assert!((ab as f64 - 1000.0).abs() < 20.0, "AB = {ab}");
@@ -215,7 +305,14 @@ mod tests {
         alloc.set(s("A"), 1000.0);
         // avg run length = absorbed/collisions = 8.
         let observed = vec![(s("A"), table(10_000, 1_000, 8_000))];
-        let refined = refine_stats(&stats, &cfg, &alloc, &observed, &AdaptivePolicy::default());
+        let refined = refine_stats(
+            &stats,
+            &cfg,
+            &alloc,
+            &LinearModel::paper_no_intercept(),
+            &observed,
+            &AdaptivePolicy::default(),
+        );
         assert!((refined.flow_length(s("A")) - 8.0).abs() < 1e-9);
     }
 }

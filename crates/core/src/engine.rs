@@ -414,11 +414,18 @@ impl MultiAggregator {
             executor.reset_table_stats();
             return;
         }
-        // Replan: refresh statistics from observations, rebuild.
+        // Replan: refresh statistics from observations, rebuild. The
+        // inversion needs a linear model; non-linear engines fall back
+        // to the paper's slope.
+        let linear = match self.opts.model {
+            ModelKind::Linear(m) => m,
+            _ => LinearModel::paper_no_intercept(),
+        };
         let new_stats = refine_stats(
             stats,
             &plan.configuration,
             &plan.allocation,
+            &linear,
             &observed,
             &policy,
         );

@@ -19,8 +19,9 @@
 
 use msa_gigascope::plan::PlanError;
 use msa_gigascope::snapshot::{RecoveryError, SnapshotError};
+use msa_gigascope::swap::SwapError;
 use msa_stream::io::TraceIoError;
-use msa_stream::AttrParseError;
+use msa_stream::{AttrParseError, AttrSet};
 
 use crate::sql::SqlError;
 
@@ -44,6 +45,19 @@ pub enum MsaError {
     /// An engine query made before the corresponding state exists
     /// (no final plan yet, no durable checkpoint captured, …).
     State(&'static str),
+    /// A runtime `add_query` named a query the deployment already
+    /// serves.
+    DuplicateQuery(AttrSet),
+    /// A runtime `remove_query` named a query the deployment does not
+    /// serve.
+    UnknownQuery(AttrSet),
+    /// A runtime query mutation arrived while a re-plan swap was
+    /// already staged for the next epoch boundary — retry after the
+    /// boundary.
+    MidSwapMutation,
+    /// The hot-swap transaction itself refused to run
+    /// ([`msa_gigascope::swap::SwapError`]).
+    Swap(SwapError),
 }
 
 impl std::fmt::Display for MsaError {
@@ -56,6 +70,18 @@ impl std::fmt::Display for MsaError {
             MsaError::Snapshot(e) => write!(f, "snapshot: {e}"),
             MsaError::Recovery(e) => write!(f, "recovery: {e}"),
             MsaError::State(what) => write!(f, "state: {what}"),
+            MsaError::DuplicateQuery(q) => {
+                write!(f, "duplicate query: {q} is already deployed")
+            }
+            MsaError::UnknownQuery(q) => {
+                write!(f, "unknown query: {q} is not deployed")
+            }
+            MsaError::MidSwapMutation => write!(
+                f,
+                "a re-plan swap is staged for the next epoch boundary; \
+                 retry the query mutation after it lands"
+            ),
+            MsaError::Swap(e) => write!(f, "swap: {e}"),
         }
     }
 }
@@ -69,7 +95,11 @@ impl std::error::Error for MsaError {
             MsaError::TraceIo(e) => Some(e),
             MsaError::Snapshot(e) => Some(e),
             MsaError::Recovery(e) => Some(e),
-            MsaError::State(_) => None,
+            MsaError::Swap(e) => Some(e),
+            MsaError::State(_)
+            | MsaError::DuplicateQuery(_)
+            | MsaError::UnknownQuery(_)
+            | MsaError::MidSwapMutation => None,
         }
     }
 }
@@ -110,6 +140,12 @@ impl From<RecoveryError> for MsaError {
     }
 }
 
+impl From<SwapError> for MsaError {
+    fn from(e: SwapError) -> MsaError {
+        MsaError::Swap(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +168,24 @@ mod tests {
             )?)
         }
         assert!(matches!(sql().unwrap_err(), MsaError::Sql(_)));
+    }
+
+    #[test]
+    fn runtime_mutation_errors_render_their_query() {
+        let q = AttrSet::parse("AB").unwrap();
+        let dup = MsaError::DuplicateQuery(q);
+        assert!(dup.to_string().contains("already deployed"), "{dup}");
+        assert!(dup.to_string().contains("AB"), "{dup}");
+        let unk = MsaError::UnknownQuery(q);
+        assert!(unk.to_string().contains("not deployed"), "{unk}");
+        let mid = MsaError::MidSwapMutation;
+        assert!(mid.to_string().contains("staged"), "{mid}");
+        // The leaf variants carry no source; Swap chains to its cause.
+        assert!(std::error::Error::source(&dup).is_none());
+        assert!(std::error::Error::source(&mid).is_none());
+        let swap = MsaError::from(SwapError::ShardCrashed(3));
+        assert!(matches!(swap, MsaError::Swap(_)));
+        assert!(swap.to_string().starts_with("swap: "), "{swap}");
+        assert!(std::error::Error::source(&swap).is_some());
     }
 }

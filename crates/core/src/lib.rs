@@ -15,6 +15,12 @@
 //!    predicted collision rates and **replans** when the stream has
 //!    drifted (the adaptivity the paper's §8 sketches).
 //!
+//! For sharded deployments, [`runtime::AdaptiveRuntime`] closes the
+//! same loop transactionally: drift detection from live telemetry,
+//! background re-planning, and an epoch-boundary hot-swap with
+//! validation, rollback and record-counted backoff — plus runtime query
+//! add/remove through the same swap path.
+//!
 //! ```
 //! use msa_core::{MultiAggregator, EngineOptions};
 //! use msa_stream::{AttrSet, UniformStreamBuilder};
@@ -37,11 +43,15 @@
 pub mod adaptive;
 pub mod engine;
 pub mod error;
+pub mod runtime;
 pub mod sql;
 
 pub use adaptive::AdaptivePolicy;
 pub use engine::{AggregationOutput, EngineOptions, ModelKind, MultiAggregator};
 pub use error::MsaError;
+pub use runtime::{
+    AdaptiveRuntime, ReplanEvent, ReplanTrigger, RuntimeOptions, RuntimeOutput, RuntimePolicy,
+};
 pub use sql::{parse_query, ParsedQuery, QuerySet, SqlError};
 
 // Re-export the vocabulary types so most users need only this crate.
@@ -50,13 +60,15 @@ pub use msa_gigascope::executor::ValueSource;
 pub use msa_gigascope::table::AggState;
 pub use msa_gigascope::{
     shard_of, shard_seed, BoundsReport, Burst, ChannelFaults, CostParams, CrashPlan,
-    DegradationPolicy, EvictionChannel, EvictionLog, Executor, ExecutorConfig, FaultPlan,
-    GuardLevel, GuardPolicy, GuardTransition, Hfta, LossBreakdown, LossClass, OverloadGuard,
-    PhysicalPlan, PoisonRecord, QueryBounds, RecoveryError, RunReport, ShardError, ShardFault,
-    ShardHealth, ShardHeartbeat, ShardState, ShardedExecutor, ShardedSnapshot, ShedDecision,
-    Snapshot, SnapshotError, SupervisorPolicy,
+    DegradationPolicy, DriftKind, DriftPlan, EvictionChannel, EvictionLog, Executor,
+    ExecutorConfig, FaultPlan, GuardLevel, GuardPolicy, GuardTransition, HandoffViolation, Hfta,
+    LossBreakdown, LossClass, OverloadGuard, PhysicalPlan, PoisonRecord, QueryBounds,
+    RecoveryError, RollbackReason, RunReport, ShardError, ShardFault, ShardHealth, ShardHeartbeat,
+    ShardState, ShardedExecutor, ShardedSnapshot, ShedDecision, Snapshot, SnapshotError,
+    SupervisorPolicy, SwapCrashPoint, SwapError, SwapFault, SwapOutcome, SwapReport,
 };
 pub use msa_optimizer::{
-    Algorithm, AllocStrategy, ClusterHandling, Configuration, Plan, Planner, PlannerOptions,
+    propose_replan, Algorithm, AllocStrategy, ClusterHandling, Configuration, Plan, Planner,
+    PlannerOptions, ReplanProposal,
 };
 pub use msa_stream::{AttrSet, CmpOp, DatasetStats, Filter, GroupKey, Record, Schema};

@@ -126,6 +126,13 @@ pub struct RunReport {
     /// open-epoch maps). Its own loss class: unlike `dropped_records`
     /// these losses are certain — nothing downstream ever saw the mass.
     pub abandoned_records: Vec<(AttrSet, u64)>,
+    /// Hot-swap transactions committed: the adaptive runtime re-planned
+    /// and transplanted this deployment's state into a new feeding
+    /// graph at an epoch boundary (see `shard::ShardedExecutor::hot_swap`).
+    pub replans_committed: u64,
+    /// Hot-swap transactions rolled back: handoff validation failed (or
+    /// a rollback was injected) and the deployment kept the old plan.
+    pub replans_rolled_back: u64,
     /// The degradation promise was breached: uncontrolled loss pushed
     /// the accounted total past the policy's budget. Latched; merges
     /// with OR so one breached shard flags the whole deployment.
@@ -249,6 +256,8 @@ impl RunReport {
             records_shutdown_lost,
             records_shed_denied,
             abandoned_records,
+            replans_committed,
+            replans_rolled_back,
             bound_breached,
             costs: _, // kept from `self` by design
         } = other;
@@ -268,6 +277,8 @@ impl RunReport {
         self.records_unreplayed += records_unreplayed;
         self.records_shutdown_lost += records_shutdown_lost;
         self.records_shed_denied += records_shed_denied;
+        self.replans_committed += replans_committed;
+        self.replans_rolled_back += replans_rolled_back;
         self.bound_breached |= bound_breached;
         for &(q, n) in dropped_records {
             RunReport::bump(&mut self.dropped_records, q, n);
@@ -1194,6 +1205,112 @@ impl Executor {
             t.reset_stats();
         }
     }
+
+    /// The epoch currently open (records with timestamps inside it are
+    /// still being absorbed into the LFTA tables).
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch
+    }
+
+    /// Force-closes epochs until `epoch` is the open one. Each close
+    /// runs the identical [`Executor::flush_epoch`] a timestamp crossing
+    /// inside [`Executor::process`] would run, so aligning between
+    /// record batches is state-identical to the boundary arriving
+    /// organically. A no-op on a crashed executor and once
+    /// `current_epoch >= epoch`.
+    pub fn align_to_epoch(&mut self, epoch: u64) {
+        while self.current_epoch < epoch && !self.crashed {
+            self.flush_epoch();
+        }
+    }
+
+    /// Swap hook: a hot-swap transaction committed onto this executor.
+    pub(crate) fn note_replan_committed(&mut self) {
+        self.report.replans_committed += 1;
+    }
+
+    /// Swap hook: a hot-swap transaction was rolled back and this
+    /// executor keeps serving the old plan.
+    pub(crate) fn note_replan_rolled_back(&mut self) {
+        self.report.replans_rolled_back += 1;
+    }
+
+    /// Swap hook: the HFTA combiner (finished results + open maps).
+    pub(crate) fn hfta(&self) -> &Hfta {
+        &self.hfta
+    }
+
+    /// Swap hook: re-captures the boundary checkpoint so counters bumped
+    /// *at* the boundary (the swap ledger) reach the durable artifacts a
+    /// crash would recover from. A no-op unless checkpoints are enabled
+    /// and the executor sits exactly at a boundary.
+    pub(crate) fn refresh_boundary_checkpoint(&mut self) {
+        if self.auto_snapshot
+            && self.tables.iter().all(|t| t.occupied() == 0)
+            && self.hfta.in_flight() == 0
+        {
+            let snap = self.make_snapshot();
+            if let Some(wal) = &mut self.wal {
+                *wal = EvictionLog::from_entries(wal.suffix(snap.seq).copied().collect());
+            }
+            self.latest_snapshot = Some(Box::new(snap));
+        }
+    }
+
+    /// Transplants an epoch-boundary snapshot of an *old-plan* executor
+    /// into this freshly built *new-plan* executor — the state handoff
+    /// of a hot-swap transaction.
+    ///
+    /// At a boundary the old executor's LFTA tables are drained and the
+    /// HFTA has nothing in flight, so its complete state is the
+    /// snapshot's counters, finished results and PRNG cursors; "rehashing
+    /// the LFTA state into the new feeding graph" reduces to carrying
+    /// that state over while the new plan's tables start empty (they
+    /// fill again from the stream, under the new hash layout). What is
+    /// carried:
+    ///
+    /// * the channel PRNG cursor and fault statistics — fault sequences
+    ///   continue exactly where the old plan left them;
+    /// * the overload-guard ladder and [`crate::guard::DegradationPolicy`]
+    ///   budget odometer — the degradation promise survives the swap
+    ///   (snapshot-mediated promise carryover);
+    /// * the HFTA's finished results — including results of queries the
+    ///   new plan no longer serves ([`Hfta::restore`] keeps them
+    ///   verbatim), so removing a query never erases its history;
+    /// * the run report, epoch position, delivery sequence and per-epoch
+    ///   delta marks.
+    ///
+    /// Per-table collision statistics deliberately start fresh: the new
+    /// plan's tables are different tables, and the drift detector must
+    /// observe them from a clean window.
+    pub(crate) fn adopt_boundary_state(mut self, snapshot: &Snapshot) -> Executor {
+        debug_assert!(
+            self.report.records == 0,
+            "adopting executors must be freshly built"
+        );
+        self.channel = EvictionChannel::from_state(&snapshot.channel);
+        self.guard = snapshot.guard.as_ref().map(OverloadGuard::from_state);
+        self.hfta = Hfta::restore(self.queries.clone(), snapshot.hfta.clone());
+        self.current_epoch = snapshot.epoch;
+        self.report = snapshot.report.clone();
+        self.intra_cost_mark = snapshot.intra_cost_mark;
+        self.flush_cost_mark = snapshot.flush_cost_mark;
+        self.dropped_mark = snapshot.dropped_mark;
+        self.duplicated_mark = snapshot.duplicated_mark;
+        self.seq = snapshot.seq;
+        self.dedup_until = snapshot.seq;
+        if self.auto_snapshot {
+            // Re-anchor the durable artifacts under the new plan's
+            // fingerprint: a crash right after the commit must recover
+            // into the new plan, not find an orphaned old-plan
+            // checkpoint.
+            self.latest_snapshot = Some(Box::new(self.make_snapshot()));
+            if let Some(wal) = &mut self.wal {
+                *wal = EvictionLog::new();
+            }
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -1700,6 +1817,8 @@ mod tests {
             records_shutdown_lost: 3,
             records_shed_denied: 1,
             abandoned_records: vec![(s("B"), 2)],
+            replans_committed: 1,
+            replans_rolled_back: 0,
             bound_breached: false,
             costs: CostParams::paper(),
         };
@@ -1739,6 +1858,8 @@ mod tests {
             records_shutdown_lost: 1,
             records_shed_denied: 2,
             abandoned_records: vec![(s("A"), 1), (s("B"), 3)],
+            replans_committed: 0,
+            replans_rolled_back: 2,
             bound_breached: true,
             costs: CostParams::paper(),
         };
@@ -1760,6 +1881,8 @@ mod tests {
         assert_eq!(ab.records_shed_denied, 3);
         assert_eq!(ab.abandoned_records_for(s("A")), 1);
         assert_eq!(ab.abandoned_records_for(s("B")), 5);
+        assert_eq!(ab.replans_committed, 1);
+        assert_eq!(ab.replans_rolled_back, 2);
         // A breach on either side survives the fold.
         assert!(ab.bound_breached);
         assert_eq!(ab.records_unreplayed, 4);

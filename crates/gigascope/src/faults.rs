@@ -282,6 +282,140 @@ impl FaultPlan {
     }
 }
 
+/// Which nonstationarity a [`DriftPlan`] injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftKind {
+    /// A share of the traffic concentrates on a small hot set of
+    /// groups whose identity migrates every `period_epochs` — group
+    /// popularity skew that moves. Concentration shrinks the effective
+    /// cardinality (and collision rates) the plan was sized for; every
+    /// migration shifts *which* groups are hot.
+    HotspotMigration {
+        /// Percent of records redirected to the hot set (0–100).
+        share_pct: u32,
+        /// Epochs between hot-set migrations.
+        period_epochs: u64,
+    },
+    /// Attribute `attr`'s value space multiplies progressively across
+    /// the window, reaching ≈ `factor`× its organic cardinality by the
+    /// window's end — the group-count blowup that invalidates a plan's
+    /// space allocation.
+    CardinalityRamp {
+        /// 0-based attribute column to inflate.
+        attr: usize,
+        /// Cardinality multiplier at the end of the window.
+        factor: u32,
+    },
+    /// Attribute columns rotate left by `rotation` positions inside the
+    /// window: the value distribution each grouping attribute sees is
+    /// suddenly another attribute's — the query-mix shift where the
+    /// *per-query* load changes while the total stream does not.
+    QueryMixShift {
+        /// Left-rotation distance (mod the record's attribute count).
+        rotation: u32,
+    },
+}
+
+/// A seeded, declarative nonstationary-drift injector: rewrites the
+/// records of epochs `[start_epoch, start_epoch + epochs)` per its
+/// [`DriftKind`], leaving everything outside the window untouched.
+/// Purely a stream transform — apply before feeding the runtime — and
+/// deterministic in `(seed, kind, window, input)`, so drifting runs
+/// keep the repo's two-run bit-identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DriftPlan {
+    /// Seed for every synthetic value the injector fabricates.
+    pub seed: u64,
+    /// The nonstationarity to inject.
+    pub kind: DriftKind,
+    /// First drifted epoch (by record timestamp / epoch length).
+    pub start_epoch: u64,
+    /// Number of drifted epochs.
+    pub epochs: u64,
+}
+
+impl DriftPlan {
+    /// Creates a plan drifting epochs `[start_epoch, start_epoch + epochs)`.
+    pub fn new(seed: u64, kind: DriftKind, start_epoch: u64, epochs: u64) -> DriftPlan {
+        DriftPlan {
+            seed,
+            kind,
+            start_epoch,
+            epochs,
+        }
+    }
+
+    /// A cheap seeded mixer for per-record decisions.
+    fn mix(&self, i: u64, salt: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z ^= z >> 30;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 27;
+        z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Applies the drift to `records`, producing the nonstationary
+    /// stream a runtime should actually see. Record count is preserved
+    /// exactly (drift changes *what* the records say, never how many).
+    pub fn apply_to_stream(&self, records: &[Record], epoch_micros: u64) -> Vec<Record> {
+        let epoch_micros = epoch_micros.max(1);
+        let end_epoch = self.start_epoch.saturating_add(self.epochs);
+        records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let epoch = r.ts_micros / epoch_micros;
+                if epoch < self.start_epoch || epoch >= end_epoch {
+                    return *r;
+                }
+                let mut rec = *r;
+                let i = i as u64;
+                match self.kind {
+                    DriftKind::HotspotMigration {
+                        share_pct,
+                        period_epochs,
+                    } => {
+                        if self.mix(i, 1) % 100 < u64::from(share_pct.min(100)) {
+                            // The hot set: 4 groups per phase, all
+                            // attributes pinned so every projection
+                            // concentrates. High bit forced on keeps
+                            // hot groups disjoint from organic ones.
+                            let phase = (epoch - self.start_epoch) / period_epochs.max(1);
+                            let hot = self.mix(self.mix(i, 2) % 4, phase.wrapping_add(3));
+                            for a in &mut rec.attrs {
+                                *a = (hot as u32) | 0x8000_0000;
+                            }
+                        }
+                    }
+                    DriftKind::CardinalityRamp { attr, factor } => {
+                        if let Some(a) = rec.attrs.get_mut(attr) {
+                            // Ramp level grows 1 → factor across the
+                            // window; each record lands in one of
+                            // `level` disjoint value planes.
+                            let progress = epoch - self.start_epoch + 1;
+                            let level =
+                                (u64::from(factor.max(1)) * progress).div_ceil(self.epochs.max(1));
+                            let plane = self.mix(i, 4) % level.max(1);
+                            *a = a.wrapping_add((plane as u32).wrapping_mul(0x4000_0000 | 7));
+                        }
+                    }
+                    DriftKind::QueryMixShift { rotation } => {
+                        let n = rec.attrs.len();
+                        if n > 0 {
+                            rec.attrs.rotate_left(rotation as usize % n);
+                        }
+                    }
+                }
+                rec
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +488,93 @@ mod tests {
             .apply_to_stream(&recs, 1_000_000);
         assert_eq!(back[0].ts_micros, 0, "saturates at zero");
         assert_eq!(back[2].ts_micros, 500);
+    }
+
+    #[test]
+    fn hotspot_migration_concentrates_and_migrates() {
+        // 10 records per epoch (epoch = 10 ms, 1 ms apart), window
+        // epochs 1..5, migrating every 2 epochs.
+        let recs = records(100, 1000);
+        let plan = DriftPlan::new(
+            42,
+            DriftKind::HotspotMigration {
+                share_pct: 60,
+                period_epochs: 2,
+            },
+            1,
+            4,
+        );
+        let out = plan.apply_to_stream(&recs, 10_000);
+        assert_eq!(out.len(), recs.len(), "drift never changes the count");
+        // Outside the window: untouched.
+        assert_eq!(&out[..10], &recs[..10]);
+        assert_eq!(&out[50..], &recs[50..]);
+        // Inside: a majority share pinned to the hot set.
+        let hot: Vec<&Record> = out[10..50]
+            .iter()
+            .filter(|r| r.attrs[0] & 0x8000_0000 != 0)
+            .collect();
+        assert!(hot.len() > 10, "hot share too small: {}", hot.len());
+        // The hot set migrates between periods: phase 0 (epochs 1-2)
+        // and phase 1 (epochs 3-4) share no group.
+        let phase_groups = |lo: u64, hi: u64| -> std::collections::BTreeSet<[u32; 8]> {
+            hot.iter()
+                .filter(|r| (lo..hi).contains(&(r.ts_micros / 10_000)))
+                .map(|r| r.attrs)
+                .collect()
+        };
+        let p0 = phase_groups(1, 3);
+        let p1 = phase_groups(3, 5);
+        assert!(!p0.is_empty() && !p1.is_empty());
+        assert!(p0.is_disjoint(&p1), "hot set failed to migrate");
+        // Few groups per phase: that's what makes it a hotspot.
+        assert!(p0.len() <= 4 && p1.len() <= 4);
+        // Deterministic.
+        assert_eq!(out, plan.apply_to_stream(&recs, 10_000));
+    }
+
+    #[test]
+    fn cardinality_ramp_grows_the_value_space() {
+        let recs: Vec<Record> = (0..400u32)
+            .map(|i| Record::new(&[i % 5, 0, 0, 0], u64::from(i) * 250))
+            .collect();
+        // Epoch = 10 ms → 40 records per epoch; ramp attribute 0 to 8×
+        // across epochs 2..10.
+        let plan = DriftPlan::new(7, DriftKind::CardinalityRamp { attr: 0, factor: 8 }, 2, 8);
+        let out = plan.apply_to_stream(&recs, 10_000);
+        assert_eq!(out.len(), recs.len());
+        let distinct = |lo: u64, hi: u64| -> usize {
+            out.iter()
+                .filter(|r| (lo..hi).contains(&(r.ts_micros / 10_000)))
+                .map(|r| r.attrs[0])
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        };
+        let before = distinct(0, 2);
+        let late = distinct(8, 10);
+        assert_eq!(before, 5, "pre-window cardinality untouched");
+        assert!(
+            late >= 3 * before,
+            "ramp failed to inflate: {before} → {late}"
+        );
+        assert_eq!(out, plan.apply_to_stream(&recs, 10_000));
+    }
+
+    #[test]
+    fn query_mix_shift_rotates_columns_in_window_only() {
+        let recs: Vec<Record> = (0..30u32)
+            .map(|i| Record::new(&[i, i + 100, i + 200, i + 300], u64::from(i) * 1000))
+            .collect();
+        let plan = DriftPlan::new(1, DriftKind::QueryMixShift { rotation: 1 }, 1, 1);
+        let out = plan.apply_to_stream(&recs, 10_000);
+        // Epoch 0 untouched.
+        assert_eq!(out[5], recs[5]);
+        // Epoch 1 rotated left by one.
+        let mut expected = recs[15].attrs;
+        expected.rotate_left(1);
+        assert_eq!(out[15].attrs, expected);
+        // Epoch 2 untouched.
+        assert_eq!(out[25], recs[25]);
     }
 
     #[test]

@@ -46,7 +46,12 @@
 //!   ledgers above into per-query guaranteed count intervals
 //!   `[lo, hi]` (and per-group bounds), mergeable across shards and
 //!   queryable live at every epoch boundary, with the failure mode
-//!   chosen by [`guard::DegradationPolicy`].
+//!   chosen by [`guard::DegradationPolicy`];
+//! * [`swap`] — the epoch-boundary hot-swap transaction: quiesce,
+//!   snapshot, rehash into a re-planned feeding graph, validate the
+//!   handoff (record-count, bias-ledger and degradation-promise
+//!   conservation), then commit — or roll back with the old deployment
+//!   untouched (see [`shard::ShardedExecutor::hot_swap`]).
 
 #![deny(unsafe_code)]
 
@@ -60,12 +65,13 @@ pub mod plan;
 pub mod shard;
 pub mod snapshot;
 pub mod supervise;
+pub mod swap;
 pub mod table;
 
 pub use bounds::{BoundsReport, LossBreakdown, LossClass, QueryBounds};
 pub use channel::{ChannelFaults, ChannelStats, Delivery, EvictionChannel};
 pub use executor::{Executor, ExecutorConfig, RunReport, ValueSource};
-pub use faults::{Burst, CrashPlan, FaultPlan, ShardFault};
+pub use faults::{Burst, CrashPlan, DriftKind, DriftPlan, FaultPlan, ShardFault};
 pub use guard::{
     DegradationPolicy, GuardLevel, GuardPolicy, GuardTransition, OverloadGuard, ShedDecision,
 };
@@ -76,6 +82,9 @@ pub use snapshot::{
     EvictionLog, LogEntry, RecoveryError, ShardedSnapshot, Snapshot, SnapshotError,
 };
 pub use supervise::{PoisonRecord, ShardHealth, ShardHeartbeat, ShardState, SupervisorPolicy};
+pub use swap::{
+    HandoffViolation, RollbackReason, SwapCrashPoint, SwapError, SwapFault, SwapOutcome, SwapReport,
+};
 pub use table::{LftaTable, Probe};
 
 /// Cost parameters of the two-level architecture.

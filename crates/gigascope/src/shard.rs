@@ -31,7 +31,14 @@ use crate::guard::{DegradationPolicy, GuardPolicy};
 use crate::hfta::Hfta;
 use crate::plan::PhysicalPlan;
 use crate::snapshot::{EvictionLog, RecoveryError, ShardedSnapshot, Snapshot};
-use crate::supervise::{PoisonRecord, ShardDriver, ShardHealth, ShardHeartbeat, SupervisorPolicy};
+use crate::supervise::{
+    PoisonRecord, ShardDriver, ShardHealth, ShardHeartbeat, ShardState, SupervisorPolicy,
+};
+use crate::swap::{
+    validate_handoff, HandoffViolation, RollbackReason, SwapCrashPoint, SwapError, SwapFault,
+    SwapOutcome, SwapReport,
+};
+use crate::table::TableStats;
 use crate::CostParams;
 use msa_stream::hash::mix64;
 use msa_stream::{AttrSet, Filter, Record};
@@ -121,6 +128,10 @@ pub struct ShardedExecutor {
     health: Vec<ShardHealth>,
     heartbeats: Vec<Arc<ShardHeartbeat>>,
     n: usize,
+    /// Queries a committed hot-swap removed from the live plan. Their
+    /// finished results stay in every shard's HFTA verbatim; `finish`
+    /// must still merge them, so removal never erases history.
+    retired: Vec<AttrSet>,
 }
 
 impl ShardedExecutor {
@@ -149,6 +160,7 @@ impl ShardedExecutor {
                 .map(|_| Arc::new(ShardHeartbeat::default()))
                 .collect(),
             n: shards,
+            retired: Vec::new(),
         };
         sharded.rebuild();
         Ok(sharded)
@@ -162,8 +174,15 @@ impl ShardedExecutor {
     /// epoch-aligned snapshot, and durability is observation-
     /// transparent (`durability_does_not_change_results`).
     fn shard_config(&self, k: usize) -> ExecutorConfig {
+        self.shard_config_for(&self.config.plan, k)
+    }
+
+    /// [`ShardedExecutor::shard_config`] against an arbitrary serial
+    /// plan — the hot-swap transaction builds *new-plan* shard recipes
+    /// while the old plan is still installed.
+    fn shard_config_for(&self, plan: &PhysicalPlan, k: usize) -> ExecutorConfig {
         let mut cfg = self.config.clone();
-        cfg.plan = self.config.plan.split_for_shards(self.n);
+        cfg.plan = plan.split_for_shards(self.n);
         cfg.seed = shard_seed(self.config.seed, k, self.n);
         if let Some(faults) = &mut cfg.faults {
             faults.seed = fault_seed(faults.seed, k, self.n);
@@ -487,21 +506,269 @@ impl ShardedExecutor {
         Ok(())
     }
 
+    /// The serial plan currently installed (each shard instantiates its
+    /// `buckets / N` split).
+    pub fn plan(&self) -> &PhysicalPlan {
+        &self.config.plan
+    }
+
+    /// The query set the live plan serves, in slot order.
+    pub fn queries(&self) -> Vec<AttrSet> {
+        self.shards
+            .first()
+            .map(|ex| ex.queries().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The epoch currently open on shard 0 (all shards agree outside a
+    /// skewed mid-`run` window).
+    pub fn current_epoch(&self) -> u64 {
+        self.shards.first().map_or(0, Executor::current_epoch)
+    }
+
+    /// Force-closes epochs on every shard until `epoch` is the open one
+    /// — the quiesce barrier of the hot-swap transaction. Each close is
+    /// the identical flush a record timestamp crossing the boundary
+    /// would run (see [`Executor::align_to_epoch`]), so aligning between
+    /// record batches is state-identical to the boundary arriving in the
+    /// stream.
+    pub fn align_to_epoch(&mut self, epoch: u64) {
+        for ex in &mut self.shards {
+            ex.align_to_epoch(epoch);
+        }
+    }
+
+    /// Live per-table collision/eviction telemetry, summed across
+    /// shards by relation — the observed rates the drift detector folds
+    /// back into the cost model. Shards hash independently but split
+    /// every table `buckets / N`, so the summed collision rate is
+    /// directly comparable to the serial plan's predicted rate.
+    pub fn table_stats(&self) -> Vec<(AttrSet, TableStats)> {
+        let mut merged: Vec<(AttrSet, TableStats)> = Vec::new();
+        for ex in &self.shards {
+            for (attrs, stats) in ex.table_stats() {
+                match merged.iter_mut().find(|(a, _)| *a == attrs) {
+                    Some((_, acc)) => {
+                        acc.probes += stats.probes;
+                        acc.collisions += stats.collisions;
+                        acc.absorbed_before_eviction += stats.absorbed_before_eviction;
+                    }
+                    None => merged.push((attrs, stats)),
+                }
+            }
+        }
+        merged
+    }
+
+    /// Resets every shard's per-table statistics (a fresh drift window).
+    pub fn reset_table_stats(&mut self) {
+        for ex in &mut self.shards {
+            ex.reset_table_stats();
+        }
+    }
+
+    /// The epoch-boundary hot-swap transaction: quiesce, snapshot,
+    /// rehash into `new_plan`, validate the handoff, commit — or roll
+    /// back to the old plan on any validation failure. See
+    /// [`crate::swap`] for the state machine and every outcome's
+    /// guarantee; `fault` injects rollback/crash drills
+    /// ([`SwapFault::none`] for a clean swap).
+    ///
+    /// On success the deployment serves `new_plan` from the next record
+    /// on, with every counter, finished result, degradation promise and
+    /// PRNG cursor carried over bit-exactly; queries `new_plan` drops
+    /// are retired (their history stays in `finish`'s merged output).
+    /// On rollback the old deployment is untouched — the new shards
+    /// never saw a record — and `replans_rolled_back` ticks.
+    pub fn hot_swap(
+        &mut self,
+        new_plan: PhysicalPlan,
+        fault: &SwapFault,
+    ) -> Result<SwapReport, SwapError> {
+        if let Some(k) = self.shards.iter().position(Executor::has_crashed) {
+            return Err(SwapError::ShardCrashed(k));
+        }
+        if fault.crash.is_some() && !self.config.durable {
+            return Err(SwapError::CrashDrillNeedsDurability);
+        }
+        // Phase 1 + 2: quiesce barrier — every shard must sit at the
+        // same epoch boundary — and per-shard boundary snapshots.
+        let mut snaps = Vec::with_capacity(self.n);
+        for ex in &self.shards {
+            snaps.push(ex.snapshot().map_err(SwapError::Unaligned)?);
+        }
+        let epoch = snaps.first().map_or(0, |s| s.epoch);
+        for (k, s) in snaps.iter().enumerate() {
+            if s.epoch != epoch {
+                return Err(SwapError::EpochSkew {
+                    expected: epoch,
+                    found: s.epoch,
+                    shard: k,
+                });
+            }
+        }
+        if fault.crash.is_some() {
+            // A drill crash recovers from durable artifacts only;
+            // refuse to run if any shard's checkpoint lags the quiesce
+            // boundary (recovery would silently lose committed work).
+            for (k, ex) in self.shards.iter().enumerate() {
+                let current = ex
+                    .latest_snapshot()
+                    .is_some_and(|s| s.epoch == epoch && s.records_hwm == ex.report().records);
+                if !current {
+                    return Err(SwapError::StaleCheckpoint { shard: k });
+                }
+            }
+        }
+        // The swap window is observable on the supervision pulse.
+        for hb in &self.heartbeats {
+            hb.publish(ShardState::Restarting);
+        }
+        if fault.crash == Some(SwapCrashPoint::AfterQuiesce) {
+            return self.recover_old_after_crash(epoch);
+        }
+        // Phase 3: build new-plan shards and transplant the boundary
+        // state. The old shards are not touched — rollback is a drop.
+        let old_queries = self.queries();
+        let mut new_shards = Vec::with_capacity(self.n);
+        for (k, snap) in snaps.iter().enumerate() {
+            let cfg = self.shard_config_for(&new_plan, k);
+            new_shards.push(cfg.build().adopt_boundary_state(snap));
+        }
+        // Phase 3b: handoff validation — the conservation checks.
+        let verdict = if fault.fail_validation {
+            Err(HandoffViolation {
+                shard: 0,
+                check: "injected",
+                expected: 0,
+                found: 1,
+            })
+        } else {
+            new_shards
+                .iter()
+                .zip(&snaps)
+                .enumerate()
+                .try_for_each(|(k, (ex, snap))| validate_handoff(k, ex, snap, &old_queries))
+        };
+        if let Err(violation) = verdict {
+            drop(new_shards);
+            if let Some(ex) = self.shards.first_mut() {
+                ex.note_replan_rolled_back();
+                ex.refresh_boundary_checkpoint();
+            }
+            for hb in &self.heartbeats {
+                hb.publish(ShardState::Healthy);
+            }
+            let reason = if fault.fail_validation {
+                RollbackReason::Injected
+            } else {
+                RollbackReason::Validation(violation)
+            };
+            return Ok(SwapReport {
+                epoch,
+                outcome: SwapOutcome::RolledBack(reason),
+            });
+        }
+        if fault.crash == Some(SwapCrashPoint::BeforeCommit) {
+            // The validated new shards die with the process; only the
+            // old plan's durable artifacts exist.
+            drop(new_shards);
+            return self.recover_old_after_crash(epoch);
+        }
+        // Phase 4: commit. The swap ledger ticks on the new deployment
+        // *before* its checkpoint refresh, so a crash one instant after
+        // the commit point recovers the counter too.
+        if let Some(ex) = new_shards.first_mut() {
+            ex.note_replan_committed();
+            ex.refresh_boundary_checkpoint();
+        }
+        let new_queries: Vec<AttrSet> = new_shards
+            .first()
+            .map(|ex| ex.queries().to_vec())
+            .unwrap_or_default();
+        for q in &old_queries {
+            if !new_queries.contains(q) && !self.retired.contains(q) {
+                self.retired.push(*q);
+            }
+        }
+        self.retired.retain(|q| !new_queries.contains(q));
+        self.shards = new_shards;
+        self.config.plan = new_plan;
+        if fault.crash == Some(SwapCrashPoint::AfterCommit) {
+            for k in 0..self.n {
+                let (snap, log) = self.shards[k]
+                    .durable_state()
+                    .ok_or(SwapError::StaleCheckpoint { shard: k })?;
+                let mut cfg = self.shard_config(k);
+                cfg.crash = CrashPlan::none();
+                self.crashes[k] = CrashPlan::none();
+                self.shards[k] = cfg.build().recover(&snap, log)?;
+            }
+            for hb in &self.heartbeats {
+                hb.publish(ShardState::Healthy);
+            }
+            return Ok(SwapReport {
+                epoch,
+                outcome: SwapOutcome::CommittedAfterCrash,
+            });
+        }
+        for hb in &self.heartbeats {
+            hb.publish(ShardState::Healthy);
+        }
+        Ok(SwapReport {
+            epoch,
+            outcome: SwapOutcome::Committed,
+        })
+    }
+
+    /// Completes a pre-commit crash drill: rebuilds every shard from
+    /// its durable artifacts (the old plan's boundary checkpoint — the
+    /// only state a real crash leaves) and ticks the rollback counter.
+    fn recover_old_after_crash(&mut self, epoch: u64) -> Result<SwapReport, SwapError> {
+        for k in 0..self.n {
+            let (snap, log) = self.shards[k]
+                .durable_state()
+                .ok_or(SwapError::StaleCheckpoint { shard: k })?;
+            let mut cfg = self.shard_config(k);
+            cfg.crash = CrashPlan::none();
+            self.crashes[k] = CrashPlan::none();
+            self.shards[k] = cfg.build().recover(&snap, log)?;
+        }
+        if let Some(ex) = self.shards.first_mut() {
+            ex.note_replan_rolled_back();
+            ex.refresh_boundary_checkpoint();
+        }
+        for hb in &self.heartbeats {
+            hb.publish(ShardState::Healthy);
+        }
+        Ok(SwapReport {
+            epoch,
+            outcome: SwapOutcome::RolledBackAfterCrash,
+        })
+    }
+
     /// Flushes every shard's final epoch and merges the outputs in
     /// deterministic shard order: reports fold with the commutative
     /// [`RunReport::merge`], HFTAs combine epoch-by-epoch with
     /// [`Hfta::merge_ordered`]. With one shard this is a passthrough —
-    /// literally the serial executor's `finish`.
+    /// literally the serial executor's `finish`. Queries a hot-swap
+    /// retired are merged alongside the live set, so their history
+    /// survives removal.
     pub fn finish(mut self) -> (RunReport, Hfta) {
         if self.n == 1 {
             if let Some(ex) = self.shards.drain(..).next() {
                 return ex.finish();
             }
         }
-        let queries: Vec<AttrSet> = match self.shards.first() {
+        let mut queries: Vec<AttrSet> = match self.shards.first() {
             Some(ex) => ex.queries().to_vec(),
             None => Vec::new(),
         };
+        for q in &self.retired {
+            if !queries.contains(q) {
+                queries.push(*q);
+            }
+        }
         let mut report: Option<RunReport> = None;
         let mut hftas = Vec::with_capacity(self.shards.len());
         for ex in self.shards {

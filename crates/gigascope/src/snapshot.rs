@@ -40,7 +40,10 @@ use msa_stream::{AttrSet, GroupKey, MAX_ATTRS};
 /// shutdown/abandonment/denied-shed counters and breach flag, plus the
 /// guard's [`crate::guard::DegradationPolicy`] and budget odometer, so
 /// recovery restores guaranteed count intervals bit-exactly.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Version 3 added the adaptive-runtime swap ledger: the report's
+/// `replans_committed`/`replans_rolled_back` counters, so a recovered
+/// deployment remembers its hot-swap history bit-exactly.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 const SNAPSHOT_MAGIC: [u8; 4] = *b"MSNP";
 const LOG_MAGIC: [u8; 4] = *b"MSWL";
@@ -414,6 +417,8 @@ impl Snapshot {
         w.u64(self.report.records_unreplayed);
         w.u64(self.report.records_shutdown_lost);
         w.u64(self.report.records_shed_denied);
+        w.u64(self.report.replans_committed);
+        w.u64(self.report.replans_rolled_back);
         w.keyed_counts(&self.report.abandoned_records);
         w.u8(u8::from(self.report.bound_breached));
         w.u64(self.report.guard_transitions.len() as u64);
@@ -560,6 +565,8 @@ impl Snapshot {
             records_unreplayed: r.u64()?,
             records_shutdown_lost: r.u64()?,
             records_shed_denied: r.u64()?,
+            replans_committed: r.u64()?,
+            replans_rolled_back: r.u64()?,
             abandoned_records: r.keyed_counts()?,
             bound_breached: r.bool()?,
             ..RunReport::default()
@@ -1068,6 +1075,8 @@ mod tests {
                 records_unreplayed: 5,
                 records_shutdown_lost: 3,
                 records_shed_denied: 6,
+                replans_committed: 2,
+                replans_rolled_back: 1,
                 abandoned_records: vec![(a, 2)],
                 bound_breached: true,
                 costs: CostParams::paper(),

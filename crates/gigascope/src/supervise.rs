@@ -156,7 +156,12 @@ impl ShardHeartbeat {
         self.processed.store(processed, Ordering::Relaxed);
     }
 
-    fn publish(&self, state: ShardState) {
+    /// Publishes a state change. `pub(crate)` so the hot-swap
+    /// transaction ([`crate::shard::ShardedExecutor::hot_swap`]) can
+    /// surface its quiesce/commit window on the same observable pulse
+    /// supervision uses — heartbeats stay observational; every swap
+    /// *decision* is record-counted inside the transaction itself.
+    pub(crate) fn publish(&self, state: ShardState) {
         self.state.store(state as u8, Ordering::Relaxed);
     }
 }

@@ -117,6 +117,14 @@ pub const CATALOG: &[Rule] = &[
         check: d005_thread_spawn,
     },
     Rule {
+        id: "D006",
+        group: "determinism",
+        severity: Severity::Error,
+        summary: "no wall-clock call sites (.now()/.elapsed()/duration_since()/sleep()) in runtime crates outside crates/bench",
+        help: "trigger on record counts and epoch boundaries instead; aliased clock imports dodge D001's type check, but the call site cannot hide",
+        check: d006_wall_clock_calls,
+    },
+    Rule {
         id: "R001",
         group: "robustness",
         severity: Severity::Error,
@@ -348,6 +356,47 @@ fn d005_thread_spawn(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
                 ctx,
                 t,
                 "thread `spawn` outside crates/gigascope/src/shard.rs".to_owned(),
+            ));
+        }
+    }
+    out
+}
+
+/// D006 — wall-clock *call sites* in runtime crates. D001 flags the
+/// type names (`SystemTime`, `Instant`), but `use std::time::Instant as
+/// Clk;` walks straight past an identifier check — the adaptive
+/// runtime's "never wall-clock" contract needs the calls themselves
+/// gated. The chokepoints are the methods every clock read funnels
+/// through (`now()`, `elapsed()`, `duration_since()`) plus `sleep()`
+/// (a wall-clock *wait* is as nondeterministic as a read). Call
+/// position only: a field or doc mention named `now` does not count.
+/// `crates/bench` is exempt (throughput harnesses time for real), as is
+/// test-path code.
+fn d006_wall_clock_calls(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.crate_dir() == Some("bench") || ctx.is_test_path() {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !matches!(
+                t.text.as_str(),
+                "now" | "elapsed" | "duration_since" | "sleep"
+            )
+        {
+            continue;
+        }
+        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if is_call && !ctx.in_test_span(t.line) {
+            out.push(finding(
+                rule,
+                ctx,
+                t,
+                format!(
+                    "wall-clock call `{}()` in a runtime crate; derive timing from record counts",
+                    t.text
+                ),
             ));
         }
     }

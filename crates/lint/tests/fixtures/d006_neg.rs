@@ -1,0 +1,29 @@
+//! FIXTURE (D006 negative): every trigger is record-counted; `now` and
+//! `elapsed` appear only as field names, never as calls; wall-clock
+//! calls appear only inside test code.
+pub struct DriftDetector {
+    /// Records seen since the last check (the only "clock" allowed).
+    pub records_since_check: u64,
+    /// A field merely *named* now is not a clock read.
+    pub now: u64,
+}
+
+impl DriftDetector {
+    pub fn due(&self, check_every_records: u64) -> bool {
+        self.records_since_check >= check_every_records.max(1)
+    }
+
+    pub fn elapsed_epochs(&self, epoch: u64, since: u64) -> u64 {
+        epoch.saturating_sub(since)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        let _ = t.elapsed();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,18 @@
+//! FIXTURE (D006 positive): aliased clock imports dodge D001's
+//! identifier check, but the call sites cannot hide.
+use std::time::Instant as Clk;
+use std::time::SystemTime as Wall;
+
+pub fn drift_check_due(last: Clk) -> bool {
+    let t = Clk::now();
+    t.duration_since(last).as_secs() > 60
+}
+
+pub fn wait_for_quiesce() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let _epoch = Wall::now();
+}
+
+pub fn swap_pause_micros(started: Clk) -> u128 {
+    started.elapsed().as_micros()
+}

@@ -80,6 +80,27 @@ fn d005_thread_spawn() {
 }
 
 #[test]
+fn d006_wall_clock_calls() {
+    let pos = include_str!("fixtures/d006_pos.rs");
+    let neg = include_str!("fixtures/d006_neg.rs");
+    let hits = fire_at("crates/core/src/runtime.rs", pos, "D006");
+    assert_eq!(
+        hits.len(),
+        5,
+        "now ×2 + duration_since + sleep + elapsed: {hits:?}"
+    );
+    // D001 sees only the two aliasing imports — every *call site*
+    // dodges its identifier check. Exactly why D006 exists.
+    assert_eq!(fires("crates/core/src/runtime.rs", pos, "D001"), 2);
+    // Fields named `now`/`elapsed` and record-counted triggers are fine.
+    assert_eq!(fires("crates/core/src/runtime.rs", neg, "D006"), 0);
+    // crates/bench is exempt: swap-pause benches time for real.
+    assert_eq!(fires("crates/bench/src/bin/replan_swap.rs", pos, "D006"), 0);
+    // Test paths are exempt wholesale.
+    assert_eq!(fires("tests/adaptive.rs", pos, "D006"), 0);
+}
+
+#[test]
 fn r001_unwrap_expect() {
     let pos = include_str!("fixtures/r001_pos.rs");
     let neg = include_str!("fixtures/r001_neg.rs");

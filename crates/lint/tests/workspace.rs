@@ -57,12 +57,15 @@ fn allowlist_has_no_stale_entries() {
 }
 
 #[test]
-fn catalog_holds_all_eleven_rules() {
-    assert_eq!(CATALOG.len(), 11);
+fn catalog_holds_all_twelve_rules() {
+    assert_eq!(CATALOG.len(), 12);
     let ids: Vec<&str> = CATALOG.iter().map(|r| r.id).collect();
     assert_eq!(
         ids,
-        ["D001", "D002", "D003", "D004", "D005", "R001", "R002", "R003", "R004", "R005", "R006"]
+        [
+            "D001", "D002", "D003", "D004", "D005", "D006", "R001", "R002", "R003", "R004", "R005",
+            "R006"
+        ]
     );
 }
 

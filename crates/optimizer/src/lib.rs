@@ -22,7 +22,10 @@
 //! * [`peakload`] — the shrink/shift repairs for the peak-load
 //!   constraint (§6.3.4);
 //! * [`planner`] — a one-call facade producing an executable
-//!   [`msa_gigascope::PhysicalPlan`].
+//!   [`msa_gigascope::PhysicalPlan`];
+//! * [`replan`] — background re-planning: re-runs the pipeline against
+//!   statistics refreshed from live collision telemetry and costs the
+//!   candidate side-by-side with the deployed plan.
 
 #![deny(unsafe_code)]
 
@@ -33,6 +36,7 @@ pub mod graph;
 pub mod greedy;
 pub mod peakload;
 pub mod planner;
+pub mod replan;
 
 pub use alloc::{AllocStrategy, Allocation};
 pub use config::Configuration;
@@ -41,3 +45,4 @@ pub use graph::FeedingGraph;
 pub use greedy::{epes, greedy_collision, greedy_space};
 pub use peakload::{enforce_peak_load, enforce_peak_load_from, PeakLoadMethod, PeakLoadOutcome};
 pub use planner::{Algorithm, Plan, Planner, PlannerOptions};
+pub use replan::{propose_replan, ReplanProposal};

@@ -1,0 +1,131 @@
+//! Background re-planning against observed statistics.
+//!
+//! The adaptive runtime (see `msa-core`) watches live per-table
+//! collision telemetry, and when the deployed plan's predicted rates
+//! drift past a margin it asks this module for a *proposal*: re-run the
+//! full phantom-choice + allocation pipeline against the refreshed
+//! [`DatasetStats`], then cost **both** plans under the *same* refreshed
+//! statistics so the comparison is apples-to-apples. The runtime only
+//! pays the hot-swap pause when the predicted improvement clears its
+//! margin — a proposal is advice, not a commitment.
+
+use crate::cost::{end_of_epoch_cost, per_record_cost, CostContext};
+use crate::planner::{Plan, Planner, PlannerOptions};
+use msa_collision::CollisionModel;
+use msa_stream::{AttrSet, DatasetStats};
+
+/// A candidate replacement plan, costed side-by-side with the deployed
+/// plan under the same (observed) statistics.
+#[derive(Clone, Debug)]
+pub struct ReplanProposal {
+    /// The freshly planned candidate.
+    pub plan: Plan,
+    /// The deployed plan's predicted per-record cost under the
+    /// refreshed statistics (NOT its original prediction — drift is
+    /// exactly the gap between the two).
+    pub old_cost: f64,
+    /// The candidate's predicted per-record cost under the same
+    /// statistics.
+    pub new_cost: f64,
+    /// Relative improvement `(old - new) / old`; negative when the
+    /// candidate is predicted *worse* (re-planning noise — do not
+    /// swap).
+    pub improvement: f64,
+}
+
+impl ReplanProposal {
+    /// True when the candidate's predicted gain clears `margin`
+    /// (e.g. `0.05` = swap only for a ≥5 % predicted cost reduction).
+    pub fn clears(&self, margin: f64) -> bool {
+        self.improvement > margin
+    }
+}
+
+/// Re-plans `queries` against `stats` (refreshed from observation) and
+/// costs the result against the deployed `old_plan` under those same
+/// statistics.
+pub fn propose_replan(
+    queries: &[AttrSet],
+    stats: &DatasetStats,
+    model: &dyn CollisionModel,
+    options: &PlannerOptions,
+    old_plan: &Plan,
+) -> ReplanProposal {
+    let plan = Planner::new(queries, stats, model, options).plan(options);
+    let ctx = CostContext {
+        stats,
+        model,
+        params: options.params,
+        clustering: options.clustering,
+    };
+    let old_cost = per_record_cost(&old_plan.configuration, &old_plan.allocation, &ctx)
+        + end_of_epoch_cost(&old_plan.configuration, &old_plan.allocation, &ctx);
+    let new_cost = per_record_cost(&plan.configuration, &plan.allocation, &ctx)
+        + end_of_epoch_cost(&plan.configuration, &plan.allocation, &ctx);
+    let improvement = if old_cost > 0.0 {
+        (old_cost - new_cost) / old_cost
+    } else {
+        0.0
+    };
+    ReplanProposal {
+        plan,
+        old_cost,
+        new_cost,
+        improvement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan_gcsl;
+    use msa_collision::LinearModel;
+
+    fn s(x: &str) -> AttrSet {
+        AttrSet::parse(x).unwrap()
+    }
+
+    fn queries() -> Vec<AttrSet> {
+        vec![s("A"), s("B"), s("AB")]
+    }
+
+    fn stats_with(groups: &[(AttrSet, usize)]) -> DatasetStats {
+        DatasetStats::from_group_counts(groups.iter().copied(), 1_000_000)
+    }
+
+    #[test]
+    fn unchanged_stats_propose_no_gain() {
+        let qs = queries();
+        let stats = stats_with(&[(s("A"), 100), (s("B"), 100), (s("AB"), 5000)]);
+        let old = plan_gcsl(&qs, &stats, 20_000.0);
+        let model = LinearModel::paper_no_intercept();
+        let options = PlannerOptions::new(20_000.0);
+        let p = propose_replan(&qs, &stats, &model, &options, &old);
+        // Same statistics → the planner reproduces the same plan, so the
+        // predicted improvement is (numerically) zero.
+        assert!(
+            p.improvement.abs() < 1e-9,
+            "improvement = {}",
+            p.improvement
+        );
+        assert!(!p.clears(0.05));
+    }
+
+    #[test]
+    fn drifted_stats_propose_a_gain() {
+        let qs = queries();
+        let planned = stats_with(&[(s("A"), 100), (s("B"), 100), (s("AB"), 5000)]);
+        let old = plan_gcsl(&qs, &planned, 20_000.0);
+        // The world shifted: the pair relation exploded, the others
+        // skewed. The old allocation is now badly proportioned.
+        let observed = stats_with(&[(s("A"), 4000), (s("B"), 50), (s("AB"), 60_000)]);
+        let model = LinearModel::paper_no_intercept();
+        let options = PlannerOptions::new(20_000.0);
+        let p = propose_replan(&qs, &observed, &model, &options, &old);
+        assert!(
+            p.new_cost <= p.old_cost,
+            "replanning can never predict worse"
+        );
+        assert!(p.improvement > 0.0, "improvement = {}", p.improvement);
+    }
+}

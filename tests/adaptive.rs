@@ -1,0 +1,478 @@
+//! Adaptive-runtime battery: the drift → re-plan → hot-swap loop
+//! against the static baseline, across the full deployment matrix
+//! {static, adaptive} × {drift kinds} × {shards} × {crash during swap},
+//! asserting at every cell:
+//!
+//! * **determinism** — two runs of the cell produce bit-identical
+//!   merged [`RunReport`]s, result lists and swap ledgers, whatever
+//!   the scheduler or the swap transaction did;
+//! * **swap transparency** — lossless and guard-off, every cell's
+//!   closed-epoch result list is bit-identical to the static
+//!   single-shard baseline and every per-group total equals a naive
+//!   recount of the drifted stream: the outputs differ only in the
+//!   `replans_committed` / `replans_rolled_back` ledger;
+//! * **crash atomicity** — a crash injected at any armed point inside
+//!   the swap transaction recovers to the old plan
+//!   (`RolledBackAfterCrash`) or the new plan (`CommittedAfterCrash`),
+//!   never a torn mixture — the recovered cell still reproduces the
+//!   baseline results bit-exactly;
+//! * **forced rollback** — an injected validation failure rolls the
+//!   transaction back, ticks `replans_rolled_back`, and leaves the
+//!   deployment byte-for-byte on the old plan;
+//! * **acceptance drill** — under a hotspot migration the detector
+//!   re-plans and commits a swap after which the observed collision
+//!   rates sit back within the cost model's drift margin.
+//!
+//! `MSA_SCALE` (0, 1] shrinks the trace and trims the matrix so CI can
+//! run a reduced battery; unset means the full matrix.
+
+use msa_core::{
+    AdaptivePolicy, AdaptiveRuntime, AttrSet, DatasetStats, DriftKind, DriftPlan, GuardPolicy,
+    MsaError, Record, ReplanTrigger, RuntimeOptions, RuntimeOutput, RuntimePolicy, SwapCrashPoint,
+    SwapFault, SwapOutcome,
+};
+use msa_stream::hash::FastMap;
+use msa_stream::{GroupKey, UniformStreamBuilder};
+
+const EPOCH: u64 = 1_000_000;
+const SEED: u64 = 0xADAB;
+const M_WORDS: f64 = 10_000.0;
+
+fn s(x: &str) -> AttrSet {
+    AttrSet::parse(x).unwrap()
+}
+
+fn scale() -> f64 {
+    std::env::var("MSA_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .clamp(0.01, 1.0)
+}
+
+fn queries() -> Vec<AttrSet> {
+    vec![s("A"), s("B")]
+}
+
+/// The statistics belief the runtime plans with — deliberately the
+/// *organic* stream's profile, which every drift kind then invalidates.
+fn believed_stats() -> DatasetStats {
+    DatasetStats::from_group_counts([(s("A"), 120), (s("B"), 120), (s("AB"), 2_000)], 100_000)
+}
+
+/// Organic 6-epoch stream; the drift plans disturb epochs [2, 5).
+fn base_stream(scale: f64) -> Vec<Record> {
+    let records = ((12_000.0 * scale) as usize).max(1_500);
+    UniformStreamBuilder::new(4, 120)
+        .records(records)
+        .duration_secs(6.0)
+        .seed(SEED)
+        .build()
+        .records
+}
+
+/// The drift columns of the matrix: each nonstationarity the detector
+/// must survive (and the swap must stay transparent under).
+fn drift_columns() -> Vec<(&'static str, DriftPlan)> {
+    vec![
+        (
+            "hotspot-migration",
+            DriftPlan::new(
+                0xD201,
+                DriftKind::HotspotMigration {
+                    share_pct: 70,
+                    period_epochs: 2,
+                },
+                2,
+                3,
+            ),
+        ),
+        (
+            "cardinality-ramp",
+            DriftPlan::new(
+                0xD202,
+                DriftKind::CardinalityRamp { attr: 0, factor: 6 },
+                2,
+                3,
+            ),
+        ),
+        (
+            "query-mix-shift",
+            DriftPlan::new(0xD203, DriftKind::QueryMixShift { rotation: 1 }, 2, 3),
+        ),
+    ]
+}
+
+fn shard_counts(scale: f64) -> Vec<usize> {
+    if scale < 0.5 {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4]
+    }
+}
+
+/// The crash columns: `None` = clean swap, otherwise the armed point
+/// inside the transaction.
+fn crash_columns() -> Vec<(&'static str, Option<SwapCrashPoint>)> {
+    vec![
+        ("no-crash", None),
+        ("after-quiesce", Some(SwapCrashPoint::AfterQuiesce)),
+        ("before-commit", Some(SwapCrashPoint::BeforeCommit)),
+        ("after-commit", Some(SwapCrashPoint::AfterCommit)),
+    ]
+}
+
+fn cell_options(policy: RuntimePolicy, shards: usize) -> RuntimeOptions {
+    let mut opts = RuntimeOptions::new(M_WORDS);
+    opts.seed = SEED;
+    opts.shards = shards;
+    opts.policy = policy;
+    // Crash drills recover from the boundary checkpoint; durability is
+    // transparent to the outputs (tests/differential.rs proves it).
+    opts.durable = true;
+    opts
+}
+
+/// One cell: run two organic epochs, stage a swap (with the cell's
+/// fault armed), and stream the rest. Under the adaptive policy the
+/// detector may already have staged its own transaction — the armed
+/// fault then hits that one, which is just as good a crash target.
+fn run_cell(
+    policy: RuntimePolicy,
+    shards: usize,
+    crash: Option<SwapCrashPoint>,
+    records: &[Record],
+) -> RuntimeOutput {
+    let mut rt = AdaptiveRuntime::new(queries(), believed_stats(), cell_options(policy, shards))
+        .expect("cell deploys");
+    let split = records.partition_point(|r| r.ts_micros / EPOCH < 2);
+    rt.run(&records[..split]).expect("organic prefix runs");
+    if let Some(point) = crash {
+        rt.with_swap_fault(SwapFault::crash_at(point));
+    }
+    match rt.request_replan() {
+        Ok(()) | Err(MsaError::MidSwapMutation) => {}
+        Err(e) => panic!("request_replan: {e}"),
+    }
+    rt.run(&records[split..]).expect("drifted suffix runs");
+    rt.finish()
+}
+
+fn exact(records: &[Record], q: AttrSet) -> FastMap<GroupKey, u64> {
+    let mut m = FastMap::default();
+    for r in records {
+        *m.entry(r.project(q)).or_insert(0) += 1;
+    }
+    m
+}
+
+/// The full matrix. Every cell is deterministic across two runs, and
+/// — lossless, guard-off — bit-identical to the static single-shard
+/// baseline in its closed-epoch outputs, whatever the swap did.
+#[test]
+fn matrix_swaps_are_transparent_and_crash_atomic() {
+    let scale = scale();
+    let base = base_stream(scale);
+    for (dname, dplan) in drift_columns() {
+        let records = dplan.apply_to_stream(&base, EPOCH);
+        assert_eq!(records.len(), base.len(), "{dname}: drift preserves count");
+        // Static single-shard clean-swap cell: the baseline every other
+        // cell must reproduce.
+        let baseline = run_cell(RuntimePolicy::frozen(), 1, None, &records);
+        assert_eq!(baseline.report.records, records.len() as u64);
+        for q in queries() {
+            assert_eq!(
+                baseline.hfta.totals(q),
+                exact(&records, q),
+                "{dname}: baseline totals for {q}"
+            );
+        }
+        for (pname, policy) in [
+            ("static", RuntimePolicy::frozen()),
+            ("adaptive", RuntimePolicy::default()),
+        ] {
+            for &n in &shard_counts(scale) {
+                for (cname, crash) in crash_columns() {
+                    let label = format!("{dname}/{pname}/{n} shards/{cname}");
+                    let out1 = run_cell(policy, n, crash, &records);
+                    let out2 = run_cell(policy, n, crash, &records);
+                    // Determinism: bit-identity across two runs —
+                    // report, results AND the swap ledger.
+                    assert_eq!(out1.report, out2.report, "{label}: reports");
+                    assert_eq!(
+                        out1.hfta.results(),
+                        out2.hfta.results(),
+                        "{label}: results across runs"
+                    );
+                    assert_eq!(out1.replans, out2.replans, "{label}: replan events");
+                    // Swap transparency: closed-epoch outputs equal the
+                    // static baseline — the cells differ only in their
+                    // replans_committed / replans_rolled_back ledger.
+                    assert_eq!(out1.report.records, records.len() as u64, "{label}");
+                    assert_eq!(
+                        out1.hfta.results(),
+                        baseline.hfta.results(),
+                        "{label}: results vs baseline"
+                    );
+                    // Crash atomicity: the faulted transaction lands on
+                    // the old plan or the new plan, never in between —
+                    // and the ledger records which.
+                    let first = out1.replans.first().expect("cell executed a swap");
+                    match crash {
+                        None => {}
+                        Some(SwapCrashPoint::AfterQuiesce) | Some(SwapCrashPoint::BeforeCommit) => {
+                            assert_eq!(
+                                first.report.outcome,
+                                SwapOutcome::RolledBackAfterCrash,
+                                "{label}"
+                            );
+                            assert!(out1.report.replans_rolled_back >= 1, "{label}");
+                        }
+                        Some(SwapCrashPoint::AfterCommit) => {
+                            assert_eq!(
+                                first.report.outcome,
+                                SwapOutcome::CommittedAfterCrash,
+                                "{label}"
+                            );
+                            assert!(out1.report.replans_committed >= 1, "{label}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forced-rollback drill: an injected validation failure must roll the
+/// transaction back, tick the ledger, back the detector off, and leave
+/// the deployment byte-for-byte on the old plan — proven by comparing
+/// against the same run never staging a swap at all.
+#[test]
+fn forced_rollback_leaves_the_old_plan_bit_exact() {
+    let scale = scale();
+    let base = base_stream(scale);
+    let dplan = DriftPlan::new(
+        0xD204,
+        DriftKind::HotspotMigration {
+            share_pct: 70,
+            period_epochs: 2,
+        },
+        2,
+        3,
+    );
+    let records = dplan.apply_to_stream(&base, EPOCH);
+    for &n in &shard_counts(scale) {
+        // The untouched run: frozen policy, no replan requested.
+        let mut plain = AdaptiveRuntime::new(
+            queries(),
+            believed_stats(),
+            cell_options(RuntimePolicy::frozen(), n),
+        )
+        .expect("plain deploys");
+        plain.run(&records).expect("plain runs");
+        let want = plain.finish();
+        assert!(want.replans.is_empty(), "{n} shards: no swap in baseline");
+        // The drilled run: stage a swap whose handoff validation is
+        // rigged to fail.
+        let split = records.partition_point(|r| r.ts_micros / EPOCH < 2);
+        let mut rt = AdaptiveRuntime::new(
+            queries(),
+            believed_stats(),
+            cell_options(RuntimePolicy::frozen(), n),
+        )
+        .expect("drill deploys");
+        rt.run(&records[..split]).expect("prefix runs");
+        rt.with_swap_fault(SwapFault::failing_validation());
+        rt.request_replan().expect("stages");
+        rt.run(&records[split..]).expect("suffix runs");
+        assert_eq!(rt.queries(), &queries()[..], "{n} shards: queries kept");
+        let out = rt.finish();
+        assert_eq!(out.replans.len(), 1, "{n} shards");
+        assert!(
+            matches!(out.replans[0].report.outcome, SwapOutcome::RolledBack(_)),
+            "{n} shards: {:?}",
+            out.replans[0].report.outcome
+        );
+        assert_eq!(out.report.replans_committed, 0, "{n} shards");
+        assert_eq!(out.report.replans_rolled_back, 1, "{n} shards");
+        // Byte-for-byte the old plan's run — only the rollback ledger
+        // (and the staged transaction's epoch) distinguish the reports.
+        assert_eq!(out.hfta.results(), want.hfta.results(), "{n} shards");
+        assert_eq!(out.report.records, want.report.records, "{n} shards");
+        let mut ledgerless = out.report.clone();
+        ledgerless.replans_rolled_back = 0;
+        assert_eq!(ledgerless, want.report, "{n} shards: report modulo ledger");
+    }
+}
+
+/// Acceptance drill: the deployment plans a phantom for the organic
+/// stream, then a hotspot migration arrives — a heavy group whose
+/// eviction ping-pong drives the phantom table's observed collision
+/// rate far off the cost model's prediction. The detector must notice
+/// from live telemetry, re-plan in the background against refined
+/// statistics, commit the swap at an epoch boundary — and afterwards
+/// the observed collision rates must sit back within the cost model's
+/// drift margin. Run twice for bit-identity.
+///
+/// The drill is fixed-size (it finishes in milliseconds): scaling the
+/// record count would change the per-epoch collision dynamics the
+/// scenario is built around, unlike the matrix tests where `MSA_SCALE`
+/// only trims coverage.
+///
+/// Phase A calibrates the model's slope µ against an organic prefix
+/// (the dual of statistics refinement — see
+/// `msa_core::adaptive::calibration_points`); the drill then deploys
+/// with the calibrated model and `recalibrate: false`, so the detector
+/// must answer the hotspot with a *re-plan*, not by bending µ to
+/// explain the telemetry away.
+#[test]
+fn hotspot_drill_replans_and_lands_within_the_margin() {
+    const DRILL_M_WORDS: f64 = 8_000.0;
+    let organic = UniformStreamBuilder::new(2, 4_000)
+        .records(8_000)
+        .duration_secs(10.0)
+        .seed(SEED ^ 0x77)
+        .attr_domains(vec![80, 80])
+        .build()
+        .records;
+    let records = DriftPlan::new(
+        0xD205,
+        DriftKind::HotspotMigration {
+            share_pct: 70,
+            period_epochs: 3,
+        },
+        1,
+        9,
+    )
+    .apply_to_stream(&organic, EPOCH);
+    // The belief is the organic first epoch's true profile — accurate
+    // until the hotspot arrives, so any committed swap is the drift's.
+    let first_epoch = &organic[..organic.partition_point(|r| r.ts_micros / EPOCH < 1)];
+    let stats = DatasetStats::compute(first_epoch, s("AB"));
+    let policy = RuntimePolicy {
+        adaptive: AdaptivePolicy {
+            check_every_epochs: 1,
+            drift_threshold: 0.5,
+            min_probes: 300,
+        },
+        improvement_margin: 0.01,
+        backoff_epochs: 2,
+        recalibrate: false,
+    };
+    // Phase A: fit µ through the intercept from the organic prefix's
+    // live table telemetry, under the same plan the drill will deploy.
+    let calibrated = {
+        let mut copts = RuntimeOptions::new(DRILL_M_WORDS);
+        copts.seed = SEED;
+        copts.policy = RuntimePolicy::frozen();
+        let mut cal =
+            AdaptiveRuntime::new(queries(), stats.clone(), copts).expect("calibration deploys");
+        cal.run(first_epoch).expect("calibration prefix runs");
+        let pts = msa_core::adaptive::calibration_points(
+            cal.stats(),
+            &cal.current_plan().configuration,
+            &cal.current_plan().allocation,
+            &cal.executor().table_stats(),
+            &policy.adaptive,
+        );
+        assert!(!pts.is_empty(), "calibration needs live telemetry");
+        msa_core::LinearModel::fit_through_intercept(0.0, pts)
+    };
+    // Phase B: deploy with the calibrated model and stream the drill.
+    let drill = || {
+        let mut opts = RuntimeOptions::new(DRILL_M_WORDS);
+        opts.seed = SEED;
+        opts.policy = policy;
+        opts.model = calibrated;
+        let mut rt = AdaptiveRuntime::new(queries(), stats.clone(), opts).expect("drill deploys");
+        assert!(
+            rt.current_plan().configuration.contains(s("AB")),
+            "the organic plan must instantiate the AB phantom"
+        );
+        rt.run(&records).expect("drill runs");
+        let drift_after = rt.current_drift();
+        (drift_after, rt.finish())
+    };
+    let (drift_after, out) = drill();
+    let committed: Vec<_> = out
+        .replans
+        .iter()
+        .filter(|e| e.trigger == ReplanTrigger::Drift && e.report.outcome.committed())
+        .collect();
+    assert!(
+        !committed.is_empty(),
+        "the detector must commit a drift-triggered swap; events: {:?}",
+        out.replans
+    );
+    assert!(committed[0].drift > policy.adaptive.drift_threshold);
+    assert!(committed[0].improvement > policy.improvement_margin);
+    assert!(out.report.replans_committed >= 1);
+    // Post-swap, the live collision telemetry agrees with the re-planned
+    // cost model again: the deviation sits inside the margin that would
+    // trigger another re-plan.
+    assert!(
+        drift_after <= policy.adaptive.drift_threshold,
+        "post-swap collision rates must sit within the drift margin, got {drift_after}"
+    );
+    // Exactness is untouched by however many swaps the loop committed.
+    assert_eq!(out.report.records, records.len() as u64);
+    for q in queries() {
+        assert_eq!(out.hfta.totals(q), exact(&records, q), "{q}");
+    }
+    // Two-run bit-identity of the whole adaptive trajectory.
+    let (drift_again, out2) = drill();
+    assert_eq!(out.report, out2.report);
+    assert_eq!(out.hfta.results(), out2.hfta.results());
+    assert_eq!(out.replans, out2.replans);
+    assert!((drift_after - drift_again).abs() == 0.0, "drift is seeded");
+}
+
+/// The degradation promise survives a swap: with the overload guard
+/// shedding under a drifted stream, the bias identity
+/// `observed = records + count_bias(q)` holds exactly through a
+/// committed hot-swap, and two runs stay bit-identical.
+#[test]
+fn guard_bounds_survive_a_swap_exactly() {
+    let scale = scale();
+    let base = base_stream(scale);
+    let dplan = DriftPlan::new(
+        0xD206,
+        DriftKind::CardinalityRamp { attr: 1, factor: 6 },
+        2,
+        3,
+    );
+    let records = dplan.apply_to_stream(&base, EPOCH);
+    let run = |n: usize| {
+        let mut opts = cell_options(RuntimePolicy::frozen(), n);
+        opts.guard = Some(GuardPolicy::new(3_000.0));
+        let mut rt =
+            AdaptiveRuntime::new(queries(), believed_stats(), opts).expect("guarded deploys");
+        let split = records.partition_point(|r| r.ts_micros / EPOCH < 2);
+        rt.run(&records[..split]).expect("prefix runs");
+        rt.request_replan().expect("stages");
+        rt.run(&records[split..]).expect("suffix runs");
+        rt.finish()
+    };
+    for &n in &shard_counts(scale) {
+        let out = run(n);
+        assert_eq!(out.report.replans_committed, 1, "{n} shards");
+        assert_eq!(out.report.records, records.len() as u64, "{n} shards");
+        // The bias ledger carried through the swap bit-exactly: the
+        // identity still closes over the *whole* run, swap included.
+        for q in queries() {
+            let observed: u64 = out.hfta.totals(q).values().sum();
+            assert_eq!(
+                observed as i64,
+                records.len() as i64 + out.report.count_bias(q),
+                "{n} shards: bias identity through the swap for {q}"
+            );
+        }
+        let again = run(n);
+        assert_eq!(out.report, again.report, "{n} shards: reports");
+        assert_eq!(
+            out.hfta.results(),
+            again.hfta.results(),
+            "{n} shards: results"
+        );
+    }
+}
