@@ -27,14 +27,29 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> msa-lint: rule catalog"
 rules=$(cargo run --offline --release -q -p msa-lint -- --list-rules | wc -l)
 echo "msa-lint: $rules rules registered"
-if [ "$rules" -lt 12 ]; then
-    echo "error: msa-lint catalog shrank to $rules rules (expected >= 12);" \
+if [ "$rules" -lt 15 ]; then
+    echo "error: msa-lint catalog shrank to $rules rules (expected >= 15);" \
         "a rule was compiled out" >&2
     exit 1
 fi
 
-echo "==> msa-lint --workspace"
-cargo run --offline --release -q -p msa-lint -- --workspace
+echo "==> guard: every rule ships a positive and a negative fixture"
+cargo run --offline --release -q -p msa-lint -- --list-rules | while read -r id _; do
+    stem=$(echo "$id" | tr '[:upper:]' '[:lower:]')
+    for kind in pos neg; do
+        if [ ! -f "crates/lint/tests/fixtures/${stem}_${kind}.rs" ]; then
+            echo "error: rule $id has no ${kind} fixture" \
+                "(crates/lint/tests/fixtures/${stem}_${kind}.rs)" >&2
+            exit 1
+        fi
+    done
+done
+
+echo "==> msa-lint: self-lint (the linter held to its own rules)"
+cargo run --offline --release -q -p msa-lint -- crates/lint/src/*.rs
+
+echo "==> msa-lint --workspace (JSON artifact: results/LINT_report.json)"
+cargo run --offline --release -q -p msa-lint -- --workspace --json results/LINT_report.json
 
 echo "==> differential battery (reduced matrix)"
 # The full {shards} x {faults} x {guard} x {crash points} matrix runs in

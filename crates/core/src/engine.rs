@@ -295,27 +295,31 @@ impl MultiAggregator {
     /// Computes statistics from a buffer, plans, builds the executor and
     /// replays the buffer through it.
     fn promote(&mut self, buffered: Vec<Record>) {
-        if self.stats.is_none() {
-            let universe = self.queries.iter().fold(AttrSet::EMPTY, |u, q| u.union(*q));
-            let mut stats = DatasetStats::compute(&buffered, universe);
-            // Flow lengths derived the paper's way (bucket-level run
-            // lengths survive flow interleaving; §4.3).
-            let sets: Vec<AttrSet> = stats.known_sets().collect();
-            for (set, l) in msa_gigascope::table::temporal_flow_lengths(
-                &buffered,
-                &sets,
-                2048,
-                self.opts.seed ^ 0xF10,
-            ) {
-                stats.set_flow_length(set, l);
+        // Compute-once dataset statistics, held as a local through the
+        // planning borrow and stored back afterwards.
+        let stats = match self.stats.take() {
+            Some(stats) => stats,
+            None => {
+                let universe = self.queries.iter().fold(AttrSet::EMPTY, |u, q| u.union(*q));
+                let mut stats = DatasetStats::compute(&buffered, universe);
+                // Flow lengths derived the paper's way (bucket-level run
+                // lengths survive flow interleaving; §4.3).
+                let sets: Vec<AttrSet> = stats.known_sets().collect();
+                for (set, l) in msa_gigascope::table::temporal_flow_lengths(
+                    &buffered,
+                    &sets,
+                    2048,
+                    self.opts.seed ^ 0xF10,
+                ) {
+                    stats.set_flow_length(set, l);
+                }
+                stats
             }
-            self.stats = Some(stats);
-        }
-        let stats = self.stats.as_ref().expect("set above");
+        };
         let options = self.planner_options();
         let model = self.opts.model;
-        let plan = Planner::new(&self.queries, stats, &model, &options).plan(&options);
-        self.plan = Some(plan);
+        let plan = Planner::new(&self.queries, &stats, &model, &options).plan(&options);
+        self.stats = Some(stats);
         // A fresh plan invalidates the incremental-repair baseline.
         self.repair_base = None;
         self.repair_scale = 1.0;
@@ -325,18 +329,20 @@ impl MultiAggregator {
         let start_epoch = buffered
             .first()
             .map_or(self.current_epoch, |r| r.ts_micros / epoch_micros);
-        let mut executor = self.build_executor(start_epoch);
+        let mut executor = self.build_executor(&plan, start_epoch);
+        self.plan = Some(plan);
         for r in &buffered {
             executor.process(r);
         }
         self.state = State::Running(executor);
     }
 
-    /// Builds an executor for the current plan, wiring in the options'
-    /// value source, filter, fault plan and overload guard (transplanting
-    /// carried guard state, if any).
-    fn build_executor(&mut self, start_epoch: u64) -> Box<Executor> {
-        let plan = self.plan.as_ref().expect("plan set before building");
+    /// Builds an executor for `plan`, wiring in the options' value
+    /// source, filter, fault plan and overload guard (transplanting
+    /// carried guard state, if any). Callers pass the plan explicitly —
+    /// usually the one they are about to store — so there is no
+    /// "plan set before building" invariant to uphold at a distance.
+    fn build_executor(&mut self, plan: &Plan, start_epoch: u64) -> Box<Executor> {
         let mut executor = Executor::new(
             plan.to_physical(),
             self.opts.params,
@@ -510,9 +516,9 @@ impl MultiAggregator {
         self.retire(executor);
         self.repair_base = Some(base);
         self.repair_scale = out.scale;
-        self.plan = Some(new_plan);
         self.repairs += 1;
-        let executor = self.build_executor(self.current_epoch);
+        let executor = self.build_executor(&new_plan, self.current_epoch);
+        self.plan = Some(new_plan);
         self.state = State::Running(executor);
     }
 

@@ -50,7 +50,9 @@ impl ValueSource {
     fn extract(&self, record: &Record) -> AggState {
         match *self {
             ValueSource::None => AggState::unit(),
-            ValueSource::Attr(i) => AggState::from_value(record.attrs[i as usize]),
+            ValueSource::Attr(i) => {
+                AggState::from_value(record.attrs.get(i as usize).copied().unwrap_or(0))
+            }
         }
     }
 }
@@ -457,10 +459,10 @@ impl Executor {
     /// `seed`.
     pub fn new(plan: PhysicalPlan, costs: CostParams, epoch_micros: u64, seed: u64) -> Executor {
         let n = plan.nodes().len();
-        let mut children = vec![Vec::new(); n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, node) in plan.nodes().iter().enumerate() {
-            if let Some(p) = node.parent {
-                children[p].push(i);
+            if let Some(kids) = node.parent.and_then(|p| children.get_mut(p)) {
+                kids.push(i);
             }
         }
         let raw: Vec<usize> = plan.raw_nodes().collect();
@@ -475,7 +477,9 @@ impl Executor {
         let mut queries = Vec::new();
         for (i, node) in plan.nodes().iter().enumerate() {
             if node.is_query {
-                query_slot[i] = Some(queries.len());
+                if let Some(slot) = query_slot.get_mut(i) {
+                    *slot = Some(queries.len());
+                }
                 query_nodes.push(i);
                 queries.push(node.attrs);
             }
@@ -646,7 +650,10 @@ impl Executor {
         } else {
             self.report.intra_probes += 1;
         }
-        if let Probe::Evicted(old) = self.tables[i].probe(key, agg) {
+        let Some(table) = self.tables.get_mut(i) else {
+            return;
+        };
+        if let Probe::Evicted(old) = table.probe(key, agg) {
             self.emit(i, old.key, old.agg);
         }
     }
@@ -684,7 +691,7 @@ impl Executor {
         if self.crashed {
             return;
         }
-        if let Some(slot) = self.query_slot[i] {
+        if let Some(slot) = self.query_slot.get(i).copied().flatten() {
             // Crash fuse: dies right before offer `after_offers + 1`
             // (offers are counted by the eviction totals, so a fuse
             // between two boundary counts lands mid-flush).
@@ -700,16 +707,13 @@ impl Executor {
             } else {
                 self.report.intra_evictions += 1;
             }
+            let query = self.queries.get(slot).copied().unwrap_or(AttrSet::EMPTY);
             match self.channel.offer() {
                 Delivery::Delivered => self.deliver(slot, key, agg, 1),
                 Delivery::Duplicated => {
                     self.deliver(slot, key, agg, 2);
                     self.report.evictions_duplicated += 1;
-                    RunReport::bump(
-                        &mut self.report.duplicated_records,
-                        self.queries[slot],
-                        agg.count,
-                    );
+                    RunReport::bump(&mut self.report.duplicated_records, query, agg.count);
                     // Uncontrolled overcount: it widens the guaranteed
                     // interval, so it draws down the degradation budget.
                     if let Some(g) = &mut self.guard {
@@ -718,11 +722,7 @@ impl Executor {
                 }
                 Delivery::Dropped => {
                     self.report.evictions_dropped += 1;
-                    RunReport::bump(
-                        &mut self.report.dropped_records,
-                        self.queries[slot],
-                        agg.count,
-                    );
+                    RunReport::bump(&mut self.report.dropped_records, query, agg.count);
                     // Uncontrolled undercount, same budget accounting.
                     if let Some(g) = &mut self.guard {
                         g.account_loss(agg.count);
@@ -737,12 +737,16 @@ impl Executor {
         if self.guard.as_ref().is_some_and(|g| g.phantoms_disabled()) {
             return;
         }
-        let own = self.plan.nodes()[i].attrs;
+        let Some(own) = self.plan.nodes().get(i).map(|n| n.attrs) else {
+            return;
+        };
         // Children are few; clone the index list to appease the borrow
         // checker without restructuring the hot path.
-        let kids = self.children[i].clone();
+        let kids = self.children.get(i).cloned().unwrap_or_default();
         for c in kids {
-            let child_attrs = self.plan.nodes()[c].attrs;
+            let Some(child_attrs) = self.plan.nodes().get(c).map(|n| n.attrs) else {
+                continue;
+            };
             let child_key = key.reproject(own, child_attrs);
             self.push(c, child_key, agg);
         }
@@ -808,11 +812,15 @@ impl Executor {
         };
         for idx in 0..n {
             let node = if phantoms_off {
-                self.query_nodes[idx]
+                self.query_nodes.get(idx)
             } else {
-                self.raw[idx]
+                self.raw.get(idx)
             };
-            let key = record.project(self.plan.nodes()[node].attrs);
+            let Some(&node) = node else { continue };
+            let Some(attrs) = self.plan.nodes().get(node).map(|n| n.attrs) else {
+                continue;
+            };
+            let key = record.project(attrs);
             self.push(node, key, agg);
         }
     }
@@ -836,7 +844,10 @@ impl Executor {
         }
         self.in_flush = true;
         for i in 0..self.tables.len() {
-            let entries = self.tables[i].drain();
+            let Some(table) = self.tables.get_mut(i) else {
+                continue;
+            };
+            let entries = table.drain();
             for e in entries {
                 self.emit(i, e.key, e.agg);
                 if self.crashed {

@@ -128,11 +128,11 @@ impl Hfta {
     /// Closes the current epoch: moves combined maps to the finished
     /// list and starts fresh ones.
     pub fn close_epoch(&mut self) {
-        for (qi, map) in self.current.iter_mut().enumerate() {
+        for (query, map) in self.queries.iter().zip(self.current.iter_mut()) {
             let aggregates = std::mem::take(map);
             if self.retain_results && !aggregates.is_empty() {
                 self.finished.push(EpochResult {
-                    query: self.queries[qi],
+                    query: *query,
                     epoch: self.epoch,
                     aggregates,
                 });

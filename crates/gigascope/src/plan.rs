@@ -45,17 +45,20 @@ impl PhysicalPlan {
                 return Err(PlanError::ZeroBuckets { node: i });
             }
             if let Some(p) = n.parent {
-                if p >= i {
-                    return Err(PlanError::ParentOrder { node: i, parent: p });
-                }
-                if !n.attrs.is_proper_subset_of(nodes[p].attrs) {
+                let parent = match nodes.get(p).filter(|_| p < i) {
+                    Some(parent) => parent,
+                    None => return Err(PlanError::ParentOrder { node: i, parent: p }),
+                };
+                if !n.attrs.is_proper_subset_of(parent.attrs) {
                     return Err(PlanError::NotSubset { node: i, parent: p });
                 }
-                has_child[p] = true;
+                if let Some(h) = has_child.get_mut(p) {
+                    *h = true;
+                }
             }
         }
-        for (i, n) in nodes.iter().enumerate() {
-            if !n.is_query && !has_child[i] {
+        for (i, (n, has)) in nodes.iter().zip(&has_child).enumerate() {
+            if !n.is_query && !has {
                 return Err(PlanError::ChildlessPhantom { node: i });
             }
         }
@@ -116,13 +119,12 @@ impl PhysicalPlan {
     /// memory limit `M` the original plan was sized for. `N = 1` is the
     /// identity.
     pub fn split_for_shards(&self, shards: usize) -> PhysicalPlan {
-        let shards = shards.max(1);
         PhysicalPlan {
             nodes: self
                 .nodes
                 .iter()
                 .map(|n| PlanNode {
-                    buckets: (n.buckets / shards).max(1),
+                    buckets: (n.buckets / shards.max(1)).max(1),
                     ..*n
                 })
                 .collect(),

@@ -70,7 +70,7 @@ pub fn shard_of(root_seed: u64, record: &Record, shards: usize) -> usize {
     for &a in &record.attrs {
         h = mix64(h ^ u64::from(a));
     }
-    (h % shards as u64) as usize
+    (h % (shards as u64).max(1)) as usize
 }
 
 /// The hash-seed base of shard `k` in an `n`-way deployment, derived
@@ -195,12 +195,12 @@ impl ShardedExecutor {
                 // (merged widths add), so low-index shards absorb the
                 // division remainder.
                 let n = self.n as u64;
-                let share = max_width / n + u64::from((k as u64) < max_width % n);
+                let share = max_width / n.max(1) + u64::from((k as u64) < max_width % n.max(1));
                 guard.degradation = DegradationPolicy::BoundedApprox { max_width: share };
             }
         }
-        cfg.crash = self.crashes[k];
-        cfg.durable = self.config.durable || !self.shard_faults[k].is_none();
+        cfg.crash = self.crashes.get(k).copied().unwrap_or_else(CrashPlan::none);
+        cfg.durable = self.config.durable || self.shard_faults.get(k).is_some_and(|f| !f.is_none());
         cfg
     }
 
@@ -338,7 +338,7 @@ impl ShardedExecutor {
     /// the scheduler did.
     pub fn run(&mut self, records: &[Record]) {
         if self.n == 1 {
-            if self.shard_faults[0].is_none() {
+            if self.shard_faults.first().is_some_and(|f| f.is_none()) {
                 // Single healthy shard: the serial fast path,
                 // bit-identical to the plain executor (no threads, no
                 // channel hop, no supervision overhead).
@@ -350,21 +350,29 @@ impl ShardedExecutor {
             // Single shard with an armed fault: run the supervision
             // loop inline on the caller's thread — same state machine,
             // no thread to isolate.
+            let Some(heartbeat) = self.heartbeats.first().map(Arc::clone) else {
+                return;
+            };
             if let Some(ex) = self.shards.pop() {
                 let mut driver = ShardDriver::new(
                     0,
                     self.shard_config(0),
                     ex,
-                    self.shard_faults[0],
+                    self.shard_faults
+                        .first()
+                        .copied()
+                        .unwrap_or_else(ShardFault::none),
                     self.policy,
-                    Arc::clone(&self.heartbeats[0]),
+                    heartbeat,
                 );
                 for batch in records.chunks(FEED_BATCH) {
                     driver.offer(batch);
                 }
                 let (ex, health) = driver.close();
                 self.shards.push(ex);
-                self.health[0].absorb(&health);
+                if let Some(h) = self.health.first_mut() {
+                    h.absorb(&health);
+                }
             }
             return;
         }
@@ -379,8 +387,14 @@ impl ShardedExecutor {
             for (k, (ex, cfg)) in executors.into_iter().zip(configs).enumerate() {
                 let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<Record>>(FEED_DEPTH);
                 senders.push(tx);
-                let fault = self.shard_faults[k];
-                let heartbeat = Arc::clone(&self.heartbeats[k]);
+                let fault = self
+                    .shard_faults
+                    .get(k)
+                    .copied()
+                    .unwrap_or_else(ShardFault::none);
+                let Some(heartbeat) = self.heartbeats.get(k).map(Arc::clone) else {
+                    continue;
+                };
                 handles.push(scope.spawn(move || {
                     // Every worker runs the supervision loop: records
                     // are processed inside supervise.rs's panic
@@ -397,17 +411,20 @@ impl ShardedExecutor {
                 (0..n).map(|_| Vec::with_capacity(FEED_BATCH)).collect();
             for &r in records {
                 let k = shard_of(root_seed, &r, n);
-                bufs[k].push(r);
-                if bufs[k].len() == FEED_BATCH {
-                    let full = std::mem::replace(&mut bufs[k], Vec::with_capacity(FEED_BATCH));
+                let Some(buf) = bufs.get_mut(k) else { continue };
+                buf.push(r);
+                if buf.len() == FEED_BATCH {
+                    let full = std::mem::replace(buf, Vec::with_capacity(FEED_BATCH));
                     // A send only fails if the shard thread died; the
                     // join below surfaces the failure.
-                    let _ = senders[k].send(full);
+                    if let Some(tx) = senders.get(k) {
+                        let _ = tx.send(full);
+                    }
                 }
             }
-            for (k, buf) in bufs.into_iter().enumerate() {
+            for (tx, buf) in senders.iter().zip(bufs) {
                 if !buf.is_empty() {
-                    let _ = senders[k].send(buf);
+                    let _ = tx.send(buf);
                 }
             }
             drop(senders);
@@ -425,7 +442,9 @@ impl ShardedExecutor {
         });
         for (k, (ex, health)) in finished.into_iter().enumerate() {
             self.shards.push(ex);
-            self.health[k].absorb(&health);
+            if let Some(h) = self.health.get_mut(k) {
+                h.absorb(&health);
+            }
         }
     }
 

@@ -252,7 +252,7 @@ impl EvictionLog {
     pub fn suffix(&self, seq: u64) -> impl Iterator<Item = &LogEntry> {
         // Entries are monotone, so the suffix is contiguous at the end.
         let start = self.entries.partition_point(|e| e.seq <= seq);
-        self.entries[start..].iter()
+        self.entries.iter().skip(start)
     }
 
     /// Serializes the log (versioned, checksummed).

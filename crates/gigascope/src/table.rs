@@ -192,8 +192,13 @@ impl LftaTable {
     pub fn probe(&mut self, key: GroupKey, agg: AggState) -> Probe {
         debug_assert_eq!(key.arity(), self.attrs.len());
         self.stats.probes += 1;
-        let idx = (key.hash_with_seed(self.seed) % self.slots.len() as u64) as usize;
-        match &mut self.slots[idx] {
+        let len = self.slots.len() as u64;
+        let idx = (key.hash_with_seed(self.seed) % len.max(1)) as usize;
+        let Some(slot) = self.slots.get_mut(idx) else {
+            // Unreachable: plans validate buckets > 0, so idx < len.
+            return Probe::Hit;
+        };
+        match slot {
             Some(entry) if entry.key == key => {
                 entry.agg.merge(&agg);
                 Probe::Hit

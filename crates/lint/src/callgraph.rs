@@ -1,0 +1,205 @@
+//! Name-resolved call graph over the workspace symbol table.
+//!
+//! Edges are *syntactic*: any `name(…)` / `.name(…)` / `path::name(…)`
+//! position inside a fn body links the enclosing fn to workspace fns
+//! named `name`. Macro invocations (`name!(…)`) are not calls, and
+//! `fn name(` definitions are not call sites. Resolution follows a
+//! nearest-definition ladder — same file, else same crate, else the
+//! whole workspace — and over-approximates *within* the chosen tier:
+//! R008's panic-reachability question is "could a panic be ≤ N hops
+//! from the hot path", and a missed edge is a missed panic. Without
+//! the ladder, every `Vec::new()` inside a hot fn would link it to
+//! every `fn new` in the workspace and drown the rule in noise.
+
+use crate::symbols::{is_keyword, SymbolTable};
+use std::collections::VecDeque;
+
+/// One syntactic call position inside a fn body.
+pub struct CallSite {
+    /// Index of the calling fn in [`SymbolTable::fns`].
+    pub caller: usize,
+    /// The bare callee name at the call position.
+    pub callee_name: String,
+    /// Token index of the callee-name token in the caller's file.
+    pub tok: usize,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// Every call site, in (file, position) order.
+    pub sites: Vec<CallSite>,
+    /// Resolved adjacency: caller fn index → callee fn indices (deduped).
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// True if token `i` of `toks` is a call position: an ident that is not
+/// a keyword, directly followed by `(`, and not a definition (`fn name(`).
+pub fn is_call_position(toks: &[crate::lexer::Token], i: usize) -> bool {
+    let t = &toks[i];
+    t.kind == crate::lexer::TokenKind::Ident
+        && !is_keyword(&t.text)
+        && t.text != "self"
+        && t.text != "Self"
+        && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        && !(i > 0 && toks[i - 1].is_ident("fn"))
+}
+
+/// Resolves a bare callee name seen in file `fi` to candidate fn
+/// indices via the nearest-definition ladder: definitions in the same
+/// file win; else definitions in the same crate; else every workspace
+/// fn with that name. Empty when the name is defined nowhere in the
+/// workspace (std / external calls).
+pub fn resolve_targets(st: &SymbolTable, fi: usize, name: &str) -> Vec<usize> {
+    let Some(all) = st.fns_by_name.get(name) else {
+        return Vec::new();
+    };
+    let same_file: Vec<usize> = all
+        .iter()
+        .copied()
+        .filter(|&t| st.fns[t].file == fi)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let crate_of = |rel: &str| -> Option<String> {
+        Some(rel.strip_prefix("crates/")?.split('/').next()?.to_owned())
+    };
+    if let Some(mine) = crate_of(&st.files[fi].rel) {
+        let same_crate: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&t| crate_of(&st.files[st.fns[t].file].rel).as_deref() == Some(&mine))
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+    }
+    all.clone()
+}
+
+/// Builds the call graph for a symbol table.
+pub fn build(st: &SymbolTable) -> CallGraph {
+    let mut sites = Vec::new();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); st.fns.len()];
+    for (fi, file) in st.files.iter().enumerate() {
+        let toks = &file.lexed.tokens;
+        for i in 0..toks.len() {
+            if !is_call_position(toks, i) {
+                continue;
+            }
+            let Some(caller) = st.enclosing_fn(fi, i) else {
+                continue; // top-level const exprs etc.
+            };
+            let name = &toks[i].text;
+            for t in resolve_targets(st, fi, name) {
+                if !edges[caller].contains(&t) {
+                    edges[caller].push(t);
+                }
+            }
+            sites.push(CallSite {
+                caller,
+                callee_name: name.clone(),
+                tok: i,
+            });
+        }
+    }
+    CallGraph { sites, edges }
+}
+
+/// A BFS layer entry: hop count from the nearest root plus the
+/// predecessor fn (for rendering the call chain in diagnostics).
+#[derive(Clone, Copy)]
+pub struct Reach {
+    /// Call-graph hops from the nearest root (roots are 0).
+    pub hops: u32,
+    /// The fn this one was reached from (`None` for roots).
+    pub pred: Option<usize>,
+}
+
+/// Breadth-first reachability from `roots`, capped at `max_hops`.
+/// Returns one entry per fn; `None` means unreachable within the cap.
+pub fn reach_within(cg: &CallGraph, roots: &[usize], max_hops: u32) -> Vec<Option<Reach>> {
+    let mut reach: Vec<Option<Reach>> = vec![None; cg.edges.len()];
+    let mut queue = VecDeque::new();
+    for &r in roots {
+        if reach[r].is_none() {
+            reach[r] = Some(Reach {
+                hops: 0,
+                pred: None,
+            });
+            queue.push_back(r);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        let Some(here) = reach[f] else {
+            continue; // unreachable: queued fns always have an entry
+        };
+        if here.hops == max_hops {
+            continue;
+        }
+        for &callee in &cg.edges[f] {
+            if reach[callee].is_none() {
+                reach[callee] = Some(Reach {
+                    hops: here.hops + 1,
+                    pred: Some(f),
+                });
+                queue.push_back(callee);
+            }
+        }
+    }
+    reach
+}
+
+/// Renders the BFS call chain to `f` as `root → … → f`.
+pub fn chain_to(st: &SymbolTable, reach: &[Option<Reach>], f: usize) -> String {
+    let mut names = vec![st.fns[f].name.clone()];
+    let mut cur = f;
+    while let Some(Reach { pred: Some(p), .. }) = reach[cur] {
+        names.push(st.fns[p].name.clone());
+        cur = p;
+    }
+    names.reverse();
+    names.join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols;
+
+    fn graph(src: &str) -> (SymbolTable, CallGraph) {
+        let st = symbols::build(&[("crates/demo/src/lib.rs".to_owned(), src.to_owned())]);
+        let cg = build(&st);
+        (st, cg)
+    }
+
+    #[test]
+    fn resolves_direct_method_and_path_calls() {
+        let (st, cg) = graph(
+            "fn a() { b(); }\n\
+             fn b() { x.c(); }\n\
+             fn c() { m::d(); }\n\
+             fn d() { e!(); }\n\
+             fn e() {}\n",
+        );
+        let idx = |n: &str| st.fns.iter().position(|f| f.name == n).unwrap();
+        assert_eq!(cg.edges[idx("a")], [idx("b")]);
+        assert_eq!(cg.edges[idx("b")], [idx("c")]);
+        assert_eq!(cg.edges[idx("c")], [idx("d")]);
+        // `e!()` is a macro, not a call.
+        assert!(cg.edges[idx("d")].is_empty());
+    }
+
+    #[test]
+    fn bfs_hops_and_chain_rendering() {
+        let (st, cg) = graph(
+            "fn offer() { a(); }\nfn a() { b(); }\nfn b() { c(); }\nfn c() { deep(); }\nfn deep() {}\n",
+        );
+        let idx = |n: &str| st.fns.iter().position(|f| f.name == n).unwrap();
+        let reach = reach_within(&cg, &[idx("offer")], 3);
+        assert_eq!(reach[idx("offer")].unwrap().hops, 0);
+        assert_eq!(reach[idx("c")].unwrap().hops, 3);
+        assert!(reach[idx("deep")].is_none(), "hop 4 is beyond the horizon");
+        assert_eq!(chain_to(&st, &reach, idx("c")), "offer -> a -> b -> c");
+    }
+}

@@ -1,4 +1,5 @@
-//! Rustc-style plain-text rendering of findings.
+//! Rustc-style plain-text rendering of findings, plus the
+//! machine-readable JSON report CI archives as an artifact.
 //!
 //! ```text
 //! error[D001]: `Instant` breaks run-to-run determinism outside crates/bench
@@ -10,7 +11,9 @@
 //!    = note: suppress with `// msa-lint: allow(D001)` or a justified lint.toml entry
 //! ```
 
-use crate::rules::Finding;
+use crate::allowlist::AllowEntry;
+use crate::rules::{Finding, CATALOG};
+use crate::Report;
 use std::fmt::Write as _;
 
 /// Renders one finding as a multi-line diagnostic block.
@@ -36,10 +39,144 @@ pub fn render(f: &Finding) -> String {
     out
 }
 
+/// Renders a stale-allowlist diagnostic: the committed grandfather
+/// clause no longer matches any live site, which fails the run.
+pub fn render_stale(entry: &AllowEntry) -> String {
+    format!(
+        "error[StaleAllow]: lint.toml:{}: rule {} in {} (`{}`) grandfathers nothing\n  \
+         = note: the site was fixed or moved; delete the entry\n",
+        entry.toml_line, entry.rule, entry.file, entry.contains,
+    )
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a whole [`Report`] as a single JSON document (SARIF-lite):
+/// one stable, diffable artifact per CI run. Hand-rolled — the
+/// workspace takes no serialization dependency for the linter's sake —
+/// with every dynamic string escaped through [`json_escape`].
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"tool\": \"msa-lint\",");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files);
+    let _ = writeln!(out, "  \"rules_active\": {},", CATALOG.len());
+    let _ = writeln!(out, "  \"clean\": {},", report.clean());
+    let _ = writeln!(
+        out,
+        "  \"suppressed\": {{ \"inline\": {}, \"allowlist\": {} }},",
+        report.inline_suppressed, report.allow_suppressed
+    );
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{ \"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"col\": {}, \"width\": {}, \"message\": \"{}\" }}",
+            json_escape(f.rule),
+            f.severity.label(),
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            f.width,
+            json_escape(&f.message),
+        );
+    }
+    out.push_str(if report.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"stale_allowlist\": [");
+    for (i, e) in report.stale.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{ \"rule\": \"{}\", \"file\": \"{}\", \"contains\": \"{}\", \"toml_line\": {} }}",
+            json_escape(&e.rule),
+            json_escape(&e.file),
+            json_escape(&e.contains),
+            e.toml_line,
+        );
+    }
+    out.push_str(if report.stale.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rules::Severity;
+
+    #[test]
+    fn stale_diagnostic_names_the_entry() {
+        let e = AllowEntry {
+            rule: "R001".to_owned(),
+            file: "crates/core/src/engine.rs".to_owned(),
+            contains: ".expect(\"set above\")".to_owned(),
+            justification: "was grandfathered".to_owned(),
+            toml_line: 20,
+        };
+        let text = render_stale(&e);
+        assert!(text.starts_with("error[StaleAllow]: lint.toml:20"));
+        assert!(text.contains("R001"));
+        assert!(text.contains("crates/core/src/engine.rs"));
+        assert!(text.contains(".expect(\"set above\")"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_round_trips_shape() {
+        let mut report = Report {
+            files: 3,
+            inline_suppressed: 1,
+            ..Report::default()
+        };
+        report.findings.push(Finding {
+            rule: "D007",
+            severity: Severity::Error,
+            file: "crates/a/src/lib.rs".to_owned(),
+            line: 7,
+            col: 2,
+            width: 5,
+            message: "taint \"quoted\"\nand multiline".to_owned(),
+            help: "",
+            snippet: String::new(),
+        });
+        let json = render_json(&report);
+        assert!(json.contains("\"tool\": \"msa-lint\""));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\\\"quoted\\\"\\nand multiline"));
+        assert!(json.contains("\"stale_allowlist\": []"));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser in the dep tree.
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
 
     #[test]
     fn renders_position_snippet_and_underline() {

@@ -13,11 +13,17 @@
 //!   fire on prose or quoted code;
 //! * [`scope`] — path classification plus `#[cfg(test)]`/`#[test]` span
 //!   detection, so test code keeps its `unwrap()`s;
-//! * [`rules`] — the catalog (D001–D005 determinism, R001–R006
+//! * [`rules`] — the catalog (D001–D007 determinism, R001–R008
 //!   robustness);
+//! * [`symbols`] / [`callgraph`] / [`dataflow`] — the workspace-wide
+//!   second layer: a symbol table, a name-resolved call graph and an
+//!   interprocedural def-use engine behind D007 (determinism taint),
+//!   R007 (counter conservation) and R008 (hot-path panic
+//!   reachability);
 //! * [`allowlist`] — the committed `lint.toml` of grandfathered sites,
 //!   each with a mandatory justification; stale entries fail the run;
-//! * [`diag`] — rustc-style `file:line:col` rendering.
+//! * [`diag`] — rustc-style `file:line:col` rendering plus a JSON
+//!   report for CI artifacts.
 //!
 //! The `msa-lint` binary wires these into the CI gate:
 //! `cargo run --offline --release -p msa-lint -- --workspace`.
@@ -26,10 +32,13 @@
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod callgraph;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
 pub mod scope;
+pub mod symbols;
 
 use allowlist::AllowEntry;
 use rules::{Finding, CATALOG};
@@ -143,11 +152,9 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
 
     let mut report = Report::default();
     let mut used = vec![false; entries.len()];
-    // Inputs for the cross-file half of R006: the identifier set of
-    // bounds.rs plus every gigascope source (checked after the scan,
-    // when bounds.rs has certainly been read).
-    let mut bounds_idents = std::collections::BTreeSet::new();
-    let mut gigascope_sources: Vec<(String, String)> = Vec::new();
+    // Every (rel, source) pair feeds the workspace-level rules: R006's
+    // name audit and the dataflow engine behind D007/R007/R008.
+    let mut sources: Vec<(String, String)> = Vec::new();
     let mut suppress = |report: &mut Report, f: Finding| {
         let mut suppressed = false;
         for (idx, entry) in entries.iter().enumerate() {
@@ -165,23 +172,19 @@ pub fn lint_workspace(root: &Path) -> Result<Report, LintError> {
     for path in files {
         let source = std::fs::read_to_string(&path).map_err(|e| LintError::Io(path.clone(), e))?;
         let rel = rel_unix_path(root, &path);
-        if rel == rules::BOUNDS_PATH {
-            bounds_idents = rules::ident_set(&source);
-        }
-        if rel.starts_with("crates/gigascope/src") {
-            gigascope_sources.push((rel.clone(), source.clone()));
-        }
         let linted = lint_source(&rel, &source);
         report.files += 1;
         report.inline_suppressed += linted.inline_suppressed;
         for f in linted.findings {
             suppress(&mut report, f);
         }
+        sources.push((rel, source));
     }
-    for (rel, source) in &gigascope_sources {
-        for f in rules::r006_missing_in_bounds(rel, source, &bounds_idents) {
-            suppress(&mut report, f);
-        }
+    for f in rules::r006_workspace(&sources) {
+        suppress(&mut report, f);
+    }
+    for f in dataflow::analyze(&sources) {
+        suppress(&mut report, f);
     }
     report.stale = entries
         .into_iter()

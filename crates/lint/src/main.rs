@@ -3,6 +3,8 @@
 //! ```text
 //! msa-lint --workspace          lint the whole workspace (CI mode)
 //! msa-lint --list-rules         print the catalog, one rule per line
+//! msa-lint --json PATH          also write the machine-readable JSON
+//!                               report to PATH (CI artifact)
 //! msa-lint FILE…                lint specific files (paths relative to
 //!                               the workspace root)
 //! ```
@@ -18,7 +20,7 @@ use msa_lint::{diag, lint_source, lint_workspace, LintError, Report};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: msa-lint [--workspace | --list-rules | FILE...]";
+const USAGE: &str = "usage: msa-lint [--workspace | --list-rules | --json PATH | FILE...]";
 
 /// Writes to stdout, ignoring errors: a closed pipe (`msa-lint | head`)
 /// must truncate output, not panic the linter.
@@ -28,7 +30,21 @@ fn emit(text: &str) {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--json PATH` is an output option, not a mode: strip it (and its
+    // operand) before dispatch so file mode never mistakes PATH for an
+    // input file.
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            Some(PathBuf::from(args.remove(i)))
+        }
+        Some(_) => {
+            emit("msa-lint: error: --json requires a PATH operand\n");
+            return ExitCode::from(2);
+        }
+        None => None,
+    };
     if args.is_empty() {
         emit(USAGE);
         emit("\n");
@@ -45,6 +61,12 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(report) => {
+            if let Some(path) = json_path {
+                if let Err(e) = std::fs::write(&path, diag::render_json(&report)) {
+                    emit(&format!("msa-lint: error: {}: {e}\n", path.display()));
+                    return ExitCode::from(2);
+                }
+            }
             let code = print_report(&report);
             ExitCode::from(code)
         }
@@ -162,11 +184,8 @@ fn print_report(report: &Report) -> u8 {
         emit("\n");
     }
     for entry in &report.stale {
-        emit(&format!(
-            "error[stale-allow]: lint.toml:{} grandfathers nothing: rule {} in {} (`{}`)\n",
-            entry.toml_line, entry.rule, entry.file, entry.contains
-        ));
-        emit("  = note: the site was fixed or moved; delete the entry\n\n");
+        emit(&diag::render_stale(entry));
+        emit("\n");
     }
     emit(&format!(
         "msa-lint: {} files scanned, {} rules active; {} finding(s), {} stale allowlist entr{}; \

@@ -125,6 +125,14 @@ pub const CATALOG: &[Rule] = &[
         check: d006_wall_clock_calls,
     },
     Rule {
+        id: "D007",
+        group: "determinism",
+        severity: Severity::Error,
+        summary: "no nondeterminism source (hash-order iteration, wall-clock values, thread identity, pointer-derived values) flows into a snapshot/report/digest sink — tracked interprocedurally",
+        help: "derive the sink's inputs from record data, epoch counters or seeded PRNGs; taint is tracked through calls and field assignments, so laundering through a helper does not hide it",
+        check: workspace_only,
+    },
+    Rule {
         id: "R001",
         group: "robustness",
         severity: Severity::Error,
@@ -168,11 +176,34 @@ pub const CATALOG: &[Rule] = &[
         id: "R006",
         group: "robustness",
         severity: Severity::Error,
-        summary: "every pub `records_*`/`*_lost` counter in gigascope is folded in a merge/absorb fn and surfaced in bounds.rs",
-        help: "fold the counter in the owning struct's merge()/absorb() and attribute it to a loss class in crates/gigascope/src/bounds.rs, or grandfather the site in lint.toml",
-        check: r006_counter_merge,
+        summary: "every incremented `records_*`/`*_lost` counter in gigascope appears in a merge/absorb fn and in bounds.rs (workspace-level name audit)",
+        help: "fold the counter in the owning struct's merge()/absorb() and attribute it to a loss class in crates/gigascope/src/bounds.rs",
+        check: workspace_only,
+    },
+    Rule {
+        id: "R007",
+        group: "robustness",
+        severity: Severity::Error,
+        summary: "every increment site of a loss/ledger counter (including via &mut helpers) is on a def-use path reaching both a merge/absorb fold and bounds.rs",
+        help: "route the incremented counter's value into the owning struct's merge()/absorb() fold and into a crates/gigascope/src/bounds.rs loss class; R007 follows the flow, not the name",
+        check: workspace_only,
+    },
+    Rule {
+        id: "R008",
+        group: "robustness",
+        severity: Severity::Error,
+        summary: "no unwrap/expect/indexing/unproven-divisor panic site within 3 call-graph hops of the per-record hot path (offer/process/run/pump), outside supervise.rs",
+        help: "replace with get()/get_mut() + an explicit miss path, clamp divisors with .max(1), or move the fallible work off the per-record path; supervise.rs is the only sanctioned panic boundary",
+        check: workspace_only,
     },
 ];
+
+/// Check fn for rules whose analysis runs at workspace level (via
+/// [`crate::dataflow::analyze`] or [`r006_workspace`]) rather than per
+/// file: the per-file pass contributes nothing.
+fn workspace_only(_rule: &'static Rule, _ctx: &FileCtx) -> Vec<Finding> {
+    Vec::new()
+}
 
 /// Looks a rule up by id.
 pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
@@ -348,8 +379,10 @@ fn d005_thread_spawn(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
         }
         // `thread::spawn(…)`, `scope.spawn(…)`, `Builder::…::spawn(…)` —
         // any call position counts; a bare identifier (e.g. a local
-        // named `spawn`) does not.
-        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        // named `spawn`) does not, and neither does a definition
+        // (`fn spawn(…)`), which has the same name+paren shape.
+        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"));
         if is_call && !ctx.in_test_span(t.line) {
             out.push(finding(
                 rule,
@@ -387,7 +420,10 @@ fn d006_wall_clock_calls(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
         {
             continue;
         }
-        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        // Call position only — a definition (`fn now(…)`) is not a
+        // clock read even though it shares the name+paren shape.
+        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"));
         if is_call && !ctx.in_test_span(t.line) {
             out.push(finding(
                 rule,
@@ -423,8 +459,10 @@ fn r005_panic_boundary(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
         }
         // `panic::catch_unwind(…)` / `std::panic::resume_unwind(…)` —
         // call position only; a bare identifier (a doc mention, a local
-        // of that name) does not count.
-        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        // of that name) or a definition (`fn catch_unwind(…)`) does not
+        // count.
+        let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"));
         if is_call && !ctx.in_test_span(t.line) {
             out.push(finding(
                 rule,
@@ -665,51 +703,6 @@ pub fn is_counter_name(name: &str) -> bool {
     name.starts_with("records_") || (name.ends_with("_lost") && name.len() > "_lost".len())
 }
 
-/// Public `records_*` / `*_lost` struct fields declared in `ctx` — the
-/// loss counters R006 audits. Declaration sites only (`pub name:` or
-/// `pub(crate) name:`, outside test spans): struct-literal and pattern
-/// positions have `,`/`{` before the name and do not count.
-pub fn counter_decls(ctx: &FileCtx) -> Vec<Token> {
-    let toks = &ctx.lexed.tokens;
-    let mut out = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokenKind::Ident || !is_counter_name(&t.text) || ctx.in_test_span(t.line) {
-            continue;
-        }
-        if !toks.get(i + 1).is_some_and(|n| n.is_punct(":")) {
-            continue;
-        }
-        let public = if i >= 1 && toks[i - 1].is_ident("pub") {
-            true
-        } else if i >= 1 && toks[i - 1].is_punct(")") {
-            // `pub(crate) name:` — walk back over the restriction group.
-            let mut depth = 0usize;
-            let mut k = i - 1;
-            loop {
-                if toks[k].is_punct(")") {
-                    depth += 1;
-                } else if toks[k].is_punct("(") {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                if k == 0 {
-                    break;
-                }
-                k -= 1;
-            }
-            k >= 1 && toks[k - 1].is_ident("pub")
-        } else {
-            false
-        };
-        if public {
-            out.push(t.clone());
-        }
-    }
-    out
-}
-
 /// Every identifier appearing inside a `fn merge*` / `fn absorb*` body
 /// in the token stream.
 fn merge_fn_idents(toks: &[Token]) -> std::collections::BTreeSet<String> {
@@ -744,79 +737,106 @@ fn merge_fn_idents(toks: &[Token]) -> std::collections::BTreeSet<String> {
     set
 }
 
-/// R006 (per-file half) — a loss counter declared in a gigascope source
-/// file must be folded by a `merge`/`absorb` fn *in the same file*;
-/// otherwise a new counter silently vanishes on the sharded merge path
-/// and every interval derived from it under-reports. The cross-file
-/// half (the counter must also appear in `bounds.rs`) runs in
-/// [`crate::lint_workspace`] via [`r006_missing_in_bounds`].
-fn r006_counter_merge(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
-    if !ctx.rel_path.starts_with("crates/gigascope/src") || ctx.is_test_path() {
-        return Vec::new();
-    }
-    let decls = counter_decls(ctx);
-    if decls.is_empty() {
-        return Vec::new();
-    }
-    let merged = merge_fn_idents(&ctx.lexed.tokens);
-    decls
-        .into_iter()
-        .filter(|t| !merged.contains(&t.text))
-        .map(|t| {
-            finding(
-                rule,
-                ctx,
-                &t,
-                format!(
-                    "loss counter `{}` is not folded in any merge/absorb fn in this file",
-                    t.text
-                ),
-            )
-        })
-        .collect()
-}
-
-/// R006 (cross-file half) — every loss counter declared in a gigascope
-/// file must appear as an identifier in [`BOUNDS_PATH`], where loss
-/// ledgers become guaranteed intervals; a counter absent there is loss
-/// the degraded-answer API would silently omit. Called by
-/// [`crate::lint_workspace`] with the identifier set of `bounds.rs`
-/// (empty if the file is missing, which makes every counter fire).
-/// Inline `// msa-lint: allow(R006)` pragmas are honored here too.
-pub fn r006_missing_in_bounds(
-    rel_path: &str,
-    source: &str,
-    bounds_idents: &std::collections::BTreeSet<String>,
-) -> Vec<Finding> {
+/// R006 (workspace level) — every *incremented* ledger counter in
+/// `crates/gigascope/src` must appear, by name, in some `merge*`/
+/// `absorb*` body and in [`BOUNDS_PATH`]. A counter that grows but is
+/// never folded silently vanishes on the sharded merge path; one absent
+/// from `bounds.rs` is loss the degraded-answer API would omit. This is
+/// the *name presence* audit; R007 checks the actual def-use flow, and
+/// increments hidden behind helpers are R007's job too. Inline
+/// `// msa-lint: allow(R006)` pragmas at the increment site are
+/// honored.
+pub fn r006_workspace(files: &[(String, String)]) -> Vec<Finding> {
     let Some(rule) = rule_by_id("R006") else {
         return Vec::new();
     };
-    if rel_path == BOUNDS_PATH || !rel_path.starts_with("crates/gigascope/src") {
-        // bounds.rs declarations are their own surfacing.
-        return Vec::new();
+    let mut merged = std::collections::BTreeSet::new();
+    let mut bounds_idents = std::collections::BTreeSet::new();
+    // (counter, rel_path index, token) of the first increment site seen.
+    let mut sites: Vec<(String, usize, Token)> = Vec::new();
+    let mut suppressed: Vec<(usize, u32)> = Vec::new();
+    for (idx, (rel, source)) in files.iter().enumerate() {
+        if !rel.starts_with("crates/gigascope/src") {
+            continue;
+        }
+        let lexed = crate::lexer::lex(source);
+        let ctx = FileCtx::new(rel, source, &lexed);
+        if ctx.is_test_path() {
+            continue;
+        }
+        merged.extend(merge_fn_idents(&lexed.tokens));
+        if rel == BOUNDS_PATH {
+            bounds_idents = ident_set(source);
+        }
+        for s in &lexed.suppressions {
+            if s.rules.iter().any(|r| r == "R006") {
+                suppressed.push((idx, s.line));
+            }
+        }
+        let toks = &lexed.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || !is_counter_name(&t.text) || ctx.in_test_span(t.line) {
+                continue;
+            }
+            // `c += …`, or `c = … c.saturating_add/wrapping_add(…)`.
+            let incremented = toks.get(i + 1).is_some_and(|n| n.is_punct("+="))
+                || (toks.get(i + 1).is_some_and(|n| n.is_punct("="))
+                    && toks[i + 2..(i + 10).min(toks.len())]
+                        .iter()
+                        .any(|n| n.is_ident(&t.text))
+                    && toks[i + 2..(i + 14).min(toks.len())]
+                        .iter()
+                        .any(|n| n.is_ident("saturating_add") || n.is_ident("wrapping_add")));
+            if incremented {
+                sites.push((t.text.clone(), idx, t.clone()));
+            }
+        }
     }
-    let lexed = crate::lexer::lex(source);
-    let ctx = FileCtx::new(rel_path, source, &lexed);
-    if ctx.is_test_path() {
-        return Vec::new();
+    let mut reported = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for (counter, idx, tok) in sites {
+        if !reported.insert(counter.clone()) {
+            continue;
+        }
+        if suppressed
+            .iter()
+            .any(|&(i, l)| i == idx && (tok.line == l || tok.line == l + 1))
+        {
+            continue;
+        }
+        let mut missing = Vec::new();
+        if !merged.contains(&counter) {
+            missing.push("any merge/absorb fn".to_owned());
+        }
+        if files[idx].0 != BOUNDS_PATH && !bounds_idents.contains(&counter) {
+            missing.push(BOUNDS_PATH.to_owned());
+        }
+        if missing.is_empty() {
+            continue;
+        }
+        let (rel, source) = &files[idx];
+        let snippet = source
+            .lines()
+            .nth(tok.line as usize - 1)
+            .unwrap_or("")
+            .to_owned();
+        out.push(Finding {
+            rule: rule.id,
+            severity: rule.severity,
+            file: rel.clone(),
+            line: tok.line,
+            col: tok.col,
+            width: tok.text.chars().count().max(1) as u32,
+            message: format!(
+                "loss counter `{counter}` is incremented but absent from {}",
+                missing.join(" and ")
+            ),
+            help: rule.help,
+            snippet,
+        });
     }
-    counter_decls(&ctx)
-        .into_iter()
-        .filter(|t| !bounds_idents.contains(&t.text))
-        .filter(|t| {
-            !lexed.suppressions.iter().any(|s| {
-                (t.line == s.line || t.line == s.line + 1) && s.rules.iter().any(|r| r == "R006")
-            })
-        })
-        .map(|t| {
-            finding(
-                rule,
-                &ctx,
-                &t,
-                format!("loss counter `{}` is not surfaced in {BOUNDS_PATH}", t.text),
-            )
-        })
-        .collect()
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
+    out
 }
 
 /// The identifier set of one source file (used for the cross-file half

@@ -78,7 +78,9 @@ fn is_test_attr(attr: &[Token]) -> bool {
 }
 
 /// Inclusive line spans of items annotated with a test attribute.
-fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+/// Public because the workspace dataflow layer ([`crate::symbols`])
+/// classifies whole functions as test code with the same spans.
+pub fn test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < tokens.len() {

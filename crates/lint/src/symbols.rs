@@ -1,0 +1,396 @@
+//! Workspace symbol table: function and struct-field definitions.
+//!
+//! The dataflow rules (D007/R007/R008) need to know *what exists* across
+//! the whole workspace before they can reason about flows between files:
+//! which functions are defined where (with their parameter lists and
+//! body token ranges), and which named fields belong to which structs.
+//! This module extracts both from the lexer's token streams — no type
+//! inference, just brace/angle matching over [`crate::lexer::Token`]s —
+//! and the call graph ([`crate::callgraph`]) and dataflow engine
+//! ([`crate::dataflow`]) build on it.
+//!
+//! Resolution is *name-based*: a call `probe(…)` resolves to every
+//! function named `probe` in the workspace. That over-approximation is
+//! the right direction for the rules built on top — panic-reachability
+//! and taint tracking must not miss a real path because two impls share
+//! a method name.
+
+use crate::lexer::{lex, Lexed, TokenKind};
+use crate::scope::{match_brace, test_spans};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One scanned source file, lexed once and shared by every analysis.
+pub struct WsFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Raw source lines (for finding snippets).
+    pub lines: Vec<String>,
+    /// Token stream and suppression pragmas.
+    pub lexed: Lexed,
+    /// Inclusive line ranges of `#[cfg(test)]` / `#[test]` items.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl WsFile {
+    /// True for files that are test/bench-harness code by location.
+    pub fn is_test_path(&self) -> bool {
+        let p = self.rel.as_str();
+        p.starts_with("tests/") || p.contains("/tests/") || p.contains("/benches/")
+    }
+
+    /// True if `line` falls inside a `#[cfg(test)]`/`#[test]` item.
+    pub fn in_test_span(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True for the wall-clock-exempt measurement crate.
+    pub fn is_bench(&self) -> bool {
+        self.rel.starts_with("crates/bench/")
+    }
+
+    /// The text of a 1-based line (empty if out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line as usize - 1)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+}
+
+/// One `fn` definition found in the workspace.
+pub struct FnDef {
+    /// The function's bare name (`probe`, not `LftaTable::probe`).
+    pub name: String,
+    /// Index into [`SymbolTable::files`].
+    pub file: usize,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// Parameter names in declaration order (`self` receivers excluded).
+    pub params: Vec<String>,
+    /// Inclusive token-index range of the `{ … }` body, if the fn has
+    /// one (trait methods without a default body do not).
+    pub body: Option<(usize, usize)>,
+    /// True for `merge*` / `absorb*` fns — the sanctioned counter folds.
+    pub is_merge: bool,
+    /// True if the fn lives in test code (path or `#[cfg(test)]` span)
+    /// or in `crates/bench`: nondeterminism sources are legal *inside*
+    /// such scopes, but values they return still carry taint out.
+    pub allowlisted: bool,
+}
+
+/// The workspace-wide symbol table.
+pub struct SymbolTable {
+    /// Every scanned file, in input order.
+    pub files: Vec<WsFile>,
+    /// Every fn definition, in (file, position) order.
+    pub fns: Vec<FnDef>,
+    /// Name → indices into [`SymbolTable::fns`] (multi-target).
+    pub fns_by_name: BTreeMap<String, Vec<usize>>,
+    /// Struct name → its named fields, for struct-literal detection.
+    pub struct_fields: BTreeMap<String, Vec<String>>,
+    /// Field name → the structs declaring it (field-name granularity).
+    pub field_owners: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl SymbolTable {
+    /// The innermost fn whose body contains token `tok` of file `file`
+    /// (functions nest; the latest-starting containing body wins).
+    pub fn enclosing_fn(&self, file: usize, tok: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.fns.iter().enumerate() {
+            if f.file != file {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            if open <= tok && tok <= close {
+                let better = match best {
+                    Some(b) => self.fns[b].body.map(|(o, _)| o) < Some(open),
+                    None => true,
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Keywords that can never be a call target or an indexed expression.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "try", "type",
+    "union", "unsafe", "use", "where", "while", "yield",
+];
+
+/// True if `name` is a Rust keyword (excluding `self`/`Self`, which can
+/// head an indexing or call expression via `Index`/`Fn` impls).
+pub fn is_keyword(name: &str) -> bool {
+    KEYWORDS.contains(&name)
+}
+
+/// Builds the symbol table for a set of `(rel_path, source)` files.
+pub fn build(inputs: &[(String, String)]) -> SymbolTable {
+    let files: Vec<WsFile> = inputs
+        .iter()
+        .map(|(rel, source)| {
+            let lexed = lex(source);
+            let spans = test_spans(&lexed.tokens);
+            WsFile {
+                rel: rel.clone(),
+                lines: source.lines().map(str::to_owned).collect(),
+                lexed,
+                test_spans: spans,
+            }
+        })
+        .collect();
+
+    let mut fns = Vec::new();
+    let mut struct_fields: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut field_owners: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        collect_fns(fi, file, &mut fns);
+        collect_structs(file, &mut struct_fields, &mut field_owners);
+    }
+
+    let mut fns_by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        fns_by_name.entry(f.name.clone()).or_default().push(i);
+    }
+
+    SymbolTable {
+        files,
+        fns,
+        fns_by_name,
+        struct_fields,
+        field_owners,
+    }
+}
+
+/// Scans one file's token stream for `fn` items.
+fn collect_fns(fi: usize, file: &WsFile, out: &mut Vec<FnDef>) {
+    let toks = &file.lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 2;
+        // Generic parameters: `<` … `>` with `<<`/`>>` counting double.
+        if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+            let mut depth = 0isize;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" if toks[j].kind == TokenKind::Punct => depth += 1,
+                    "<<" => depth += 2,
+                    ">" if toks[j].kind == TokenKind::Punct => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+                j += 1;
+                if depth <= 0 {
+                    break;
+                }
+            }
+        }
+        // Parameter list: names are idents directly followed by `:` at
+        // paren depth 1 (tuple-pattern params are invisible; fine).
+        let mut params = Vec::new();
+        if toks.get(j).is_some_and(|t| t.is_punct("(")) {
+            let mut depth = 0usize;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct("(") {
+                    depth += 1;
+                } else if t.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if depth == 1
+                    && t.kind == TokenKind::Ident
+                    && t.text != "self"
+                    && !is_keyword(&t.text)
+                    && toks.get(j + 1).is_some_and(|n| n.is_punct(":"))
+                {
+                    params.push(t.text.clone());
+                }
+                j += 1;
+            }
+        }
+        // Body: first `{` before a `;` (a `;` first means no body).
+        let mut body = None;
+        while j < toks.len() {
+            if toks[j].is_punct(";") {
+                break;
+            }
+            if toks[j].is_punct("{") {
+                body = Some((j, match_brace(toks, j)));
+                break;
+            }
+            j += 1;
+        }
+        let allowlisted =
+            file.is_bench() || file.is_test_path() || file.in_test_span(name_tok.line);
+        out.push(FnDef {
+            name: name_tok.text.clone(),
+            file: fi,
+            line: name_tok.line,
+            params,
+            body,
+            is_merge: name_tok.text.starts_with("merge") || name_tok.text.starts_with("absorb"),
+            allowlisted,
+        });
+        // Do NOT skip the body: nested fns must be collected too.
+        i += 2;
+    }
+}
+
+/// Scans one file for `struct Name { field: Type, … }` declarations.
+fn collect_structs(
+    file: &WsFile,
+    struct_fields: &mut BTreeMap<String, Vec<String>>,
+    field_owners: &mut BTreeMap<String, BTreeSet<String>>,
+) {
+    let toks = &file.lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Walk past generics / where-clauses to the body opener. A `(`
+        // first means a tuple struct (no named fields); `;` a unit one.
+        let mut j = i + 2;
+        let mut opener = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("{") {
+                opener = Some(j);
+                break;
+            }
+            if t.is_punct("(") || t.is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = opener else {
+            // Tuple/unit struct: registered with no named fields so
+            // struct-literal detection still knows the name exists.
+            struct_fields.entry(name_tok.text.clone()).or_default();
+            i = j.max(i + 1);
+            continue;
+        };
+        let close = match_brace(toks, open);
+        let mut fields = Vec::new();
+        let mut depth = 0usize;
+        let mut k = open;
+        while k <= close && k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth = depth.saturating_sub(1);
+            } else if depth == 1
+                && t.kind == TokenKind::Ident
+                && !is_keyword(&t.text)
+                && toks.get(k + 1).is_some_and(|n| n.is_punct(":"))
+                && !(k > 0 && toks[k - 1].is_punct(":"))
+            {
+                fields.push(t.text.clone());
+            }
+            k += 1;
+        }
+        for f in &fields {
+            field_owners
+                .entry(f.clone())
+                .or_default()
+                .insert(name_tok.text.clone());
+        }
+        struct_fields.insert(name_tok.text.clone(), fields);
+        i = close + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> SymbolTable {
+        build(&[("crates/demo/src/lib.rs".to_owned(), src.to_owned())])
+    }
+
+    #[test]
+    fn extracts_fns_with_params_and_bodies() {
+        let st = table(
+            "pub fn probe(key: u64, agg: u32) -> u32 { key as u32 + agg }\n\
+             fn merge_all(&mut self, other: &Self) {}\n\
+             trait T { fn sig_only(x: u8); }\n",
+        );
+        assert_eq!(st.fns.len(), 3);
+        assert_eq!(st.fns[0].name, "probe");
+        assert_eq!(st.fns[0].params, ["key", "agg"]);
+        assert!(st.fns[0].body.is_some());
+        assert!(st.fns[1].is_merge);
+        assert_eq!(st.fns[1].params, ["other"]);
+        assert!(st.fns[2].body.is_none());
+        assert_eq!(st.fns_by_name["probe"], [0]);
+    }
+
+    #[test]
+    fn extracts_struct_fields_and_owners() {
+        let st = table(
+            "pub struct Snapshot { pub digest: u64, epoch: u64 }\n\
+             struct Tuple(u64);\n\
+             struct Unit;\n\
+             pub struct Report { pub epoch: u64 }\n",
+        );
+        assert_eq!(st.struct_fields["Snapshot"], ["digest", "epoch"]);
+        assert!(st.struct_fields["Tuple"].is_empty());
+        assert_eq!(
+            st.field_owners["epoch"].iter().collect::<Vec<_>>(),
+            ["Report", "Snapshot"]
+        );
+    }
+
+    #[test]
+    fn test_span_fns_are_allowlisted() {
+        let st = table("fn live() {}\n#[cfg(test)]\nmod t {\n    fn helper() {}\n}\n");
+        assert!(!st.fns[0].allowlisted);
+        assert!(st.fns[1].allowlisted);
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_the_innermost_body() {
+        let st = table("fn outer() { fn inner() { body(); } inner(); }\n");
+        assert_eq!(st.fns.len(), 2);
+        // Token index of `body`: find it.
+        let toks = &st.files[0].lexed.tokens;
+        let body_idx = toks.iter().position(|t| t.is_ident("body")).unwrap();
+        let inner_call = toks.iter().rposition(|t| t.is_ident("inner")).unwrap();
+        assert_eq!(st.fns[st.enclosing_fn(0, body_idx).unwrap()].name, "inner");
+        assert_eq!(
+            st.fns[st.enclosing_fn(0, inner_call).unwrap()].name,
+            "outer"
+        );
+    }
+}

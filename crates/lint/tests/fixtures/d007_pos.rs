@@ -1,0 +1,33 @@
+//! D007 positive fixture: a pointer-derived value is laundered through
+//! two helper calls before landing in a snapshot digest field and in an
+//! encoder argument — only interprocedural taint tracking connects the
+//! source to either sink.
+
+pub struct Snapshot {
+    pub digest: u64,
+    pub epoch: u64,
+}
+
+fn tag(x: &u64) -> u64 {
+    let p = x as *const u64 as usize;
+    widen(p as u64)
+}
+
+fn widen(v: u64) -> u64 {
+    v.rotate_left(1)
+}
+
+pub fn seal(snap: &mut Snapshot, epoch: u64) {
+    let salt = tag(&epoch);
+    snap.epoch = epoch;
+    snap.digest = salt ^ epoch;
+}
+
+pub fn write_header(out: &mut Vec<u8>, snap: &Snapshot) {
+    let salt = tag(&snap.epoch);
+    encode_digest(out, salt);
+}
+
+fn encode_digest(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}

@@ -1,22 +1,20 @@
-//! R006 negative fixture: every pub loss counter in the file is folded
-//! by the owning struct's merge fn (exhaustive destructure, the
-//! satellite-1 idiom), so the per-file half stays silent.
+//! R006 negative fixture: the incremented loss counter is folded by
+//! the owning struct's merge fn and surfaced in the synthetic bounds.rs
+//! the test supplies, so the workspace name audit stays silent. The
+//! saturating_add form must count as an increment, too.
 
 pub struct Stats {
     pub delivered: u64,
-    pub records_leaked: u64,
     pub feed_lost: u64,
 }
 
 impl Stats {
+    pub fn on_drop(&mut self) {
+        self.feed_lost = self.feed_lost.saturating_add(1);
+    }
+
     pub fn merge(&mut self, other: &Stats) {
-        let Stats {
-            delivered,
-            records_leaked,
-            feed_lost,
-        } = other;
-        self.delivered += delivered;
-        self.records_leaked += records_leaked;
-        self.feed_lost += feed_lost;
+        self.delivered += other.delivered;
+        self.feed_lost += other.feed_lost;
     }
 }

@@ -1,16 +1,19 @@
-//! R006 positive fixture: a pub loss counter whose owning file has a
-//! merge fn that forgets to fold it. (The cross-file bounds.rs half is
-//! exercised at workspace level, not through lint_source.)
+//! R006 positive fixture: a loss counter incremented on the drop path
+//! but never mentioned in any merge/absorb fn nor in bounds.rs. The
+//! audit is workspace-level (name presence across files), so the test
+//! drives `r006_workspace` with this file plus a synthetic bounds.rs.
 
 pub struct Stats {
     pub delivered: u64,
     pub records_leaked: u64,
-    pub feed_lost: u64,
 }
 
 impl Stats {
+    pub fn on_drop(&mut self) {
+        self.records_leaked += 1;
+    }
+
     pub fn merge(&mut self, other: &Stats) {
         self.delivered += other.delivered;
-        self.feed_lost += other.feed_lost;
     }
 }

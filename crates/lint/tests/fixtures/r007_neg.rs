@@ -1,0 +1,21 @@
+//! R007 negative fixture: the same &mut-helper increment passes once
+//! the merge fn folds the counter and bounds.rs (supplied by the test)
+//! surfaces it.
+
+pub struct SpillLedger {
+    pub records_spilled_lost: u64,
+}
+
+fn bump(slot: &mut u64) {
+    *slot += 1;
+}
+
+impl SpillLedger {
+    pub fn on_spill(&mut self) {
+        bump(&mut self.records_spilled_lost);
+    }
+
+    pub fn merge(&mut self, other: &SpillLedger) {
+        self.records_spilled_lost += other.records_spilled_lost;
+    }
+}

@@ -1,0 +1,23 @@
+//! R007 positive fixture: the spill ledger's loss counter is bumped
+//! through a &mut helper — invisible to name-presence checks at the
+//! increment site — and the merge fn folds a *different* field, so the
+//! counter's def-use closure never reaches a fold or bounds.rs.
+
+pub struct SpillLedger {
+    pub records_spilled_lost: u64,
+    pub seen_total: u64,
+}
+
+fn bump(slot: &mut u64) {
+    *slot += 1;
+}
+
+impl SpillLedger {
+    pub fn on_spill(&mut self) {
+        bump(&mut self.records_spilled_lost);
+    }
+
+    pub fn merge(&mut self, other: &SpillLedger) {
+        self.seen_total += other.seen_total;
+    }
+}

@@ -1,0 +1,39 @@
+//! R008 negative fixture: the same shape refactored panic-free — a
+//! clamped modulo and get_mut with an explicit miss path — plus an
+//! unwrap parked four hops out, beyond the reachability horizon.
+
+pub struct Table {
+    slots: Vec<u64>,
+}
+
+impl Table {
+    pub fn offer(&mut self, key: u64) {
+        self.admit(key);
+    }
+
+    fn admit(&mut self, key: u64) {
+        self.probe(key);
+        self.audit(key);
+    }
+
+    fn probe(&mut self, key: u64) {
+        let len = self.slots.len() as u64;
+        let idx = (key % len.max(1)) as usize;
+        if let Some(slot) = self.slots.get_mut(idx) {
+            *slot += 1;
+        }
+    }
+
+    fn audit(&self, key: u64) {
+        self.deep(key);
+    }
+
+    fn deep(&self, key: u64) {
+        self.very_deep(key);
+    }
+
+    fn very_deep(&self, key: u64) {
+        let v: Option<u64> = Some(key);
+        let _ = v.unwrap();
+    }
+}

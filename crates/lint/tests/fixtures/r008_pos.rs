@@ -1,0 +1,23 @@
+//! R008 positive fixture: offer() → admit() → probe() puts probe two
+//! call-graph hops from the per-record entry point; its modulo by an
+//! unproven-nonzero length and its slot indexing are implicit panic
+//! sites on the hot path.
+
+pub struct Table {
+    slots: Vec<u64>,
+}
+
+impl Table {
+    pub fn offer(&mut self, key: u64) {
+        self.admit(key);
+    }
+
+    fn admit(&mut self, key: u64) {
+        self.probe(key);
+    }
+
+    fn probe(&mut self, key: u64) {
+        let idx = (key % self.slots.len() as u64) as usize;
+        self.slots[idx] += 1;
+    }
+}

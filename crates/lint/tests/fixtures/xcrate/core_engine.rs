@@ -1,0 +1,9 @@
+//! Cross-crate fixture, crate 3 of 3 (mapped to
+//! crates/core/src/engine.rs): stamps a worker tag into the snapshot
+//! digest — thread identity crossing two crate boundaries before it
+//! reaches the sink. D007 must flag the call site here.
+
+pub fn finish(snap: &mut Snapshot) {
+    let t = worker_tag();
+    encode_digest(snap, t);
+}

@@ -1,0 +1,11 @@
+//! Cross-crate fixture, crate 2 of 3 (mapped to
+//! crates/gigascope/src/snapshot.rs): the codec whose value parameter
+//! flows into the snapshot digest — a sink summary other crates inherit.
+
+pub struct Snapshot {
+    pub digest: u64,
+}
+
+pub fn encode_digest(snap: &mut Snapshot, v: u64) {
+    snap.digest = v;
+}

@@ -1,0 +1,12 @@
+//! Cross-crate fixture, crate 1 of 3 (mapped to
+//! crates/timeutil/src/lib.rs): derives a value from thread identity.
+//! Creating the source is not the violation — where it lands is.
+
+pub fn worker_tag() -> u64 {
+    let raw = &std::thread::current() as *const _ as usize;
+    stretch(raw as u64)
+}
+
+fn stretch(x: u64) -> u64 {
+    x.rotate_left(9)
+}

@@ -57,16 +57,51 @@ fn allowlist_has_no_stale_entries() {
 }
 
 #[test]
-fn catalog_holds_all_twelve_rules() {
-    assert_eq!(CATALOG.len(), 12);
+fn catalog_holds_all_fifteen_rules() {
+    assert_eq!(CATALOG.len(), 15);
     let ids: Vec<&str> = CATALOG.iter().map(|r| r.id).collect();
     assert_eq!(
         ids,
         [
-            "D001", "D002", "D003", "D004", "D005", "D006", "R001", "R002", "R003", "R004", "R005",
-            "R006"
+            "D001", "D002", "D003", "D004", "D005", "D006", "D007", "R001", "R002", "R003", "R004",
+            "R005", "R006", "R007", "R008"
         ]
     );
+}
+
+#[test]
+fn stale_allowlist_entry_fails_with_a_named_diagnostic() {
+    // A lint.toml entry that matches nothing is a fixed site whose
+    // grandfather clause outlived it: the run must fail and the
+    // StaleAllow diagnostic must name the entry.
+    let dir = std::env::temp_dir().join(format!("msa-lint-stale-{}", std::process::id()));
+    let src_dir = dir.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "#![deny(unsafe_code)]\npub fn f(x: u64) -> u64 { x }\n",
+    )
+    .expect("source");
+    std::fs::write(
+        dir.join("lint.toml"),
+        "[[allow]]\n\
+         rule = \"R001\"\n\
+         file = \"crates/demo/src/lib.rs\"\n\
+         contains = \".unwrap()\"\n\
+         justification = \"site was refactored away; entry left behind on purpose\"\n",
+    )
+    .expect("allowlist");
+    let report = lint_workspace(&dir).expect("lints");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(!report.clean(), "stale entry must fail the run");
+    assert_eq!(report.stale.len(), 1);
+    let rendered = msa_lint::diag::render_stale(&report.stale[0]);
+    assert!(rendered.contains("StaleAllow"), "{rendered}");
+    assert!(rendered.contains("R001"), "{rendered}");
+    assert!(rendered.contains("crates/demo/src/lib.rs"), "{rendered}");
+    assert!(rendered.contains(".unwrap()"), "{rendered}");
 }
 
 #[test]

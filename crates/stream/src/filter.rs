@@ -69,7 +69,8 @@ impl AttrPredicate {
     /// Evaluates the predicate.
     #[inline]
     pub fn matches(&self, record: &Record) -> bool {
-        self.op.eval(record.attrs[self.attr as usize], self.value)
+        let attr = record.attrs.get(self.attr as usize).copied().unwrap_or(0);
+        self.op.eval(attr, self.value)
     }
 }
 

@@ -99,8 +99,12 @@ impl Record {
         let mut vals = [0u32; MAX_ATTRS];
         let mut len = 0u8;
         for a in set.iter() {
-            vals[len as usize] = self.attrs[a as usize];
-            len += 1;
+            if let (Some(dst), Some(&src)) =
+                (vals.get_mut(len as usize), self.attrs.get(a as usize))
+            {
+                *dst = src;
+                len += 1;
+            }
         }
         GroupKey { vals, len }
     }
@@ -155,8 +159,10 @@ impl GroupKey {
         let mut out = 0u8;
         for (slot, a) in own.iter().enumerate() {
             if target.contains(a) {
-                vals[out as usize] = self.vals[slot];
-                out += 1;
+                if let (Some(dst), Some(&src)) = (vals.get_mut(out as usize), self.vals.get(slot)) {
+                    *dst = src;
+                    out += 1;
+                }
             }
         }
         GroupKey { vals, len: out }
