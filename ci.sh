@@ -69,6 +69,13 @@ echo "==> bound-soundness battery (reduced matrix)"
 # count, bit-identically across two seeded runs.
 MSA_SCALE=0.05 timeout 900 cargo test --offline -q --test bounds
 
+echo "==> vectorization battery (reduced matrix)"
+# {scalar, chunked} x {chunk sizes} x {shards} x {faults} x {crash
+# points}: chunked ingestion must be bit-identical to the per-record
+# oracle in every cell — reports, per-epoch results, bounds, snapshots
+# and WAL encodings.
+MSA_SCALE=0.05 timeout 900 cargo test --offline -q --test vectorized
+
 echo "==> adaptive-runtime battery (reduced matrix)"
 # {static, adaptive} x {drift kinds} x {shards} x {crash during swap}:
 # closed-epoch outputs must be bit-identical across two runs in every
@@ -82,6 +89,19 @@ echo "==> replan-swap bench (reduced scale)"
 # full-scale JSON is restored afterwards.
 MSA_SCALE=0.05 timeout 900 cargo run --offline --release -q -p msa-bench --bin replan_swap
 git checkout -- results/BENCH_replan_swap.json 2>/dev/null || true
+
+echo "==> chunk-throughput bench (reduced scale)"
+# Single-shard chunked-vs-scalar ingestion; in-bench determinism gate
+# (two runs per path, chunked == scalar bit for bit). The >= 2x speedup
+# bar is asserted only at MSA_SCALE=1, so the reduced run checks
+# correctness and artifact plumbing; the committed full-scale JSON is
+# restored afterwards.
+MSA_SCALE=0.05 timeout 900 cargo run --offline --release -q -p msa-bench --bin chunk_throughput
+git checkout -- results/BENCH_chunk_throughput.json 2>/dev/null || true
+if [ ! -s results/BENCH_chunk_throughput.json ]; then
+    echo "error: results/BENCH_chunk_throughput.json missing or empty" >&2
+    exit 1
+fi
 
 echo "==> degraded-accuracy bench (reduced scale)"
 # Width-vs-error soundness and two-run interval determinism are

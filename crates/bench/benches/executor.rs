@@ -17,13 +17,12 @@ fn main() {
         .seed(9)
         .build();
 
-    let flat = PhysicalPlan::flat(&[
+    let flat = PhysicalPlan::flat([
         (s("AB"), 2000),
         (s("BC"), 2000),
         (s("BD"), 2000),
         (s("CD"), 2000),
-    ])
-    .unwrap();
+    ]);
 
     let phantom = PhysicalPlan::new(vec![
         PlanNode {

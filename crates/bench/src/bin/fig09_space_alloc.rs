@@ -9,9 +9,10 @@ use msa_bench::{
     alloc_error_row, m_sweep, paper_trace, parse_config_leaves, pct, print_table, stats_abcd,
 };
 use msa_collision::LinearModel;
+use msa_optimizer::config::ParseError;
 use msa_optimizer::cost::CostContext;
 
-fn main() {
+fn main() -> Result<(), ParseError> {
     let trace = paper_trace();
     let stats = stats_abcd(&trace.records);
     let model = LinearModel::paper_no_intercept();
@@ -21,7 +22,7 @@ fn main() {
         ("Figure 9(a): (ABC(AC(A C) B))", "ABC(AC(A C) B)"),
         ("Figure 9(b): AB(A B) CD(C D)", "AB(A B) CD(C D)"),
     ] {
-        let cfg = parse_config_leaves(notation);
+        let cfg = parse_config_leaves(notation)?;
         let rows: Vec<Vec<String>> = m_sweep()
             .into_iter()
             .map(|m| {
@@ -38,4 +39,5 @@ fn main() {
         );
     }
     println!("\npaper: SL is best (≤ ~8%); PL/PR errors reach 35% in 9(a).");
+    Ok(())
 }

@@ -6,9 +6,10 @@ use msa_bench::{
     alloc_error_row, m_sweep, paper_trace, parse_config_leaves, pct, print_table, stats_abcd,
 };
 use msa_collision::LinearModel;
+use msa_optimizer::config::ParseError;
 use msa_optimizer::cost::CostContext;
 
-fn main() {
+fn main() -> Result<(), ParseError> {
     let trace = paper_trace();
     let stats = stats_abcd(&trace.records);
     let model = LinearModel::paper_no_intercept();
@@ -24,7 +25,7 @@ fn main() {
             "ABCD(AB BCD(BC BD CD))",
         ),
     ] {
-        let cfg = parse_config_leaves(notation);
+        let cfg = parse_config_leaves(notation)?;
         let rows: Vec<Vec<String>> = m_sweep()
             .into_iter()
             .map(|m| {
@@ -41,4 +42,5 @@ fn main() {
         );
     }
     println!("\npaper: SL best except one point in 10(a) at M = 20,000.");
+    Ok(())
 }

@@ -16,7 +16,7 @@ use msa_stream::AttrSet;
 
 fn series(trace: &GreedyTrace, norm: f64, len: usize) -> Vec<String> {
     (0..len)
-        .map(|i| match trace.steps.get(i) {
+        .map(|i| match trace.step(i) {
             Some(s) => format!("{:.3}", s.cost / norm),
             None => "-".to_string(),
         })
@@ -48,11 +48,12 @@ fn main() -> Result<(), MsaError> {
         .map(|&phi| (format!("GS phi={phi}"), greedy_space(&graph, m, phi, &ctx)))
         .collect();
 
-    let depth = 1 + gcsl
-        .steps
-        .len()
-        .max(gcpl.steps.len())
-        .max(gs.iter().map(|(_, t)| t.steps.len()).max().unwrap_or(0));
+    let depth = 2 + gcsl.phantoms_chosen().max(gcpl.phantoms_chosen()).max(
+        gs.iter()
+            .map(|(_, t)| t.phantoms_chosen())
+            .max()
+            .unwrap_or(0),
+    );
 
     let mut rows = Vec::new();
     {
@@ -84,7 +85,7 @@ fn main() -> Result<(), MsaError> {
 }
 
 fn choices(t: &GreedyTrace) -> Vec<String> {
-    t.steps
+    t.adopted
         .iter()
         .filter_map(|s| s.added.map(|a| a.to_string()))
         .collect()

@@ -14,6 +14,7 @@
 
 #![deny(unsafe_code)]
 
+use msa_optimizer::config::ParseError;
 use msa_optimizer::cost::{per_record_cost, CostContext};
 use msa_optimizer::{Allocation, Configuration};
 use msa_stream::gen::GeneratedStream;
@@ -67,7 +68,7 @@ pub fn paper_uniform(dims: usize) -> GeneratedStream {
 
 /// Statistics over all non-empty subsets of `ABCD` for a dataset.
 pub fn stats_abcd(records: &[Record]) -> DatasetStats {
-    DatasetStats::compute(records, AttrSet::parse("ABCD").expect("valid"))
+    DatasetStats::compute(records, AttrSet::from_attrs(0..4))
 }
 
 /// Like [`stats_abcd`], with flow lengths derived the paper's way —
@@ -140,10 +141,13 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 /// Parses a configuration notation treating its leaves as the queries
 /// (the experiment configurations of Figs. 9–10 define queries
 /// implicitly as their leaf relations).
-pub fn parse_config_leaves(notation: &str) -> Configuration {
-    let skeleton = Configuration::parse(notation, &[]).expect("valid notation");
+///
+/// # Errors
+/// Returns the underlying [`ParseError`] when `notation` is malformed.
+pub fn parse_config_leaves(notation: &str) -> Result<Configuration, ParseError> {
+    let skeleton = Configuration::parse(notation, &[])?;
     let leaves: Vec<AttrSet> = skeleton.leaves().collect();
-    Configuration::parse(notation, &leaves).expect("valid notation")
+    Configuration::parse(notation, &leaves)
 }
 
 /// One row of a Fig. 9/10-style experiment: for each heuristic, the
@@ -202,10 +206,7 @@ pub fn max_phantoms() -> usize {
 /// The Table 2/3 sweep: per budget M, the SL/SR/PL/PR relative errors
 /// (vs numeric ES) of every enumerated configuration.
 pub fn alloc_error_sweep(stats: &DatasetStats) -> Vec<(f64, Vec<Vec<f64>>)> {
-    let queries: Vec<AttrSet> = ["A", "B", "C", "D"]
-        .iter()
-        .map(|q| AttrSet::parse(q).expect("valid"))
-        .collect();
+    let queries: Vec<AttrSet> = (0..4).map(AttrSet::single).collect();
     let configs = enumerate_phantom_configs(&queries, max_phantoms());
     let model = msa_collision::LinearModel::paper_no_intercept();
     let ctx = CostContext::new(stats, &model);

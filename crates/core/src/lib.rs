@@ -62,13 +62,16 @@ pub use msa_gigascope::{
     shard_of, shard_seed, BoundsReport, Burst, ChannelFaults, CostParams, CrashPlan,
     DegradationPolicy, DriftKind, DriftPlan, EvictionChannel, EvictionLog, Executor,
     ExecutorConfig, FaultPlan, GuardLevel, GuardPolicy, GuardTransition, HandoffViolation, Hfta,
-    LossBreakdown, LossClass, OverloadGuard, PhysicalPlan, PoisonRecord, QueryBounds,
-    RecoveryError, RollbackReason, RunReport, ShardError, ShardFault, ShardHealth, ShardHeartbeat,
-    ShardState, ShardedExecutor, ShardedSnapshot, ShedDecision, Snapshot, SnapshotError,
-    SupervisorPolicy, SwapCrashPoint, SwapError, SwapFault, SwapOutcome, SwapReport,
+    Ingest, IngestMode, LossBreakdown, LossClass, OverloadGuard, PhysicalPlan, PoisonRecord,
+    QueryBounds, RecoveryError, RollbackReason, RunReport, ShardError, ShardFault, ShardHealth,
+    ShardHeartbeat, ShardState, ShardedExecutor, ShardedSnapshot, ShedDecision, Snapshot,
+    SnapshotError, SupervisorPolicy, SwapCrashPoint, SwapError, SwapFault, SwapOutcome, SwapReport,
 };
 pub use msa_optimizer::{
     propose_replan, Algorithm, AllocStrategy, ClusterHandling, Configuration, Plan, Planner,
     PlannerOptions, ReplanProposal,
 };
-pub use msa_stream::{AttrSet, CmpOp, DatasetStats, Filter, GroupKey, Record, Schema};
+pub use msa_stream::{
+    AttrSet, CmpOp, DatasetStats, Filter, GroupKey, Record, RecordChunk, Schema,
+    PROCESSING_WINDOW_SIZE,
+};

@@ -29,7 +29,7 @@ use crate::snapshot::{
 use crate::table::{AggState, LftaTable, Probe, TableStats};
 use crate::CostParams;
 use msa_stream::hash::mix64;
-use msa_stream::{AttrSet, Filter, GroupKey, Record};
+use msa_stream::{AttrSet, Filter, GroupKey, Record, RecordChunk};
 
 /// Where a record's metric value (e.g. packet length) comes from.
 ///
@@ -54,6 +54,33 @@ impl ValueSource {
                 AggState::from_value(record.attrs.get(i as usize).copied().unwrap_or(0))
             }
         }
+    }
+}
+
+/// Uniform ingestion surface over the scalar and chunked paths.
+///
+/// The differential battery (`tests/vectorized.rs`) drives the same
+/// workload through both methods of this trait and asserts bit-identical
+/// reports, bounds and snapshots: [`Ingest::offer`] is the per-record
+/// oracle, [`Ingest::offer_chunk`] the columnar fast path.
+pub trait Ingest {
+    /// Processes one record (the scalar oracle path).
+    fn offer(&mut self, record: &Record);
+
+    /// Processes a columnar chunk, observationally identical to
+    /// offering every lane in order.
+    fn offer_chunk(&mut self, chunk: &RecordChunk);
+}
+
+impl Ingest for Executor {
+    #[inline]
+    fn offer(&mut self, record: &Record) {
+        self.process(record);
+    }
+
+    #[inline]
+    fn offer_chunk(&mut self, chunk: &RecordChunk) {
+        Executor::offer_chunk(self, chunk);
     }
 }
 
@@ -835,6 +862,263 @@ impl Executor {
         }
     }
 
+    /// Processes a columnar chunk, bit-identical to calling
+    /// [`Executor::process`] on every lane in order.
+    ///
+    /// The chunk is cut into *epoch segments* — maximal lane runs whose
+    /// timestamps fall inside the current epoch — and each segment goes
+    /// through three passes:
+    ///
+    /// 1. **pack**: group keys for every `(node, lane)` pair are
+    ///    projected column-at-a-time ([`RecordChunk::project_range`])
+    ///    and their bucket slots precomputed ([`LftaTable::slot_of`]) —
+    ///    pure work, hoisted out of the stateful loop;
+    /// 2. **warm**: the precomputed slots are touched branch-free
+    ///    ([`LftaTable::warm_slot`]), so the independent bucket loads
+    ///    overlap instead of serializing behind each probe;
+    /// 3. **apply**: a record-major loop replays the *exact* scalar
+    ///    op sequence — shed decisions, probes, evictions, channel
+    ///    offers, WAL appends — so every PRNG draw and sequence number
+    ///    lands in the same order as the scalar oracle.
+    ///
+    /// Guard-level and node-set reads are hoisted per segment (the
+    /// guard changes level only at epoch boundaries), and the
+    /// `records`/`intra_probes` counters are accumulated locally and
+    /// flushed at segment boundaries — before any epoch flush,
+    /// checkpoint, or return observes the report.
+    pub fn offer_chunk(&mut self, chunk: &RecordChunk) {
+        let mut nodes: Vec<usize> = Vec::new();
+        let mut keys: Vec<GroupKey> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        let mut i = 0usize;
+        while i < chunk.len() {
+            if self.crashed {
+                return;
+            }
+            if self.auto_snapshot && self.latest_snapshot.is_none() {
+                self.latest_snapshot = Some(Box::new(self.make_snapshot()));
+            }
+            // Crash fuse first, then epoch flushes: the scalar path
+            // checks `at_record` *before* closing epochs.
+            if let Some(n) = self.crash.at_record {
+                if self.report.records >= n {
+                    self.crashed = true;
+                    return;
+                }
+            }
+            let Some(&ts) = chunk.timestamps().get(i) else {
+                return;
+            };
+            while ts >= (self.current_epoch + 1).saturating_mul(self.epoch_micros) {
+                self.flush_epoch();
+                if self.crashed {
+                    return;
+                }
+            }
+            // Extend the segment over every following lane that stays
+            // inside the now-current epoch.
+            let boundary = (self.current_epoch + 1).saturating_mul(self.epoch_micros);
+            let mut j = i + 1;
+            while chunk.timestamps().get(j).is_some_and(|&t| t < boundary) {
+                j += 1;
+            }
+            self.apply_segment(chunk, i, j, &mut nodes, &mut keys, &mut slots);
+            if self.crashed {
+                return;
+            }
+            i = j;
+        }
+    }
+
+    /// Feeds `records` through [`Executor::offer_chunk`] in chunks of
+    /// `chunk_size` lanes (the chunked analogue of [`Executor::run`]).
+    pub fn run_chunked(&mut self, records: &[Record], chunk_size: usize) {
+        for batch in records.chunks(chunk_size.max(1)) {
+            if self.crashed {
+                break;
+            }
+            self.offer_chunk(&RecordChunk::from_records(batch));
+        }
+    }
+
+    /// Applies lanes `[from, to)` of `chunk` — all inside the current
+    /// epoch — with packed keys, precomputed slots and a warmed cache.
+    fn apply_segment(
+        &mut self,
+        chunk: &RecordChunk,
+        from: usize,
+        to: usize,
+        nodes: &mut Vec<usize>,
+        keys: &mut Vec<GroupKey>,
+        slots: &mut Vec<usize>,
+    ) {
+        let seg = to.saturating_sub(from);
+        if seg == 0 {
+            return;
+        }
+        // The guard escalates/recovers only inside `observe_epoch`
+        // (called from `flush_epoch`), so the phantom-bypass level —
+        // and with it the active node set — is constant across the
+        // segment. Shed decisions still run per record below.
+        let phantoms_off = self.guard.as_ref().is_some_and(|g| g.phantoms_disabled());
+        let active = if phantoms_off {
+            self.query_nodes.len()
+        } else {
+            self.raw.len()
+        };
+        // Pass 1 — pack: keys and bucket slots for every (node, lane).
+        // Nodes without a plan entry are excluded here, exactly as the
+        // scalar path skips them before counting a probe.
+        nodes.clear();
+        keys.clear();
+        slots.clear();
+        for nidx in 0..active {
+            let node = if phantoms_off {
+                self.query_nodes.get(nidx)
+            } else {
+                self.raw.get(nidx)
+            };
+            let Some(&node) = node else { continue };
+            let Some(attrs) = self.plan.nodes().get(node).map(|n| n.attrs) else {
+                continue;
+            };
+            nodes.push(node);
+            chunk.project_range(attrs, from, to, keys);
+            let packed = keys.len().saturating_sub(seg);
+            if let Some(table) = self.tables.get(node) {
+                for key in keys.get(packed..).unwrap_or(&[]) {
+                    slots.push(table.slot_of(key));
+                }
+            } else {
+                slots.resize(keys.len(), 0);
+            }
+        }
+        // Passes 2+3 — warm, then apply, a block of lanes at a time.
+        // Warming the whole segment up front would touch more lines
+        // than L1/L2 hold, evicting the early nodes' slots before the
+        // apply loop reaches them; a block's worth of independent loads
+        // still overlaps fully but stays resident.
+        let fuse = self.crash.at_record;
+        let pass_all = self.filter.is_pass_all();
+        let records_base = self.report.records;
+        let mut local_records = 0u64;
+        let mut local_probes = 0u64;
+        // With no crash fuse armed, no guard, a pass-all filter and
+        // unit aggregation, per-lane work reduces to the probes alone:
+        // nothing in `emit` can crash the executor or consult the
+        // report mid-segment, so the per-lane checks below hoist out
+        // entirely. Every test cell that arms any of those features
+        // takes the general loop, whose op order is the contract.
+        let fast = fuse.is_none()
+            && self.crash.after_offers.is_none()
+            && self.guard.is_none()
+            && pass_all
+            && matches!(self.value_source, ValueSource::None);
+        const WARM_BLOCK: usize = 32;
+        let mut block = 0usize;
+        while block < seg && !self.crashed {
+            let block_end = (block + WARM_BLOCK).min(seg);
+            for (nidx, &node) in nodes.iter().enumerate() {
+                let Some(table) = self.tables.get(node) else {
+                    continue;
+                };
+                let base = nidx * seg;
+                for &slot in slots.get(base + block..base + block_end).unwrap_or(&[]) {
+                    table.warm_slot(slot);
+                }
+            }
+            if fast {
+                for lane in block..block_end {
+                    for (nidx, &node) in nodes.iter().enumerate() {
+                        let at = nidx * seg + lane;
+                        let (Some(&key), Some(&slot)) = (keys.get(at), slots.get(at)) else {
+                            continue;
+                        };
+                        local_probes += 1;
+                        let probe = match self.tables.get_mut(node) {
+                            Some(table) => table.probe_at(slot, key, AggState::unit()),
+                            None => continue,
+                        };
+                        if let Probe::Evicted(old) = probe {
+                            self.emit(node, old.key, old.agg);
+                        }
+                    }
+                }
+                local_records += (block_end - block) as u64;
+                block = block_end;
+                continue;
+            }
+            for lane in block..block_end {
+                if let Some(n) = fuse {
+                    if records_base + local_records >= n {
+                        self.crashed = true;
+                        break;
+                    }
+                }
+                local_records += 1;
+                if !pass_all {
+                    let Some(record) = chunk.get(from + lane) else {
+                        continue;
+                    };
+                    if !self.filter.matches(&record) {
+                        self.report.filtered_out += 1;
+                        continue;
+                    }
+                }
+                if let Some(g) = &mut self.guard {
+                    match g.shed_decision() {
+                        ShedDecision::Shed => {
+                            g.account_loss(1);
+                            self.report.records_shed += 1;
+                            continue;
+                        }
+                        ShedDecision::Denied => {
+                            self.report.records_shed_denied += 1;
+                        }
+                        ShedDecision::Process => {}
+                    }
+                }
+                let agg = match self.value_source {
+                    ValueSource::None => AggState::unit(),
+                    ValueSource::Attr(a) => AggState::from_value(
+                        chunk
+                            .column(a as usize)
+                            .get(from + lane)
+                            .copied()
+                            .unwrap_or(0),
+                    ),
+                };
+                for (nidx, &node) in nodes.iter().enumerate() {
+                    // An emit may fire a crash fuse mid-record; the scalar
+                    // `push` no-ops once crashed, counting nothing.
+                    if self.crashed {
+                        break;
+                    }
+                    let at = nidx * seg + lane;
+                    let (Some(&key), Some(&slot)) = (keys.get(at), slots.get(at)) else {
+                        continue;
+                    };
+                    local_probes += 1;
+                    let probe = match self.tables.get_mut(node) {
+                        Some(table) => table.probe_at(slot, key, agg),
+                        None => continue,
+                    };
+                    if let Probe::Evicted(old) = probe {
+                        self.emit(node, old.key, old.agg);
+                    }
+                }
+                if self.crashed {
+                    break;
+                }
+            }
+            block = block_end;
+        }
+        // Flush the amortized counters before anything — epoch close,
+        // checkpoint, caller — reads the report.
+        self.report.records += local_records;
+        self.report.intra_probes += local_probes;
+    }
+
     /// Closes the current epoch: scans tables top-down, propagating every
     /// entry to the children and finally evicting query contents to the
     /// HFTA (§3.2.2).
@@ -1359,7 +1643,7 @@ mod tests {
             [2, 10, 101, 0],
             [1, 10, 100, 0],
         ]);
-        let plan = PhysicalPlan::flat(&[(s("A"), 4), (s("B"), 4)]).unwrap();
+        let plan = PhysicalPlan::flat([(s("A"), 4), (s("B"), 4)]);
         let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 1);
         ex.run(&recs);
         let (report, hfta) = ex.finish();
@@ -1477,7 +1761,7 @@ mod tests {
             Record::new(&[1, 0, 0, 0], 500_000),
             Record::new(&[1, 0, 0, 0], 1_500_000), // second epoch
         ];
-        let plan = PhysicalPlan::flat(&[(s("A"), 4)]).unwrap();
+        let plan = PhysicalPlan::flat([(s("A"), 4)]);
         let mut ex = Executor::new(plan, CostParams::paper(), 1_000_000, 0);
         ex.run(&recs);
         let (report, hfta) = ex.finish();
@@ -1494,7 +1778,7 @@ mod tests {
     fn cost_accounting_flat_no_collisions() {
         // 3 distinct groups into 64 buckets: collisions vanishingly rare.
         let recs = records(&[[1, 0, 0, 0], [2, 0, 0, 0], [3, 0, 0, 0]]);
-        let plan = PhysicalPlan::flat(&[(s("A"), 64)]).unwrap();
+        let plan = PhysicalPlan::flat([(s("A"), 64)]);
         let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 9);
         ex.run(&recs);
         let (report, _) = ex.finish();
@@ -1631,7 +1915,7 @@ mod tests {
         let recs: Vec<Record> = (0..300u32)
             .map(|i| Record::new(&[i % 10, i % 3, 0, 0], i as u64))
             .collect();
-        let plan = PhysicalPlan::flat(&[(s("A"), 32)]).unwrap();
+        let plan = PhysicalPlan::flat([(s("A"), 32)]);
         let mut ex = Executor::new(plan, CostParams::paper(), u64::MAX, 6)
             .with_filter(Filter::all().and(1, CmpOp::Eq, 0));
         ex.run(&recs);
@@ -1764,7 +2048,7 @@ mod tests {
     #[test]
     fn start_epoch_keeps_absolute_labels() {
         let recs = vec![Record::new(&[1, 0, 0, 0], 3_500_000)];
-        let plan = PhysicalPlan::flat(&[(s("A"), 4)]).unwrap();
+        let plan = PhysicalPlan::flat([(s("A"), 4)]);
         let mut ex = Executor::new(plan, CostParams::paper(), 1_000_000, 0).with_start_epoch(3);
         ex.run(&recs);
         let (report, hfta) = ex.finish();
@@ -1781,7 +2065,7 @@ mod tests {
         let recs: Vec<Record> = (0..400u32)
             .map(|i| Record::new(&[i % 40, 0, 0, 0], u64::from(i) * 1000))
             .collect();
-        let plan = PhysicalPlan::flat(&[(s("A"), 8)]).unwrap();
+        let plan = PhysicalPlan::flat([(s("A"), 8)]);
         let mut ex = Executor::new(plan, CostParams::paper(), 100_000, 1)
             .with_channel(EvictionChannel::lossless().with_capacity(5));
         ex.run(&recs);

@@ -132,19 +132,24 @@ impl PhysicalPlan {
     }
 
     /// Convenience: a plan with no phantoms — every query is raw, with
-    /// the given `(attrs, buckets)` list.
-    pub fn flat(queries: &[(AttrSet, usize)]) -> Result<PhysicalPlan, PlanError> {
-        PhysicalPlan::new(
-            queries
-                .iter()
-                .map(|&(attrs, buckets)| PlanNode {
+    /// the given `(attrs, buckets)` list (bucket counts clamped to at
+    /// least one).
+    ///
+    /// Such a plan satisfies every invariant [`PhysicalPlan::new`]
+    /// checks, so construction is infallible — planners also use it as
+    /// the degraded fallback when a composed plan fails validation.
+    pub fn flat(queries: impl IntoIterator<Item = (AttrSet, usize)>) -> PhysicalPlan {
+        PhysicalPlan {
+            nodes: queries
+                .into_iter()
+                .map(|(attrs, buckets)| PlanNode {
                     attrs,
                     parent: None,
-                    buckets,
+                    buckets: buckets.max(1),
                     is_query: true,
                 })
                 .collect(),
-        )
+        }
     }
 }
 
@@ -334,7 +339,7 @@ mod tests {
 
     #[test]
     fn flat_plan_is_all_raw_queries() {
-        let plan = PhysicalPlan::flat(&[(s("AB"), 5), (s("CD"), 6)]).unwrap();
+        let plan = PhysicalPlan::flat([(s("AB"), 5), (s("CD"), 6)]);
         assert_eq!(plan.raw_nodes().count(), 2);
         assert_eq!(plan.query_nodes().count(), 2);
         // 5·3 + 6·3 = 33 words.

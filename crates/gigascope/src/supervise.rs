@@ -52,7 +52,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use crate::executor::{Executor, ExecutorConfig};
 use crate::faults::ShardFault;
 use crate::snapshot::EvictionLog;
-use msa_stream::{AttrSet, Record};
+use msa_stream::{AttrSet, Record, RecordChunk};
 
 /// Supervision knobs. Everything is counted in shard-local records —
 /// never wall-clock time — so supervised runs stay deterministic.
@@ -287,6 +287,10 @@ pub(crate) struct ShardDriver {
     /// already been handled (stalls fire once).
     stalled: bool,
     stall_handled: bool,
+    /// A real panic escaped the vectorized probe: stay on the
+    /// per-record pump from here on, so the replay re-hits the death
+    /// at its exact record index.
+    scalar_fallback: bool,
     health: ShardHealth,
 }
 
@@ -323,6 +327,7 @@ impl ShardDriver {
             panic_attempts: 0,
             stalled: false,
             stall_handled: false,
+            scalar_fallback: false,
             health: ShardHealth::default(),
         }
     }
@@ -341,6 +346,84 @@ impl ShardDriver {
         }
         self.check_stall();
         self.pump();
+    }
+
+    /// Feeds one columnar chunk of the shard's partition, in order,
+    /// then pumps. When no supervision drill is armed and nothing has
+    /// ever been quarantined, the backlog drains through the
+    /// executor's vectorized probe in one pass; any complication — an
+    /// armed [`ShardFault`], a prior quarantine, an open stall, a
+    /// panic that escaped the chunked boundary — falls back to the
+    /// per-record pump, whose every decision is keyed to an exact
+    /// record index and therefore bit-identical to scalar supervision.
+    pub(crate) fn offer_chunk(&mut self, chunk: &RecordChunk) {
+        for i in 0..chunk.len() {
+            self.received += 1;
+            if !self.ex.has_crashed() {
+                if let Some(r) = chunk.get(i) {
+                    self.buf.push_back(r);
+                }
+            }
+        }
+        self.check_stall();
+        if self.chunked_eligible() {
+            self.pump_chunked();
+        } else {
+            self.pump();
+        }
+    }
+
+    /// The vectorized pump is only sound while supervision has nothing
+    /// to attribute per record: no armed drill, no quarantine history,
+    /// no open stall, no prior escaped panic.
+    fn chunked_eligible(&self) -> bool {
+        self.fault.is_none()
+            && !self.scalar_fallback
+            && !self.stalled
+            && self.health.poisoned.is_empty()
+    }
+
+    /// Drains the backlog through [`Executor::offer_chunk`], one panic
+    /// boundary per pending range.
+    fn pump_chunked(&mut self) {
+        while !self.ex.has_crashed() && self.consumed < self.received {
+            let start =
+                usize::try_from(self.consumed.saturating_sub(self.buf_start)).unwrap_or(usize::MAX);
+            let pending: RecordChunk = self.buf.iter().skip(start).copied().collect();
+            if pending.is_empty() {
+                return;
+            }
+            let before = self.ex.report().records;
+            let ex = &mut self.ex;
+            let outcome = catch_unwind(AssertUnwindSafe(|| ex.offer_chunk(&pending)));
+            match outcome {
+                Ok(()) => {
+                    let processed = self.ex.report().records.saturating_sub(before);
+                    self.consumed += processed;
+                    self.heartbeat.beat(self.consumed);
+                    self.prune();
+                    if processed == 0 {
+                        // A crash fuse fired before the first lane (the
+                        // `has_crashed` guard exits the loop), or the
+                        // chunk was consumed without progress — never
+                        // spin either way.
+                        return;
+                    }
+                }
+                Err(_) => {
+                    // A real panic escaped the vectorized probe: restart
+                    // from the checkpoint and replay per record, which
+                    // re-hits the death at its exact index and runs the
+                    // normal poison state machine from there.
+                    self.heartbeat.publish(ShardState::Dead);
+                    self.health.panics_caught += 1;
+                    self.scalar_fallback = true;
+                    self.restart();
+                    self.pump();
+                    return;
+                }
+            }
+        }
     }
 
     /// Feed closed: resolve any open stall (the deadline authority —

@@ -185,15 +185,49 @@ impl LftaTable {
         self.stats
     }
 
+    /// The bucket index `key` hashes to. Pure: the chunked probe
+    /// precomputes slots for a whole batch of keys before touching
+    /// the table, so the loads of the slot array overlap.
+    #[inline]
+    pub fn slot_of(&self, key: &GroupKey) -> usize {
+        let len = self.slots.len() as u64;
+        (key.hash_with_seed(self.seed) % len.max(1)) as usize
+    }
+
+    /// Touches bucket `idx` so its cache line is resident before the
+    /// apply loop probes it. `black_box` forces the load to happen;
+    /// the reads of a batch of independent slots issue back-to-back,
+    /// which is the whole point — memory-level parallelism without an
+    /// architecture-specific prefetch intrinsic (the workspace denies
+    /// `unsafe`).
+    #[inline]
+    pub fn warm_slot(&self, idx: usize) {
+        if let Some(slot) = self.slots.get(idx) {
+            // Read the occupancy tag and the aggregate at the entry's
+            // tail: a slot spans more than one cache line, and the
+            // probe both compares the key and writes the aggregate.
+            let depth = slot.as_ref().map_or(0, |e| e.agg.count);
+            std::hint::black_box(depth);
+        }
+    }
+
     /// Probes the table with `key`, merging `agg` into the occupant
     /// (a unit state for a raw record; the evicted partial when fed
     /// from a parent table).
     #[inline]
     pub fn probe(&mut self, key: GroupKey, agg: AggState) -> Probe {
+        let idx = self.slot_of(&key);
+        self.probe_at(idx, key, agg)
+    }
+
+    /// Probes bucket `idx` with `key` — the chunked path, where `idx`
+    /// was precomputed by [`Self::slot_of`]. Bit-identical to
+    /// [`Self::probe`] when `idx == self.slot_of(&key)`.
+    #[inline]
+    pub fn probe_at(&mut self, idx: usize, key: GroupKey, agg: AggState) -> Probe {
         debug_assert_eq!(key.arity(), self.attrs.len());
+        debug_assert_eq!(idx, self.slot_of(&key));
         self.stats.probes += 1;
-        let len = self.slots.len() as u64;
-        let idx = (key.hash_with_seed(self.seed) % len.max(1)) as usize;
         let Some(slot) = self.slots.get_mut(idx) else {
             // Unreachable: plans validate buckets > 0, so idx < len.
             return Probe::Hit;

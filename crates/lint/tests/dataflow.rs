@@ -120,6 +120,30 @@ fn r008_panic_sites_on_the_hot_path() {
     // Clamped modulo + get_mut, and an unwrap four hops out (beyond the
     // reachability horizon): clean.
     assert!(run(&[("crates/gigascope/src/table.rs", neg)]).is_empty());
+    // The chunked ingestion entry points are roots too: a panic site
+    // reachable from offer_chunk (or run_chunked) is on the hot path
+    // even when nothing named `offer` exists in the file.
+    let chunk_pos = "pub struct Lfta { slots: Vec<u64> }\n\
+         impl Lfta {\n\
+             pub fn run_chunked(&mut self, keys: &[u64]) {\n\
+                 for &k in keys { self.offer_chunk(k); }\n\
+             }\n\
+             pub fn offer_chunk(&mut self, key: u64) {\n\
+                 self.apply(key);\n\
+             }\n\
+             fn apply(&mut self, key: u64) {\n\
+                 let idx = (key % self.slots.len() as u64) as usize;\n\
+                 self.slots[idx] += 1;\n\
+             }\n\
+         }\n";
+    let hits = only(
+        &run(&[("crates/gigascope/src/executor.rs", chunk_pos)]),
+        "R008",
+    );
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    for f in &hits {
+        assert!(f.message.contains("offer_chunk -> apply"), "{}", f.message);
+    }
     // supervise.rs is the sanctioned catch_unwind boundary: the same
     // violating source there produces no hot-path roots.
     assert!(run(&[("crates/gigascope/src/supervise.rs", pos)]).is_empty());

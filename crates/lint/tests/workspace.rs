@@ -38,11 +38,13 @@ fn workspace_is_clean() {
 #[test]
 fn allowlist_has_no_stale_entries() {
     // Every lint.toml entry must still suppress a real finding; a fixed
-    // site must shed its grandfather clause in the same change.
+    // site must shed its grandfather clause in the same change. The
+    // last grandfathered sites were refactored away, so today the list
+    // is empty — this ratchets: a new entry needs a justification AND
+    // must actually suppress something, or the stale check fires.
     let root = workspace_root();
     let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
     let entries = msa_lint::allowlist::parse(&text).expect("lint.toml parses");
-    assert!(!entries.is_empty(), "allowlist unexpectedly empty");
     let report = lint_real_tree();
     assert!(
         report.stale.is_empty(),

@@ -372,7 +372,21 @@ pub fn allocate_grid(
     assert!(granules >= n, "need at least one granule per relation");
     let unit = m_words / granules as f64;
 
-    let mut best: Option<(f64, Vec<usize>)> = None;
+    // Seed with the first assignment the enumeration below would
+    // visit — one granule per table, the remainder on the last — so
+    // `best` always holds a valid split and the strict-improvement
+    // comparison leaves the search order's tie-breaking unchanged.
+    let mut seed_grains = vec![1usize; n];
+    if let Some(last) = seed_grains.last_mut() {
+        *last = granules - (n - 1);
+    }
+    let seed_alloc = Allocation::from_spaces(
+        relations
+            .iter()
+            .copied()
+            .zip(seed_grains.iter().map(|&g| g as f64 * unit)),
+    );
+    let mut best = (per_record_cost(cfg, &seed_alloc, ctx), seed_grains);
     let mut current = vec![0usize; n];
 
     #[allow(clippy::too_many_arguments)]
@@ -380,7 +394,7 @@ pub fn allocate_grid(
         idx: usize,
         remaining: usize,
         current: &mut Vec<usize>,
-        best: &mut Option<(f64, Vec<usize>)>,
+        best: &mut (f64, Vec<usize>),
         relations: &[AttrSet],
         unit: f64,
         cfg: &Configuration,
@@ -396,8 +410,8 @@ pub fn allocate_grid(
                     .zip(current.iter().map(|&g| g as f64 * unit)),
             );
             let cost = per_record_cost(cfg, &alloc, ctx);
-            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
-                *best = Some((cost, current.clone()));
+            if cost < best.0 {
+                *best = (cost, current.clone());
             }
             return;
         }
@@ -426,7 +440,7 @@ pub fn allocate_grid(
         cfg,
         ctx,
     );
-    let (_, grains) = best.expect("at least one allocation");
+    let (_, grains) = best;
     Allocation::from_spaces(
         relations
             .into_iter()

@@ -157,7 +157,7 @@ impl Configuration {
         let trees = if parser.peek() == Some(b'(') && parser.outer_paren_wraps_all() {
             parser.pos += 1;
             let trees = parser.parse_forest(&mut parent)?;
-            parser.expect(b')')?;
+            parser.consume(b')')?;
             trees
         } else {
             parser.parse_forest(&mut parent)?
@@ -286,7 +286,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn consume(&mut self, b: u8) -> Result<(), ParseError> {
         self.skip_ws();
         match self.peek() {
             Some(c) if c == b => {

@@ -35,21 +35,40 @@ pub struct GreedyStep {
 }
 
 /// A greedy run: the initial state plus one step per adopted phantom.
+///
+/// The phantom-free starting point is stored apart from the adopted
+/// steps, so a trace is non-empty by construction and every accessor
+/// below is total.
 #[derive(Clone, Debug)]
 pub struct GreedyTrace {
-    /// Steps, starting with the phantom-free configuration.
-    pub steps: Vec<GreedyStep>,
+    /// The phantom-free starting configuration.
+    pub baseline: GreedyStep,
+    /// One step per adopted phantom, in adoption order.
+    pub adopted: Vec<GreedyStep>,
 }
 
 impl GreedyTrace {
     /// The final configuration/allocation/cost.
     pub fn final_step(&self) -> &GreedyStep {
-        self.steps.last().expect("trace never empty")
+        self.adopted.last().unwrap_or(&self.baseline)
     }
 
     /// Number of phantoms adopted.
     pub fn phantoms_chosen(&self) -> usize {
-        self.steps.len() - 1
+        self.adopted.len()
+    }
+
+    /// All steps, baseline first.
+    pub fn steps(&self) -> impl Iterator<Item = &GreedyStep> {
+        std::iter::once(&self.baseline).chain(self.adopted.iter())
+    }
+
+    /// The state after `i` phantoms, if the run adopted that many.
+    pub fn step(&self, i: usize) -> Option<&GreedyStep> {
+        match i.checked_sub(1) {
+            None => Some(&self.baseline),
+            Some(j) => self.adopted.get(j),
+        }
     }
 }
 
@@ -88,12 +107,13 @@ pub fn greedy_space(
         per_record_cost(cfg, &top_up(cfg, alloc, m_words - used, ctx), ctx)
     };
 
-    let mut steps = vec![GreedyStep {
+    let baseline = GreedyStep {
         added: None,
         configuration: cfg.clone(),
         allocation: top_up(&cfg, &alloc, m_words - used, ctx),
         cost: topped_cost(&cfg, &alloc, used),
-    }];
+    };
+    let mut adopted = Vec::new();
 
     loop {
         let current_cost = per_record_cost(&cfg, &alloc, ctx);
@@ -123,7 +143,7 @@ pub fn greedy_space(
                 cfg = cfg.add_phantom(p);
                 alloc.set(p, phi_buckets(p));
                 used += space_of(p);
-                steps.push(GreedyStep {
+                adopted.push(GreedyStep {
                     added: Some(p),
                     configuration: cfg.clone(),
                     allocation: top_up(&cfg, &alloc, m_words - used, ctx),
@@ -133,7 +153,7 @@ pub fn greedy_space(
             None => break,
         }
     }
-    GreedyTrace { steps }
+    GreedyTrace { baseline, adopted }
 }
 
 /// Distributes `leftover` words across the configuration proportionally
@@ -171,12 +191,13 @@ pub fn greedy_collision(
     let mut cfg = Configuration::from_queries(graph.queries());
     let mut alloc = strategy.allocate(&cfg, m_words, ctx);
     let mut cost = per_record_cost(&cfg, &alloc, ctx);
-    let mut steps = vec![GreedyStep {
+    let baseline = GreedyStep {
         added: None,
         configuration: cfg.clone(),
         allocation: alloc.clone(),
         cost,
-    }];
+    };
+    let mut adopted = Vec::new();
     loop {
         let mut best: Option<(AttrSet, Configuration, Allocation, f64)> = None;
         for &p in graph.phantom_candidates() {
@@ -195,7 +216,7 @@ pub fn greedy_collision(
                 cfg = cfg_p;
                 alloc = alloc_p;
                 cost = cost_p;
-                steps.push(GreedyStep {
+                adopted.push(GreedyStep {
                     added: Some(p),
                     configuration: cfg.clone(),
                     allocation: alloc.clone(),
@@ -205,7 +226,7 @@ pub fn greedy_collision(
             _ => break,
         }
     }
-    GreedyTrace { steps }
+    GreedyTrace { baseline, adopted }
 }
 
 /// EPES: exhaustive phantoms × (numerically) exhaustive space — the
@@ -226,8 +247,19 @@ pub fn epes(graph: &FeedingGraph, m_words: f64, ctx: &CostContext<'_>) -> Greedy
         "EPES is exponential; {} candidates is too many",
         candidates.len()
     );
-    let mut best: Option<GreedyStep> = None;
-    for mask in 0u64..(1 << candidates.len()) {
+    // Mask 0 — the empty phantom set — is always a valid configuration,
+    // so it seeds `best` directly and every other subset competes
+    // against it under the same strict-improvement comparison.
+    let base_cfg = Configuration::with_phantoms(graph.queries(), &[]);
+    let base_alloc = allocate_numeric(&base_cfg, m_words, ctx, 200);
+    let base_cost = per_record_cost(&base_cfg, &base_alloc, ctx);
+    let mut best = GreedyStep {
+        added: None,
+        configuration: base_cfg,
+        allocation: base_alloc,
+        cost: base_cost,
+    };
+    for mask in 1u64..(1 << candidates.len()) {
         let phantoms: Vec<AttrSet> = candidates
             .iter()
             .enumerate()
@@ -240,16 +272,16 @@ pub fn epes(graph: &FeedingGraph, m_words: f64, ctx: &CostContext<'_>) -> Greedy
         }
         let alloc = allocate_numeric(&cfg, m_words, ctx, 200);
         let cost = per_record_cost(&cfg, &alloc, ctx);
-        if best.as_ref().is_none_or(|b| cost < b.cost) {
-            best = Some(GreedyStep {
+        if cost < best.cost {
+            best = GreedyStep {
                 added: None,
                 configuration: cfg,
                 allocation: alloc,
                 cost,
-            });
+            };
         }
     }
-    best.expect("at least the all-queries configuration")
+    best
 }
 
 #[cfg(test)]
@@ -307,7 +339,8 @@ mod tests {
             trace.final_step().configuration
         );
         // Costs decrease monotonically along the trace.
-        for w in trace.steps.windows(2) {
+        let steps: Vec<&GreedyStep> = trace.steps().collect();
+        for w in steps.windows(2) {
             assert!(w[1].cost < w[0].cost);
         }
     }
@@ -399,11 +432,12 @@ mod tests {
         ctx.clustering = ClusterHandling::None;
         let graph = FeedingGraph::new(&queries1());
         let trace = greedy_collision(&graph, 60_000.0, &ctx, AllocStrategy::SupernodeLinear);
-        assert_eq!(trace.steps[0].added, None);
-        assert_eq!(trace.steps[0].configuration.phantoms().count(), 0);
-        for (i, step) in trace.steps.iter().enumerate().skip(1) {
+        assert_eq!(trace.baseline.added, None);
+        assert_eq!(trace.baseline.configuration.phantoms().count(), 0);
+        assert_eq!(trace.step(0).map(|s| s.added), Some(None));
+        for (i, step) in trace.adopted.iter().enumerate() {
             assert!(step.added.is_some());
-            assert_eq!(step.configuration.phantoms().count(), i);
+            assert_eq!(step.configuration.phantoms().count(), i + 1);
         }
     }
 }

@@ -88,17 +88,33 @@ impl Plan {
         // determinism) places parents first.
         let mut relations: Vec<AttrSet> = self.configuration.relations().collect();
         relations.sort_by_key(|r| (std::cmp::Reverse(r.len()), r.bits()));
-        let index_of = |r: AttrSet| relations.iter().position(|&x| x == r).expect("present");
+        // A parent is a strict superset of its child, so it sorts
+        // strictly earlier and `index_of` finds it for every relation
+        // of a well-formed configuration.
+        let index_of = |r: AttrSet| relations.iter().position(|&x| x == r);
         let nodes: Vec<PlanNode> = relations
             .iter()
             .map(|&r| PlanNode {
                 attrs: r,
-                parent: self.configuration.parent(r).map(index_of),
+                parent: self.configuration.parent(r).and_then(index_of),
                 buckets: (self.allocation.buckets(r).round() as usize).max(1),
                 is_query: self.configuration.is_query(r),
             })
             .collect();
-        PhysicalPlan::new(nodes).expect("configuration invariants guarantee a valid plan")
+        // Validation cannot fail on a well-formed configuration (the
+        // sort gives parent-before-child order and `Configuration`
+        // maintains subset nesting). Should a malformed one ever
+        // arrive, degrade to the flat queries-only plan instead of
+        // panicking mid-stream: still-correct answers, phantom-free
+        // cost.
+        PhysicalPlan::new(nodes).unwrap_or_else(|_| {
+            PhysicalPlan::flat(
+                self.configuration
+                    .relations()
+                    .filter(|&r| self.configuration.is_query(r))
+                    .map(|r| (r, (self.allocation.buckets(r).round() as usize).max(1))),
+            )
+        })
     }
 }
 

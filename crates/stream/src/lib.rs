@@ -20,6 +20,7 @@
 #![deny(unsafe_code)]
 
 pub mod attr;
+pub mod chunk;
 pub mod filter;
 pub mod gen;
 pub mod hash;
@@ -29,6 +30,7 @@ pub mod record;
 pub mod stats;
 
 pub use attr::{AttrId, AttrParseError, AttrSet, MAX_ATTRS};
+pub use chunk::{RecordChunk, PROCESSING_WINDOW_SIZE};
 pub use filter::{AttrPredicate, CmpOp, Filter};
 pub use gen::{
     clustered::{ClusteredStreamBuilder, FlowLengthDistribution},

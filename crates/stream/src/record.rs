@@ -133,6 +133,24 @@ impl GroupKey {
         }
     }
 
+    /// A key of `len` zeroed values, to be filled in place by the
+    /// columnar projection in [`crate::chunk`].
+    #[inline]
+    pub(crate) fn zeroed(len: u8) -> GroupKey {
+        GroupKey {
+            vals: [0u32; MAX_ATTRS],
+            len: len.min(MAX_ATTRS as u8),
+        }
+    }
+
+    /// Writes value position `pos` (no-op out of range).
+    #[inline]
+    pub(crate) fn set_val(&mut self, pos: usize, v: u32) {
+        if let Some(dst) = self.vals.get_mut(pos) {
+            *dst = v;
+        }
+    }
+
     /// The live attribute values.
     #[inline]
     pub fn values(&self) -> &[u32] {

@@ -333,7 +333,7 @@ fn filter_partitions_records() {
         let dropped = records.iter().filter(|r| drop.matches(r)).count();
         assert_eq!(kept + dropped, records.len());
         // And the executor's filter metering agrees.
-        let plan = PhysicalPlan::flat(&[(AttrSet::parse("A").unwrap(), 16)]).unwrap();
+        let plan = PhysicalPlan::flat([(AttrSet::parse("A").unwrap(), 16)]);
         let mut ex =
             Executor::new(plan, CostParams::paper(), u64::MAX, 5).with_filter(keep.clone());
         ex.run(&records);
@@ -409,6 +409,114 @@ fn partitioner_is_pure_in_seed_and_key() {
     }
 }
 
+/// Chunked ingestion is pure batching: cutting a stream into chunks at
+/// ANY set of boundaries — including cuts that straddle epoch flushes,
+/// size-1 chunks and one giant chunk — produces outputs bit-identical
+/// to offering every record individually.
+#[test]
+fn chunking_at_any_boundary_equals_per_record_offers() {
+    use msa_core::{GuardPolicy, Ingest, RecordChunk};
+    let mut rng = SplitMix64::new(0xC47);
+    let s = |x: &str| AttrSet::parse(x).unwrap();
+    let plan = || {
+        PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("AB"),
+                parent: None,
+                buckets: 8,
+                is_query: false,
+            },
+            PlanNode {
+                attrs: s("A"),
+                parent: Some(0),
+                buckets: 4,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("B"),
+                parent: Some(0),
+                buckets: 4,
+                is_query: true,
+            },
+        ])
+        .unwrap()
+    };
+    for case in 0..40 {
+        let records = record_batch(&mut rng);
+        // Short epochs (timestamps are 0..n micros) so flushes land
+        // inside chunks; sometimes arm the guard.
+        let epoch = 1 + rng.next_u64() % 120;
+        let guard_on = rng.next_u64().is_multiple_of(2);
+        let build = || {
+            let mut ex = Executor::new(plan(), CostParams::paper(), epoch, 11);
+            if guard_on {
+                ex = ex.with_guard(GuardPolicy::new(50.0));
+            }
+            ex
+        };
+        let mut oracle = build();
+        oracle.run(&records);
+        let (want_report, want_hfta) = oracle.finish();
+        // Random cut points: each record independently ends a chunk.
+        let mut chunked = build();
+        let mut chunk = RecordChunk::new();
+        for r in &records {
+            chunk.push(r);
+            if rng.next_u64().is_multiple_of(4) {
+                chunked.offer_chunk(&chunk);
+                chunk.clear();
+            }
+        }
+        chunked.offer_chunk(&chunk);
+        let (got_report, got_hfta) = chunked.finish();
+        assert_eq!(got_report, want_report, "case {case}: report");
+        assert_eq!(got_hfta.results(), want_hfta.results(), "case {case}");
+        // The trait-object view agrees too (size-1 chunks ≡ offer).
+        let mut unit = build();
+        let ingest: &mut dyn Ingest = &mut unit;
+        for r in &records {
+            ingest.offer_chunk(&RecordChunk::from_records(std::slice::from_ref(r)));
+        }
+        let (unit_report, unit_hfta) = unit.finish();
+        assert_eq!(unit_report, want_report, "case {case}: size-1 chunks");
+        assert_eq!(unit_hfta.results(), want_hfta.results(), "case {case}");
+    }
+}
+
+/// RecordChunk is a lossless columnar container: record round-trips,
+/// split/append reconstruction at any midpoint, and the columnar
+/// projection equals per-record projection for every lane and subset.
+#[test]
+fn record_chunk_split_concat_and_projection_roundtrip() {
+    use msa_core::RecordChunk;
+    let mut rng = SplitMix64::new(0xB3C);
+    for _ in 0..80 {
+        let records = record_batch(&mut rng);
+        let chunk = RecordChunk::from_records(&records);
+        assert_eq!(chunk.to_records(), records);
+        // Split at a random midpoint, then append back: identity.
+        let mid = rng.gen_index(chunk.len() + 1);
+        let mut left = chunk.clone();
+        let right = left.split_off(mid);
+        assert_eq!(left.len(), mid);
+        assert_eq!(right.len(), records.len() - mid);
+        let mut rejoined = left;
+        let mut tail = right;
+        rejoined.append(&mut tail);
+        assert!(tail.is_empty());
+        assert_eq!(rejoined.to_records(), records);
+        // Columnar projection over a random sub-range matches the
+        // scalar per-record projection for a random attribute subset.
+        let q = AttrSet::from_bits(1 + rng.gen_u32_below(15) as u16).unwrap();
+        let from = rng.gen_index(records.len());
+        let to = from + rng.gen_index(records.len() - from + 1);
+        let mut keys = Vec::new();
+        chunk.project_range(q, from, to, &mut keys);
+        let want: Vec<GroupKey> = records[from..to].iter().map(|r| r.project(q)).collect();
+        assert_eq!(keys, want, "subset {q} over {from}..{to}");
+    }
+}
+
 /// Permuting the arrival order of a stream never changes the final
 /// per-group counts of a sharded run — aggregation is
 /// order-insensitive, so within one epoch any interleaving of the same
@@ -423,8 +531,7 @@ fn shard_totals_are_arrival_order_invariant() {
         let mut records = record_batch(&mut rng);
         let shards = 1 + rng.gen_index(8);
         let seed = rng.next_u64();
-        let plan =
-            PhysicalPlan::flat(&queries.iter().map(|&q| (q, 8)).collect::<Vec<_>>()).unwrap();
+        let plan = PhysicalPlan::flat(queries.iter().map(|&q| (q, 8)));
         let run = |records: &[Record]| {
             let mut sx =
                 ShardedExecutor::new(plan.clone(), CostParams::paper(), u64::MAX, seed, shards)

@@ -366,3 +366,63 @@ fn heartbeats_report_progress_and_final_state() {
     assert_eq!(report.records, records.len() as u64);
     assert_eq!(report.shard_restarts, 0);
 }
+
+/// Satellite: a poison record arriving *inside a chunk* quarantines
+/// exactly that one record. The chunked feed re-chunks per shard, the
+/// supervisor drops to per-record replay around the armed fault, and
+/// every ledger — quarantine index, replay counters, bias identity —
+/// is bit-identical to the scalar feed's quarantine, at every chunk
+/// size that places the poisoned lane somewhere different inside its
+/// chunk.
+#[test]
+fn poison_inside_a_chunk_quarantines_exactly_one_record() {
+    use msa_core::IngestMode;
+    let records = stream(scale());
+    let n = 4;
+    let target = n - 1;
+    let len = part_len(n, &records);
+    let fault = ShardFault::panic_repeating(len / 2, 8);
+    let policy = SupervisorPolicy::default();
+    let scalar = drill(n, false, fault, policy, &records);
+    for size in [7usize, 64, 1024] {
+        let label = format!("chunk={size}");
+        let run = || {
+            let mut sx = build(n, false)
+                .with_ingest(IngestMode::Chunked { size })
+                .with_shard_fault(target, fault)
+                .with_supervision(policy);
+            sx.run(&records);
+            let health = sx.shard_health(target).clone();
+            let final_state = sx.heartbeat(target).state();
+            let (report, hfta) = sx.finish();
+            Drilled {
+                report,
+                hfta,
+                health,
+                final_state,
+            }
+        };
+        let d1 = run();
+        let d2 = run();
+        assert_eq!(d1.report, d2.report, "{label}: determinism");
+        assert_eq!(d1.hfta.results(), d2.hfta.results(), "{label}");
+        assert_eq!(d1.health, d2.health, "{label}");
+        // Bit-identical to the scalar-feed drill: the chunk boundary
+        // around the poisoned lane leaks into nothing.
+        assert_eq!(d1.report, scalar.report, "{label}: report vs scalar feed");
+        assert_eq!(
+            d1.hfta.results(),
+            scalar.hfta.results(),
+            "{label}: results vs scalar feed"
+        );
+        assert_eq!(d1.health, scalar.health, "{label}: health vs scalar feed");
+        // Exactly one record quarantined, at the armed index; the rest
+        // of its chunk replays.
+        assert_eq!(d1.report.records_poisoned, 1, "{label}");
+        assert_eq!(d1.health.poisoned.len(), 1, "{label}");
+        assert_eq!(d1.health.poisoned[0].index, len / 2, "{label}");
+        assert_eq!(d1.report.records, records.len() as u64, "{label}");
+        assert_eq!(d1.final_state, ShardState::Done, "{label}");
+        assert_bias_identity(&label, &d1.report, &d1.hfta, records.len());
+    }
+}
