@@ -27,8 +27,8 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> msa-lint: rule catalog"
 rules=$(cargo run --offline --release -q -p msa-lint -- --list-rules | wc -l)
 echo "msa-lint: $rules rules registered"
-if [ "$rules" -lt 15 ]; then
-    echo "error: msa-lint catalog shrank to $rules rules (expected >= 15);" \
+if [ "$rules" -lt 16 ]; then
+    echo "error: msa-lint catalog shrank to $rules rules (expected >= 16);" \
         "a rule was compiled out" >&2
     exit 1
 fi
@@ -109,6 +109,25 @@ echo "==> degraded-accuracy bench (reduced scale)"
 # afterwards so the reduced run never clobbers the published numbers.
 MSA_SCALE=0.05 timeout 900 cargo run --offline --release -q -p msa-bench --bin degraded_accuracy
 git checkout -- results/BENCH_degraded_accuracy.json 2>/dev/null || true
+
+echo "==> durability drill (reduced matrix)"
+# {bit-flip, truncation, torn write, ENOSPC, EIO, crash-between-ops,
+# lying fsync} x {snapshot, WAL segment, manifest pair} plus the
+# DiskBackend kill-between-syscalls sweep: every cell must end in
+# bit-identical recovery or an explicit accounted fallback, twice.
+MSA_SCALE=0.05 timeout 900 cargo test --offline -q --test recovery
+
+echo "==> checkpoint-durability bench (reduced scale)"
+# Durable-disk overhead vs the in-memory twin and cold-start (open +
+# scrub + rebuild) latency per checkpoint density; functional two-run
+# determinism is asserted inside the bench. The committed full-scale
+# JSON is restored afterwards.
+MSA_SCALE=0.05 timeout 900 cargo run --offline --release -q -p msa-bench --bin checkpoint_durability
+git checkout -- results/BENCH_durability.json 2>/dev/null || true
+if [ ! -s results/BENCH_durability.json ]; then
+    echo "error: results/BENCH_durability.json missing or empty" >&2
+    exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

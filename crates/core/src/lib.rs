@@ -59,19 +59,21 @@ pub use msa_collision::{AsymptoticModel, CollisionModel, LinearModel, PreciseMod
 pub use msa_gigascope::executor::ValueSource;
 pub use msa_gigascope::table::AggState;
 pub use msa_gigascope::{
-    shard_of, shard_seed, BoundsReport, Burst, ChannelFaults, CostParams, CrashPlan,
-    DegradationPolicy, DriftKind, DriftPlan, EvictionChannel, EvictionLog, Executor,
+    shard_of, shard_seed, BoundsReport, Burst, ChannelFaults, CheckpointStore, CostParams,
+    CrashPlan, DegradationPolicy, DriftKind, DriftPlan, EvictionChannel, EvictionLog, Executor,
     ExecutorConfig, FaultPlan, GuardLevel, GuardPolicy, GuardTransition, HandoffViolation, Hfta,
     Ingest, IngestMode, LossBreakdown, LossClass, OverloadGuard, PhysicalPlan, PoisonRecord,
-    QueryBounds, RecoveryError, RollbackReason, RunReport, ShardError, ShardFault, ShardHealth,
-    ShardHeartbeat, ShardState, ShardedExecutor, ShardedSnapshot, ShedDecision, Snapshot,
-    SnapshotError, SupervisorPolicy, SwapCrashPoint, SwapError, SwapFault, SwapOutcome, SwapReport,
+    QueryBounds, RecoveredArtifacts, RecoveryError, RollbackReason, RunReport, ScrubReport,
+    ShardError, ShardFault, ShardHealth, ShardHeartbeat, ShardState, ShardedExecutor,
+    ShardedSnapshot, ShedDecision, Snapshot, SnapshotError, StoreHandle, StoreRecovery, StoreStats,
+    SupervisorPolicy, SwapCrashPoint, SwapError, SwapFault, SwapOutcome, SwapReport,
 };
 pub use msa_optimizer::{
     propose_replan, Algorithm, AllocStrategy, ClusterHandling, Configuration, Plan, Planner,
     PlannerOptions, ReplanProposal,
 };
 pub use msa_stream::{
-    AttrSet, CmpOp, DatasetStats, Filter, GroupKey, Record, RecordChunk, Schema,
+    AttrSet, CmpOp, DatasetStats, DiskBackend, Filter, GroupKey, Record, RecordChunk, Schema,
+    SimBackend, StorageBackend, StorageFaultPlan, StoreError, StoreErrorKind,
     PROCESSING_WINDOW_SIZE,
 };

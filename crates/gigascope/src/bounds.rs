@@ -51,6 +51,9 @@ pub enum LossClass {
     ReplayOverrun,
     /// Still in flight on a crashed shard's feed at shutdown.
     ShutdownLost,
+    /// Lost because recovery fell back to an older durable generation
+    /// and the replay buffer could not reach back far enough.
+    StaleFallback,
     /// Stranded in tables or the open epoch of an unrecovered executor.
     Abandoned,
 }
@@ -64,6 +67,7 @@ impl fmt::Display for LossClass {
             LossClass::PoisonQuarantined => "poison-quarantined",
             LossClass::ReplayOverrun => "replay-overrun",
             LossClass::ShutdownLost => "shutdown-lost",
+            LossClass::StaleFallback => "stale-fallback",
             LossClass::Abandoned => "abandoned",
         };
         f.write_str(name)
@@ -87,6 +91,8 @@ pub struct LossBreakdown {
     pub replay_overrun: u64,
     /// [`LossClass::ShutdownLost`] mass (undercount).
     pub shutdown_lost: u64,
+    /// [`LossClass::StaleFallback`] mass (undercount).
+    pub stale_fallback: u64,
     /// [`LossClass::Abandoned`] mass (undercount).
     pub abandoned: u64,
 }
@@ -99,6 +105,7 @@ impl LossBreakdown {
             + self.poison_quarantined
             + self.replay_overrun
             + self.shutdown_lost
+            + self.stale_fallback
             + self.abandoned
     }
 
@@ -113,7 +120,7 @@ impl LossBreakdown {
     }
 
     /// The breakdown as `(class, mass)` pairs, in declaration order.
-    pub fn classes(&self) -> [(LossClass, u64); 7] {
+    pub fn classes(&self) -> [(LossClass, u64); 8] {
         [
             (LossClass::GuardShed, self.guard_shed),
             (LossClass::ChannelDropped, self.channel_dropped),
@@ -121,6 +128,7 @@ impl LossBreakdown {
             (LossClass::PoisonQuarantined, self.poison_quarantined),
             (LossClass::ReplayOverrun, self.replay_overrun),
             (LossClass::ShutdownLost, self.shutdown_lost),
+            (LossClass::StaleFallback, self.stale_fallback),
             (LossClass::Abandoned, self.abandoned),
         ]
     }
@@ -137,6 +145,7 @@ impl LossBreakdown {
             poison_quarantined,
             replay_overrun,
             shutdown_lost,
+            stale_fallback,
             abandoned,
         } = *other;
         self.guard_shed += guard_shed;
@@ -145,6 +154,7 @@ impl LossBreakdown {
         self.poison_quarantined += poison_quarantined;
         self.replay_overrun += replay_overrun;
         self.shutdown_lost += shutdown_lost;
+        self.stale_fallback += stale_fallback;
         self.abandoned += abandoned;
     }
 }
@@ -288,12 +298,13 @@ impl BoundsReport {
         F: Fn(AttrSet) -> Vec<(GroupKey, u64)>,
     {
         // Mass shed by the guard proper: `records_shed` also absorbs
-        // replay overruns and shutdown losses, which get their own
-        // classes below.
+        // replay overruns, shutdown losses and stale-fallback losses,
+        // which get their own classes below.
         let guard_shed = report
             .records_shed
             .saturating_sub(report.records_unreplayed)
-            .saturating_sub(report.records_shutdown_lost);
+            .saturating_sub(report.records_shutdown_lost)
+            .saturating_sub(report.records_stale_lost);
         // Mass that entered the tables: everything seen minus the
         // filtered, the shed (incl. overrun/shutdown), and the poisoned.
         let processed =
@@ -327,6 +338,7 @@ impl BoundsReport {
                     poison_quarantined: report.records_poisoned,
                     replay_overrun: report.records_unreplayed,
                     shutdown_lost: report.records_shutdown_lost,
+                    stale_fallback: report.records_stale_lost,
                     abandoned,
                 },
                 groups,
@@ -460,19 +472,20 @@ mod tests {
                 poison_quarantined: 1,
                 replay_overrun: 4,
                 shutdown_lost: 6,
+                stale_fallback: 2,
                 abandoned: 7,
             },
             ..QueryBounds::default()
         };
-        assert_eq!(b.losses.undercount(), 5 + 3 + 1 + 4 + 6 + 7);
+        assert_eq!(b.losses.undercount(), 5 + 3 + 1 + 4 + 6 + 2 + 7);
         assert_eq!(b.losses.overcount(), 2);
-        assert_eq!(b.losses.total(), 28);
+        assert_eq!(b.losses.total(), 30);
         assert_eq!(b.lo(), 98);
-        assert_eq!(b.hi(), 126);
-        assert_eq!(b.width(), 28);
-        assert!(b.contains(98) && b.contains(126) && !b.contains(97));
+        assert_eq!(b.hi(), 128);
+        assert_eq!(b.width(), 30);
+        assert!(b.contains(98) && b.contains(128) && !b.contains(97));
         // Every class shows up exactly once in the display breakdown.
-        assert_eq!(b.losses.classes().len(), 7);
+        assert_eq!(b.losses.classes().len(), 8);
         let summed: u64 = b.losses.classes().iter().map(|&(_, n)| n).sum();
         assert_eq!(summed, b.losses.total());
     }
@@ -549,10 +562,12 @@ mod tests {
         let mut report = RunReport {
             records: 100,
             filtered_out: 10,
-            // 20 shed total: 12 by the guard, 5 unreplayed, 3 shutdown.
+            // 20 shed total: 10 by the guard, 5 unreplayed, 3 shutdown,
+            // 2 stale-fallback.
             records_shed: 20,
             records_unreplayed: 5,
             records_shutdown_lost: 3,
+            records_stale_lost: 2,
             records_poisoned: 4,
             dropped_records: vec![(query, 2)],
             duplicated_records: vec![(query, 1)],
@@ -575,12 +590,13 @@ mod tests {
         assert_eq!(
             qb.losses,
             LossBreakdown {
-                guard_shed: 12,
+                guard_shed: 10,
                 channel_dropped: 2,
                 channel_duplicated: 1,
                 poison_quarantined: 4,
                 replay_overrun: 5,
                 shutdown_lost: 3,
+                stale_fallback: 2,
                 abandoned: 6,
             }
         );
@@ -606,6 +622,7 @@ mod tests {
                 "poison-quarantined",
                 "replay-overrun",
                 "shutdown-lost",
+                "stale-fallback",
                 "abandoned",
             ]
         );

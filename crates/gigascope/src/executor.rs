@@ -26,6 +26,7 @@ use crate::plan::PhysicalPlan;
 use crate::snapshot::{
     plan_fingerprint, EvictionLog, LogEntry, RecoveryError, Snapshot, SnapshotError,
 };
+use crate::store::StoreHandle;
 use crate::table::{AggState, LftaTable, Probe, TableStats};
 use crate::CostParams;
 use msa_stream::hash::mix64;
@@ -145,6 +146,13 @@ pub struct RunReport {
     /// loss class (`records_shed − records_unreplayed −
     /// records_shutdown_lost` is pure guard shedding).
     pub records_shutdown_lost: u64,
+    /// The subset of `records_shed` lost because recovery fell back to
+    /// an older durable generation (the newest checkpoint was
+    /// unreadable) and the replay source could not reach far enough
+    /// back to re-feed the gap. Its own loss class in `bounds.rs`, so a
+    /// stale checkpoint degrades the guaranteed interval explicitly
+    /// instead of going silently stale.
+    pub records_stale_lost: u64,
     /// Shed requests the overload guard *denied* because the
     /// [`crate::guard::DegradationPolicy`] loss budget was exhausted —
     /// the records were processed normally, at the cost the ladder
@@ -283,6 +291,7 @@ impl RunReport {
             records_poisoned,
             records_unreplayed,
             records_shutdown_lost,
+            records_stale_lost,
             records_shed_denied,
             abandoned_records,
             replans_committed,
@@ -305,6 +314,7 @@ impl RunReport {
         self.records_poisoned += records_poisoned;
         self.records_unreplayed += records_unreplayed;
         self.records_shutdown_lost += records_shutdown_lost;
+        self.records_stale_lost += records_stale_lost;
         self.records_shed_denied += records_shed_denied;
         self.replans_committed += replans_committed;
         self.replans_rolled_back += replans_rolled_back;
@@ -478,6 +488,14 @@ pub struct Executor {
     crash: CrashPlan,
     /// A fuse fired: the executor is inert (simulated dead process).
     crashed: bool,
+    /// Generational checkpoint store, when real durability is wired in:
+    /// boundary checkpoints commit here and WAL appends mirror here.
+    store: Option<StoreHandle>,
+    /// A store operation failed past its retry budget: stop writing,
+    /// keep running on in-memory artifacts (graceful degradation — a
+    /// later recovery falls back to the last committed generation and
+    /// accounts the gap explicitly).
+    store_broken: bool,
 }
 
 impl Executor {
@@ -543,6 +561,8 @@ impl Executor {
             latest_snapshot: None,
             crash: CrashPlan::none(),
             crashed: false,
+            store: None,
+            store_broken: false,
         }
     }
 
@@ -621,6 +641,36 @@ impl Executor {
         self
     }
 
+    /// Attaches a generational checkpoint store: boundary checkpoints
+    /// commit to it (atomically, behind the A/B manifest) and every WAL
+    /// append mirrors into its current generation's segments. Implies
+    /// [`Executor::with_eviction_log`] and [`Executor::with_snapshots`];
+    /// on an executor that just [`Executor::recover`]ed, the replayed
+    /// log is kept. Store failures never panic the pipeline: past the
+    /// retry budget the executor latches [`Executor::store_degraded`]
+    /// and continues on in-memory artifacts.
+    pub fn with_store(mut self, store: StoreHandle) -> Executor {
+        if self.wal.is_none() {
+            self.wal = Some(EvictionLog::new());
+        }
+        self.auto_snapshot = true;
+        self.store = Some(store);
+        self.store_broken = false;
+        self
+    }
+
+    /// The attached checkpoint store, if any (shard drivers clone this
+    /// so restarts recover from durable generations).
+    pub fn store_handle(&self) -> Option<StoreHandle> {
+        self.store.clone()
+    }
+
+    /// True once a store operation failed past its retry budget and the
+    /// executor fell back to in-memory artifacts only.
+    pub fn store_degraded(&self) -> bool {
+        self.store_broken
+    }
+
     /// Arms crash fuses (see [`CrashPlan`]). When a fuse fires the
     /// executor becomes inert, exactly as if the process died: no
     /// farewell flush, no final snapshot — only the durable artifacts
@@ -696,18 +746,56 @@ impl Executor {
             return;
         }
         if let Some(wal) = &mut self.wal {
-            wal.append(LogEntry {
+            let entry = LogEntry {
                 epoch: self.current_epoch,
                 seq: self.seq,
                 slot: slot as u32,
                 copies,
                 key,
                 agg,
-            });
+            };
+            wal.append(entry);
+            if !self.store_broken {
+                if let Some(store) = &self.store {
+                    if store.append_entry(&entry).is_err() {
+                        self.store_broken = true;
+                    }
+                }
+            }
         }
         for _ in 0..copies {
             self.hfta.receive(slot, key, agg);
         }
+    }
+
+    /// Commits a boundary checkpoint to the attached store, degrading
+    /// (never panicking) past the retry budget: the run continues on
+    /// in-memory artifacts and recovery falls back to the last good
+    /// generation with the gap accounted as stale-fallback loss.
+    fn store_commit(&mut self, snap: &Snapshot) {
+        if self.store_broken {
+            return;
+        }
+        if let Some(store) = &self.store {
+            if store.commit(snap).is_err() {
+                self.store_broken = true;
+            }
+        }
+    }
+
+    /// Persists the current boundary state to the attached store as the
+    /// durable commit of a hot-swap handoff. Unlike the run-time hooks
+    /// this *surfaces* the failure instead of latching degraded: the
+    /// swap transaction must roll back when its commit cannot be made
+    /// durable. A no-op `Ok` without a store.
+    pub(crate) fn commit_handoff(&mut self) -> Result<(), msa_stream::store::StoreError> {
+        let Some(store) = self.store.clone() else {
+            return Ok(());
+        };
+        let snap = self.make_snapshot();
+        store.commit(&snap)?;
+        self.latest_snapshot = Some(Box::new(snap));
+        Ok(())
     }
 
     /// Routes an entry leaving node `i` (eviction or flush scan) to the
@@ -789,7 +877,9 @@ impl Executor {
         // an epoch boundary by construction, so a crash ahead of the
         // first real boundary still has something to recover from.
         if self.auto_snapshot && self.latest_snapshot.is_none() {
-            self.latest_snapshot = Some(Box::new(self.make_snapshot()));
+            let snap = self.make_snapshot();
+            self.store_commit(&snap);
+            self.latest_snapshot = Some(Box::new(snap));
         }
         // Crash fuse: dies before processing record `at_record`.
         if let Some(n) = self.crash.at_record {
@@ -896,7 +986,9 @@ impl Executor {
                 return;
             }
             if self.auto_snapshot && self.latest_snapshot.is_none() {
-                self.latest_snapshot = Some(Box::new(self.make_snapshot()));
+                let snap = self.make_snapshot();
+                self.store_commit(&snap);
+                self.latest_snapshot = Some(Box::new(snap));
             }
             // Crash fuse first, then epoch flushes: the scalar path
             // checks `at_record` *before* closing epochs.
@@ -1188,6 +1280,7 @@ impl Executor {
                 // boundary) suffix needs to stay durable.
                 *wal = EvictionLog::from_entries(wal.suffix(snap.seq).copied().collect());
             }
+            self.store_commit(&snap);
             self.latest_snapshot = Some(Box::new(snap));
         }
     }
@@ -1301,6 +1394,26 @@ impl Executor {
         self.report.records += n;
         self.report.records_shed += n;
         self.report.records_shutdown_lost += n;
+        self.channel.account_shutdown_loss(n);
+        if let Some(g) = &mut self.guard {
+            g.account_loss(n);
+        }
+    }
+
+    /// Supervisor hook: `n` feed records were lost because recovery
+    /// fell back to an older durable generation (the newest checkpoint
+    /// or its WAL was unreadable) and the bounded replay buffer could
+    /// not reach back to the fallback's record high-water mark. Same
+    /// explicit shed/bias ledger as a replay gap, broken out as
+    /// `records_stale_lost` so operators can tell storage rot from
+    /// buffer overruns.
+    pub(crate) fn absorb_stale_loss(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.report.records += n;
+        self.report.records_shed += n;
+        self.report.records_stale_lost += n;
         self.channel.account_shutdown_loss(n);
         if let Some(g) = &mut self.guard {
             g.account_loss(n);
@@ -1548,6 +1661,7 @@ impl Executor {
             if let Some(wal) = &mut self.wal {
                 *wal = EvictionLog::from_entries(wal.suffix(snap.seq).copied().collect());
             }
+            self.store_commit(&snap);
             self.latest_snapshot = Some(Box::new(snap));
         }
     }
@@ -2110,6 +2224,7 @@ mod tests {
             records_poisoned: 2,
             records_unreplayed: 0,
             records_shutdown_lost: 3,
+            records_stale_lost: 1,
             records_shed_denied: 1,
             abandoned_records: vec![(s("B"), 2)],
             replans_committed: 1,
@@ -2151,6 +2266,7 @@ mod tests {
             records_poisoned: 0,
             records_unreplayed: 4,
             records_shutdown_lost: 1,
+            records_stale_lost: 2,
             records_shed_denied: 2,
             abandoned_records: vec![(s("A"), 1), (s("B"), 3)],
             replans_committed: 0,

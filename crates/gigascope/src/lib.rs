@@ -51,7 +51,13 @@
 //!   snapshot, rehash into a re-planned feeding graph, validate the
 //!   handoff (record-count, bias-ledger and degradation-promise
 //!   conservation), then commit — or roll back with the old deployment
-//!   untouched (see [`shard::ShardedExecutor::hot_swap`]).
+//!   untouched (see [`shard::ShardedExecutor::hot_swap`]);
+//! * [`store`] — the crash-safe durable store: atomic generational
+//!   checkpoints behind A/B checksummed manifests, a segmented WAL
+//!   with torn-tail truncation repair, an offline scrub pass, and
+//!   graceful fallback to older generations with the re-replayed or
+//!   lost records accounted through [`bounds`] (see
+//!   [`store::StoreHandle`]).
 
 #![deny(unsafe_code)]
 
@@ -64,6 +70,7 @@ pub mod hfta;
 pub mod plan;
 pub mod shard;
 pub mod snapshot;
+pub mod store;
 pub mod supervise;
 pub mod swap;
 pub mod table;
@@ -80,6 +87,9 @@ pub use plan::{PhysicalPlan, PlanNode};
 pub use shard::{shard_of, shard_seed, IngestMode, ShardError, ShardedExecutor};
 pub use snapshot::{
     EvictionLog, LogEntry, RecoveryError, ShardedSnapshot, Snapshot, SnapshotError,
+};
+pub use store::{
+    CheckpointStore, RecoveredArtifacts, ScrubReport, StoreHandle, StoreRecovery, StoreStats,
 };
 pub use supervise::{PoisonRecord, ShardHealth, ShardHeartbeat, ShardState, SupervisorPolicy};
 pub use swap::{

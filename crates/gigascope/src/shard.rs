@@ -31,6 +31,7 @@ use crate::guard::{DegradationPolicy, GuardPolicy};
 use crate::hfta::Hfta;
 use crate::plan::PhysicalPlan;
 use crate::snapshot::{EvictionLog, RecoveryError, ShardedSnapshot, Snapshot};
+use crate::store::StoreHandle;
 use crate::supervise::{
     PoisonRecord, ShardDriver, ShardHealth, ShardHeartbeat, ShardState, SupervisorPolicy,
 };
@@ -145,6 +146,10 @@ pub struct ShardedExecutor {
     shard_faults: Vec<ShardFault>,
     policy: SupervisorPolicy,
     ingest: IngestMode,
+    /// Per-shard durable stores (empty = in-memory durability only).
+    /// Shard `k` persists through `stores[k]`; a deployment may attach
+    /// fewer stores than shards, leaving the tail un-stored.
+    stores: Vec<StoreHandle>,
     shards: Vec<Executor>,
     health: Vec<ShardHealth>,
     heartbeats: Vec<Arc<ShardHeartbeat>>,
@@ -176,6 +181,7 @@ impl ShardedExecutor {
             shard_faults: vec![ShardFault::none(); shards],
             policy: SupervisorPolicy::default(),
             ingest: IngestMode::Scalar,
+            stores: Vec::new(),
             shards: Vec::new(),
             health: vec![ShardHealth::default(); shards],
             heartbeats: (0..shards)
@@ -230,7 +236,15 @@ impl ShardedExecutor {
     /// Builders call this; any processed state is discarded, exactly as
     /// reconfiguring a serial executor mid-stream would be a new run.
     fn rebuild(&mut self) {
-        self.shards = (0..self.n).map(|k| self.shard_config(k).build()).collect();
+        self.shards = (0..self.n)
+            .map(|k| {
+                let ex = self.shard_config(k).build();
+                match self.stores.get(k) {
+                    Some(store) => ex.with_store(store.clone()),
+                    None => ex,
+                }
+            })
+            .collect();
         self.health = vec![ShardHealth::default(); self.n];
     }
 
@@ -269,6 +283,19 @@ impl ShardedExecutor {
     /// every shard.
     pub fn with_durability(mut self) -> ShardedExecutor {
         self.config.durable = true;
+        self.rebuild();
+        self
+    }
+
+    /// Attaches one durable [`StoreHandle`] per shard (by index) and
+    /// enables durability deployment-wide: shard `k` checkpoints into
+    /// `stores[k]`, supervised restarts recover from it with
+    /// generation fallback, and hot-swaps commit their handoff through
+    /// it. Extra handles beyond the shard count are ignored; with fewer
+    /// handles the tail shards keep in-memory durability only.
+    pub fn with_stores(mut self, stores: Vec<StoreHandle>) -> ShardedExecutor {
+        self.config.durable = true;
+        self.stores = stores;
         self.rebuild();
         self
     }
@@ -655,8 +682,10 @@ impl ShardedExecutor {
     ) -> Result<(), RecoveryError> {
         let mut cfg = self.shard_config(k);
         cfg.crash = CrashPlan::none();
-        let recovered = cfg.build().recover(snapshot, log)?;
-        let mut ex = recovered;
+        let mut ex = cfg.build().recover(snapshot, log)?;
+        if let Some(store) = self.stores.get(k) {
+            ex = ex.with_store(store.clone());
+        }
         let part: Vec<Record> = records
             .iter()
             .filter(|r| shard_of(self.config.seed, r, self.n) == k)
@@ -669,6 +698,37 @@ impl ShardedExecutor {
         self.shards[k] = ex;
         self.crashes[k] = CrashPlan::none();
         Ok(())
+    }
+
+    /// Recovers crashed shard `k` from its attached durable store —
+    /// the newest readable generation, falling back past (and
+    /// quarantining) corrupt ones — then re-feeds the tail of its
+    /// partition of `records` from the recovered high-water mark. When
+    /// no generation is readable the shard restarts fresh and replays
+    /// its whole partition. Returns the number of generation fallbacks
+    /// taken (0 = recovered bit-identically from the newest
+    /// checkpoint), or `None` when shard `k` has no store attached.
+    pub fn recover_shard_from_store(&mut self, k: usize, records: &[Record]) -> Option<u64> {
+        let store = self.stores.get(k)?.clone();
+        let mut cfg = self.shard_config(k);
+        cfg.crash = CrashPlan::none();
+        let recovery = store.recover_executor(&cfg);
+        let mut ex = match recovery.executor {
+            Some(ex) => ex,
+            None => cfg.build().with_store(store),
+        };
+        let part: Vec<Record> = records
+            .iter()
+            .filter(|r| shard_of(self.config.seed, r, self.n) == k)
+            .copied()
+            .collect();
+        let resume_at = usize::try_from(recovery.records_hwm)
+            .unwrap_or(part.len())
+            .min(part.len());
+        ex.run(&part[resume_at..]);
+        self.shards[k] = ex;
+        self.crashes[k] = CrashPlan::none();
+        Some(recovery.fallbacks)
     }
 
     /// The serial plan currently installed (each shard instantiates its
@@ -798,7 +858,15 @@ impl ShardedExecutor {
         let mut new_shards = Vec::with_capacity(self.n);
         for (k, snap) in snaps.iter().enumerate() {
             let cfg = self.shard_config_for(&new_plan, k);
-            new_shards.push(cfg.build().adopt_boundary_state(snap));
+            let mut ex = cfg.build();
+            if let Some(store) = self.stores.get(k) {
+                // The store rides along *before* adoption so the commit
+                // phase can persist the handoff — but adoption itself
+                // never writes to it: a rollback must leave the store
+                // exactly as the old plan left it.
+                ex = ex.with_store(store.clone());
+            }
+            new_shards.push(ex.adopt_boundary_state(snap));
         }
         // Phase 3b: handoff validation — the conservation checks.
         let verdict = if fault.fail_validation {
@@ -841,11 +909,39 @@ impl ShardedExecutor {
             return self.recover_old_after_crash(epoch);
         }
         // Phase 4: commit. The swap ledger ticks on the new deployment
-        // *before* its checkpoint refresh, so a crash one instant after
-        // the commit point recovers the counter too.
+        // *before* any checkpoint is cut, so the state every durable
+        // commit persists — and what a crash one instant later
+        // recovers — already carries the counter.
         if let Some(ex) = new_shards.first_mut() {
             ex.note_replan_committed();
-            ex.refresh_boundary_checkpoint();
+        }
+        // Durable commit: each store-backed shard persists its adopted
+        // boundary state as a new generation; the manifest flip is the
+        // swap's real commit point on disk. A refusal rolls the whole
+        // transaction back with the old deployment untouched (a shard
+        // whose store already committed merely carries an
+        // uncommitted-plan generation that recovery will quarantine and
+        // fall back past — never torn state).
+        for k in 0..new_shards.len() {
+            if let Err(error) = new_shards[k].commit_handoff() {
+                drop(new_shards);
+                if let Some(ex) = self.shards.first_mut() {
+                    ex.note_replan_rolled_back();
+                    ex.refresh_boundary_checkpoint();
+                }
+                for hb in &self.heartbeats {
+                    hb.publish(ShardState::Healthy);
+                }
+                return Err(SwapError::DurableCommit { shard: k, error });
+            }
+        }
+        if let Some(ex) = new_shards.first_mut() {
+            // Store-backed shards just checkpointed inside
+            // `commit_handoff`; only the in-memory path still needs its
+            // boundary refresh.
+            if ex.store_handle().is_none() {
+                ex.refresh_boundary_checkpoint();
+            }
         }
         let new_queries: Vec<AttrSet> = new_shards
             .first()
@@ -867,7 +963,11 @@ impl ShardedExecutor {
                 let mut cfg = self.shard_config(k);
                 cfg.crash = CrashPlan::none();
                 self.crashes[k] = CrashPlan::none();
-                self.shards[k] = cfg.build().recover(&snap, log)?;
+                let mut ex = cfg.build().recover(&snap, log)?;
+                if let Some(store) = self.stores.get(k) {
+                    ex = ex.with_store(store.clone());
+                }
+                self.shards[k] = ex;
             }
             for hb in &self.heartbeats {
                 hb.publish(ShardState::Healthy);
@@ -897,7 +997,11 @@ impl ShardedExecutor {
             let mut cfg = self.shard_config(k);
             cfg.crash = CrashPlan::none();
             self.crashes[k] = CrashPlan::none();
-            self.shards[k] = cfg.build().recover(&snap, log)?;
+            let mut ex = cfg.build().recover(&snap, log)?;
+            if let Some(store) = self.stores.get(k) {
+                ex = ex.with_store(store.clone());
+            }
+            self.shards[k] = ex;
         }
         if let Some(ex) = self.shards.first_mut() {
             ex.note_replan_rolled_back();

@@ -43,7 +43,10 @@ use msa_stream::{AttrSet, GroupKey, MAX_ATTRS};
 /// Version 3 added the adaptive-runtime swap ledger: the report's
 /// `replans_committed`/`replans_rolled_back` counters, so a recovered
 /// deployment remembers its hot-swap history bit-exactly.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// Version 4 added the durable-store ledger: the report's
+/// `records_stale_lost` counter, so generation-fallback loss survives a
+/// second crash with its accounting intact.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 const SNAPSHOT_MAGIC: [u8; 4] = *b"MSNP";
 const LOG_MAGIC: [u8; 4] = *b"MSWL";
@@ -300,6 +303,42 @@ impl EvictionLog {
     }
 }
 
+/// Encodes one WAL entry payload (unframed — the checkpoint store
+/// wraps it in its own per-entry length + checksum frame so torn tails
+/// are detectable entry-by-entry).
+pub(crate) fn encode_log_entry(e: &LogEntry) -> Vec<u8> {
+    let mut w = ByteWriter::default();
+    w.u64(e.epoch);
+    w.u64(e.seq);
+    w.u32(e.slot);
+    w.u8(e.copies);
+    w.key(e.key);
+    w.agg(e.agg);
+    w.buf
+}
+
+/// Decodes one WAL entry payload; the inverse of [`encode_log_entry`].
+#[must_use = "a decode failure is a torn or corrupt WAL frame the caller must repair"]
+pub(crate) fn decode_log_entry(bytes: &[u8]) -> Result<LogEntry, SnapshotError> {
+    let mut r = ByteReader {
+        data: bytes,
+        pos: 0,
+    };
+    let entry = LogEntry {
+        epoch: r.u64()?,
+        seq: r.u64()?,
+        slot: r.u32()?,
+        copies: r.u8()?,
+        key: r.key()?,
+        agg: r.agg()?,
+    };
+    if entry.copies == 0 {
+        return Err(SnapshotError::Malformed("log entry with zero copies"));
+    }
+    r.done()?;
+    Ok(entry)
+}
+
 /// The complete executor state at an epoch boundary.
 ///
 /// Everything needed to resume the run bit-exactly: restore this state
@@ -416,6 +455,7 @@ impl Snapshot {
         w.u64(self.report.records_poisoned);
         w.u64(self.report.records_unreplayed);
         w.u64(self.report.records_shutdown_lost);
+        w.u64(self.report.records_stale_lost);
         w.u64(self.report.records_shed_denied);
         w.u64(self.report.replans_committed);
         w.u64(self.report.replans_rolled_back);
@@ -564,6 +604,7 @@ impl Snapshot {
             records_poisoned: r.u64()?,
             records_unreplayed: r.u64()?,
             records_shutdown_lost: r.u64()?,
+            records_stale_lost: r.u64()?,
             records_shed_denied: r.u64()?,
             replans_committed: r.u64()?,
             replans_rolled_back: r.u64()?,
@@ -695,8 +736,9 @@ pub fn plan_fingerprint(
 }
 
 /// FNV-1a over the payload — fast, dependency-free, and plenty for
-/// detecting torn writes and bit rot (not an integrity MAC).
-fn fnv64(bytes: &[u8]) -> u64 {
+/// detecting torn writes and bit rot (not an integrity MAC). Shared
+/// with the checkpoint store's manifest and WAL-entry frames.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -1074,6 +1116,7 @@ mod tests {
                 records_poisoned: 1,
                 records_unreplayed: 5,
                 records_shutdown_lost: 3,
+                records_stale_lost: 2,
                 records_shed_denied: 6,
                 replans_committed: 2,
                 replans_rolled_back: 1,

@@ -52,6 +52,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use crate::executor::{Executor, ExecutorConfig};
 use crate::faults::ShardFault;
 use crate::snapshot::EvictionLog;
+use crate::store::StoreHandle;
 use msa_stream::{AttrSet, Record, RecordChunk};
 
 /// Supervision knobs. Everything is counted in shard-local records —
@@ -268,6 +269,10 @@ pub(crate) struct ShardDriver {
     fault: ShardFault,
     policy: SupervisorPolicy,
     heartbeat: std::sync::Arc<ShardHeartbeat>,
+    /// The shard's durable store, when one is attached: restarts then
+    /// recover from persisted generations (with fallback) instead of
+    /// the executor's in-memory artifacts.
+    store: Option<StoreHandle>,
     queries: Vec<AttrSet>,
     /// Replay buffer holding shard-local records `[buf_start, received)`.
     buf: VecDeque<Record>,
@@ -306,6 +311,7 @@ impl ShardDriver {
         install_quiet_hook();
         heartbeat.publish(ShardState::Healthy);
         let queries = cfg.plan.query_attrs();
+        let store = ex.store_handle();
         ShardDriver {
             shard,
             cfg,
@@ -313,6 +319,7 @@ impl ShardDriver {
             fault,
             policy,
             heartbeat,
+            store,
             queries,
             buf: VecDeque::new(),
             buf_start: 0,
@@ -557,7 +564,69 @@ impl ShardDriver {
     fn restart(&mut self) {
         self.heartbeat.publish(ShardState::Restarting);
         self.health.restarts += 1;
-        let (mut ex, hwm) = match self.ex.durable_state() {
+        let (mut ex, hwm, stale) = match &self.store {
+            Some(store) => self.restart_from_store(store.clone()),
+            None => {
+                let (ex, hwm) = self.restart_in_memory();
+                (ex, hwm, false)
+            }
+        };
+        ex.note_restart();
+        let resume = hwm.max(self.buf_start);
+        let gap = self.buf_start.saturating_sub(hwm);
+        if stale {
+            // The gap exists because recovery had to fall back past an
+            // unreadable newer generation: the records are lost to
+            // staleness, not buffer overrun, and the bounds ledger
+            // accounts them under the distinct stale-fallback class.
+            ex.absorb_stale_loss(gap);
+        } else {
+            ex.absorb_replay_gap(gap);
+        }
+        self.health.records_replayed += self.consumed.saturating_sub(resume);
+        self.consumed = resume;
+        self.ex = ex;
+        self.heartbeat.publish(ShardState::Healthy);
+    }
+
+    /// Store-first restart: recover from the newest readable durable
+    /// generation, degrading to older ones (quarantining corrupt
+    /// candidates) as [`StoreHandle::recover_executor`] dictates.
+    /// Returns `(executor, hwm, stale)` where `stale` reports whether
+    /// any fallback happened — it decides which loss class an
+    /// uncovered replay gap lands in.
+    fn restart_from_store(&self, store: StoreHandle) -> (Executor, u64, bool) {
+        let recovery = store.recover_executor(&self.cfg);
+        let stale = recovery.fallbacks > 0;
+        match recovery.executor {
+            Some(ex) => {
+                let hwm = recovery.records_hwm;
+                if self.buf_start > hwm {
+                    // Same rule as the in-memory path: a gap means the
+                    // recovered WAL's open-epoch suffix would smuggle
+                    // lost records' contributions back in, so re-recover
+                    // the bare boundary state.
+                    let snap = match ex.latest_snapshot() {
+                        Some(snap) => snap.clone(),
+                        None => return (ex, hwm, stale),
+                    };
+                    match self.cfg.build().recover(&snap, EvictionLog::new()) {
+                        Ok(bare) => (bare.with_store(store), hwm, stale),
+                        Err(_) => (ex, hwm, stale),
+                    }
+                } else {
+                    (ex, hwm, stale)
+                }
+            }
+            // Nothing durable was readable: start fresh with the store
+            // re-attached so a genesis checkpoint re-seeds durability.
+            None => (self.cfg.build().with_store(store), 0, stale),
+        }
+    }
+
+    /// Legacy in-memory restart from the dead executor's own artifacts.
+    fn restart_in_memory(&self) -> (Executor, u64) {
+        match self.ex.durable_state() {
             Some((snap, log)) => {
                 let hwm = snap.records_hwm;
                 // If the replay buffer no longer reaches the checkpoint,
@@ -583,14 +652,7 @@ impl ShardDriver {
                 }
             }
             None => (self.cfg.build(), 0),
-        };
-        ex.note_restart();
-        let resume = hwm.max(self.buf_start);
-        ex.absorb_replay_gap(self.buf_start.saturating_sub(hwm));
-        self.health.records_replayed += self.consumed.saturating_sub(resume);
-        self.consumed = resume;
-        self.ex = ex;
-        self.heartbeat.publish(ShardState::Healthy);
+        }
     }
 
     /// Advances the replay buffer's floor: nothing below the latest

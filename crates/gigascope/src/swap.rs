@@ -30,6 +30,7 @@
 
 use crate::executor::Executor;
 use crate::snapshot::{RecoveryError, Snapshot, SnapshotError};
+use msa_stream::store::StoreError;
 use msa_stream::AttrSet;
 
 /// Where, inside the swap transaction, an injected crash fires.
@@ -191,6 +192,16 @@ pub enum SwapError {
     },
     /// Crash recovery failed while completing the drill.
     Recovery(RecoveryError),
+    /// The handoff validated, but a store-backed shard could not make
+    /// the new plan's boundary checkpoint durable. The transaction
+    /// rolled back before its commit point — the old deployment keeps
+    /// serving, untouched.
+    DurableCommit {
+        /// The shard whose store refused the commit.
+        shard: usize,
+        /// The storage failure.
+        error: StoreError,
+    },
 }
 
 impl std::fmt::Display for SwapError {
@@ -219,6 +230,10 @@ impl std::fmt::Display for SwapError {
                 "shard {shard}'s durable checkpoint lags the quiesce boundary"
             ),
             SwapError::Recovery(e) => write!(f, "swap crash recovery failed: {e}"),
+            SwapError::DurableCommit { shard, error } => write!(
+                f,
+                "shard {shard} could not make the swap durable (rolled back): {error}"
+            ),
         }
     }
 }
@@ -228,6 +243,7 @@ impl std::error::Error for SwapError {
         match self {
             SwapError::Unaligned(e) => Some(e),
             SwapError::Recovery(e) => Some(e),
+            SwapError::DurableCommit { error, .. } => Some(error),
             _ => None,
         }
     }

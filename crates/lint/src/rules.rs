@@ -196,6 +196,14 @@ pub const CATALOG: &[Rule] = &[
         help: "replace with get()/get_mut() + an explicit miss path, clamp divisors with .max(1), or move the fallible work off the per-record path; supervise.rs is the only sanctioned panic boundary",
         check: workspace_only,
     },
+    Rule {
+        id: "R009",
+        group: "robustness",
+        severity: Severity::Error,
+        summary: "no bare File::create/write_all/rename call sites outside store.rs (atomic-write discipline)",
+        help: "route durable writes through msa_stream::store::atomic_write or a StorageBackend: write-temp, fsync file, atomic rename, fsync dir; a bare create/write/rename leaves torn files on crash",
+        check: r009_bare_file_writes,
+    },
 ];
 
 /// Check fn for rules whose analysis runs at workspace level (via
@@ -470,6 +478,57 @@ fn r005_panic_boundary(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
                 t,
                 format!(
                     "`{}` erects a panic boundary outside crates/gigascope/src/supervise.rs",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// R009 — bare file-mutation call sites (`File::create`, `.write_all(`,
+/// `rename(`) outside `store.rs`. Every durable artifact must reach
+/// disk through the atomic-write discipline (temp sibling → fsync →
+/// rename → fsync-dir) that `msa_stream::store` owns; a stray
+/// `File::create` elsewhere is a torn-file bug waiting for a crash.
+/// `store.rs` files are the sanctioned home, `crates/lint` (report
+/// output) and `crates/bench` (results emission) are exempt, as is all
+/// test-path code. Read-side APIs (`File::open`) are untouched.
+fn r009_bare_file_writes(rule: &'static Rule, ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.file_name() == "store.rs"
+        || matches!(ctx.crate_dir(), Some("lint") | Some("bench"))
+        || ctx.is_test_path()
+    {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let call = toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && !(i > 0 && toks[i - 1].is_ident("fn"));
+        let hit = match t.text.as_str() {
+            // `File::create(…)` — the ctor path shape, so a local fn or
+            // field merely named `create` stays silent.
+            "create" => {
+                call && i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].is_ident("File")
+            }
+            // `.write_all(…)` — the unsynced-write method itself.
+            "write_all" => call && i > 0 && toks[i - 1].is_punct("."),
+            // `fs::rename(…)` / `.rename(…)` — a rename outside the
+            // store bypasses the fsync-dir that makes it durable.
+            "rename" => call,
+            _ => false,
+        };
+        if hit && !ctx.in_test_span(t.line) {
+            out.push(finding(
+                rule,
+                ctx,
+                t,
+                format!(
+                    "bare `{}` call site outside store.rs bypasses the atomic-write discipline",
                     t.text
                 ),
             ));

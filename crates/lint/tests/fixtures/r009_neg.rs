@@ -1,0 +1,34 @@
+//! R009 negative fixture: durable bytes go through the store's atomic
+//! write; read-side `File::open` and look-alike identifiers (a fn
+//! *named* rename, a `create` that is not `File::create`) stay silent.
+
+use std::io::Read;
+
+pub fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    msa_stream::store::atomic_write(path, bytes)
+}
+
+pub fn load(path: &str) -> std::io::Result<Vec<u8>> {
+    let mut f = std::fs::File::open(path)?;
+    let mut out = Vec::new();
+    f.read_to_end(&mut out)?;
+    Ok(out)
+}
+
+pub struct Planner;
+
+impl Planner {
+    pub fn create(config: u64) -> Planner {
+        let _ = config;
+        Planner
+    }
+}
+
+// A *definition* named rename is not a rename call site.
+pub fn rename(label: &str) -> String {
+    format!("renamed-{label}")
+}
+
+pub fn relabel() -> Planner {
+    Planner::create(7)
+}

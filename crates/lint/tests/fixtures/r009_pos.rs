@@ -1,0 +1,13 @@
+//! R009 positive fixture: three bare file-mutation call sites — a
+//! `File::create`, an unsynced `.write_all(`, and a `fs::rename` —
+//! none of which fsync, so a crash mid-save leaves a torn artifact.
+
+use std::fs::File;
+use std::io::Write;
+
+pub fn save(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    std::fs::rename(path, format!("{path}.done"))?;
+    Ok(())
+}

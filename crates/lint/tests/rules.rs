@@ -158,6 +158,23 @@ fn r005_panic_boundary() {
 }
 
 #[test]
+fn r009_bare_file_writes() {
+    let pos = include_str!("fixtures/r009_pos.rs");
+    let neg = include_str!("fixtures/r009_neg.rs");
+    let hits = fire_at("crates/gigascope/src/snapshot.rs", pos, "R009");
+    assert_eq!(hits.len(), 3, "File::create + write_all + rename: {hits:?}");
+    assert_eq!(fires("crates/gigascope/src/snapshot.rs", neg, "R009"), 0);
+    // store.rs files are the sanctioned home for raw file mutation.
+    assert_eq!(fires("crates/stream/src/store.rs", pos, "R009"), 0);
+    assert_eq!(fires("crates/gigascope/src/store.rs", pos, "R009"), 0);
+    // Lint report output and bench results emission are exempt.
+    assert_eq!(fires("crates/lint/src/main.rs", pos, "R009"), 0);
+    assert_eq!(fires("crates/bench/src/bin/fig01.rs", pos, "R009"), 0);
+    // Test paths are exempt wholesale.
+    assert_eq!(fires("tests/recovery.rs", pos, "R009"), 0);
+}
+
+#[test]
 fn r006_workspace_name_audit() {
     use msa_lint::rules::r006_workspace;
     let pos = include_str!("fixtures/r006_pos.rs");

@@ -59,14 +59,14 @@ fn allowlist_has_no_stale_entries() {
 }
 
 #[test]
-fn catalog_holds_all_fifteen_rules() {
-    assert_eq!(CATALOG.len(), 15);
+fn catalog_holds_all_sixteen_rules() {
+    assert_eq!(CATALOG.len(), 16);
     let ids: Vec<&str> = CATALOG.iter().map(|r| r.id).collect();
     assert_eq!(
         ids,
         [
             "D001", "D002", "D003", "D004", "D005", "D006", "D007", "R001", "R002", "R003", "R004",
-            "R005", "R006", "R007", "R008"
+            "R005", "R006", "R007", "R008", "R009"
         ]
     );
 }

@@ -11,8 +11,9 @@
 use crate::attr::MAX_ATTRS;
 use crate::gen::GeneratedStream;
 use crate::record::Record;
+use crate::store::{atomic_write, StoreError};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read};
 use std::path::Path;
 
 /// Format magic: `MAG1` (Multiple AGgregations, version tag separate).
@@ -23,8 +24,12 @@ const VERSION: u16 = 1;
 /// Encoding/decoding failures.
 #[derive(Debug)]
 pub enum TraceIoError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure (read path).
     Io(std::io::Error),
+    /// Typed storage failure from the atomic-write discipline (save
+    /// path): the trace on disk is either the previous one or the new
+    /// one, never a torn mixture.
+    Store(StoreError),
     /// Bad magic bytes — not a trace file.
     BadMagic,
     /// Unsupported format version.
@@ -39,6 +44,7 @@ impl std::fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::Store(e) => write!(f, "trace save failed: {e}"),
             TraceIoError::BadMagic => write!(f, "not a trace file (bad magic)"),
             TraceIoError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             TraceIoError::BadArity(a) => write!(f, "invalid arity {a}"),
@@ -47,11 +53,25 @@ impl std::fmt::Display for TraceIoError {
     }
 }
 
-impl std::error::Error for TraceIoError {}
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for TraceIoError {
     fn from(e: std::io::Error) -> TraceIoError {
         TraceIoError::Io(e)
+    }
+}
+
+impl From<StoreError> for TraceIoError {
+    fn from(e: StoreError) -> TraceIoError {
+        TraceIoError::Store(e)
     }
 }
 
@@ -131,13 +151,14 @@ pub fn decode_records(cursor: &mut &[u8]) -> Result<(Vec<Record>, usize), TraceI
     Ok((records, arity as usize))
 }
 
-/// Writes a stream to `path`.
+/// Writes a stream to `path` through the crash-safe atomic-write
+/// discipline ([`crate::store::atomic_write`]): temp sibling + fsync +
+/// atomic rename + directory fsync. A crash mid-save leaves the
+/// previous trace (or nothing), never a torn file.
 pub fn write_trace<P: AsRef<Path>>(stream: &GeneratedStream, path: P) -> Result<(), TraceIoError> {
     let mut bytes = Vec::with_capacity(32 + stream.len() * (8 + 4 * stream.arity));
     encode_records(&stream.records, stream.arity, &mut bytes);
-    let mut out = BufWriter::new(File::create(path)?);
-    out.write_all(&bytes)?;
-    out.flush()?;
+    atomic_write(path.as_ref(), &bytes)?;
     Ok(())
 }
 

@@ -14,6 +14,9 @@
 //!   the statistics the paper reports for its real tcpdump dataset;
 //! * record selection ([`filter`]) — the "F" of LFTA — and binary trace
 //!   persistence ([`io`]);
+//! * durable storage primitives ([`store`]): the atomic-write discipline
+//!   every real file write routes through, plus a deterministic
+//!   fault-injecting simulation backend for crash drills;
 //! * dataset statistics ([`stats`]): group counts and average flow lengths
 //!   per attribute set, the inputs of the paper's cost model.
 
@@ -28,6 +31,7 @@ pub mod io;
 pub mod prng;
 pub mod record;
 pub mod stats;
+pub mod store;
 
 pub use attr::{AttrId, AttrParseError, AttrSet, MAX_ATTRS};
 pub use chunk::{RecordChunk, PROCESSING_WINDOW_SIZE};
@@ -42,3 +46,7 @@ pub use hash::{FastHasher, FastState};
 pub use prng::SplitMix64;
 pub use record::{GroupKey, Record, Schema};
 pub use stats::DatasetStats;
+pub use store::{
+    atomic_write, DiskBackend, SimBackend, StorageBackend, StorageFaultPlan, StoreError,
+    StoreErrorKind,
+};

@@ -1,17 +1,20 @@
-//! Surviving a crash: the process dies in the middle of an epoch — half
-//! the stream processed, partial aggregates in flight — and comes back
-//! with **bit-identical** results, thanks to epoch-aligned checkpoints
-//! and a write-ahead eviction log.
+//! Surviving a crash — on real disk: the process dies mid-epoch with
+//! partial aggregates in flight, a fresh process reopens the store
+//! directory and comes back **bit-identical**, and when the power cut
+//! also tears the newest checkpoint the recovery falls back one
+//! generation — explicitly, with the loss accounted — and still lands
+//! on the exact answer after replay.
 //!
-//! The durable artifacts are ordinary byte buffers (versioned,
-//! checksummed); a flipped bit is rejected with a typed error instead
-//! of being restored into garbage state.
+//! The durable layout is the generational checkpoint store: A/B
+//! checksummed manifest slots name the current generation, each
+//! `gen-N/` holds an atomically-written snapshot plus a segmented
+//! write-ahead eviction log, and every artifact carries an FNV-1a
+//! checksum so a torn or flipped byte is refused, never restored.
 //!
 //! Run with: `cargo run --release --example crash_recovery`
 
 use msa_core::{
-    AttrSet, BoundsReport, CostParams, CrashPlan, EvictionLog, Executor, FaultPlan, MsaError,
-    Snapshot, SnapshotError,
+    AttrSet, BoundsReport, CostParams, CrashPlan, ExecutorConfig, FaultPlan, MsaError, StoreHandle,
 };
 use msa_gigascope::plan::{PhysicalPlan, PlanNode};
 use msa_stream::UniformStreamBuilder;
@@ -41,6 +44,11 @@ fn plan() -> Result<PhysicalPlan, MsaError> {
     ])?)
 }
 
+fn store_error(e: msa_core::StoreError) -> MsaError {
+    println!("store error: {e}");
+    MsaError::State("durable store refused an operation")
+}
+
 fn main() -> Result<(), MsaError> {
     let stream = UniformStreamBuilder::new(4, 120)
         .records(12_000)
@@ -53,12 +61,15 @@ fn main() -> Result<(), MsaError> {
         .with_eviction_loss(0.05)
         .with_eviction_duplication(0.02);
     let base_plan = plan()?;
-    let build = || {
-        Executor::new(base_plan.clone(), CostParams::paper(), 1_000_000, 42).with_faults(&faults)
+    let config = || {
+        let mut cfg = ExecutorConfig::new(base_plan.clone(), CostParams::paper(), 1_000_000, 42);
+        cfg.durable = true;
+        cfg.faults = Some(faults);
+        cfg
     };
 
     // The reference: a run that never crashes.
-    let mut reference = build();
+    let mut reference = config().build();
     reference.run(&stream.records);
     let (ref_report, ref_hfta) = reference.finish();
     println!(
@@ -70,56 +81,97 @@ fn main() -> Result<(), MsaError> {
         ref_report.evictions_duplicated,
     );
 
+    // The store lives in a real directory: every commit is write-temp →
+    // fsync → atomic-rename → fsync-dir, every WAL append is fsynced.
+    let root = std::env::temp_dir().join(format!("msa_crash_recovery_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+
     // The incident: the process dies at record 7 000 — mid-epoch, with
-    // partial aggregates sitting in every LFTA table.
-    let mut victim = build()
-        .with_eviction_log()
-        .with_snapshots()
-        .with_crash(CrashPlan::at_record(7_000));
-    victim.run(&stream.records);
-    assert!(victim.has_crashed());
-    let (snapshot, log) = victim.durable_state().ok_or(MsaError::State(
-        "crashed executor kept no durable artifacts",
-    ))?;
-    println!(
-        "\ncrash at record 7000: last checkpoint at epoch {}, record {}, seq {}; \
-         write-ahead log holds {} deliveries past it",
-        snapshot.epoch,
-        snapshot.records_hwm,
-        snapshot.seq,
-        log.suffix(snapshot.seq).count(),
-    );
+    // partial aggregates sitting in every LFTA table. Everything the
+    // dead process leaves behind is what `fsync` promised, nothing more.
+    {
+        let handle = StoreHandle::on_disk(&root).map_err(store_error)?;
+        let mut cfg = config();
+        cfg.crash = CrashPlan::at_record(7_000);
+        let mut victim = cfg.build().with_store(handle.clone());
+        victim.run(&stream.records);
+        assert!(victim.has_crashed());
+        let stats = handle.stats();
+        println!(
+            "\ncrash at record 7000: store holds generation {} after {} commits, \
+             {} WAL appends ({} segments rolled)",
+            handle.generation(),
+            stats.commits,
+            stats.wal_appends,
+            stats.wal_segments_rolled,
+        );
+    } // the "process" is gone; only the directory survives
 
-    // Durability is bytes: both artifacts serialize with a version tag
-    // and an FNV-1a checksum...
-    let snap_bytes = snapshot.encode();
-    let log_bytes = log.encode();
+    // Recovery is a fresh process: reopen the directory, read the
+    // manifest pair, load the newest generation, replay its WAL, then
+    // resume the stream from the checkpoint's high-water mark. Sequence
+    // numbers deduplicate the re-processed tail — exactly-once replay.
+    let handle = StoreHandle::on_disk(&root).map_err(store_error)?;
+    let recovery = handle.recover_executor(&config());
+    let mut recovered = recovery
+        .executor
+        .ok_or(MsaError::State("clean store must yield an executor"))?;
     println!(
-        "durable artifacts: snapshot {} bytes, log {} bytes",
-        snap_bytes.len(),
-        log_bytes.len()
+        "reboot: recovered generation {} at record {}, {} torn WAL entries dropped, \
+         {} fallbacks",
+        recovery.generation,
+        recovery.records_hwm,
+        recovery.torn_entries_dropped,
+        recovery.fallbacks,
     );
-    // ...and a torn or corrupted buffer is refused, never restored.
-    let mut corrupted = snap_bytes.clone();
-    corrupted[snap_bytes.len() / 2] ^= 0x10;
-    match Snapshot::decode(&corrupted) {
-        Err(SnapshotError::ChecksumMismatch { expected, found }) => {
-            println!("corrupted snapshot rejected: checksum {found:#018x} != {expected:#018x}")
-        }
-        other => panic!("corruption must be caught, got {other:?}"),
-    }
-
-    // Recovery: decode the good bytes, restore into a freshly built
-    // executor, and resume the stream from the checkpoint's high-water
-    // mark. The log suffix replays the open epoch's deliveries exactly
-    // once; sequence numbers deduplicate the re-processed stream.
-    let snapshot = Snapshot::decode(&snap_bytes)?;
-    let log = EvictionLog::decode(&log_bytes)?;
-    let mut recovered = build().recover(&snapshot, log)?;
-    recovered.run(&stream.records[snapshot.records_hwm as usize..]);
+    assert_eq!(recovery.fallbacks, 0, "nothing was torn yet");
+    recovered.run(&stream.records[usize::try_from(recovery.records_hwm).unwrap_or(0)..]);
     let (report, hfta) = recovered.finish();
-
     assert_eq!(report, ref_report, "reports must be bit-identical");
+    assert_eq!(hfta.results(), ref_hfta.results());
+    println!("recovered run is bit-identical to the crash-free run");
+
+    // The second incident: the power cut also tore the newest
+    // generation's snapshot mid-write — half the bytes on disk, the
+    // checksum unsatisfiable. The scrub names the rotten generation...
+    let newest = handle.generation();
+    let snap_path = format!("gen-{newest}/snapshot.bin");
+    let len = handle
+        .with_backend(|b| b.read(&snap_path).map(|v| v.len()))
+        .map_err(store_error)?;
+    handle
+        .with_backend(|b| b.truncate(&snap_path, len / 2))
+        .map_err(store_error)?;
+    let scrub = handle.scrub().map_err(store_error)?;
+    println!(
+        "\ntorn write injected into gen-{newest}/snapshot.bin ({} -> {} bytes): \
+         scrub quarantines {:?}",
+        len,
+        len / 2,
+        scrub.generations_quarantined,
+    );
+    assert_eq!(scrub.generations_quarantined, vec![newest]);
+
+    // ...and recovery refuses it, falling back one generation. The
+    // fallback is explicit — counted in the ledger, never silent — and
+    // replay from the older high-water mark covers the gap exactly.
+    let handle = StoreHandle::on_disk(&root).map_err(store_error)?;
+    let recovery = handle.recover_executor(&config());
+    let mut recovered = recovery
+        .executor
+        .ok_or(MsaError::State("an older generation must stay readable"))?;
+    println!(
+        "reboot after rot: fell back {} generation(s) to gen {}, resuming at record {}",
+        recovery.fallbacks, recovery.generation, recovery.records_hwm,
+    );
+    assert!(
+        recovery.fallbacks >= 1,
+        "the torn generation must be skipped"
+    );
+    assert!(recovery.generation < newest);
+    recovered.run(&stream.records[usize::try_from(recovery.records_hwm).unwrap_or(0)..]);
+    let (report, hfta) = recovered.finish();
+    assert_eq!(report, ref_report, "fallback recovery must also be exact");
     assert_eq!(hfta.results(), ref_hfta.results());
 
     // The degraded-answer view at shutdown: the channel's losses and
@@ -130,7 +182,7 @@ fn main() -> Result<(), MsaError> {
     let ref_bounds = BoundsReport::at_finish(&ref_report, &ref_hfta);
     assert_eq!(bounds, ref_bounds, "intervals must survive the crash");
     let truth = stream.records.len() as u64;
-    println!("\nrecovered run is bit-identical to the crash-free run:");
+    println!("\nfallback recovery is bit-identical to the crash-free run:");
     for q in [AttrSet::parse_checked("A")?, AttrSet::parse_checked("B")?] {
         let qb = bounds
             .for_query(q)
@@ -144,9 +196,10 @@ fn main() -> Result<(), MsaError> {
         assert!(qb.contains(truth), "true count must sit inside the bound");
         assert_eq!(hfta.totals(q), ref_hfta.totals(q));
     }
+    std::fs::remove_dir_all(&root).ok();
     println!(
-        "\nexactly-once replay: every delivery applied once, none lost, none doubled,\n\
-         and the guaranteed intervals came back bit-identical with them."
+        "\nexactly-once replay off real disk: every delivery applied once, none lost,\n\
+         none doubled — even when the newest checkpoint itself was torn."
     );
     Ok(())
 }

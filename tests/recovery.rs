@@ -14,8 +14,9 @@
 //! epoch mismatches, misaligned captures).
 
 use msa_core::{
-    AttrSet, CostParams, CrashPlan, EvictionLog, Executor, FaultPlan, GuardPolicy, Record,
-    RecoveryError, RunReport, Snapshot, SnapshotError,
+    AttrSet, CheckpointStore, CostParams, CrashPlan, DiskBackend, EvictionLog, Executor,
+    ExecutorConfig, FaultPlan, GuardPolicy, Record, RecoveryError, RunReport, ShardedExecutor,
+    Snapshot, SnapshotError, StorageFaultPlan, StoreErrorKind, StoreHandle, SwapError, SwapFault,
 };
 use msa_gigascope::plan::{PhysicalPlan, PlanNode};
 use msa_gigascope::snapshot::LogEntry;
@@ -503,6 +504,553 @@ fn mid_epoch_capture_is_refused() {
     let snap = ex.snapshot().expect("boundary capture succeeds");
     assert_eq!(snap.records_hwm, 100);
     assert!(snap.plan_fingerprint != 0);
+}
+
+// ---------------------------------------------------------------------
+// Durable-store drills: the seeded fault matrix over the generational
+// checkpoint store. Every cell must end in one of exactly two states —
+// bit-identical recovery (given replay from the recovered high-water
+// mark) or an explicit, ledger-accounted fallback to an older
+// generation — and every cell must be bit-identical across two runs.
+// ---------------------------------------------------------------------
+
+/// Dense drill stream: epoch boundary every 100 records (epoch
+/// 1 000 µs, timestamps 10 µs apart) and a key space wider than every
+/// LFTA on the path (23 × 17 = 391 AB keys into 64 buckets; 23 A and
+/// 17 B values into 16 buckets each) — pigeonhole guarantees
+/// intra-epoch evictions, so WAL entries land in the live generation
+/// *between* boundary commits, exactly the artifacts a mid-epoch crash
+/// leaves behind.
+const DRILL_EPOCH: u64 = 1_000;
+
+fn drill_records(n: u32) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new(&[i % 23, i % 17, 0, 0], u64::from(i) * 10))
+        .collect()
+}
+
+fn drill_config(seed: u64) -> ExecutorConfig {
+    let mut cfg = ExecutorConfig::new(phantom_plan(), CostParams::paper(), DRILL_EPOCH, seed);
+    cfg.durable = true;
+    cfg
+}
+
+/// Fault-free drill reference.
+fn drill_oracle(seed: u64, recs: &[Record]) -> (RunReport, Hfta) {
+    let mut ex = drill_config(seed).build();
+    ex.run(recs);
+    ex.finish()
+}
+
+/// Everything a drill cell produces, for the two-run bit-identity gate.
+struct CellOutcome {
+    stats: msa_core::StoreStats,
+    generation: u64,
+    records_hwm: u64,
+    fallbacks: u64,
+    torn_entries_dropped: u64,
+    report: RunReport,
+    hfta: Hfta,
+}
+
+fn assert_cells_identical(a: &CellOutcome, b: &CellOutcome, label: &str) {
+    assert_eq!(a.stats, b.stats, "{label}: store stats diverged");
+    assert_eq!(a.generation, b.generation, "{label}: generation diverged");
+    assert_eq!(a.records_hwm, b.records_hwm, "{label}: hwm diverged");
+    assert_eq!(a.fallbacks, b.fallbacks, "{label}: fallbacks diverged");
+    assert_eq!(
+        a.torn_entries_dropped, b.torn_entries_dropped,
+        "{label}: torn-entry accounting diverged"
+    );
+    assert_eq!(a.report, b.report, "{label}: reports diverged");
+    assert_eq!(
+        a.hfta.results(),
+        b.hfta.results(),
+        "{label}: results diverged"
+    );
+    for q in [s("A"), s("B")] {
+        assert_eq!(a.hfta.totals(q), b.hfta.totals(q), "{label}: totals {q}");
+    }
+}
+
+/// The no-silent-corruption gate: a recovered-and-replayed run matches
+/// the fault-free oracle bit for bit.
+fn assert_matches_oracle(cell: &CellOutcome, oracle: &(RunReport, Hfta), label: &str) {
+    assert_eq!(
+        cell.report.records, oracle.0.records,
+        "{label}: record conservation"
+    );
+    assert_eq!(
+        cell.hfta.results(),
+        oracle.1.results(),
+        "{label}: per-epoch results vs oracle"
+    );
+    for q in [s("A"), s("B")] {
+        assert_eq!(
+            cell.hfta.totals(q),
+            oracle.1.totals(q),
+            "{label}: totals {q} vs oracle"
+        );
+    }
+}
+
+/// One post-hoc corruption cell: run durably, rot one artifact class,
+/// power-cut, recover, replay, compare against the oracle.
+fn corruption_cell(
+    artifact: &str,
+    rot: &str,
+    recs: &[Record],
+    oracle: &(RunReport, Hfta),
+    label: &str,
+) -> CellOutcome {
+    let handle = StoreHandle::in_memory().unwrap();
+    let mut live = drill_config(7).build().with_store(handle.clone());
+    live.run(recs);
+    drop(live);
+    let newest = handle.generation();
+    let targets: Vec<String> = match artifact {
+        "snapshot" => vec![format!("gen-{newest}/snapshot.bin")],
+        "wal" => {
+            let dir = format!("gen-{newest}");
+            let segs: Vec<String> = handle
+                .with_backend(|b| b.list(&dir).unwrap())
+                .into_iter()
+                .filter(|n| n.starts_with("wal-"))
+                .collect();
+            let seg = segs
+                .last()
+                .cloned()
+                .expect("drill stream must leave WAL entries after the last commit");
+            vec![format!("{dir}/{seg}")]
+        }
+        // Rot BOTH manifest slots: recovery must fall through to the
+        // orphan generation-directory scan.
+        _ => vec!["manifest.a".to_string(), "manifest.b".to_string()],
+    };
+    for path in &targets {
+        let len = handle.with_backend(|b| b.read(path).unwrap().len());
+        match rot {
+            "bit-flip" => handle.with_backend(|b| b.corrupt(path, len / 3)).unwrap(),
+            // Cut a WAL tail mid-frame; halve everything else.
+            _ if artifact == "wal" => handle
+                .with_backend(|b| b.truncate(path, len.saturating_sub(3)))
+                .unwrap(),
+            _ => handle.with_backend(|b| b.truncate(path, len / 2)).unwrap(),
+        }
+    }
+    handle.power_cut().unwrap();
+    let recovery = handle.recover_executor(&drill_config(7));
+    let mut ex = recovery
+        .executor
+        .unwrap_or_else(|| panic!("{label}: an older generation must stay readable"));
+    ex.run(&recs[usize::try_from(recovery.records_hwm).unwrap()..]);
+    let (report, hfta) = ex.finish();
+    let cell = CellOutcome {
+        stats: handle.stats(),
+        generation: recovery.generation,
+        records_hwm: recovery.records_hwm,
+        fallbacks: recovery.fallbacks,
+        torn_entries_dropped: recovery.torn_entries_dropped,
+        report,
+        hfta,
+    };
+    assert_matches_oracle(&cell, oracle, label);
+    match artifact {
+        "snapshot" => {
+            // The newest checkpoint is gone: explicit, ledgered fallback.
+            assert!(cell.fallbacks >= 1, "{label}: fallback must be taken");
+            assert!(cell.generation < newest, "{label}: older generation");
+            assert!(
+                cell.stats.generations_quarantined >= 1,
+                "{label}: the rotten generation must be quarantined"
+            );
+        }
+        "wal" => {
+            // Same generation, repaired WAL, dropped entries accounted.
+            assert_eq!(cell.generation, newest, "{label}: same generation");
+            assert!(
+                cell.torn_entries_dropped >= 1,
+                "{label}: torn tail must be detected and counted"
+            );
+        }
+        _ => {
+            // Both manifests dead: the orphan scan still finds the
+            // newest generation — nothing is lost, nothing falls back.
+            assert_eq!(cell.generation, newest, "{label}: orphan scan");
+            assert_eq!(cell.fallbacks, 0, "{label}: no fallback needed");
+        }
+    }
+    cell
+}
+
+/// The post-hoc corruption matrix: {bit-flip, truncation} × {snapshot,
+/// WAL tail, manifest pair}, each cell run twice and required to be
+/// bit-identical — and each cell required to end in bit-identical
+/// recovery or explicit accounted fallback, never silent corruption.
+#[test]
+fn corruption_matrix_recovers_bit_identically_or_falls_back_accounted() {
+    let recs = drill_records(240);
+    let oracle = drill_oracle(7, &recs);
+    for artifact in ["snapshot", "wal", "manifest"] {
+        for rot in ["bit-flip", "truncate"] {
+            let label = format!("{artifact} x {rot}");
+            let first = corruption_cell(artifact, rot, &recs, &oracle, &label);
+            let second = corruption_cell(artifact, rot, &recs, &oracle, &label);
+            assert_cells_identical(&first, &second, &label);
+        }
+    }
+}
+
+/// One in-flight fault-plan cell: the plan is armed before the run, the
+/// pipeline must survive it (degrading to in-memory artifacts at
+/// worst), and post-power-cut recovery plus replay must match the
+/// oracle bit for bit.
+fn in_flight_cell(
+    plan: StorageFaultPlan,
+    recs: &[Record],
+    oracle: &(RunReport, Hfta),
+    label: &str,
+) -> CellOutcome {
+    let handle = StoreHandle::in_memory_with_faults(plan).unwrap();
+    let mut live = drill_config(7).build().with_store(handle.clone());
+    live.run(recs);
+    assert_eq!(
+        live.report().records,
+        recs.len() as u64,
+        "{label}: a storage fault must never take the pipeline down"
+    );
+    drop(live);
+    handle.power_cut().unwrap();
+    let recovery = handle.recover_executor(&drill_config(7));
+    let (generation, records_hwm) = (recovery.generation, recovery.records_hwm);
+    let (fallbacks, torn) = (recovery.fallbacks, recovery.torn_entries_dropped);
+    let mut ex = match recovery.executor {
+        Some(ex) => ex,
+        // Nothing recoverable (e.g. the fault hit the genesis commit):
+        // an explicit fresh start, replayed from record zero.
+        None => drill_config(7).build(),
+    };
+    ex.run(&recs[usize::try_from(records_hwm).unwrap()..]);
+    let (report, hfta) = ex.finish();
+    let cell = CellOutcome {
+        stats: handle.stats(),
+        generation,
+        records_hwm,
+        fallbacks,
+        torn_entries_dropped: torn,
+        report,
+        hfta,
+    };
+    assert_matches_oracle(&cell, oracle, label);
+    cell
+}
+
+/// The in-flight fault sweep: {torn write, ENOSPC, transient EIO,
+/// crash-after-op} × a spread of op indices covering snapshot writes,
+/// manifest flips, WAL appends and fsyncs — plus the lying-fsync cell,
+/// whose "durable" generations evaporate at the power cut and recovery
+/// restarts explicitly from record zero.
+#[test]
+fn in_flight_storage_fault_sweep_recovers_bit_identically() {
+    let recs = drill_records(200);
+    let oracle = drill_oracle(7, &recs);
+    for op in [0u64, 1, 2, 3, 5, 9, 17, 33, 65] {
+        for kind in ["torn-write", "enospc", "transient-eio", "crash-after"] {
+            let plan = match kind {
+                "torn-write" => StorageFaultPlan {
+                    torn_write: Some((op, 7)),
+                    ..StorageFaultPlan::none()
+                },
+                "enospc" => StorageFaultPlan {
+                    fail_op: Some((op, StoreErrorKind::NoSpace)),
+                    ..StorageFaultPlan::none()
+                },
+                "transient-eio" => StorageFaultPlan {
+                    transient_eio: Some((op, 3)),
+                    ..StorageFaultPlan::none()
+                },
+                _ => StorageFaultPlan {
+                    crash_after_op: Some(op),
+                    ..StorageFaultPlan::none()
+                },
+            };
+            let label = format!("{kind} at op {op}");
+            let first = in_flight_cell(plan.clone(), &recs, &oracle, &label);
+            let second = in_flight_cell(plan, &recs, &oracle, &label);
+            assert_cells_identical(&first, &second, &label);
+            if kind == "transient-eio" {
+                // A 3-op EIO window sits inside the attempt-counted
+                // retry budget: absorbed, never surfaced.
+                assert!(first.stats.io_retries >= 3, "{label}: window absorbed");
+                assert_eq!(first.stats.io_gave_up, 0, "{label}");
+                assert_eq!(first.fallbacks, 0, "{label}: no fallback");
+            }
+        }
+    }
+    let lying = StorageFaultPlan {
+        lying_fsync: true,
+        ..StorageFaultPlan::none()
+    };
+    let label = "lying-fsync";
+    let first = in_flight_cell(lying.clone(), &recs, &oracle, label);
+    let second = in_flight_cell(lying, &recs, &oracle, label);
+    assert_eq!(
+        first.records_hwm, 0,
+        "{label}: nothing claimed durable survives the power cut"
+    );
+    assert_cells_identical(&first, &second, label);
+}
+
+/// The kill-between-syscalls sweep over real files: a fused
+/// [`DiskBackend`] aborts after exactly `k` syscall steps — mid
+/// write-temp, between fsync and rename, after rename but before the
+/// directory fsync, inside a WAL append, during GC — and for every `k`
+/// a fresh process reopening the directory must recover to a state
+/// that, after replay, is bit-identical to the fault-free run. This is
+/// the crash-atomicity proof for the disk backend's write discipline.
+#[test]
+fn disk_kill_between_syscalls_sweep_is_crash_atomic() {
+    let recs = drill_records(80);
+    let oracle = drill_oracle(11, &recs);
+    let base = std::env::temp_dir().join(format!("msa_recovery_kill_{}", std::process::id()));
+    for k in 0..40u64 {
+        let root = base.join(format!("k{k}"));
+        let _ = std::fs::remove_dir_all(&root);
+        {
+            let backend = DiskBackend::with_kill_after(&root, k).unwrap();
+            let store = StoreHandle::new(CheckpointStore::open(Box::new(backend)).unwrap());
+            let mut live = drill_config(11).build().with_store(store);
+            live.run(&recs);
+            assert_eq!(
+                live.report().records,
+                recs.len() as u64,
+                "kill at step {k}: the pipeline must survive the dead store"
+            );
+        }
+        // "Reboot": a fresh backend over the same directory sees only
+        // what a killed process would have left on disk.
+        let handle = StoreHandle::on_disk(&root).unwrap();
+        let recovery = handle.recover_executor(&drill_config(11));
+        let records_hwm = recovery.records_hwm;
+        let mut ex = match recovery.executor {
+            Some(ex) => ex,
+            None => drill_config(11).build(),
+        };
+        ex.run(&recs[usize::try_from(records_hwm).unwrap()..]);
+        let (report, hfta) = ex.finish();
+        assert_eq!(report.records, oracle.0.records, "kill at step {k}");
+        assert_eq!(
+            hfta.results(),
+            oracle.1.results(),
+            "kill at step {k}: recovery must be bit-identical — never a mixture"
+        );
+        for q in [s("A"), s("B")] {
+            assert_eq!(hfta.totals(q), oracle.1.totals(q), "kill at step {k} {q}");
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A store-backed supervised restart: the panicked shard's driver
+/// recovers from its durable generations (not the in-process artifacts)
+/// and, with replay covering the gap, the merged output is
+/// bit-identical to the fault-free run — twice.
+#[test]
+fn store_backed_supervised_restart_replays_bit_identically() {
+    use msa_core::{ShardFault, SupervisorPolicy};
+    let records = stream(31);
+    let baseline = {
+        let mut sx = ShardedExecutor::new(phantom_plan(), CostParams::paper(), EPOCH, 31, 2)
+            .unwrap()
+            .with_durability();
+        sx.run(&records);
+        sx.finish()
+    };
+    let run = || {
+        let stores = vec![
+            StoreHandle::in_memory().unwrap(),
+            StoreHandle::in_memory().unwrap(),
+        ];
+        let mut sx = ShardedExecutor::new(phantom_plan(), CostParams::paper(), EPOCH, 31, 2)
+            .unwrap()
+            .with_stores(stores)
+            .with_shard_fault(1, ShardFault::panic_at(40))
+            .with_supervision(SupervisorPolicy::default().with_replay_capacity(u64::MAX));
+        sx.run(&records);
+        assert_eq!(sx.shard_health(1).restarts, 1);
+        sx.finish()
+    };
+    let (report_a, hfta_a) = run();
+    let (report_b, hfta_b) = run();
+    assert_eq!(report_a, report_b, "two store-backed restarts diverged");
+    assert_eq!(report_a.records, records.len() as u64);
+    assert_eq!(
+        hfta_a.results(),
+        baseline.1.results(),
+        "store-backed restart must match the fault-free run"
+    );
+    for q in [s("A"), s("B")] {
+        assert_eq!(hfta_a.totals(q), baseline.1.totals(q));
+        assert_eq!(hfta_b.totals(q), baseline.1.totals(q));
+    }
+}
+
+/// A crashed shard recovers from its attached store — once from a
+/// pristine store (no fallback) and once after its newest generation
+/// has rotted (explicit fallback, replay covers the gap) — and both
+/// paths merge to the serial no-crash oracle bit for bit.
+#[test]
+fn crashed_shard_recovers_from_its_store_with_and_without_rot() {
+    for seed in [11u64, 42] {
+        let records = stream(seed);
+        let mut serial = executor(seed);
+        serial.run(&records);
+        let (_, want) = serial.finish();
+        for rot in [false, true] {
+            let stores: Vec<StoreHandle> =
+                (0..4).map(|_| StoreHandle::in_memory().unwrap()).collect();
+            let crash_shard = 2usize;
+            let mut sx = ShardedExecutor::new(phantom_plan(), CostParams::paper(), EPOCH, seed, 4)
+                .unwrap()
+                .with_stores(stores.clone())
+                .with_crash(crash_shard, CrashPlan::after_offers(7));
+            sx.run(&records);
+            assert_eq!(sx.crashed_shards(), vec![crash_shard], "seed {seed}");
+            if rot {
+                let store = &stores[crash_shard];
+                let newest = store.generation();
+                assert!(newest >= 1, "seed {seed}: genesis commit must exist");
+                store
+                    .with_backend(|b| b.corrupt(&format!("gen-{newest}/snapshot.bin"), 9))
+                    .unwrap();
+            }
+            let fallbacks = sx
+                .recover_shard_from_store(crash_shard, &records)
+                .expect("crashed shard has a store attached");
+            if rot {
+                assert!(fallbacks >= 1, "seed {seed}: rot must force a fallback");
+            } else {
+                assert_eq!(fallbacks, 0, "seed {seed}: pristine store, no fallback");
+            }
+            let (report, hfta) = sx.finish();
+            assert_eq!(report.records, records.len() as u64, "seed {seed}");
+            assert_eq!(
+                hfta.results(),
+                want.results(),
+                "seed {seed}, rot {rot}: merged results vs serial no-crash run"
+            );
+            for q in [s("A"), s("B")] {
+                assert_eq!(hfta.totals(q), want.totals(q), "seed {seed} rot {rot} {q}");
+            }
+        }
+    }
+}
+
+/// A hot swap whose durable commit is refused rolls the whole
+/// transaction back: the old deployment keeps serving bit-identically
+/// to a run that never attempted the swap, and the rollback ticks the
+/// ledger. A healthy twin proves the refusal was the store, not the
+/// plan — and that a committed swap persists a new generation in every
+/// shard's store.
+#[test]
+fn hot_swap_durable_commit_failure_rolls_back_untouched() {
+    use msa_gigascope::plan::PlanNode;
+    let seed = 13u64;
+    let records = stream(seed);
+    // Split exactly at an epoch boundary so the quiesce barrier is the
+    // same flush the stream itself would have run.
+    let half = records
+        .iter()
+        .position(|r| r.ts_micros / EPOCH >= 3)
+        .expect("stream spans six epochs");
+    let flat_plan = || {
+        PhysicalPlan::new(vec![
+            PlanNode {
+                attrs: s("A"),
+                parent: None,
+                buckets: 16,
+                is_query: true,
+            },
+            PlanNode {
+                attrs: s("B"),
+                parent: None,
+                buckets: 16,
+                is_query: true,
+            },
+        ])
+        .unwrap()
+    };
+    let build = |stores: Vec<StoreHandle>| {
+        ShardedExecutor::new(phantom_plan(), CostParams::paper(), EPOCH, seed, 2)
+            .unwrap()
+            .with_stores(stores)
+    };
+    // Oracle: the same deployment, aligned the same way, never swapping.
+    let oracle = {
+        let mut sx = build(vec![
+            StoreHandle::in_memory().unwrap(),
+            StoreHandle::in_memory().unwrap(),
+        ]);
+        sx.run(&records[..half]);
+        sx.align_to_epoch(3);
+        sx.run(&records[half..]);
+        sx.finish()
+    };
+    // Shard 1's store refuses every write (an EIO window wider than any
+    // retry budget): the handoff cannot be made durable.
+    let sick = StorageFaultPlan {
+        transient_eio: Some((0, u64::MAX)),
+        ..StorageFaultPlan::none()
+    };
+    let mut sx = build(vec![
+        StoreHandle::in_memory().unwrap(),
+        StoreHandle::in_memory_with_faults(sick).unwrap(),
+    ]);
+    sx.run(&records[..half]);
+    sx.align_to_epoch(3);
+    let err = sx.hot_swap(flat_plan(), &SwapFault::none()).unwrap_err();
+    assert!(
+        matches!(err, SwapError::DurableCommit { shard: 1, .. }),
+        "expected a durable-commit refusal, got: {err}"
+    );
+    sx.run(&records[half..]);
+    let (report, hfta) = sx.finish();
+    assert_eq!(report.records, records.len() as u64);
+    assert_eq!(
+        report.replans_rolled_back, 1,
+        "rollback must tick the ledger"
+    );
+    assert_eq!(report.replans_committed, 0);
+    assert_eq!(
+        hfta.results(),
+        oracle.1.results(),
+        "a rolled-back swap must leave the deployment untouched"
+    );
+    for q in [s("A"), s("B")] {
+        assert_eq!(hfta.totals(q), oracle.1.totals(q), "{q}");
+    }
+    // The healthy twin: same swap, working stores, committed durably.
+    let stores = vec![
+        StoreHandle::in_memory().unwrap(),
+        StoreHandle::in_memory().unwrap(),
+    ];
+    let mut sx = build(stores.clone());
+    sx.run(&records[..half]);
+    sx.align_to_epoch(3);
+    let pre = [stores[0].stats().commits, stores[1].stats().commits];
+    let swap = sx
+        .hot_swap(flat_plan(), &SwapFault::none())
+        .expect("clean swap");
+    assert!(swap.outcome.committed());
+    assert!(
+        stores[0].stats().commits > pre[0] && stores[1].stats().commits > pre[1],
+        "the handoff itself must land as a durable generation per shard"
+    );
+    sx.run(&records[half..]);
+    let (report, _) = sx.finish();
+    assert_eq!(report.records, records.len() as u64);
+    assert_eq!(report.replans_committed, 1);
 }
 
 /// Shard-local recovery: crash one shard of a 4-shard deployment
